@@ -1,0 +1,84 @@
+// Ablation: how much does each Glasswing design choice contribute?
+// (DESIGN.md's per-design-choice index; not a paper figure, but quantifies
+// the §I contributions separately.) WordCount, 4 Type-1 nodes, HDFS.
+//
+// Baseline = full Glasswing (double buffering, hash-table + combiner,
+// parallel partitioner/mergers, fine-grained kernels). Each ablation
+// disables exactly one mechanism.
+#include "apps/wordcount.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+const std::uint64_t kInputBytes = bench::scaled_bytes(24ull << 20);
+constexpr int kNodes = 4;
+
+core::JobConfig base_config() {
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/wiki"};
+  cfg.output_path = "/out";
+  cfg.split_size = 256 << 10;
+  return cfg;
+}
+
+double run(const util::Bytes& input, core::JobConfig cfg) {
+  return bench::run_glasswing_cpu(kNodes, apps::wordcount().kernels, input,
+                                  std::move(cfg));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Bytes input = apps::generate_wiki_text(kInputBytes, 2014);
+
+  const double full = run(input, base_config());
+
+  core::JobConfig no_overlap = base_config();
+  no_overlap.buffering = 1;  // input and output groups interlock (§III-D)
+  const double t_no_overlap = run(input, no_overlap);
+
+  core::JobConfig coarse = base_config();
+  coarse.map_launch.threads = 1;  // coarse-grained: one kernel thread
+  coarse.reduce_launch.threads = 1;
+  const double t_coarse = run(input, coarse);
+
+  core::JobConfig no_combiner = base_config();
+  no_combiner.use_combiner = false;
+  const double t_no_combiner = run(input, no_combiner);
+
+  core::JobConfig serial_intermediate = base_config();
+  serial_intermediate.partitioner_threads = 1;  // N = 1 (§IV-B3)
+  serial_intermediate.partitions_per_node = 1;  // P = 1: serial merging
+  const double t_serial_inter = run(input, serial_intermediate);
+
+  std::printf("=== Ablation: WC on %d nodes, full Glasswing = %.3fs ===\n",
+              kNodes, full);
+  std::printf("%-36s %10s %10s\n", "configuration", "time(s)", "slowdown");
+  auto row = [&](const char* name, double t) {
+    std::printf("%-36s %10.3f %9.2fx\n", name, t, t / full);
+  };
+  row("full Glasswing (baseline)", full);
+  row("- pipeline overlap (single buffer)", t_no_overlap);
+  row("- fine-grained kernels (1 thread)", t_coarse);
+  row("- combiner", t_no_combiner);
+  row("- intermediate parallelism (N=P=1)", t_serial_inter);
+  std::printf("\nEvery mechanism must contribute (slowdown > 1.0x when "
+              "removed): %s\n",
+              (t_no_overlap > full && t_coarse > full &&
+               t_no_combiner > full && t_serial_inter > full)
+                  ? "OK"
+                  : "MISMATCH");
+
+  bench::register_point("Ablation/full", [full](benchmark::State&) { return full; });
+  bench::register_point("Ablation/no-overlap",
+                        [t_no_overlap](benchmark::State&) { return t_no_overlap; });
+  bench::register_point("Ablation/coarse-kernels",
+                        [t_coarse](benchmark::State&) { return t_coarse; });
+  bench::register_point("Ablation/no-combiner",
+                        [t_no_combiner](benchmark::State&) { return t_no_combiner; });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

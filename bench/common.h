@@ -1,0 +1,196 @@
+// Shared scaffolding for the reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (§IV). Times are SIMULATED seconds from the deterministic DES
+// clock (reported to google-benchmark via manual timing); datasets are
+// scaled-down versions of the paper's inputs with the same key statistics,
+// so the SHAPE of each result (who wins, by what factor, where crossovers
+// fall) is the reproduction target, not absolute numbers.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+#include "baselines/gpmr/gpmr.h"
+#include "baselines/hadoop/hadoop.h"
+#include "cluster/cluster.h"
+#include "core/job.h"
+#include "gwdfs/fs.h"
+
+namespace gw::bench {
+
+// Benchmark input scale: data sizes default to a laptop-friendly scale-down
+// of the paper's datasets; override with GW_BENCH_SCALE (a multiplier).
+inline double scale() {
+  if (const char* env = std::getenv("GW_BENCH_SCALE")) {
+    return std::atof(env);
+  }
+  return 1.0;
+}
+
+inline std::uint64_t scaled_bytes(std::uint64_t base) {
+  return static_cast<std::uint64_t>(static_cast<double>(base) * scale());
+}
+
+inline cluster::Platform make_platform(
+    int nodes, cluster::NodeSpec spec = cluster::NodeSpec::das4_type1()) {
+  return cluster::Platform(cluster::ClusterSpec::homogeneous(
+      nodes, std::move(spec), net::NetworkProfile::qdr_infiniband_ipoib()));
+}
+
+inline void stage_input(cluster::Platform& p, dfs::FileSystem& fs,
+                        const std::string& path, util::Bytes contents) {
+  // HDFS inputs are staged like TeraGen/distcp would: block replicas spread
+  // over the whole cluster, no writer affinity. LocalFs inputs are fully
+  // replicated (the GPMR experimental layout).
+  if (auto* hdfs = dynamic_cast<dfs::Dfs*>(&fs)) {
+    p.sim().spawn([](dfs::Dfs& f, std::string pa, util::Bytes c) -> sim::Task<> {
+      co_await f.write_distributed(pa, std::move(c));
+    }(*hdfs, path, std::move(contents)));
+    p.sim().run();
+    return;
+  }
+  p.sim().spawn([](dfs::FileSystem& f, std::string pa,
+                   util::Bytes c) -> sim::Task<> {
+    co_await f.write(0, pa, std::move(c));
+  }(fs, path, std::move(contents)));
+  p.sim().run();
+  if (auto* local = dynamic_cast<dfs::LocalFs*>(&fs)) {
+    local->replicate_everywhere(path);
+  }
+}
+
+// Accumulates (x, seconds) series and prints the paper-style summary:
+// execution times (falling) and speedups over the 1st x (rising).
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string x_label) : x_label_(std::move(x_label)) {}
+
+  void add(const std::string& series, double x, double seconds) {
+    data_[series].emplace_back(x, seconds);
+  }
+
+  void print(const char* title) const {
+    std::printf("\n=== %s ===\n", title);
+    std::printf("%-12s", x_label_.c_str());
+    for (const auto& [name, points] : data_) {
+      std::printf(" %16s %9s", (name + "(s)").c_str(), "speedup");
+    }
+    std::printf("\n");
+    // Collect the x values of the longest series.
+    std::vector<double> xs;
+    for (const auto& [name, points] : data_) {
+      if (points.size() > xs.size()) {
+        xs.clear();
+        for (auto& [x, t] : points) xs.push_back(x);
+      }
+    }
+    for (double x : xs) {
+      std::printf("%-12g", x);
+      for (const auto& [name, points] : data_) {
+        double t = -1, base = -1;
+        for (auto& [px, pt] : points) {
+          if (px == x) t = pt;
+          if (base < 0) base = pt;  // first point of the series
+        }
+        if (t >= 0) {
+          std::printf(" %16.3f %9.2f", t, base / t);
+        } else {
+          std::printf(" %16s %9s", "-", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  double at(const std::string& series, double x) const {
+    for (auto& [px, pt] : data_.at(series)) {
+      if (px == x) return pt;
+    }
+    return -1;
+  }
+
+ private:
+  std::string x_label_;
+  std::map<std::string, std::vector<std::pair<double, double>>> data_;
+};
+
+// --- one-shot job runners (fresh platform + filesystem per point) ---
+
+struct RunOpts {
+  cl::DeviceSpec device = cl::DeviceSpec::cpu_dual_e5620();
+  bool local_fs = false;  // LocalFs with fully-replicated input (GPMR layout)
+  cluster::NodeSpec node = cluster::NodeSpec::das4_type1();
+};
+
+inline double run_glasswing(int nodes, const core::AppKernels& app,
+                            const util::Bytes& input, core::JobConfig cfg,
+                            RunOpts opts = {},
+                            core::JobResult* out = nullptr) {
+  cluster::Platform p = make_platform(nodes, opts.node);
+  std::unique_ptr<dfs::FileSystem> fs;
+  if (opts.local_fs) {
+    fs = std::make_unique<dfs::LocalFs>(p);
+  } else {
+    fs = std::make_unique<dfs::Dfs>(p, dfs::DfsConfig{});
+  }
+  if (cfg.input_paths.empty()) cfg.input_paths = {"/in/data"};
+  if (cfg.output_path.empty()) cfg.output_path = "/out";
+  stage_input(p, *fs, cfg.input_paths[0], input);
+  core::GlasswingRuntime rt(p, *fs, opts.device);
+  core::JobResult result = rt.run(app, cfg);
+  if (out != nullptr) *out = result;
+  return result.elapsed_seconds;
+}
+
+inline double run_glasswing_cpu(int nodes, const core::AppKernels& app,
+                                const util::Bytes& input,
+                                core::JobConfig cfg,
+                                core::JobResult* out = nullptr) {
+  return run_glasswing(nodes, app, input, std::move(cfg), RunOpts{}, out);
+}
+
+inline double run_hadoop(int nodes, const core::AppKernels& app,
+                         const util::Bytes& input, hadoop::HadoopConfig cfg,
+                         hadoop::HadoopResult* out = nullptr) {
+  cluster::Platform p = make_platform(nodes);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  if (cfg.input_paths.empty()) cfg.input_paths = {"/in/data"};
+  if (cfg.output_path.empty()) cfg.output_path = "/out";
+  stage_input(p, fs, cfg.input_paths[0], input);
+  hadoop::HadoopRuntime rt(p, fs);
+  hadoop::HadoopResult result = rt.run(app, cfg);
+  if (out != nullptr) *out = result;
+  return result.elapsed_seconds;
+}
+
+inline gpmr::GpmrResult run_gpmr(int nodes, const core::AppKernels& app,
+                                 const util::Bytes& input,
+                                 gpmr::GpmrConfig cfg,
+                                 cl::DeviceSpec device = cl::DeviceSpec::gtx480()) {
+  cluster::Platform p = make_platform(nodes);
+  dfs::LocalFs fs(p);
+  if (cfg.input_paths.empty()) cfg.input_paths = {"/in/data"};
+  stage_input(p, fs, cfg.input_paths[0], input);
+  gpmr::GpmrRuntime rt(p, fs, std::move(device));
+  return rt.run(app, cfg);
+}
+
+// Registers a single-shot manual-time benchmark.
+template <typename Fn>
+void register_point(const std::string& name, Fn fn) {
+  benchmark::RegisterBenchmark(name.c_str(), [fn](benchmark::State& state) {
+    for (auto _ : state) {
+      const double seconds = fn(state);
+      state.SetIterationTime(seconds);
+    }
+  })->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+}  // namespace gw::bench

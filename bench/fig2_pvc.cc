@@ -1,0 +1,52 @@
+// Figure 2(a): Pageview Count — Hadoop vs Glasswing (CPU, HDFS) over 1..64
+// nodes. Paper input: 30 GB of WikiBench 2007-09 traces; scaled here with
+// the same key statistic (sparse URLs, massive key space, large
+// intermediate volume). I/O-bound: kernels do little work per record.
+#include "apps/pageview.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+const std::uint64_t kInputBytes = bench::scaled_bytes(24ull << 20);
+constexpr std::uint64_t kSplit = 256 << 10;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Bytes input = apps::generate_weblog(kInputBytes, 709);
+
+  bench::SeriesTable table("nodes");
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
+    hadoop::HadoopConfig hcfg;
+    hcfg.split_size = kSplit;
+    table.add("Hadoop", nodes,
+              bench::run_hadoop(nodes, apps::pageview_count().kernels, input,
+                                hcfg));
+    core::JobConfig gcfg;
+    gcfg.split_size = kSplit;
+    table.add("Glasswing", nodes,
+              bench::run_glasswing_cpu(nodes, apps::pageview_count().kernels,
+                                       input, gcfg));
+  }
+  table.print("Figure 2(a): PVC, Hadoop vs Glasswing CPU over HDFS");
+
+  std::printf("\nShape check (paper: Glasswing ~2x faster, similar speedup "
+              "curves):\n  factor: %.2fx @1 node, %.2fx @16, %.2fx @64\n",
+              table.at("Hadoop", 1) / table.at("Glasswing", 1),
+              table.at("Hadoop", 16) / table.at("Glasswing", 16),
+              table.at("Hadoop", 64) / table.at("Glasswing", 64));
+
+  for (int nodes : {1, 4, 16, 64}) {
+    const double h = table.at("Hadoop", nodes);
+    const double g = table.at("Glasswing", nodes);
+    bench::register_point("PVC/Hadoop/nodes:" + std::to_string(nodes),
+                          [h](benchmark::State&) { return h; });
+    bench::register_point("PVC/Glasswing/nodes:" + std::to_string(nodes),
+                          [g](benchmark::State&) { return g; });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

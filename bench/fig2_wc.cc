@@ -1,0 +1,60 @@
+// Figure 2(b): WordCount — Hadoop vs Glasswing (CPU, HDFS), execution time
+// and speedup over 1..64 Type-1 nodes. Paper input: 70 GB enwiki dump;
+// scaled here with identical key statistics (Zipf head + sparse tail).
+#include "apps/wordcount.h"
+#include "baselines/hadoop/hadoop.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+const std::uint64_t kInputBytes = gw::bench::scaled_bytes(24ull << 20);  // paper: 70 GB
+constexpr std::uint64_t kSplit = 256 << 10;
+
+double run_hadoop(int nodes, const util::Bytes& input) {
+  hadoop::HadoopConfig cfg;
+  cfg.input_paths = {"/in/wiki"};
+  cfg.output_path = "/out";
+  cfg.split_size = kSplit;
+  return bench::run_hadoop(nodes, apps::wordcount().kernels, input, cfg);
+}
+
+double run_glasswing(int nodes, const util::Bytes& input) {
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/wiki"};
+  cfg.output_path = "/out";
+  cfg.split_size = kSplit;
+  return bench::run_glasswing_cpu(nodes, apps::wordcount().kernels, input, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Bytes input = gw::apps::generate_wiki_text(kInputBytes, 2014);
+
+  gw::bench::SeriesTable table("nodes");
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
+    table.add("Hadoop", nodes, run_hadoop(nodes, input));
+    table.add("Glasswing", nodes, run_glasswing(nodes, input));
+  }
+  table.print("Figure 2(b): WC, Hadoop vs Glasswing CPU over HDFS");
+
+  const double f1 = table.at("Hadoop", 1) / table.at("Glasswing", 1);
+  const double f64 = table.at("Hadoop", 64) / table.at("Glasswing", 64);
+  std::printf("\nShape check (paper: ~1.6x at 1 node growing to ~2.x at 64):\n"
+              "  Glasswing/Hadoop factor: %.2fx @1 node, %.2fx @64 nodes\n",
+              f1, f64);
+
+  for (int nodes : {1, 4, 16, 64}) {
+    const double h = table.at("Hadoop", nodes);
+    const double g = table.at("Glasswing", nodes);
+    gw::bench::register_point("WC/Hadoop/nodes:" + std::to_string(nodes),
+                              [h](benchmark::State&) { return h; });
+    gw::bench::register_point("WC/Glasswing/nodes:" + std::to_string(nodes),
+                              [g](benchmark::State&) { return g; });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

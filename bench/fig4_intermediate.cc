@@ -1,0 +1,88 @@
+// Figure 4: intermediate-data handling knobs (WC on one Type-1 node,
+// local FS).
+//  (a) Partitioning-stage and Kernel-stage times vs the number of
+//      partitioner threads N: partitioning dominates at N=1 and drops below
+//      the kernel from a few threads on.
+//  (b) Merge delay vs partitions-per-node P for several N: more partitions
+//      -> parallel merging -> sharply lower merge delay; more partitioner
+//      threads -> slightly higher merge delay (mergers starved of cores
+//      during the map phase).
+#include "apps/wordcount.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+const std::uint64_t kInputBytes = bench::scaled_bytes(24ull << 20);
+
+core::JobResult run_config(const util::Bytes& input, int n_threads, int p) {
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/wiki"};
+  cfg.output_path = "/out";
+  cfg.split_size = 512 << 10;
+  // Partitioning-heavy configuration (§IV-B3 analyses WC's intermediate
+  // volume): simple collection keeps every occurrence.
+  cfg.output_mode = core::OutputMode::kSharedPool;
+  cfg.use_combiner = false;
+  cfg.partitioner_threads = n_threads;
+  cfg.partitions_per_node = p;
+  cfg.cache_threshold_bytes = 256 << 20;  // all intermediate cached: the
+  // merge phase must consolidate everything after map, so its parallelism
+  // (one merger per partition) governs the delay
+  core::JobResult result;
+  bench::RunOpts opts;
+  opts.local_fs = true;
+  bench::run_glasswing(1, apps::wordcount().kernels, input, cfg, opts,
+                       &result);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Bytes input = apps::generate_wiki_text(kInputBytes, 2014);
+
+  // --- Fig 4(a): stage times vs N (P fixed at 8) ---
+  std::printf("=== Figure 4(a): map pipeline stage times vs partitioner "
+              "threads N (P=8) ===\n");
+  std::printf("%-6s %14s %14s %14s\n", "N", "Partitioning(s)", "Kernel(s)",
+              "MapElapsed(s)");
+  double part1 = 0, part4 = 0;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const core::JobResult r = run_config(input, n, 8);
+    std::printf("%-6d %14.3f %14.3f %14.3f\n", n, r.stages.partition,
+                r.stages.kernel, r.stages.map_elapsed);
+    if (n == 1) part1 = r.stages.partition;
+    if (n == 4) part4 = r.stages.partition;
+  }
+  std::printf("Shape check: partitioning time falls with N: %.3f -> %.3f "
+              "(%s)\n",
+              part1, part4, part4 < part1 ? "OK" : "MISMATCH");
+
+  // --- Fig 4(b): merge delay vs P for several N ---
+  bench::SeriesTable table("P");
+  for (int n : {1, 4, 16}) {
+    for (int p : {1, 2, 4, 8, 16, 32}) {
+      const core::JobResult r = run_config(input, n, p);
+      table.add("merge-delay(N=" + std::to_string(n) + ")", p,
+                r.merge_delay_seconds);
+    }
+  }
+  table.print("Figure 4(b): merge delay vs partitions per node P");
+  std::printf("\nShape check (paper: delay falls sharply with P; rises "
+              "mildly with N):\n"
+              "  N=4: P=1 %.3fs -> P=16 %.3fs\n"
+              "  P=4: N=1 %.3fs vs N=16 %.3fs\n",
+              table.at("merge-delay(N=4)", 1), table.at("merge-delay(N=4)", 16),
+              table.at("merge-delay(N=1)", 4), table.at("merge-delay(N=16)", 4));
+
+  for (int p : {1, 8, 32}) {
+    const double t = table.at("merge-delay(N=4)", p);
+    bench::register_point("Fig4/merge-delay/P:" + std::to_string(p),
+                          [t](benchmark::State&) { return t; });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 5: reduce-pipeline efficiency (WC on one Type-1 node, local FS,
+// millions->thousands of unique keys at our scale).
+//  * concurrent keys per kernel invocation: one key per kernel means one
+//    launch per key (launch overhead dominates); concurrency amortizes it.
+//  * keys per kernel thread: processing several keys sequentially per
+//    thread trims per-thread creation overhead.
+#include "apps/wordcount.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+const std::uint64_t kInputBytes = bench::scaled_bytes(16ull << 20);
+
+core::JobResult run_config(const util::Bytes& input, int concurrent_keys,
+                           int keys_per_thread) {
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/wiki"};
+  cfg.output_path = "/out";
+  cfg.split_size = 512 << 10;
+  cfg.use_combiner = true;  // many unique keys, few values each
+  cfg.concurrent_keys = concurrent_keys;
+  cfg.keys_per_thread = keys_per_thread;
+  core::JobResult result;
+  bench::RunOpts opts;
+  opts.local_fs = true;
+  bench::run_glasswing(1, apps::wordcount().kernels, input, cfg, opts,
+                       &result);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Bytes input = apps::generate_wiki_text(kInputBytes, 2014);
+
+  std::printf("=== Figure 5: WC reduce pipeline vs concurrent keys "
+              "(keys/thread = 8) ===\n");
+  std::printf("%-10s %14s %14s %14s\n", "conc.keys", "ReduceKernel(s)",
+              "ReduceInput(s)", "ReduceTotal(s)");
+  double t1 = 0, t4096 = 0;
+  for (int ck : {1, 4, 16, 64, 256, 1024, 4096}) {
+    const core::JobResult r = run_config(input, ck, 8);
+    std::printf("%-10d %14.3f %14.3f %14.3f\n", ck, r.stages.reduce_kernel,
+                r.stages.reduce_input, r.reduce_phase_seconds);
+    if (ck == 1) t1 = r.reduce_phase_seconds;
+    if (ck == 4096) t4096 = r.reduce_phase_seconds;
+  }
+  std::printf("Shape check: reduce time falls steeply with concurrency then "
+              "flattens: %.3fs -> %.3fs (%.0fx, %s)\n",
+              t1, t4096, t1 / t4096, t1 / t4096 > 5 ? "OK" : "MISMATCH");
+
+  std::printf("\n=== Figure 5 (cont.): keys per kernel thread "
+              "(concurrent keys = 1024) ===\n");
+  std::printf("%-10s %14s %14s\n", "keys/thr", "ReduceKernel(s)",
+              "ReduceTotal(s)");
+  double kt1 = 0, kt16 = 0;
+  for (int kpt : {1, 2, 4, 8, 16, 32}) {
+    const core::JobResult r = run_config(input, 1024, kpt);
+    std::printf("%-10d %14.3f %14.3f\n", kpt, r.stages.reduce_kernel,
+                r.reduce_phase_seconds);
+    if (kpt == 1) kt1 = r.stages.reduce_kernel;
+    if (kpt == 16) kt16 = r.stages.reduce_kernel;
+  }
+  std::printf("Shape check: more keys/thread trims thread-create overhead: "
+              "%.4fs -> %.4fs (%s)\n",
+              kt1, kt16, kt16 <= kt1 ? "OK" : "MISMATCH");
+
+  for (int ck : {1, 64, 4096}) {
+    const double t = run_config(input, ck, 8).reduce_phase_seconds;
+    bench::register_point("Fig5/reduce/conc-keys:" + std::to_string(ck),
+                          [t](benchmark::State&) { return t; });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Vertical scalability (§IV-C): Glasswing across compute devices — the
+// same application and API, different accelerators. KM (compute-bound) and
+// MM (data-heavy) on one node per device preset, plus the paper's K20m
+// consistency check: KM/MM on 1..8 Type-2 nodes scale like the GTX480
+// cluster does.
+#include "apps/kmeans.h"
+#include "apps/matmul.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+double run_on_device(const core::AppKernels& app, const util::Bytes& input,
+                     cl::DeviceSpec device, cluster::NodeSpec node,
+                     int nodes = 1) {
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/data"};
+  cfg.output_path = "/out";
+  cfg.split_size = 256 << 10;
+  bench::RunOpts opts;
+  opts.local_fs = true;
+  opts.device = std::move(device);
+  opts.node = std::move(node);
+  return bench::run_glasswing(nodes, app, input, cfg, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  apps::KmeansConfig km{.k = 512, .dims = 4};
+  const auto centers = apps::generate_centers(km, 11);
+  const util::Bytes points =
+      apps::generate_points(km, bench::scaled_bytes(300000), 22);
+  const auto km_app = apps::kmeans(km, centers);
+
+  apps::MatmulConfig mm{.n = 512, .tile = 256};  // 64 ops/byte: compute-bound
+  const util::Bytes tiles = apps::generate_tile_pairs(mm, 5, 6);
+  const auto mm_app = apps::matmul(mm);
+
+  struct DevicePoint {
+    const char* name;
+    cl::DeviceSpec spec;
+    cluster::NodeSpec node;
+  };
+  const DevicePoint devices[] = {
+      {"CPU-2xE5620", cl::DeviceSpec::cpu_dual_e5620(),
+       cluster::NodeSpec::das4_type1()},
+      {"CPU-2xE5-2640", cl::DeviceSpec::cpu_dual_e5_2640(),
+       cluster::NodeSpec::das4_type2()},
+      {"GTX480", cl::DeviceSpec::gtx480(), cluster::NodeSpec::das4_type1()},
+      {"GTX680", cl::DeviceSpec::gtx680(), cluster::NodeSpec::das4_type1()},
+      {"K20m", cl::DeviceSpec::k20m(), cluster::NodeSpec::das4_type2()},
+      {"XeonPhi-5110P", cl::DeviceSpec::xeon_phi_5110p(),
+       cluster::NodeSpec::das4_type2()},
+  };
+
+  std::printf("=== Vertical scalability: one node, same code, different "
+              "devices ===\n");
+  std::printf("%-16s %12s %12s\n", "device", "KM-1024(s)", "MM(s)");
+  double km_cpu = 0, km_480 = 0, km_k20 = 0;
+  for (const auto& d : devices) {
+    const double km_t = run_on_device(km_app.kernels, points, d.spec, d.node);
+    const double mm_t = run_on_device(mm_app.kernels, tiles, d.spec, d.node);
+    std::printf("%-16s %12.3f %12.3f\n", d.name, km_t, mm_t);
+    if (std::string(d.name) == "CPU-2xE5620") km_cpu = km_t;
+    if (std::string(d.name) == "GTX480") km_480 = km_t;
+    if (std::string(d.name) == "K20m") km_k20 = km_t;
+    bench::register_point(std::string("Vertical/KM/") + d.name,
+                          [km_t](benchmark::State&) { return km_t; });
+  }
+  std::printf("\nShape checks: GPUs beat the CPU on KM (%.3f vs %.3f, %s); "
+              "K20m at least matches the GTX480 (%.3f vs %.3f, %s)\n",
+              km_480, km_cpu, km_480 < km_cpu ? "OK" : "MISMATCH", km_k20,
+              km_480, km_k20 <= km_480 * 1.2 ? "OK" : "MISMATCH");
+
+  // K20m cluster consistency (paper: "we ran Glasswing KM and MM on up to
+  // [8] Type-2 nodes equipped with a K20m and obtained consistent scaling").
+  bench::SeriesTable table("nodes");
+  for (int nodes : {1, 2, 4, 8}) {
+    table.add("KM/K20m", nodes,
+              run_on_device(km_app.kernels, points, cl::DeviceSpec::k20m(),
+                            cluster::NodeSpec::das4_type2(), nodes));
+    table.add("MM/K20m", nodes,
+              run_on_device(mm_app.kernels, tiles, cl::DeviceSpec::k20m(),
+                            cluster::NodeSpec::das4_type2(), nodes));
+  }
+  table.print("K20m cluster scaling (Type-2 nodes)");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

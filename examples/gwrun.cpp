@@ -1,0 +1,201 @@
+// gwrun: command-line driver for the Glasswing reproduction.
+//
+// Runs any of the six bundled applications on a simulated cluster with
+// configurable shape, device and pipeline knobs, and prints the job report.
+//
+//   gwrun --app=wc --nodes=8 --device=gtx480 --mb=16
+//   gwrun --app=terasort --nodes=16 --records=200000 --buffering=3
+//   gwrun --app=kmeans --device=k20m --runtime=hadoop   # baseline compare
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "apps/blackscholes.h"
+#include "apps/kmeans.h"
+#include "apps/matmul.h"
+#include "apps/pageview.h"
+#include "apps/terasort.h"
+#include "apps/wordcount.h"
+#include "baselines/hadoop/hadoop.h"
+#include "core/job.h"
+
+using namespace gw;
+
+namespace {
+
+struct Flags {
+  std::string app = "wc";
+  std::string device = "cpu";
+  std::string runtime = "glasswing";
+  int nodes = 4;
+  int mb = 16;
+  std::uint64_t records = 100000;  // terasort/kmeans/blackscholes items
+  int buffering = 2;
+  int partitions = 8;
+  int partitioner_threads = 4;
+  std::string collector = "hash";
+  bool combiner = true;
+  std::uint64_t split_kb = 256;
+  std::uint64_t seed = 42;
+};
+
+void usage() {
+  std::printf(
+      "gwrun — run a Glasswing job on a simulated cluster\n\n"
+      "  --app=wc|pvc|terasort|kmeans|matmul|blackscholes\n"
+      "  --runtime=glasswing|hadoop      comparison baseline\n"
+      "  --device=cpu|gtx480|gtx680|k20m|phi   (glasswing only)\n"
+      "  --nodes=N          cluster size (default 4)\n"
+      "  --mb=N             text input size in MiB (wc/pvc)\n"
+      "  --records=N        record count (terasort/kmeans/blackscholes)\n"
+      "  --buffering=1|2|3  pipeline buffering level\n"
+      "  --collector=hash|pool  map output collection\n"
+      "  --no-combiner      disable the combiner\n"
+      "  --partitions=P --partitioner-threads=N --split-kb=K --seed=S\n");
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+cl::DeviceSpec device_spec(const std::string& name) {
+  if (name == "cpu") return cl::DeviceSpec::cpu_dual_e5620();
+  if (name == "gtx480") return cl::DeviceSpec::gtx480();
+  if (name == "gtx680") return cl::DeviceSpec::gtx680();
+  if (name == "k20m") return cl::DeviceSpec::k20m();
+  if (name == "phi") return cl::DeviceSpec::xeon_phi_5110p();
+  std::fprintf(stderr, "unknown device '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--app", &v)) flags.app = v;
+    else if (parse_flag(argv[i], "--device", &v)) flags.device = v;
+    else if (parse_flag(argv[i], "--runtime", &v)) flags.runtime = v;
+    else if (parse_flag(argv[i], "--nodes", &v)) flags.nodes = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--mb", &v)) flags.mb = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--records", &v)) flags.records = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(argv[i], "--buffering", &v)) flags.buffering = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--partitions", &v)) flags.partitions = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--partitioner-threads", &v)) flags.partitioner_threads = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--collector", &v)) flags.collector = v;
+    else if (parse_flag(argv[i], "--split-kb", &v)) flags.split_kb = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(argv[i], "--seed", &v)) flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--no-combiner") == 0) flags.combiner = false;
+    else if (std::strcmp(argv[i], "--help") == 0) { usage(); return 0; }
+    else { std::fprintf(stderr, "unknown flag %s\n\n", argv[i]); usage(); return 2; }
+  }
+
+  // Build the workload.
+  util::Bytes input;
+  apps::AppSpec app;
+  const std::uint64_t text_bytes = static_cast<std::uint64_t>(flags.mb) << 20;
+  if (flags.app == "wc") {
+    app = apps::wordcount();
+    input = apps::generate_wiki_text(text_bytes, flags.seed);
+  } else if (flags.app == "pvc") {
+    app = apps::pageview_count();
+    input = apps::generate_weblog(text_bytes, flags.seed);
+  } else if (flags.app == "terasort") {
+    app = apps::terasort();
+    input = apps::generate_terasort(flags.records, flags.seed);
+  } else if (flags.app == "kmeans") {
+    apps::KmeansConfig km;
+    app = apps::kmeans(km, apps::generate_centers(km, flags.seed));
+    input = apps::generate_points(km, flags.records, flags.seed + 1);
+  } else if (flags.app == "matmul") {
+    apps::MatmulConfig mm{.n = 512, .tile = 128};
+    app = apps::matmul(mm);
+    input = apps::generate_tile_pairs(mm, flags.seed, flags.seed + 1);
+  } else if (flags.app == "blackscholes") {
+    app = apps::black_scholes();
+    input = apps::generate_options(flags.records, flags.seed);
+  } else {
+    std::fprintf(stderr, "unknown app '%s'\n\n", flags.app.c_str());
+    usage();
+    return 2;
+  }
+
+  cluster::Platform platform(cluster::ClusterSpec::homogeneous(
+      flags.nodes, cluster::NodeSpec::das4_type1(),
+      net::NetworkProfile::qdr_infiniband_ipoib()));
+  dfs::Dfs fs(platform, dfs::DfsConfig{});
+  platform.sim().spawn([](dfs::Dfs& f, util::Bytes data) -> sim::Task<> {
+    co_await f.write_distributed("/in/data", std::move(data));
+  }(fs, std::move(input)));
+  platform.sim().run();
+
+  if (flags.app == "terasort") {
+    platform.sim().spawn([](dfs::Dfs& f, core::PartitionFn* out) -> sim::Task<> {
+      std::vector<std::string> paths = {"/in/data"};
+      *out = co_await apps::sample_range_partitioner(f, 0, std::move(paths),
+                                                     2000);
+    }(fs, &app.kernels.partition));
+    platform.sim().run();
+  }
+
+  std::printf("%s: %s on %d nodes (%s), input %.1f MiB\n", flags.runtime.c_str(),
+              flags.app.c_str(), flags.nodes,
+              flags.runtime == "hadoop" ? "16 slots/node" : flags.device.c_str(),
+              fs.file_size("/in/data") / 1048576.0);
+
+  if (flags.runtime == "hadoop") {
+    hadoop::HadoopConfig cfg;
+    cfg.input_paths = {"/in/data"};
+    cfg.output_path = "/out";
+    cfg.split_size = flags.split_kb << 10;
+    cfg.use_combiner = flags.combiner;
+    hadoop::HadoopRuntime rt(platform, fs);
+    const auto r = rt.run(app.kernels, cfg);
+    std::printf("elapsed %.3fs  (map %.3fs, shuffle+reduce %.3fs)\n",
+                r.elapsed_seconds, r.map_phase_seconds,
+                r.reduce_phase_seconds);
+    std::printf("%llu records, %llu intermediate pairs, %llu output pairs\n",
+                static_cast<unsigned long long>(r.input_records),
+                static_cast<unsigned long long>(r.intermediate_pairs),
+                static_cast<unsigned long long>(r.output_pairs));
+    return 0;
+  }
+
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/data"};
+  cfg.output_path = "/out";
+  cfg.split_size = flags.split_kb << 10;
+  cfg.buffering = flags.buffering;
+  cfg.partitions_per_node = flags.partitions;
+  cfg.partitioner_threads = flags.partitioner_threads;
+  cfg.output_mode = flags.collector == "pool" ? core::OutputMode::kSharedPool
+                                              : core::OutputMode::kHashTable;
+  cfg.use_combiner = flags.combiner;
+
+  core::GlasswingRuntime rt(platform, fs, device_spec(flags.device));
+  const core::JobResult r = rt.run(app.kernels, cfg);
+  std::printf("elapsed %.3fs  (map %.3fs, merge delay %.3fs, reduce %.3fs)\n",
+              r.elapsed_seconds, r.map_phase_seconds, r.merge_delay_seconds,
+              r.reduce_phase_seconds);
+  std::printf("stages: input %.3f | stage %.3f | kernel %.3f | retrieve %.3f "
+              "| partition %.3f\n",
+              r.stages.input, r.stages.stage, r.stages.kernel,
+              r.stages.retrieve, r.stages.partition);
+  std::printf("%llu records -> %llu intermediate pairs -> %llu output pairs "
+              "in %zu files\n",
+              static_cast<unsigned long long>(r.stats.input_records),
+              static_cast<unsigned long long>(r.stats.intermediate_pairs),
+              static_cast<unsigned long long>(r.stats.output_pairs),
+              r.output_files.size());
+  return 0;
+}

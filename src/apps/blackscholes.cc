@@ -1,0 +1,134 @@
+#include "apps/blackscholes.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace gw::apps {
+
+namespace {
+
+double norm_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double read_f64v(std::string_view v) {
+  double d;
+  GW_CHECK(v.size() == sizeof(d));
+  std::memcpy(&d, v.data(), sizeof(d));
+  return d;
+}
+
+std::string encode_f64(double d) {
+  std::string out(sizeof(d), '\0');
+  std::memcpy(out.data(), &d, sizeof(d));
+  return out;
+}
+
+struct Option {
+  float spot, strike, rate, vol, expiry;
+};
+
+Option decode_option(std::string_view record) {
+  GW_CHECK(record.size() == kOptionRecordSize);
+  Option o;
+  o.spot = read_f32(record.data());
+  o.strike = read_f32(record.data() + 4);
+  o.rate = read_f32(record.data() + 8);
+  o.vol = read_f32(record.data() + 12);
+  o.expiry = read_f32(record.data() + 16);
+  return o;
+}
+
+// Average price over a deterministic volatility grid around the contract's
+// volatility — a verifiable stand-in for Monte-Carlo path sampling with the
+// same compute profile (`paths` transcendental-heavy evaluations).
+double grid_price(const Option& o, int paths) {
+  double sum = 0;
+  for (int p = 0; p < paths; ++p) {
+    const double shift =
+        0.8 + 0.4 * static_cast<double>(p) / static_cast<double>(paths - 1);
+    sum += price_option(o.spot, o.strike, o.rate,
+                        static_cast<float>(o.vol * shift), o.expiry);
+  }
+  return sum / paths;
+}
+
+}  // namespace
+
+double price_option(float spot, float strike, float rate, float vol,
+                    float expiry) {
+  const double s = spot, k = strike, r = rate, v = vol, t = expiry;
+  const double d1 =
+      (std::log(s / k) + (r + 0.5 * v * v) * t) / (v * std::sqrt(t));
+  const double d2 = d1 - v * std::sqrt(t);
+  return s * norm_cdf(d1) - k * std::exp(-r * t) * norm_cdf(d2);
+}
+
+AppSpec black_scholes(BlackScholesConfig config) {
+  GW_CHECK(config.paths >= 2);
+  const int paths = config.paths;
+
+  AppSpec spec;
+  spec.kernels.name = "black-scholes";
+  spec.kernels.fixed_record_size = kOptionRecordSize;
+
+  spec.kernels.map = [paths](std::string_view record, core::MapContext& ctx) {
+    const Option o = decode_option(record);
+    // ~70 simple ops per grid evaluation (log/exp/erfc expansions).
+    ctx.charge_ops(static_cast<std::uint64_t>(paths) * 70 + 200);
+    const double price = grid_price(o, paths);
+    std::string key;
+    put_be32(key, static_cast<std::uint32_t>(o.expiry));  // expiry bucket
+    ctx.emit(key, encode_f64(price));
+  };
+
+  auto sum_prices = [](std::string_view key,
+                       const std::vector<std::string_view>& values,
+                       core::ReduceContext& ctx) {
+    double total = 0;
+    for (auto v : values) total += read_f64v(v);
+    ctx.charge_ops(values.size() * 4);
+    ctx.emit(key, encode_f64(total));
+  };
+  spec.kernels.combine = sum_prices;
+  spec.kernels.reduce = sum_prices;
+  return spec;
+}
+
+util::Bytes generate_options(std::uint64_t options, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Bytes data;
+  data.reserve(options * kOptionRecordSize);
+  auto push_f32 = [&data](float f) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&f);
+    data.insert(data.end(), bytes, bytes + 4);
+  };
+  for (std::uint64_t i = 0; i < options; ++i) {
+    push_f32(static_cast<float>(rng.uniform(50, 150)));    // spot
+    push_f32(static_cast<float>(rng.uniform(50, 150)));    // strike
+    push_f32(static_cast<float>(rng.uniform(0.01, 0.06))); // rate
+    push_f32(static_cast<float>(rng.uniform(0.1, 0.6)));   // vol
+    push_f32(static_cast<float>(rng.uniform(0.25, 5.0)));  // expiry
+    push_f32(0.0f);                                        // padding
+  }
+  return data;
+}
+
+std::map<std::uint32_t, double> black_scholes_reference(
+    const util::Bytes& options, const BlackScholesConfig& config) {
+  std::map<std::uint32_t, double> totals;
+  for (std::size_t off = 0; off + kOptionRecordSize <= options.size();
+       off += kOptionRecordSize) {
+    const Option o = decode_option(std::string_view(
+        reinterpret_cast<const char*>(options.data()) + off,
+        kOptionRecordSize));
+    totals[static_cast<std::uint32_t>(o.expiry)] += grid_price(o, config.paths);
+  }
+  return totals;
+}
+
+}  // namespace gw::apps

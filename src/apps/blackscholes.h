@@ -1,0 +1,43 @@
+// Black-Scholes Monte-Carlo option pricing (BS).
+//
+// The paper's related work (§II) cites Mithra, which demonstrates GPU
+// MapReduce on exactly this workload: "compute-intensive Monte Carlo
+// simulations ... implements the Black Scholes option pricing model ... as
+// a sample benchmark". This sixth application exercises the same
+// map-heavy, tiny-output profile on Glasswing: each record is one option
+// contract, the map kernel prices it with a closed-form evaluation over a
+// grid of volatilities (a deterministic stand-in for Monte-Carlo paths so
+// the result is verifiable), and the reduce aggregates per-expiry-bucket
+// totals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "apps/common.h"
+#include "util/bytes.h"
+
+namespace gw::apps {
+
+struct BlackScholesConfig {
+  int paths = 256;  // volatility-grid evaluations per option (compute knob)
+};
+
+// Record: 6 floats (spot, strike, rate, volatility, expiry years, unused).
+constexpr std::uint64_t kOptionRecordSize = 24;
+
+AppSpec black_scholes(BlackScholesConfig config = {});
+
+// `options` records with seeded, bounded parameters.
+util::Bytes generate_options(std::uint64_t options, std::uint64_t seed);
+
+// Closed-form price for one option record (used by map and by tests).
+double price_option(float spot, float strike, float rate, float vol,
+                    float expiry);
+
+// Reference aggregate: per expiry bucket (whole years), summed call price.
+std::map<std::uint32_t, double> black_scholes_reference(
+    const util::Bytes& options, const BlackScholesConfig& config);
+
+}  // namespace gw::apps

@@ -1,0 +1,217 @@
+#include "apps/kmeans.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace gw::apps {
+
+namespace {
+
+int nearest_center(const float* point, const std::vector<float>& centers,
+                   int k, int d) {
+  int best = 0;
+  float best_dist = 0;
+  for (int c = 0; c < k; ++c) {
+    float dist = 0;
+    for (int j = 0; j < d; ++j) {
+      const float delta = point[j] - centers[static_cast<std::size_t>(c) * d + j];
+      dist += delta * delta;
+    }
+    if (c == 0 || dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+// Value payload: d float sums + u32 count.
+std::string encode_partial(const float* sums, int d, std::uint32_t count) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(d) * 4 + 4);
+  for (int j = 0; j < d; ++j) append_f32(out, sums[j]);
+  put_be32(out, count);
+  return out;
+}
+
+}  // namespace
+
+AppSpec kmeans(KmeansConfig config, std::vector<float> centers) {
+  GW_CHECK(static_cast<int>(centers.size()) == config.k * config.dims);
+  const int k = config.k;
+  const int d = config.dims;
+  auto shared_centers = std::make_shared<std::vector<float>>(std::move(centers));
+
+  AppSpec spec;
+  spec.kernels.name = "kmeans";
+  spec.kernels.fixed_record_size = static_cast<std::uint64_t>(d) * 4;
+
+  spec.kernels.map = [k, d, shared_centers](std::string_view record,
+                                            core::MapContext& ctx) {
+    GW_CHECK(record.size() == static_cast<std::size_t>(d) * 4);
+    float point[16];
+    GW_CHECK(d <= 16);
+    for (int j = 0; j < d; ++j) point[j] = read_f32(record.data() + 4 * j);
+    // k*d multiply-add-compare distance evaluations plus fixed per-point
+    // work-item overhead (point load, index math, argmin bookkeeping) —
+    // which dominates for small center counts, as the paper's 16-center
+    // configuration shows (§IV-A2).
+    ctx.charge_ops(static_cast<std::uint64_t>(3 * k) * d + 800);
+    const int best = nearest_center(point, *shared_centers, k, d);
+    std::string key;
+    put_be32(key, static_cast<std::uint32_t>(best));
+    ctx.emit(key, encode_partial(point, d, 1));
+  };
+
+  auto aggregate = [d](std::string_view /*key*/,
+                       const std::vector<std::string_view>& values,
+                       float* sums, std::uint64_t* count) {
+    for (int j = 0; j < d; ++j) sums[j] = 0;
+    *count = 0;
+    for (auto v : values) {
+      GW_CHECK(v.size() == static_cast<std::size_t>(d) * 4 + 4);
+      for (int j = 0; j < d; ++j) sums[j] += read_f32(v.data() + 4 * j);
+      *count += get_be32(v.substr(static_cast<std::size_t>(d) * 4));
+    }
+  };
+
+  spec.kernels.combine = [d, aggregate](
+                             std::string_view key,
+                             const std::vector<std::string_view>& values,
+                             core::ReduceContext& ctx) {
+    float sums[16];
+    std::uint64_t count = 0;
+    aggregate(key, values, sums, &count);
+    ctx.charge_ops(static_cast<std::uint64_t>(values.size()) * (d + 1));
+    ctx.emit(key, encode_partial(sums, d, static_cast<std::uint32_t>(count)));
+  };
+
+  spec.kernels.reduce = [d, aggregate](
+                            std::string_view key,
+                            const std::vector<std::string_view>& values,
+                            core::ReduceContext& ctx) {
+    float sums[16];
+    std::uint64_t count = 0;
+    aggregate(key, values, sums, &count);
+    ctx.charge_ops(static_cast<std::uint64_t>(values.size()) * (d + 1));
+    float means[16];
+    for (int j = 0; j < d; ++j) {
+      means[j] = count > 0 ? sums[j] / static_cast<float>(count) : 0.0f;
+    }
+    ctx.emit(key, encode_partial(means, d, static_cast<std::uint32_t>(count)));
+  };
+
+  return spec;
+}
+
+std::vector<float> generate_centers(const KmeansConfig& config,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xc0ffee);
+  std::vector<float> centers(static_cast<std::size_t>(config.k) * config.dims);
+  for (auto& c : centers) {
+    c = static_cast<float>(rng.uniform(0.0, 100.0));
+  }
+  return centers;
+}
+
+util::Bytes generate_points(const KmeansConfig& config, std::uint64_t points,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Bytes data;
+  data.reserve(points * config.dims * 4);
+  for (std::uint64_t p = 0; p < points; ++p) {
+    for (int j = 0; j < config.dims; ++j) {
+      const float v = static_cast<float>(rng.uniform(0.0, 100.0));
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(&v);
+      data.insert(data.end(), bytes, bytes + 4);
+    }
+  }
+  return data;
+}
+
+KmeansReference kmeans_reference(const KmeansConfig& config,
+                                 const std::vector<float>& centers,
+                                 const util::Bytes& points) {
+  const int k = config.k;
+  const int d = config.dims;
+  KmeansReference ref;
+  ref.counts.assign(k, 0);
+  std::vector<double> sums(static_cast<std::size_t>(k) * d, 0.0);
+  const std::size_t record = static_cast<std::size_t>(d) * 4;
+  for (std::size_t off = 0; off + record <= points.size(); off += record) {
+    float point[16];
+    for (int j = 0; j < d; ++j) {
+      point[j] = read_f32(reinterpret_cast<const char*>(points.data()) + off +
+                          4 * j);
+    }
+    const int best = nearest_center(point, centers, k, d);
+    ref.counts[best]++;
+    for (int j = 0; j < d; ++j) {
+      sums[static_cast<std::size_t>(best) * d + j] += point[j];
+    }
+  }
+  ref.means.assign(static_cast<std::size_t>(k) * d, 0.0f);
+  for (int c = 0; c < k; ++c) {
+    if (ref.counts[c] == 0) continue;
+    for (int j = 0; j < d; ++j) {
+      ref.means[static_cast<std::size_t>(c) * d + j] = static_cast<float>(
+          sums[static_cast<std::size_t>(c) * d + j] /
+          static_cast<double>(ref.counts[c]));
+    }
+  }
+  return ref;
+}
+
+KmeansIterations kmeans_iterate(core::GlasswingRuntime& runtime,
+                                cluster::Platform& platform,
+                                dfs::FileSystem& fs, KmeansConfig config,
+                                std::vector<float> initial_centers,
+                                const std::string& points_path,
+                                const std::string& output_prefix,
+                                int iterations, core::JobConfig base) {
+  GW_CHECK(iterations >= 1);
+  KmeansIterations out;
+  out.centers = std::move(initial_centers);
+  const int k = config.k;
+  const int d = config.dims;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    core::JobConfig cfg = base;
+    cfg.input_paths = {points_path};
+    cfg.output_path = output_prefix + "/iter-" + std::to_string(iter);
+    const AppSpec app = kmeans(config, out.centers);
+    const core::JobResult result = runtime.run(app.kernels, cfg);
+    out.total_elapsed_seconds += result.elapsed_seconds;
+    ++out.iterations;
+
+    // Read the new centers back (the re-broadcast step).
+    out.counts.assign(static_cast<std::size_t>(k), 0);
+    for (const auto& path : result.output_files) {
+      util::Bytes contents;
+      platform.sim().spawn([](dfs::FileSystem& f, std::string pa,
+                              util::Bytes* o) -> sim::Task<> {
+        *o = co_await f.read_all(f.block_locations(pa, 0).front(), pa);
+      }(fs, path, &contents));
+      platform.sim().run();
+      for (auto& [key, value] : core::read_output_file(contents)) {
+        const std::uint32_t cid = get_be32(key);
+        GW_CHECK(cid < static_cast<std::uint32_t>(k));
+        out.counts[cid] = get_be32(
+            std::string_view(value).substr(static_cast<std::size_t>(d) * 4));
+        if (out.counts[cid] > 0) {
+          for (int j = 0; j < d; ++j) {
+            out.centers[static_cast<std::size_t>(cid) * d + j] =
+                read_f32(value.data() + 4 * j);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gw::apps

@@ -1,0 +1,65 @@
+// K-Means clustering (KM), one iteration (paper §IV-A2).
+//
+// Compute-bound: each map work-item assigns one observation to its nearest
+// center (k distance computations over d dimensions); the combiner/reducer
+// aggregate per-center partial sums and the reduce emits the new center.
+// The paper evaluates 2^20+ single-precision points in 4 dimensions with
+// 1024 (and 16) centers; centers are broadcast to all nodes (Hadoop uses
+// the DistributedCache for the same purpose).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+#include "core/job.h"
+#include "util/bytes.h"
+
+namespace gw::apps {
+
+struct KmeansConfig {
+  int k = 1024;        // number of centers
+  int dims = 4;        // dimensions
+};
+
+// Point record: dims floats. Value format: dims float partial sums + u32
+// count. Reduce emits (center-id, dims float means + u32 count).
+AppSpec kmeans(KmeansConfig config, std::vector<float> centers);
+
+// `k * dims` floats, deterministic from the seed, in [0, 100).
+std::vector<float> generate_centers(const KmeansConfig& config,
+                                    std::uint64_t seed);
+
+// `points * dims` floats as a binary file of fixed-size records.
+util::Bytes generate_points(const KmeansConfig& config, std::uint64_t points,
+                            std::uint64_t seed);
+
+// Multi-iteration driver (the paper runs one iteration "since this shows
+// the performance well"; real uses chain jobs, re-broadcasting the updated
+// centers each round like Hadoop's DistributedCache).
+struct KmeansIterations {
+  std::vector<float> centers;          // final centers (k * dims)
+  std::vector<std::uint64_t> counts;   // final per-center membership
+  double total_elapsed_seconds = 0;
+  int iterations = 0;
+};
+
+KmeansIterations kmeans_iterate(core::GlasswingRuntime& runtime,
+                                cluster::Platform& platform,
+                                dfs::FileSystem& fs, KmeansConfig config,
+                                std::vector<float> initial_centers,
+                                const std::string& points_path,
+                                const std::string& output_prefix,
+                                int iterations, core::JobConfig base);
+
+struct KmeansReference {
+  std::vector<std::uint64_t> counts;     // per center
+  std::vector<float> means;              // k * dims (0 when count == 0)
+};
+
+// Direct single-threaded assignment + averaging for verification.
+KmeansReference kmeans_reference(const KmeansConfig& config,
+                                 const std::vector<float>& centers,
+                                 const util::Bytes& points);
+
+}  // namespace gw::apps

@@ -1,0 +1,152 @@
+#include "apps/matmul.h"
+
+#include <string>
+
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace gw::apps {
+
+namespace {
+
+// Partial tile value: t*t floats.
+std::string encode_tile(const std::vector<float>& tile) {
+  std::string out;
+  out.reserve(tile.size() * 4);
+  for (float f : tile) append_f32(out, f);
+  return out;
+}
+
+}  // namespace
+
+float matrix_element(std::uint64_t matrix_seed, std::uint32_t row,
+                     std::uint32_t col) {
+  const std::uint64_t h = util::mix64(
+      matrix_seed ^ (static_cast<std::uint64_t>(row) << 32) ^ col);
+  // Small magnitudes keep float partial sums well conditioned.
+  return static_cast<float>(h % 1000) / 1000.0f - 0.5f;
+}
+
+AppSpec matmul(MatmulConfig config) {
+  GW_CHECK(config.n % config.tile == 0);
+  const std::uint32_t t = config.tile;
+
+  AppSpec spec;
+  spec.kernels.name = "matmul";
+  spec.kernels.fixed_record_size = config.record_size();
+
+  spec.kernels.map = [t](std::string_view record, core::MapContext& ctx) {
+    GW_CHECK(record.size() == 12 + 8ull * t * t);
+    const std::uint32_t i = get_be32(record.substr(0, 4));
+    const std::uint32_t j = get_be32(record.substr(8, 4));
+    const char* a = record.data() + 12;
+    const char* b = a + 4ull * t * t;
+
+    // Real tiled multiply: the compute-bound core (2*t^3 flops).
+    std::vector<float> c(static_cast<std::size_t>(t) * t, 0.0f);
+    for (std::uint32_t r = 0; r < t; ++r) {
+      for (std::uint32_t kk = 0; kk < t; ++kk) {
+        const float a_rk = read_f32(a + 4ull * (r * t + kk));
+        for (std::uint32_t cc = 0; cc < t; ++cc) {
+          c[static_cast<std::size_t>(r) * t + cc] +=
+              a_rk * read_f32(b + 4ull * (kk * t + cc));
+        }
+      }
+    }
+    ctx.charge_ops(2ull * t * t * t);
+
+    std::string key;
+    put_be32(key, i);
+    put_be32(key, j);
+    ctx.emit(key, encode_tile(c));
+  };
+
+  auto sum_tiles = [t](std::string_view key,
+                       const std::vector<std::string_view>& values,
+                       core::ReduceContext& ctx) {
+    std::vector<float> acc(static_cast<std::size_t>(t) * t, 0.0f);
+    for (auto v : values) {
+      GW_CHECK(v.size() == acc.size() * 4);
+      for (std::size_t e = 0; e < acc.size(); ++e) {
+        acc[e] += read_f32(v.data() + 4 * e);
+      }
+    }
+    ctx.charge_ops(values.size() * acc.size());
+    ctx.emit(key, encode_tile(acc));
+  };
+  spec.kernels.combine = sum_tiles;
+  spec.kernels.reduce = sum_tiles;
+
+  // GPU work division: a thread block per result tile (many fine threads);
+  // CPU: one thread computes a whole tile (§IV-A2).
+  spec.gpu_launch.threads = 0;
+  spec.cpu_launch.threads = 0;
+  return spec;
+}
+
+util::Bytes generate_tile_pairs(const MatmulConfig& config,
+                                std::uint64_t seed_a, std::uint64_t seed_b) {
+  const std::uint32_t t = config.tile;
+  const std::uint32_t grid = config.tiles_per_side();
+  util::Bytes data;
+  data.reserve(static_cast<std::size_t>(grid) * grid * grid *
+               config.record_size());
+  auto append_tile = [&](std::uint64_t seed, std::uint32_t tr,
+                         std::uint32_t tc) {
+    for (std::uint32_t r = 0; r < t; ++r) {
+      for (std::uint32_t c = 0; c < t; ++c) {
+        const float v = matrix_element(seed, tr * t + r, tc * t + c);
+        const auto* bytes = reinterpret_cast<const std::uint8_t*>(&v);
+        data.insert(data.end(), bytes, bytes + 4);
+      }
+    }
+  };
+  std::string header;
+  for (std::uint32_t i = 0; i < grid; ++i) {
+    for (std::uint32_t k = 0; k < grid; ++k) {
+      for (std::uint32_t j = 0; j < grid; ++j) {
+        header.clear();
+        put_be32(header, i);
+        put_be32(header, k);
+        put_be32(header, j);
+        data.insert(data.end(), header.begin(), header.end());
+        append_tile(seed_a, i, k);
+        append_tile(seed_b, k, j);
+      }
+    }
+  }
+  return data;
+}
+
+std::vector<float> reference_c_tile(const MatmulConfig& config,
+                                    std::uint64_t seed_a, std::uint64_t seed_b,
+                                    std::uint32_t tile_i,
+                                    std::uint32_t tile_j) {
+  const std::uint32_t t = config.tile;
+  std::vector<float> c(static_cast<std::size_t>(t) * t, 0.0f);
+  // Sum over k in TILE order with per-tile partial sums, matching the
+  // framework's float summation grouping.
+  for (std::uint32_t k = 0; k < config.tiles_per_side(); ++k) {
+    std::vector<float> partial(static_cast<std::size_t>(t) * t, 0.0f);
+    for (std::uint32_t r = 0; r < t; ++r) {
+      for (std::uint32_t kk = 0; kk < t; ++kk) {
+        const float a = matrix_element(seed_a, tile_i * t + r, k * t + kk);
+        for (std::uint32_t cc = 0; cc < t; ++cc) {
+          partial[static_cast<std::size_t>(r) * t + cc] +=
+              a * matrix_element(seed_b, k * t + kk, tile_j * t + cc);
+        }
+      }
+    }
+    for (std::size_t e = 0; e < c.size(); ++e) c[e] += partial[e];
+  }
+  return c;
+}
+
+std::string c_tile_key(std::uint32_t tile_i, std::uint32_t tile_j) {
+  std::string key;
+  put_be32(key, tile_i);
+  put_be32(key, tile_j);
+  return key;
+}
+
+}  // namespace gw::apps

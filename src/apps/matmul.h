@@ -1,0 +1,48 @@
+// Matrix Multiply (MM): tiled dense C = A x B (paper §IV-A2).
+//
+// Matrices are tiled into t x t sub-matrices identified by the coordinates
+// of their top-left corner. Each input record carries one (A(i,k), B(k,j))
+// tile pair; the map kernel multiplies the pair into a partial C(i,j) tile
+// (the compute-bound core), and the combiner/reducer sum partial tiles
+// elementwise. The paper uses two work divisions — per-tile-block threads
+// on GPUs and one-thread-per-tile on CPUs — expressed here as launch
+// configurations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+#include "util/bytes.h"
+
+namespace gw::apps {
+
+struct MatmulConfig {
+  std::uint32_t n = 512;   // matrix dimension
+  std::uint32_t tile = 32; // tile dimension (divides n)
+
+  std::uint32_t tiles_per_side() const { return n / tile; }
+  std::uint64_t record_size() const {
+    return 12 + 8ull * tile * tile;  // header + A tile + B tile
+  }
+};
+
+AppSpec matmul(MatmulConfig config);
+
+// Deterministic matrix elements (small values to keep float sums accurate).
+float matrix_element(std::uint64_t matrix_seed, std::uint32_t row,
+                     std::uint32_t col);
+
+// All (i,k,j) tile-pair records for C = A x B; ~ (n/t)^3 records.
+util::Bytes generate_tile_pairs(const MatmulConfig& config,
+                                std::uint64_t seed_a, std::uint64_t seed_b);
+
+// Reference C(i,j) tile computed directly from the element generators.
+std::vector<float> reference_c_tile(const MatmulConfig& config,
+                                    std::uint64_t seed_a, std::uint64_t seed_b,
+                                    std::uint32_t tile_i, std::uint32_t tile_j);
+
+// Key for a C tile: (be32 i, be32 j) — used to look up output pairs.
+std::string c_tile_key(std::uint32_t tile_i, std::uint32_t tile_j);
+
+}  // namespace gw::apps

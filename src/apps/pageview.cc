@@ -1,0 +1,91 @@
+#include "apps/pageview.h"
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gw::apps {
+
+namespace {
+
+// Log line: "<ts> <url> <status> <bytes>"; URL is the second field.
+std::string_view extract_url(std::string_view line) {
+  const std::size_t first = line.find(' ');
+  if (first == std::string_view::npos) return {};
+  const std::size_t start = first + 1;
+  const std::size_t second = line.find(' ', start);
+  if (second == std::string_view::npos) return {};
+  return line.substr(start, second - start);
+}
+
+void pvc_map(std::string_view record, core::MapContext& ctx) {
+  // I/O bound: the kernel only scans for two separators.
+  ctx.charge_ops(record.size() / 2);
+  const std::string_view url = extract_url(record);
+  if (!url.empty()) ctx.emit(url, "1");
+}
+
+void pvc_sum(std::string_view key,
+             const std::vector<std::string_view>& values,
+             core::ReduceContext& ctx) {
+  std::uint64_t total = 0;
+  for (auto v : values) total += parse_u64(v);
+  ctx.charge_ops(3 * values.size());
+  ctx.emit(key, std::to_string(total));
+}
+
+}  // namespace
+
+AppSpec pageview_count() {
+  AppSpec spec;
+  spec.kernels.name = "pageview-count";
+  spec.kernels.map = pvc_map;
+  spec.kernels.combine = pvc_sum;
+  spec.kernels.reduce = pvc_sum;
+  return spec;
+}
+
+util::Bytes generate_weblog(std::uint64_t bytes, std::uint64_t seed) {
+  constexpr std::size_t kPopular = 2000;
+  util::Rng rng(seed);
+  util::ZipfSampler zipf(kPopular, 0.9);
+  std::string log;
+  log.reserve(bytes + 128);
+  std::uint64_t ts = 1190146243000ull;  // epoch ms within the 2007-09 trace
+  std::uint64_t unique_id = 0;
+  while (log.size() < bytes) {
+    ts += rng.below(40);
+    log += std::to_string(ts);
+    log += " http://en.wikipedia.org/wiki/";
+    if (rng.below(100) < 85) {
+      // Sparse tail: rarely-repeated article URLs.
+      log += "Article_" + std::to_string(seed % 89) + "_" +
+             std::to_string(unique_id++);
+    } else {
+      log += "Popular_" + std::to_string(zipf.sample(rng));
+    }
+    log += ' ';
+    log += (rng.below(100) < 95) ? "200" : "404";
+    log += ' ';
+    log += std::to_string(500 + rng.below(80000));
+    log += '\n';
+  }
+  return util::Bytes(log.begin(), log.end());
+}
+
+std::map<std::string, std::uint64_t> pageview_reference(
+    const util::Bytes& log) {
+  std::map<std::string, std::uint64_t> counts;
+  std::string_view all(reinterpret_cast<const char*>(log.data()), log.size());
+  std::size_t pos = 0;
+  while (pos < all.size()) {
+    std::size_t nl = all.find('\n', pos);
+    if (nl == std::string_view::npos) nl = all.size();
+    const std::string_view url = extract_url(all.substr(pos, nl - pos));
+    if (!url.empty()) counts[std::string(url)]++;
+    pos = nl + 1;
+  }
+  return counts;
+}
+
+}  // namespace gw::apps

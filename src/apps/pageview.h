@@ -1,0 +1,30 @@
+// Pageview Count (PVC): counts URL frequencies in web-server logs (paper
+// §IV-A1). The paper uses 30 GB of WikiBench traces whose URLs are "highly
+// sparse in that duplicate URLs are rare, so the volume of intermediate
+// data is large, with a massive number of keys" — the generator reproduces
+// exactly that: a massive, mostly-unique URL key space with a small popular
+// head.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "apps/common.h"
+#include "util/bytes.h"
+
+namespace gw::apps {
+
+// Map extracts the URL field of each log line and emits (url, "1");
+// combiner/reducer sum. Kernels do little work per record: I/O bound.
+AppSpec pageview_count();
+
+// Generates ~`bytes` of wikipedia-access-log-like lines:
+//   <epoch-ms> <url> <status> <bytes>\n
+// ~85% of URLs are unique (sparse tail), 15% drawn from a popular head.
+util::Bytes generate_weblog(std::uint64_t bytes, std::uint64_t seed);
+
+std::map<std::string, std::uint64_t> pageview_reference(
+    const util::Bytes& log);
+
+}  // namespace gw::apps

@@ -1,0 +1,95 @@
+#include "apps/terasort.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace gw::apps {
+
+namespace {
+
+void ts_map(std::string_view record, core::MapContext& ctx) {
+  // Identity: split the record into key and payload; negligible compute.
+  ctx.charge_ops(10);
+  ctx.emit(record.substr(0, kTeraKeySize), record.substr(kTeraKeySize));
+}
+
+}  // namespace
+
+AppSpec terasort() {
+  AppSpec spec;
+  spec.kernels.name = "terasort";
+  spec.kernels.map = ts_map;
+  spec.kernels.fixed_record_size = kTeraRecordSize;
+  // No reduce: output is complete when the shuffle's merge finishes.
+  return spec;
+}
+
+sim::Task<core::PartitionFn> sample_range_partitioner(
+    dfs::FileSystem& fs, int node, std::vector<std::string> paths,
+    std::size_t samples_per_file) {
+  auto samples = std::make_shared<std::vector<std::string>>();
+  for (const auto& path : paths) {
+    const std::uint64_t size = fs.file_size(path);
+    const std::uint64_t records = size / kTeraRecordSize;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(samples_per_file, records);
+    if (take == 0) continue;
+    const std::uint64_t stride = records / take;
+    // Strided sampling across the file; reads are charged per sample batch.
+    for (std::uint64_t s = 0; s < take; ++s) {
+      const std::uint64_t off = s * stride * kTeraRecordSize;
+      util::Bytes rec = co_await fs.read(node, path, off, kTeraKeySize);
+      samples->emplace_back(rec.begin(), rec.end());
+    }
+  }
+  std::sort(samples->begin(), samples->end());
+  co_return core::PartitionFn(
+      [samples](std::string_view key, std::uint32_t total) -> std::uint32_t {
+        if (samples->empty()) return 0;
+        // Equal-frequency quantiles: rank of key among samples -> bucket.
+        const auto it = std::upper_bound(samples->begin(), samples->end(),
+                                         key,
+                                         [](std::string_view k,
+                                            const std::string& s) {
+                                           return k < std::string_view(s);
+                                         });
+        const std::size_t rank =
+            static_cast<std::size_t>(it - samples->begin());
+        const std::uint64_t bucket =
+            static_cast<std::uint64_t>(rank) * total / (samples->size() + 1);
+        return static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(bucket, total - 1));
+      });
+}
+
+util::Bytes generate_terasort(std::uint64_t records, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Bytes data;
+  data.reserve(records * kTeraRecordSize);
+  for (std::uint64_t r = 0; r < records; ++r) {
+    // 10-byte key: printable ASCII like gensort (' '..'~').
+    for (std::uint64_t i = 0; i < kTeraKeySize; ++i) {
+      data.push_back(static_cast<std::uint8_t>(' ' + rng.below(95)));
+    }
+    // 90-byte payload: record number + filler.
+    std::string payload = std::to_string(r);
+    payload.resize(kTeraRecordSize - kTeraKeySize, 'x');
+    data.insert(data.end(), payload.begin(), payload.end());
+  }
+  return data;
+}
+
+std::uint64_t terasort_checksum(const util::Bytes& data) {
+  GW_CHECK(data.size() % kTeraRecordSize == 0);
+  std::uint64_t checksum = 0;
+  for (std::size_t off = 0; off < data.size(); off += kTeraRecordSize) {
+    checksum ^= util::fnv1a(data.data() + off, kTeraRecordSize);
+  }
+  return checksum;
+}
+
+}  // namespace gw::apps

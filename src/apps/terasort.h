@@ -1,0 +1,43 @@
+// TeraSort (TS): totally-ordered sort of 100-byte records (paper §IV-A1).
+//
+// Records are gensort-style: a 10-byte random key plus a 90-byte payload.
+// The job's output must be totally ordered ACROSS partitions, so the input
+// is sampled to estimate the key distribution and the map function places
+// each key into the right range partition; no reduce function is needed —
+// the output is fully processed by the end of the intermediate-data merge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+#include "gwdfs/fs.h"
+#include "sim/sim.h"
+#include "util/bytes.h"
+
+namespace gw::apps {
+
+constexpr std::uint64_t kTeraRecordSize = 100;
+constexpr std::uint64_t kTeraKeySize = 10;
+
+// AppSpec with an identity map and NO reduce; the partition function must
+// be installed separately (see sample_range_partitioner).
+AppSpec terasort();
+
+// Samples record keys from the inputs (charging the reads) and returns a
+// monotone range partitioner: equal-frequency quantiles over the samples.
+// Mirrors TeraSort's client-side sampling pre-pass.
+sim::Task<core::PartitionFn> sample_range_partitioner(
+    dfs::FileSystem& fs, int node, std::vector<std::string> paths,
+    std::size_t samples_per_file);
+
+// Generates `records` gensort-like records.
+util::Bytes generate_terasort(std::uint64_t records, std::uint64_t seed);
+
+// Verification helpers: multiset checksum (order-independent) and record
+// count; outputs must be sorted per file, globally ordered across partition
+// indices, and checksum/count-preserving.
+std::uint64_t terasort_checksum(const util::Bytes& data);
+
+}  // namespace gw::apps

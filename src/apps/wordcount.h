@@ -1,0 +1,30 @@
+// WordCount (WC): counts word frequencies in text (paper §IV-A1).
+//
+// The paper's input is a 70 GB English Wikipedia dump — "irregular, in that
+// it exhibits high repetition of a smaller number of words beside a large
+// number of sparse words". The generator reproduces that key statistic with
+// a Zipf-distributed vocabulary plus a sparse long tail.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "apps/common.h"
+#include "util/bytes.h"
+
+namespace gw::apps {
+
+// AppSpec: map splits lines into words and emits (word, "1"); combiner and
+// reducer sum counts.
+AppSpec wordcount();
+
+// Generates ~`bytes` of wiki-like text: Zipf(1.05) over a core vocabulary
+// with an additional sparse tail of rare words; newline every ~12 words.
+util::Bytes generate_wiki_text(std::uint64_t bytes, std::uint64_t seed);
+
+// Reference word counts for verification.
+std::map<std::string, std::uint64_t> wordcount_reference(
+    const util::Bytes& text);
+
+}  // namespace gw::apps

@@ -1,0 +1,76 @@
+// GPMR-like GPU MapReduce baseline.
+//
+// GPMR (Stuart & Owens) is the paper's GPU-cluster comparison point
+// (§II, §IV-A2). This runtime reproduces its structural properties:
+//   * GPU-only execution (no CPU fallback);
+//   * NO overlap of input I/O with computation: a node "first reads all
+//     data, then starts its computation pipeline; its total time is the sum
+//     of computation and I/O" (§IV-A2, Fig 3(e));
+//   * intermediate data must fit in host memory (no out-of-core path);
+//   * inputs fully replicated on every node's local filesystem (the
+//     experimental layout the GPMR paper reports);
+//   * results are left in memory — GPMR's MM "does not store or transfer
+//     intermediate data" and has no reduce implementation (skip_reduce).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/api.h"
+#include "gwcl/device.h"
+#include "gwdfs/fs.h"
+
+namespace gw::gpmr {
+
+struct GpmrConfig {
+  std::vector<std::string> input_paths;
+  std::uint64_t chunk_size = 4ull << 20;
+  bool use_combiner = true;   // GPMR's partial per-chunk reduction
+  // MM comparison mode: no aggregation of partial results and no inter-node
+  // exchange (GPMR's MM has no reduce implementation).
+  bool skip_reduce = false;
+  // GPMR generates MM input on the fly and excludes generation from its
+  // timings; when false, input read time is excluded from elapsed.
+  bool charge_input_io = true;
+  // Extra compute charged on map kernels (>1 models GPMR's KM code being
+  // "optimized for a small number of centers and ... not expected to run
+  // efficiently for larger numbers" after the paper's minimal adaptation,
+  // §IV-A2 / Fig 3(c)).
+  double kernel_ops_factor = 1.0;
+  // Kernel launch width (0 = all lanes); low-parallelism kernels (e.g.
+  // 16-center K-Means) cannot fill the device.
+  cl::LaunchConfig map_launch;
+};
+
+struct GpmrResult {
+  double elapsed_seconds = 0;   // io (if charged) + compute, NOT overlapped
+  double io_seconds = 0;        // input read time
+  double compute_seconds = 0;   // kernel + staging + exchange + reduce
+  std::uint64_t input_records = 0;
+  std::uint64_t intermediate_pairs = 0;
+  std::uint64_t peak_intermediate_bytes = 0;
+  // Final output pairs (in memory; GPMR does not write output files).
+  std::map<std::string, std::string> output;
+};
+
+class GpmrRuntime {
+ public:
+  // GPU-only: `device` must be a discrete GPU spec.
+  GpmrRuntime(cluster::Platform& platform, dfs::FileSystem& local_fs,
+              cl::DeviceSpec device);
+
+  GpmrResult run(const core::AppKernels& app, GpmrConfig config);
+
+  cl::Device& device(int node) { return *devices_.at(node); }
+
+ private:
+  cluster::Platform& platform_;
+  dfs::FileSystem& fs_;
+  cl::DeviceSpec device_spec_;
+  std::vector<std::unique_ptr<cl::Device>> devices_;
+};
+
+}  // namespace gw::gpmr

@@ -1,0 +1,367 @@
+#include "baselines/hadoop/hadoop.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "core/kv.h"
+#include "core/pipeline.h"
+#include "util/error.h"
+
+namespace gw::hadoop {
+
+namespace {
+
+// A fetched map-output segment for one reducer.
+struct MapSegment {
+  MapSegment() = default;
+  MapSegment(int src_node_in, core::Run run_in)
+      : src_node(src_node_in), run(std::move(run_in)) {}
+
+  int src_node = -1;
+  core::Run run;
+};
+
+class PairListEmitter : public core::MapEmitter, public core::ReduceEmitter {
+ public:
+  PairListEmitter(core::PairList* out, cl::KernelCounters* c)
+      : out_(out), c_(c) {}
+  void emit(std::string_view key, std::string_view value) override {
+    out_->add(key, value);
+    c_->charge_write(key.size() + value.size());
+  }
+
+ private:
+  core::PairList* out_;
+  cl::KernelCounters* c_;
+};
+
+struct Shared {
+  cluster::Platform* platform;
+  dfs::FileSystem* fs;
+  const core::AppKernels* app;
+  const HadoopConfig* cfg;
+  int num_nodes;
+  int total_reducers;
+  // Per-reducer stream of fetched map outputs.
+  std::vector<std::unique_ptr<sim::Channel<MapSegment>>> feeds;
+  sim::TaskGroup* fetches = nullptr;  // outstanding fetch deliveries
+
+  double map_end_time = 0;
+
+  std::uint64_t records = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t shuffle_bytes = 0;
+
+  // Single-core Java op rate: per-lane OpenCL rate scaled by clock and
+  // divided by the JVM factor.
+  double java_ops_per_s(const cluster::Node& node) const {
+    return 0.55e9 * (node.spec().core_ghz / 2.4) / cfg->jvm_cpu_factor;
+  }
+};
+
+// Applies the combiner over a key-sorted PairList; returns the combined
+// list and accumulates ops into `c`.
+core::PairList combine_sorted(const core::AppKernels& app,
+                              const core::PairList& sorted,
+                              cl::KernelCounters& c) {
+  core::PairList out;
+  PairListEmitter emitter(&out, &c);
+  std::size_t i = 0;
+  std::vector<std::string_view> values;
+  while (i < sorted.size()) {
+    const core::KV first = sorted.get(i);
+    values.clear();
+    values.push_back(first.value);
+    std::size_t j = i + 1;
+    while (j < sorted.size() && sorted.get(j).key == first.key) {
+      values.push_back(sorted.get(j).value);
+      ++j;
+    }
+    core::ReduceContext ctx{&emitter, &c};
+    (*app.combine)(first.key, values, ctx);
+    i = j;
+  }
+  return out;
+}
+
+// One map slot: pulls splits until none remain. Hadoop tasks are strictly
+// sequential: read the whole split, then map every record on one core, then
+// sort/combine/spill — no intra-task overlap.
+sim::Task<> map_slot(Shared& sh, core::SplitScheduler& scheduler, int node_id) {
+  auto& sim = sh.platform->sim();
+  cluster::Node& node = sh.platform->node(node_id);
+  const HadoopConfig& cfg = *sh.cfg;
+  const core::AppKernels& app = *sh.app;
+
+  for (;;) {
+    auto split = scheduler.next_for(node_id);
+    if (!split) break;
+
+    co_await sim.delay(cfg.task_startup_s);
+
+    // 1. Read the entire split (blocking; no compute overlap).
+    util::Bytes data =
+        co_await core::read_aligned_split(*sh.fs, node_id, app, *split);
+    const std::string_view chunk(reinterpret_cast<const char*>(data.data()),
+                                 data.size());
+    const std::vector<std::uint64_t> offsets = core::frame_records(app, chunk);
+    if (offsets.empty()) continue;
+    sh.records += offsets.size();
+
+    // 2. Sequential record loop through the user map function.
+    cl::KernelCounters counters;
+    core::PairList output;
+    PairListEmitter emitter(&output, &counters);
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      const std::uint64_t begin = offsets[i];
+      const std::uint64_t end =
+          (i + 1 < offsets.size()) ? offsets[i + 1] : chunk.size();
+      core::MapContext ctx{&emitter, &counters};
+      app.map(chunk.substr(begin, end - begin), ctx);
+    }
+    const double map_cpu_s =
+        (static_cast<double>(counters.stats().ops) +
+         cfg.per_record_overhead_ops * static_cast<double>(offsets.size())) /
+        sh.java_ops_per_s(node);
+    co_await node.cpu_work(map_cpu_s);
+
+    // 3. Partition, sort, combine, spill.
+    std::vector<core::PairList> buckets(sh.total_reducers);
+    for (std::size_t i = 0; i < output.size(); ++i) {
+      const core::KV kv = output.get(i);
+      buckets[app.partition(kv.key,
+                            static_cast<std::uint32_t>(sh.total_reducers))]
+          .add(kv.key, kv.value);
+    }
+    double spill_cpu_s = 0;
+    std::uint64_t spill_bytes = 0;
+    std::vector<std::pair<int, core::Run>> outputs;
+    for (int r = 0; r < sh.total_reducers; ++r) {
+      core::PairList& bucket = buckets[r];
+      if (bucket.empty()) continue;
+      bucket.sort_by_key();
+      cl::KernelCounters combine_counters;
+      const core::PairList* final_pairs = &bucket;
+      core::PairList combined;
+      if (cfg.use_combiner && app.combine.has_value()) {
+        combined = combine_sorted(app, bucket, combine_counters);
+        final_pairs = &combined;
+      }
+      core::RunBuilder rb;
+      for (std::size_t i = 0; i < final_pairs->size(); ++i) {
+        const core::KV kv = final_pairs->get(i);
+        rb.add(kv.key, kv.value);
+      }
+      sh.pairs += rb.pairs();
+      core::Run run = rb.finish(false);  // Hadoop: no map-output compression
+      spill_cpu_s +=
+          cfg.jvm_cpu_factor *
+              static_cast<double>(bucket.blob_bytes()) / cfg.host.sort_bytes_per_s +
+          static_cast<double>(run.raw_bytes) / cfg.host.serialize_bytes_per_s +
+          static_cast<double>(combine_counters.stats().ops) /
+              sh.java_ops_per_s(node);
+      spill_bytes += run.stored_bytes();
+      outputs.emplace_back(r, std::move(run));
+    }
+    co_await node.cpu_work(spill_cpu_s);
+    if (spill_bytes > 0) {
+      co_await node.disk_stream_write(
+          spill_bytes, cluster::Node::amortized_seek(spill_bytes));
+    }
+
+    // 4. Publish outputs. Reducers PULL: they learn about the completed map
+    // via the next heartbeat, then fetch over the network.
+    for (auto& [r, run] : outputs) {
+      const int dst_node = r % sh.num_nodes;
+      const std::uint64_t bytes = run.stored_bytes();
+      sh.shuffle_bytes += bytes;
+      sh.fetches->spawn([](Shared& s, int src, int dst, int reducer,
+                           core::Run rn, std::uint64_t b) -> sim::Task<> {
+        co_await s.platform->sim().delay(s.cfg->heartbeat_s);
+        // Fetch request round trip + data transfer; the map-output server
+        // streams segments sequentially from files it just wrote (page
+        // cache), so only bandwidth is charged on the source disk.
+        co_await s.platform->fabric().transfer(dst, src, 64);
+        co_await s.platform->node(src).disk_stream_read(b);
+        co_await s.platform->fabric().transfer(src, dst, b);
+        co_await s.feeds[reducer]->send(MapSegment(src, std::move(rn)));
+      }(sh, node_id, dst_node, r, std::move(run), bytes));
+    }
+  }
+}
+
+sim::Task<> reducer_task(Shared& sh, int reducer, HadoopResult& result) {
+  const HadoopConfig& cfg = *sh.cfg;
+  const core::AppKernels& app = *sh.app;
+  const int node_id = reducer % sh.num_nodes;
+  cluster::Node& node = sh.platform->node(node_id);
+  auto& feed = *sh.feeds[reducer];
+
+  // Fetch phase: segments land in the reducer's in-memory shuffle buffer;
+  // when it overflows, the buffered runs are merged and spilled to disk
+  // (Hadoop's mapred.job.shuffle buffers + io.sort.factor merges).
+  std::vector<core::Run> in_ram;
+  std::vector<core::Run> spilled;
+  std::uint64_t ram_bytes = 0;
+  for (;;) {
+    auto seg = co_await feed.recv();
+    if (!seg) break;
+    ram_bytes += seg->run.stored_bytes();
+    in_ram.push_back(std::move(seg->run));
+    if (ram_bytes > cfg.shuffle_buffer_bytes) {
+      std::uint64_t raw = 0;
+      for (const auto& r : in_ram) raw += r.raw_bytes;
+      core::Run merged = core::merge_runs(in_ram, false);
+      co_await node.cpu_work(cfg.jvm_cpu_factor * static_cast<double>(raw) /
+                             cfg.host.merge_bytes_per_s);
+      co_await node.disk_stream_write(merged.stored_bytes());
+      spilled.push_back(std::move(merged));
+      in_ram.clear();
+      ram_bytes = 0;
+    }
+  }
+  std::vector<core::Run> runs;
+  if (!spilled.empty()) {
+    std::uint64_t spilled_bytes = 0;
+    for (const auto& r : spilled) spilled_bytes += r.stored_bytes();
+    co_await node.disk_stream_read(spilled_bytes);
+    for (auto& r : spilled) runs.push_back(std::move(r));
+  }
+  for (auto& r : in_ram) runs.push_back(std::move(r));
+  if (runs.empty()) co_return;
+
+  // Final merge + sequential reduce.
+  std::uint64_t raw = 0;
+  for (const auto& r : runs) raw += r.raw_bytes;
+  core::Run merged = core::merge_runs(runs, false);
+  co_await node.cpu_work(cfg.jvm_cpu_factor * static_cast<double>(raw) /
+                         cfg.host.merge_bytes_per_s);
+
+  cl::KernelCounters counters;
+  core::RunBuilder builder;
+  core::PairList reduced;
+  PairListEmitter emitter(&reduced, &counters);
+  core::RunReader reader(merged);
+  core::KV kv;
+  bool have = reader.next(&kv);
+  std::uint64_t reduce_records = 0;
+  std::vector<std::string_view> values;
+  while (have) {
+    const std::string_view key = kv.key;
+    values.clear();
+    while (have && kv.key == key) {
+      values.push_back(kv.value);
+      have = reader.next(&kv);
+    }
+    ++reduce_records;
+    if (app.reduce.has_value()) {
+      core::ReduceContext ctx{&emitter, &counters};
+      (*app.reduce)(key, values, ctx);
+    } else {
+      for (auto v : values) reduced.add(key, v);
+    }
+  }
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    const core::KV out_kv = reduced.get(i);
+    builder.add(out_kv.key, out_kv.value);
+  }
+  const double reduce_cpu_s =
+      (static_cast<double>(counters.stats().ops) +
+       cfg.per_record_overhead_ops * static_cast<double>(reduce_records)) /
+      sh.java_ops_per_s(node);
+  co_await node.cpu_work(reduce_cpu_s);
+
+  result.output_pairs += builder.pairs();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/part-r-%05d", reducer);
+  const std::string path = cfg.output_path + buf;
+  core::Run out_run = builder.finish(false);
+  util::ByteWriter w;
+  out_run.serialize(w);
+  co_await sh.fs->write(node_id, path, w.take());
+  result.output_files.push_back(path);
+}
+
+}  // namespace
+
+HadoopRuntime::HadoopRuntime(cluster::Platform& platform, dfs::FileSystem& fs)
+    : platform_(platform), fs_(fs) {}
+
+HadoopResult HadoopRuntime::run(const core::AppKernels& app,
+                                HadoopConfig config) {
+  GW_CHECK_MSG(static_cast<bool>(app.map), "job needs a map function");
+  core::AppKernels effective_app = app;
+  if (!effective_app.partition) {
+    effective_app.partition = core::default_hash_partitioner();
+  }
+  if (config.output_replication > 0) {
+    if (auto* hdfs = dynamic_cast<dfs::Dfs*>(&fs_)) {
+      hdfs->set_replication(config.output_replication);
+    }
+  }
+
+  auto& sim = platform_.sim();
+  const double start = sim.now();
+  const int num_nodes = platform_.num_nodes();
+
+  Shared sh;
+  sh.platform = &platform_;
+  sh.fs = &fs_;
+  sh.app = &effective_app;
+  sh.cfg = &config;
+  sh.num_nodes = num_nodes;
+  sh.total_reducers = num_nodes * config.reducers_per_node;
+  for (int r = 0; r < sh.total_reducers; ++r) {
+    sh.feeds.push_back(
+        std::make_unique<sim::Channel<MapSegment>>(sim, 1 << 16));
+  }
+  sim::TaskGroup fetches(sim);
+  sh.fetches = &fetches;
+
+  core::SplitScheduler scheduler(core::SplitScheduler::make_splits(
+      fs_, config.input_paths, config.split_size));
+
+  HadoopResult result;
+
+  sim::TaskGroup mappers(sim);
+  for (int n = 0; n < num_nodes; ++n) {
+    const int slots = config.map_slots_per_node > 0
+                          ? config.map_slots_per_node
+                          : platform_.node(n).spec().hw_threads;
+    for (int s = 0; s < slots; ++s) {
+      mappers.spawn(map_slot(sh, scheduler, n));
+    }
+  }
+  sim::TaskGroup reducers(sim);
+  for (int r = 0; r < sh.total_reducers; ++r) {
+    reducers.spawn(reducer_task(sh, r, result));
+  }
+
+  sim.spawn([](Shared& s, sim::TaskGroup& maps, sim::TaskGroup& fets,
+               HadoopResult& res, double t0) -> sim::Task<> {
+    co_await maps.wait();
+    s.map_end_time = s.platform->sim().now();
+    res.map_phase_seconds = s.map_end_time - t0;
+    co_await fets.wait();  // all fetch deliveries handed to reducers
+    for (auto& feed : s.feeds) feed->close();
+  }(sh, mappers, fetches, result, start));
+
+  sim.spawn([](sim::TaskGroup& reds) -> sim::Task<> {
+    co_await reds.wait();
+  }(reducers));
+
+  sim.run();
+
+  result.elapsed_seconds = sim.now() - start;
+  result.reduce_phase_seconds =
+      result.elapsed_seconds - result.map_phase_seconds;
+  result.input_records = sh.records;
+  result.intermediate_pairs = sh.pairs;
+  result.shuffle_bytes = sh.shuffle_bytes;
+  std::sort(result.output_files.begin(), result.output_files.end());
+  return result;
+}
+
+}  // namespace gw::hadoop

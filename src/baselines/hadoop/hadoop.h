@@ -1,0 +1,87 @@
+// Hadoop-like MapReduce baseline.
+//
+// The paper compares Glasswing against Hadoop 1.0.x (§IV-A) as "a de-facto
+// standard capable of managing large data sets". This runtime reproduces
+// the structural properties that the paper credits for the performance
+// difference:
+//   * coarse-grained parallelism only: one JVM task per slot, records
+//     processed in a sequential loop on one core (no intra-task pipeline
+//     overlapping of I/O, compute and communication);
+//   * sort-spill map side: task reads its whole split, maps, partitions,
+//     sorts and spills before the output is available;
+//   * PULL shuffle: reducers learn about completed map outputs via
+//     heartbeats (extra latency) and fetch them over the network;
+//   * JVM/serialization overhead: a per-operation cost factor and a
+//     per-record object-churn cost (SequenceFile-style serialization).
+//
+// The comparison is apples-to-apples: the same AppKernels, the same DFS,
+// the same cluster Platform, real data end to end, and verified-identical
+// job output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/api.h"
+#include "gwdfs/fs.h"
+
+namespace gw::hadoop {
+
+struct HadoopConfig {
+  std::vector<std::string> input_paths;
+  std::string output_path;
+  std::uint64_t split_size = 4ull << 20;
+
+  // Slots: 0 means "one per hardware thread" (the paper sweeps mappers and
+  // reducers so that "all cores of all nodes are occupied maximally").
+  int map_slots_per_node = 0;
+  int reducers_per_node = 4;
+
+  bool use_combiner = true;
+
+  // JVM model: per-operation slowdown vs the OpenCL kernels and fixed
+  // per-record serialization/object cost (in simple ops).
+  double jvm_cpu_factor = 2.7;
+  double per_record_overhead_ops = 400;
+
+  // Task scheduling: per-task start cost (reused JVMs) and the heartbeat
+  // interval that delays map-completion notifications to reducers. Real
+  // Hadoop values are ~0.1-0.5 s and 0.6-3 s; these defaults are scaled
+  // down with the benchmark datasets (which are ~1000x smaller than the
+  // paper's) so fixed latencies keep the same relative weight.
+  double task_startup_s = 0.02;
+  double heartbeat_s = 0.03;
+
+  // Reducer-side in-memory shuffle buffer; overflow merges spill to disk.
+  std::uint64_t shuffle_buffer_bytes = 8ull << 20;
+
+  core::HostCosts host;
+  int output_replication = 0;
+};
+
+struct HadoopResult {
+  double elapsed_seconds = 0;
+  double map_phase_seconds = 0;    // until the last map task finished
+  double reduce_phase_seconds = 0; // from map end to job end (shuffle tail +
+                                   // merge + reduce)
+  std::uint64_t input_records = 0;
+  std::uint64_t intermediate_pairs = 0;
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t output_pairs = 0;
+  std::vector<std::string> output_files;
+};
+
+class HadoopRuntime {
+ public:
+  HadoopRuntime(cluster::Platform& platform, dfs::FileSystem& fs);
+
+  HadoopResult run(const core::AppKernels& app, HadoopConfig config);
+
+ private:
+  cluster::Platform& platform_;
+  dfs::FileSystem& fs_;
+};
+
+}  // namespace gw::hadoop

@@ -1,0 +1,24 @@
+#include "core/api.h"
+
+#include "util/hash.h"
+
+namespace gw::core {
+
+PartitionFn default_hash_partitioner() {
+  return [](std::string_view key, std::uint32_t total) -> std::uint32_t {
+    return static_cast<std::uint32_t>(util::fnv1a(key) %
+                                      static_cast<std::uint64_t>(total));
+  };
+}
+
+std::vector<std::uint64_t> split_lines(std::string_view chunk) {
+  std::vector<std::uint64_t> offsets;
+  if (chunk.empty()) return offsets;
+  offsets.push_back(0);
+  for (std::size_t i = 0; i + 1 < chunk.size(); ++i) {
+    if (chunk[i] == '\n') offsets.push_back(i + 1);
+  }
+  return offsets;
+}
+
+}  // namespace gw::core

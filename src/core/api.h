@@ -1,0 +1,210 @@
+// Glasswing public API: application kernels and job configuration.
+//
+// Mirrors the paper's two API groups (§III-F): the Configuration API
+// (JobConfig) and the Glasswing OpenCL API (map/reduce/combine functions
+// consuming and emitting key/value pairs). User functions here are real C++
+// functors standing in for OpenCL kernels; they account their computational
+// cost through cl::KernelCounters, which drives the device timing model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gwcl/device.h"
+#include "util/bytes.h"
+
+namespace gw::core {
+
+// Emits intermediate pairs from a map work-item. The collector behind it is
+// selected by JobConfig::output_mode (shared buffer pool or hash table,
+// §III-F) and accounts the emit cost (atomics, hash probes) it really incurs.
+class MapEmitter {
+ public:
+  virtual ~MapEmitter() = default;
+  virtual void emit(std::string_view key, std::string_view value) = 0;
+};
+
+struct MapContext {
+  MapEmitter* out;
+  cl::KernelCounters* counters;
+
+  void emit(std::string_view key, std::string_view value) {
+    out->emit(key, value);
+  }
+  void charge_ops(std::uint64_t n) { counters->charge_ops(n); }
+};
+
+// One map work-item: processes a single input record.
+using MapFn = std::function<void(std::string_view record, MapContext&)>;
+
+class ReduceEmitter {
+ public:
+  virtual ~ReduceEmitter() = default;
+  virtual void emit(std::string_view key, std::string_view value) = 0;
+};
+
+struct ReduceContext {
+  ReduceEmitter* out;
+  cl::KernelCounters* counters;
+
+  void emit(std::string_view key, std::string_view value) {
+    out->emit(key, value);
+  }
+  void charge_ops(std::uint64_t n) { counters->charge_ops(n); }
+};
+
+// One reduce work-item: a key with all (or a scratch-buffered slice of) its
+// values. When a key's value list exceeds JobConfig::max_values_per_kernel,
+// the framework re-invokes reduce with the previous partial output injected
+// as the first value (the paper's scratch-buffer mechanism, §III-C); reduce
+// functions must therefore be associative in that case.
+using ReduceFn = std::function<void(std::string_view key,
+                                    const std::vector<std::string_view>& values,
+                                    ReduceContext&)>;
+
+// Combiner: local reduce over one map chunk's output (§III-F); only
+// supported by the hash-table collector, as in the paper.
+using CombineFn = ReduceFn;
+
+// Splits a raw input chunk into records. Returns byte offsets of record
+// starts; records run to the next offset (or chunk end). Text apps split on
+// newlines; TeraSort uses fixed 100-byte records; matrix/KM inputs use
+// binary tile/batch framing.
+using RecordSplitFn =
+    std::function<std::vector<std::uint64_t>(std::string_view chunk)>;
+
+// Maps a key to a global partition index in [0, total_partitions). The
+// default hashes the key (the paper's hash partitioner, overridable e.g. by
+// TeraSort's sampled range partitioner).
+using PartitionFn =
+    std::function<std::uint32_t(std::string_view key, std::uint32_t total)>;
+
+PartitionFn default_hash_partitioner();
+
+// Newline record splitter for text inputs.
+std::vector<std::uint64_t> split_lines(std::string_view chunk);
+
+// An application: kernels plus framing hooks.
+struct AppKernels {
+  std::string name;
+  MapFn map;
+  std::optional<CombineFn> combine;   // requires hash-table output mode
+  std::optional<ReduceFn> reduce;     // absent for TeraSort-style jobs
+  RecordSplitFn split_records;        // defaults to split_lines
+  PartitionFn partition;              // defaults to hash partitioner
+  // Fixed record length in bytes (TeraSort, binary vectors/tiles); 0 means
+  // newline-delimited text. Drives split alignment so no record straddles
+  // two splits.
+  std::uint64_t fixed_record_size = 0;
+};
+
+enum class OutputMode {
+  kSharedPool,  // bump-allocated output buffer: one atomic per emit
+  kHashTable,   // per-key chains: probes + per-value atomic; enables combiner
+};
+
+// Host-side processing rates (bytes/s per thread and fixed per-item costs)
+// for pipeline work executed by host threads rather than the compute device.
+struct HostCosts {
+  double sort_bytes_per_s = 120e6;
+  double serialize_bytes_per_s = 450e6;
+  double compress_bytes_per_s = 280e6;
+  double decompress_bytes_per_s = 550e6;
+  double merge_bytes_per_s = 220e6;
+  double partition_pair_overhead_s = 40e-9;  // decode one k/v occurrence
+  double partition_key_overhead_s = 60e-9;   // decode one key group
+};
+
+struct JobConfig {
+  // Input/output.
+  std::vector<std::string> input_paths;
+  std::string output_path;
+  std::uint64_t split_size = 4ull << 20;
+
+  // Pipeline shape (§III-D): 1 = single, 2 = double, 3 = triple buffering.
+  int buffering = 2;
+
+  // Map output collection (§III-F).
+  OutputMode output_mode = OutputMode::kHashTable;
+  bool use_combiner = true;
+
+  // Intermediate data management (§III-B, §IV-B3).
+  int partitions_per_node = 8;      // P
+  int partitioner_threads = 4;      // N
+  int merger_threads = 0;           // 0 = match partitions_per_node
+  std::uint64_t cache_threshold_bytes = 24ull << 20;
+  int max_disk_runs = 8;
+
+  // Reduce pipeline (§III-C, §IV-B4).
+  int concurrent_keys = 4096;
+  int keys_per_thread = 8;
+  std::uint64_t max_values_per_kernel = 1ull << 20;
+
+  // Device launch tuning (the paper's per-device knobs).
+  cl::LaunchConfig map_launch;
+  cl::LaunchConfig reduce_launch;
+
+  // Cost model for host-side stages.
+  HostCosts host;
+
+  // Replication for job output (TeraSort output uses 1, §IV-A1); 0 keeps
+  // the filesystem default.
+  int output_replication = 0;
+
+  // Fault injection for exercising task re-execution (§III-E): when > 0,
+  // the FIRST attempt of every Nth map task fails after its kernel ran; the
+  // partial output is discarded and the input split is rescheduled.
+  int fail_every_nth_map_task = 0;
+
+  int effective_merger_threads() const {
+    return merger_threads > 0 ? merger_threads : partitions_per_node;
+  }
+};
+
+// Per-stage busy times measured by the pipeline instrumentation; the basis
+// of Tables II/III and Figures 4/5.
+struct StageBreakdown {
+  double input = 0;
+  double stage = 0;
+  double kernel = 0;
+  double retrieve = 0;
+  double partition = 0;
+  double map_elapsed = 0;
+  double merge_delay = 0;
+  double reduce_input = 0;
+  double reduce_stage = 0;
+  double reduce_kernel = 0;
+  double reduce_retrieve = 0;
+  double reduce_output = 0;
+  double reduce_elapsed = 0;
+};
+
+struct JobStats {
+  std::uint64_t map_task_retries = 0;
+  std::uint64_t input_records = 0;
+  std::uint64_t intermediate_pairs = 0;
+  std::uint64_t intermediate_bytes = 0;   // serialized, pre-compression
+  std::uint64_t intermediate_stored = 0;  // after compression
+  std::uint64_t output_pairs = 0;
+  std::uint64_t shuffle_bytes_remote = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t merges = 0;
+  cl::KernelStats map_kernel;
+  cl::KernelStats reduce_kernel;
+};
+
+struct JobResult {
+  double elapsed_seconds = 0;
+  double map_phase_seconds = 0;
+  double merge_delay_seconds = 0;
+  double reduce_phase_seconds = 0;
+  StageBreakdown stages;  // aggregated across nodes (max busy time per stage)
+  JobStats stats;
+  std::vector<std::string> output_files;
+};
+
+}  // namespace gw::core

@@ -1,0 +1,206 @@
+#include "core/collector.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace gw::core {
+
+namespace {
+
+// ReduceEmitter writing into a per-group PairList, charging device-memory
+// writes for emitted bytes.
+class PairListEmitter : public ReduceEmitter {
+ public:
+  PairListEmitter(PairList* out, cl::KernelCounters* c) : out_(out), c_(c) {}
+  void emit(std::string_view key, std::string_view value) override {
+    out_->add(key, value);
+    c_->charge_write(key.size() + value.size());
+  }
+
+ private:
+  PairList* out_;
+  cl::KernelCounters* c_;
+};
+
+}  // namespace
+
+std::unique_ptr<MapOutputCollector> make_collector(OutputMode mode,
+                                                   std::size_t groups) {
+  if (mode == OutputMode::kSharedPool) {
+    return std::make_unique<SharedPoolCollector>(groups);
+  }
+  return std::make_unique<HashTableCollector>(groups);
+}
+
+SharedPoolCollector::SharedPoolCollector(std::size_t groups)
+    : MapOutputCollector(groups), per_group_(groups) {}
+
+void SharedPoolCollector::emit(std::size_t group, std::string_view key,
+                               std::string_view value, cl::KernelCounters& c) {
+  // One atomic bump allocation, then the stores.
+  c.charge_atomic(1);
+  c.charge_write(key.size() + value.size());
+  per_group_[group].add(key, value);
+}
+
+sim::Task<MapChunkOutput> SharedPoolCollector::finalize(
+    cl::Device& /*device*/, const std::optional<CombineFn>& combine,
+    cl::LaunchConfig /*launch*/) {
+  GW_CHECK_MSG(!combine.has_value(),
+               "combiner requires the hash-table collector (as in the paper)");
+  MapChunkOutput out;
+  for (auto& pl : per_group_) {
+    out.pairs.append(pl);
+    pl.clear();
+  }
+  out.grouped = false;
+  out.distinct_keys = 0;  // unknown without grouping
+  co_return std::move(out);
+}
+
+HashTableCollector::Table::Table() : slots(1024) {}
+
+void HashTableCollector::Table::grow() {
+  std::vector<Slot> old = std::move(slots);
+  slots.assign(old.size() * 2, Slot{});
+  const std::uint64_t mask = slots.size() - 1;
+  for (const Slot& s : old) {
+    if (s.key_off == kEmpty) continue;
+    std::uint64_t idx = s.hash & mask;
+    while (slots[idx].key_off != kEmpty) idx = (idx + 1) & mask;
+    slots[idx] = s;
+  }
+}
+
+void HashTableCollector::Table::insert(std::string_view key,
+                                       std::string_view value,
+                                       cl::KernelCounters& c) {
+  if (used * 10 >= slots.size() * 7) {
+    grow();
+    c.charge_ops(used * 4);  // rehash cost
+  }
+  const std::uint64_t h = util::fnv1a(key);
+  c.charge_ops(key.size());  // hashing the key
+  const std::uint64_t mask = slots.size() - 1;
+  std::uint64_t idx = h & mask;
+  for (;;) {
+    Slot& s = slots[idx];
+    c.charge_hash_probe(1);
+    if (s.key_off == kEmpty) {
+      // Claim the slot (CAS) and store the key once.
+      c.charge_atomic(1);
+      c.charge_write(key.size());
+      s.hash = h;
+      s.key_off = blob.size();
+      s.key_len = static_cast<std::uint32_t>(key.size());
+      blob.insert(blob.end(), key.begin(), key.end());
+      ++used;
+      break;
+    }
+    if (s.hash == h && view(s.key_off, s.key_len) == key) break;
+    idx = (idx + 1) & mask;
+  }
+  // Append the value to the key's chain: one atomic head swap plus stores.
+  Slot& s = slots[idx];
+  c.charge_atomic(1);
+  c.charge_write(value.size());
+  const std::uint64_t voff = blob.size();
+  blob.insert(blob.end(), value.begin(), value.end());
+  values.push_back(ValueNode{voff, static_cast<std::uint32_t>(value.size()),
+                             s.head});
+  s.head = static_cast<std::uint32_t>(values.size() - 1);
+  s.num_values++;
+}
+
+HashTableCollector::HashTableCollector(std::size_t groups)
+    : MapOutputCollector(groups), tables_(groups) {}
+
+void HashTableCollector::emit(std::size_t group, std::string_view key,
+                              std::string_view value, cl::KernelCounters& c) {
+  tables_[group].insert(key, value, c);
+}
+
+std::uint64_t HashTableCollector::total_probes() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tables_) total += t.probes;
+  return total;
+}
+
+sim::Task<MapChunkOutput> HashTableCollector::finalize(
+    cl::Device& device, const std::optional<CombineFn>& combine,
+    cl::LaunchConfig launch) {
+  // Merge the per-group tables into a deterministic key list (first-seen
+  // order over groups, then slots).
+  struct KeyEntry {
+    std::string_view key;
+    std::vector<std::string_view> values;
+  };
+  std::vector<KeyEntry> keys;
+  std::unordered_map<std::string_view, std::size_t> index;
+  for (const Table& t : tables_) {
+    for (const Table::Slot& s : t.slots) {
+      if (s.key_off == Table::kEmpty) continue;
+      const std::string_view key = t.view(s.key_off, s.key_len);
+      auto [it, inserted] = index.try_emplace(key, keys.size());
+      if (inserted) keys.push_back(KeyEntry{key, {}});
+      KeyEntry& entry = keys[it->second];
+      // Chain is newest-first; restore emit order within the group.
+      const std::size_t first = entry.values.size();
+      for (std::uint32_t v = s.head; v != Table::kNil;
+           v = t.values[v].next) {
+        entry.values.push_back(t.view(t.values[v].off, t.values[v].len));
+      }
+      std::reverse(entry.values.begin() + first, entry.values.end());
+    }
+  }
+
+  // Post-processing kernel over keys: combine, or compaction when no
+  // combiner is configured (the paper always runs one of the two after
+  // map() in hash-table mode, §IV-B1).
+  const std::size_t groups = tables_.size();
+  std::vector<PairList> out_groups(groups);
+  const auto run = [&](auto&& per_key) -> sim::Task<cl::KernelStats> {
+    return device.run_kernel_grouped(
+        keys.size(), groups,
+        [&](std::size_t i, std::size_t g, cl::KernelCounters& c) {
+          per_key(keys[i], out_groups[g], c);
+        },
+        launch);
+  };
+
+  cl::KernelStats post;
+  if (combine.has_value()) {
+    post = co_await run([&](const KeyEntry& e, PairList& out,
+                            cl::KernelCounters& c) {
+      std::uint64_t value_bytes = 0;
+      for (auto v : e.values) value_bytes += v.size();
+      c.charge_read(e.key.size() + value_bytes);
+      PairListEmitter emitter(&out, &c);
+      ReduceContext ctx{&emitter, &c};
+      (*combine)(e.key, e.values, ctx);
+    });
+  } else {
+    // Compaction: place each key's values contiguously.
+    post = co_await run([&](const KeyEntry& e, PairList& out,
+                            cl::KernelCounters& c) {
+      std::uint64_t value_bytes = 0;
+      for (auto v : e.values) value_bytes += v.size();
+      c.charge_read(e.key.size() + value_bytes);
+      c.charge_write(e.key.size() + value_bytes);
+      for (auto v : e.values) out.add(e.key, v);
+    });
+  }
+
+  MapChunkOutput out;
+  for (auto& pl : out_groups) out.pairs.append(pl);
+  out.distinct_keys = keys.size();
+  out.grouped = true;
+  out.post_stats = post;
+  for (auto& t : tables_) t = Table();  // reset for reuse
+  co_return std::move(out);
+}
+
+}  // namespace gw::core

@@ -1,0 +1,195 @@
+#include "core/intermediate.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace gw::core {
+
+IntermediateStore::IntermediateStore(cluster::Node& node, sim::Simulation& sim,
+                                     const JobConfig& config)
+    : node_(node),
+      sim_(sim),
+      config_(config),
+      local_partitions_(config.partitions_per_node),
+      parts_(config.partitions_per_node),
+      mergers_(sim) {
+  work_ = std::make_unique<sim::Channel<int>>(sim_, 4096);
+  drained_ = std::make_unique<sim::Event>(sim_);
+}
+
+IntermediateStore::~IntermediateStore() = default;
+
+void IntermediateStore::add_run(int p, Run run) {
+  GW_CHECK(p >= 0 && p < local_partitions_);
+  if (run.empty()) return;
+  Part& part = parts_[p];
+  part.cache_bytes += run.stored_bytes();
+  cache_bytes_total_ += run.stored_bytes();
+  part.cache.push_back(std::move(run));
+  maybe_trigger_flushes();
+}
+
+void IntermediateStore::maybe_trigger_flushes() {
+  if (cache_bytes_total_ <= config_.cache_threshold_bytes) return;
+  for (int p = 0; p < local_partitions_; ++p) {
+    if (parts_[p].cache_bytes > 0) enqueue(p);
+  }
+}
+
+void IntermediateStore::enqueue(int p) {
+  Part& part = parts_[p];
+  if (part.queued) return;
+  part.queued = true;
+  ++jobs_in_flight_;
+  // The channel is far larger than P, so this never blocks; spawn so
+  // enqueue stays synchronous for callers.
+  sim_.spawn(work_->send(p));
+}
+
+void IntermediateStore::start_mergers() {
+  for (int i = 0; i < config_.effective_merger_threads(); ++i) {
+    mergers_.spawn(merger_loop());
+  }
+}
+
+double IntermediateStore::host_merge_seconds(std::uint64_t in_stored,
+                                             std::uint64_t in_raw,
+                                             std::uint64_t out_raw) const {
+  const HostCosts& h = config_.host;
+  return static_cast<double>(in_stored) / h.decompress_bytes_per_s +
+         static_cast<double>(in_raw) / h.merge_bytes_per_s +
+         static_cast<double>(out_raw) / h.compress_bytes_per_s;
+}
+
+sim::Task<> IntermediateStore::merger_loop() {
+  for (;;) {
+    auto p = co_await work_->recv();
+    if (!p) break;
+    co_await service(*p);
+    parts_[*p].queued = false;
+    // Re-examine: service may leave work (e.g. disk runs still above the
+    // limit is impossible here, but cache may have refilled meanwhile).
+    Part& part = parts_[*p];
+    const bool more =
+        part.disk.size() > static_cast<std::size_t>(config_.max_disk_runs) ||
+        (cache_bytes_total_ > config_.cache_threshold_bytes &&
+         part.cache_bytes > 0) ||
+        (draining_ && part.cache.size() > 1);
+    if (more) enqueue(*p);
+    if (--jobs_in_flight_ == 0 && draining_ && work_->size() == 0) {
+      drained_->set();
+    }
+  }
+}
+
+sim::Task<> IntermediateStore::service(int p) {
+  Part& part = parts_[p];
+
+  // Step 1: merge+flush the cached runs to one on-disk run. During the
+  // final drain, cached data that already fits in few runs stays in memory
+  // (only consolidated if the run count is excessive); under cache pressure
+  // everything cached is flushed.
+  const bool pressure = cache_bytes_total_ > config_.cache_threshold_bytes;
+  const bool too_many_cached =
+      part.cache.size() + part.disk.size() >
+      static_cast<std::size_t>(config_.max_disk_runs);
+  // During the final drain each partition is consolidated to a single
+  // cached run (the paper's merge phase runs to completion before reduce).
+  const bool drain_consolidate = draining_ && part.cache.size() > 1;
+  if (!part.cache.empty() && (pressure || too_many_cached || drain_consolidate)) {
+    std::vector<Run> cached;
+    cached.swap(part.cache);
+    cache_bytes_total_ -= part.cache_bytes;
+    part.cache_bytes = 0;
+
+    std::uint64_t in_stored = 0, in_raw = 0;
+    for (const Run& r : cached) {
+      in_stored += r.stored_bytes();
+      in_raw += r.raw_bytes;
+    }
+    Run merged = cached.size() == 1 ? std::move(cached.front())
+                                    : merge_runs(cached, true);
+    ++merges_;
+    co_await node_.cpu_work(
+        host_merge_seconds(in_stored, in_raw, merged.raw_bytes));
+    if (pressure) {
+      // Spill to disk to relieve memory pressure.
+      ++spills_;
+      co_await node_.disk_stream_write(
+          merged.stored_bytes(),
+          cluster::Node::amortized_seek(merged.stored_bytes()));
+      part.disk.push_back(std::move(merged));
+    } else {
+      // Drain-time consolidation: the merged run stays cached.
+      part.cache_bytes += merged.stored_bytes();
+      cache_bytes_total_ += merged.stored_bytes();
+      part.cache.push_back(std::move(merged));
+    }
+  }
+
+  // Step 2: keep the number of on-disk runs bounded with a multi-way merge.
+  if (part.disk.size() > static_cast<std::size_t>(config_.max_disk_runs)) {
+    std::vector<Run> inputs;
+    inputs.swap(part.disk);
+    std::uint64_t in_stored = 0, in_raw = 0;
+    for (const Run& r : inputs) {
+      in_stored += r.stored_bytes();
+      in_raw += r.raw_bytes;
+    }
+    co_await node_.disk_stream_read(in_stored,
+                                    cluster::Node::amortized_seek(in_stored));
+    Run merged = merge_runs(inputs, true);
+    ++merges_;
+    co_await node_.cpu_work(
+        host_merge_seconds(in_stored, in_raw, merged.raw_bytes));
+    co_await node_.disk_stream_write(
+        merged.stored_bytes(),
+        cluster::Node::amortized_seek(merged.stored_bytes()));
+    part.disk.push_back(std::move(merged));
+  }
+}
+
+sim::Task<> IntermediateStore::drain() {
+  draining_ = true;
+  for (int p = 0; p < local_partitions_; ++p) {
+    Part& part = parts_[p];
+    if (part.cache.size() > 1 ||
+        part.disk.size() > static_cast<std::size_t>(config_.max_disk_runs)) {
+      enqueue(p);
+    }
+  }
+  if (jobs_in_flight_ > 0) co_await drained_->wait();
+  work_->close();
+  co_await mergers_.wait();
+}
+
+std::vector<Run> IntermediateStore::take_partition(int p,
+                                                   std::uint64_t* disk_bytes) {
+  GW_CHECK(p >= 0 && p < local_partitions_);
+  Part& part = parts_[p];
+  std::uint64_t db = 0;
+  std::vector<Run> runs;
+  for (Run& r : part.disk) {
+    db += r.stored_bytes();
+    runs.push_back(std::move(r));
+  }
+  for (Run& r : part.cache) runs.push_back(std::move(r));
+  cache_bytes_total_ -= part.cache_bytes;
+  part.cache.clear();
+  part.disk.clear();
+  part.cache_bytes = 0;
+  if (disk_bytes != nullptr) *disk_bytes = db;
+  return runs;
+}
+
+std::uint64_t IntermediateStore::stored_bytes() const {
+  std::uint64_t total = 0;
+  for (const Part& part : parts_) {
+    for (const Run& r : part.cache) total += r.stored_bytes();
+    for (const Run& r : part.disk) total += r.stored_bytes();
+  }
+  return total;
+}
+
+}  // namespace gw::core

@@ -1,0 +1,91 @@
+// Intermediate data management (paper §III-B).
+//
+// Each node runs an IntermediateStore holding the Partitions assigned to it:
+// an in-memory cache of runs that is merged and flushed to disk when its
+// aggregate size exceeds a configurable threshold, plus on-disk runs that
+// background merger threads continuously consolidate with multi-way merges
+// so the number of intermediate files stays below a configurable count.
+// All runs are serialized and compressed.
+//
+// The store also measures the paper's *merge delay* metric: the time spent
+// finishing merges after the map phase completes and before reduction can
+// start (§III-B, Fig 4(b)).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/api.h"
+#include "core/kv.h"
+#include "sim/sim.h"
+
+namespace gw::core {
+
+class IntermediateStore {
+ public:
+  // `node` hosts the store; `local_partitions` = P (partitions per node).
+  IntermediateStore(cluster::Node& node, sim::Simulation& sim,
+                    const JobConfig& config);
+  ~IntermediateStore();
+
+  int local_partitions() const { return local_partitions_; }
+
+  // Adds a run to local partition `p`; called by the partitioner threads
+  // (local data) and the shuffle receiver (remote data). May trigger cache
+  // flushes. Completes immediately (merging is asynchronous).
+  void add_run(int p, Run run);
+
+  // Starts `merger_threads` background workers; they are joined by drain().
+  void start_mergers();
+
+  // Called once map+shuffle input is complete: consolidates every partition
+  // to at most `max_disk_runs` runs, then stops the merger threads. The
+  // elapsed time of this call is the merge delay.
+  sim::Task<> drain();
+
+  // Hands out a partition's final runs (cache + disk) for the reduce input
+  // reader. `disk_bytes` returns how many stored bytes must be read from
+  // disk. Only valid after drain().
+  std::vector<Run> take_partition(int p, std::uint64_t* disk_bytes);
+
+  // Metrics.
+  std::uint64_t spills() const { return spills_; }
+  std::uint64_t merges() const { return merges_; }
+  std::uint64_t cache_bytes() const { return cache_bytes_total_; }
+  std::uint64_t stored_bytes() const;
+
+ private:
+  struct Part {
+    std::vector<Run> cache;
+    std::vector<Run> disk;
+    std::uint64_t cache_bytes = 0;
+    bool queued = false;
+  };
+
+  sim::Task<> merger_loop();
+  sim::Task<> service(int p);
+  void enqueue(int p);
+  void maybe_trigger_flushes();
+  double host_merge_seconds(std::uint64_t in_bytes, std::uint64_t raw_bytes,
+                            std::uint64_t out_raw) const;
+
+  cluster::Node& node_;
+  sim::Simulation& sim_;
+  const JobConfig& config_;
+  int local_partitions_;
+  std::vector<Part> parts_;
+  std::uint64_t cache_bytes_total_ = 0;
+
+  std::unique_ptr<sim::Channel<int>> work_;
+  sim::TaskGroup mergers_;
+  std::size_t jobs_in_flight_ = 0;
+  bool draining_ = false;
+  std::unique_ptr<sim::Event> drained_;
+
+  std::uint64_t spills_ = 0;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace gw::core

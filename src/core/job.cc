@@ -1,0 +1,244 @@
+#include "core/job.h"
+
+#include <algorithm>
+
+#include "core/intermediate.h"
+#include "util/error.h"
+
+namespace gw::core {
+
+namespace {
+
+constexpr std::uint32_t kEofMarker = 0xffffffffu;
+
+// Per-node mutable state for one job run.
+struct NodeRun {
+  std::unique_ptr<IntermediateStore> store;
+  MapMetrics map;
+  ReduceMetrics reduce;
+  double map_end = 0;
+  double merge_delay = 0;
+  std::unique_ptr<sim::Event> shuffle_done;
+};
+
+sim::Task<> shuffle_receiver(NodeContext ctx, sim::Event& done) {
+  auto& inbox = ctx.platform->fabric().inbox(ctx.node_id, net::kPortShuffle);
+  const int P = ctx.config->partitions_per_node;
+  int eofs = 0;
+  while (eofs < ctx.num_nodes) {
+    auto msg = co_await inbox.recv();
+    if (!msg) break;
+    util::ByteReader r(msg->payload);
+    const std::uint32_t g = r.get_u32();
+    if (g == kEofMarker) {
+      ++eofs;
+      continue;
+    }
+    GW_CHECK_MSG(static_cast<int>(g) / P == ctx.node_id,
+                 "partition routed to wrong node");
+    ctx.store->add_run(static_cast<int>(g) % P, Run::deserialize(r));
+  }
+  done.set();
+}
+
+sim::Task<> node_main(NodeContext ctx, cl::Device* reduce_device,
+                      SplitScheduler& scheduler, NodeRun& state) {
+  auto& sim = ctx.sim();
+  ctx.store->start_mergers();
+  sim.spawn(shuffle_receiver(ctx, *state.shuffle_done));
+
+  co_await run_map_phase(ctx, scheduler, state.map);
+  state.map_end = sim.now();
+
+  // Map phase done on this node: tell every node (including self) that no
+  // more intermediate data will arrive from here.
+  for (int dst = 0; dst < ctx.num_nodes; ++dst) {
+    util::ByteWriter w;
+    w.put_u32(kEofMarker);
+    co_await ctx.platform->fabric().send(ctx.node_id, dst, net::kPortShuffle,
+                                         w.take());
+  }
+
+  // Merge phase: continues until all remote data arrived and the merger
+  // threads consolidated every partition (§III: "After the merge phase
+  // completes, the reduce phase is started").
+  co_await state.shuffle_done->wait();
+  co_await ctx.store->drain();
+  state.merge_delay = sim.now() - state.map_end;
+
+  ctx.device = reduce_device;  // per-phase device selection
+  co_await run_reduce_phase(ctx, state.reduce);
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<cl::Device>> GlasswingRuntime::make_devices(
+    const cl::DeviceSpec& spec) {
+  std::vector<std::unique_ptr<cl::Device>> devices;
+  for (int n = 0; n < platform_.num_nodes(); ++n) {
+    sim::Resource* cores = spec.type == cl::DeviceType::kCpu
+                               ? &platform_.node(n).host_cores()
+                               : nullptr;
+    devices.push_back(
+        std::make_unique<cl::Device>(platform_.sim(), spec, cores));
+  }
+  return devices;
+}
+
+GlasswingRuntime::GlasswingRuntime(cluster::Platform& platform,
+                                   dfs::FileSystem& fs, cl::DeviceSpec device)
+    : platform_(platform), fs_(fs) {
+  map_devices_ = make_devices(device);
+  reduce_devices_ = make_devices(device);
+}
+
+GlasswingRuntime::GlasswingRuntime(cluster::Platform& platform,
+                                   dfs::FileSystem& fs,
+                                   cl::DeviceSpec map_device,
+                                   cl::DeviceSpec reduce_device)
+    : platform_(platform), fs_(fs) {
+  map_devices_ = make_devices(map_device);
+  reduce_devices_ = make_devices(reduce_device);
+}
+
+GlasswingRuntime::GlasswingRuntime(cluster::Platform& platform,
+                                   dfs::FileSystem& fs,
+                                   std::vector<cl::DeviceSpec> per_node_devices)
+    : platform_(platform), fs_(fs) {
+  GW_CHECK_MSG(static_cast<int>(per_node_devices.size()) ==
+                   platform_.num_nodes(),
+               "one device spec per node required");
+  for (int n = 0; n < platform_.num_nodes(); ++n) {
+    const cl::DeviceSpec& spec = per_node_devices[static_cast<std::size_t>(n)];
+    sim::Resource* cores = spec.type == cl::DeviceType::kCpu
+                               ? &platform_.node(n).host_cores()
+                               : nullptr;
+    map_devices_.push_back(
+        std::make_unique<cl::Device>(platform_.sim(), spec, cores));
+    reduce_devices_.push_back(
+        std::make_unique<cl::Device>(platform_.sim(), spec, cores));
+  }
+}
+
+JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
+  GW_CHECK_MSG(static_cast<bool>(app.map), "job needs a map function");
+  GW_CHECK_MSG(!config.input_paths.empty(), "job needs input paths");
+  GW_CHECK_MSG(!config.output_path.empty(), "job needs an output path");
+
+  AppKernels effective_app = app;
+  if (!effective_app.partition) {
+    effective_app.partition = default_hash_partitioner();
+  }
+  // The combiner is only available with the hash-table collector (§III-F).
+  if (config.output_mode != OutputMode::kHashTable ||
+      !effective_app.combine.has_value()) {
+    config.use_combiner = false;
+  }
+
+  if (config.output_replication > 0) {
+    if (auto* hdfs = dynamic_cast<dfs::Dfs*>(&fs_)) {
+      hdfs->set_replication(config.output_replication);
+    }
+  }
+
+  auto& sim = platform_.sim();
+  const int num_nodes = platform_.num_nodes();
+  const double start = sim.now();
+
+  SplitScheduler scheduler(
+      SplitScheduler::make_splits(fs_, config.input_paths, config.split_size));
+
+  std::vector<NodeRun> nodes(num_nodes);
+  sim::TaskGroup all(sim);
+  for (int n = 0; n < num_nodes; ++n) {
+    NodeRun& state = nodes[n];
+    state.store = std::make_unique<IntermediateStore>(platform_.node(n), sim,
+                                                      config);
+    state.shuffle_done = std::make_unique<sim::Event>(sim);
+
+    NodeContext ctx;
+    ctx.platform = &platform_;
+    ctx.node = &platform_.node(n);
+    ctx.fs = &fs_;
+    ctx.device = map_devices_[n].get();
+    ctx.store = state.store.get();
+    ctx.config = &config;
+    ctx.app = &effective_app;
+    ctx.node_id = n;
+    ctx.num_nodes = num_nodes;
+    ctx.total_partitions = num_nodes * config.partitions_per_node;
+    all.spawn(node_main(ctx, reduce_devices_[n].get(), scheduler, state));
+  }
+
+  bool failed = false;
+  std::string failure;
+  sim.spawn([](sim::TaskGroup& group, bool* failed_out,
+               std::string* msg) -> sim::Task<> {
+    try {
+      co_await group.wait();
+    } catch (const std::exception& e) {
+      *failed_out = true;
+      *msg = e.what();
+    }
+  }(all, &failed, &failure));
+  sim.run();
+  if (failed) util::throw_error("job failed: " + failure);
+
+  JobResult result;
+  result.elapsed_seconds = sim.now() - start;
+  double map_end = start, merge_delay = 0, reduce_elapsed = 0;
+  for (const NodeRun& s : nodes) {
+    map_end = std::max(map_end, s.map.finished);
+    merge_delay = std::max(merge_delay, s.merge_delay);
+    reduce_elapsed =
+        std::max(reduce_elapsed, s.reduce.finished - s.reduce.started);
+
+    result.stages.input = std::max(result.stages.input, s.map.input.busy_seconds());
+    result.stages.stage = std::max(result.stages.stage, s.map.stage.busy_seconds());
+    result.stages.kernel =
+        std::max(result.stages.kernel, s.map.kernel.busy_seconds());
+    result.stages.retrieve =
+        std::max(result.stages.retrieve, s.map.retrieve.busy_seconds());
+    result.stages.partition =
+        std::max(result.stages.partition, s.map.partition_busy());
+    result.stages.map_elapsed = std::max(result.stages.map_elapsed,
+                                         s.map.finished - s.map.started);
+    result.stages.merge_delay = std::max(result.stages.merge_delay,
+                                         s.merge_delay);
+    result.stages.reduce_input =
+        std::max(result.stages.reduce_input, s.reduce.input.busy_seconds());
+    result.stages.reduce_stage =
+        std::max(result.stages.reduce_stage, s.reduce.stage.busy_seconds());
+    result.stages.reduce_kernel =
+        std::max(result.stages.reduce_kernel, s.reduce.kernel.busy_seconds());
+    result.stages.reduce_retrieve =
+        std::max(result.stages.reduce_retrieve, s.reduce.retrieve.busy_seconds());
+    result.stages.reduce_output =
+        std::max(result.stages.reduce_output, s.reduce.output.busy_seconds());
+    result.stages.reduce_elapsed =
+        std::max(result.stages.reduce_elapsed,
+                 s.reduce.finished - s.reduce.started);
+
+    result.stats.input_records += s.map.records;
+    result.stats.intermediate_pairs += s.map.pairs;
+    result.stats.intermediate_bytes += s.map.intermediate_raw;
+    result.stats.intermediate_stored += s.map.intermediate_stored;
+    result.stats.shuffle_bytes_remote += s.map.shuffle_bytes_remote;
+    result.stats.map_task_retries += s.map.task_failures;
+    result.stats.spills += s.store->spills();
+    result.stats.merges += s.store->merges();
+    result.stats.output_pairs += s.reduce.output_pairs;
+    result.stats.map_kernel += s.map.kernel_stats;
+    result.stats.reduce_kernel += s.reduce.kernel_stats;
+    for (const auto& f : s.reduce.output_files) {
+      result.output_files.push_back(f);
+    }
+  }
+  result.map_phase_seconds = map_end - start;
+  result.merge_delay_seconds = merge_delay;
+  result.reduce_phase_seconds = reduce_elapsed;
+  std::sort(result.output_files.begin(), result.output_files.end());
+  return result;
+}
+
+}  // namespace gw::core

@@ -1,0 +1,61 @@
+// Glasswing job runtime: the public entry point of the framework.
+//
+// A GlasswingRuntime binds a cluster Platform, a FileSystem and a compute
+// DeviceSpec, and executes MapReduce jobs: on every node it instantiates the
+// map pipeline, the intermediate-data manager with its merger threads and
+// shuffle receiver, and — once merging finishes — the reduce pipeline
+// (execution model of §III: map and merge run concurrently per node; reduce
+// starts after the merge phase completes).
+//
+// Glasswing is "structured in the form of a light-weight software library"
+// (§I): construct a runtime, call run(), read the JobResult.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/api.h"
+#include "core/pipeline.h"
+#include "gwcl/device.h"
+#include "gwdfs/fs.h"
+
+namespace gw::core {
+
+class GlasswingRuntime {
+ public:
+  // One compute device per node, built from `device`; CPU-type devices share
+  // the node's host cores (so kernels contend with pipeline host threads).
+  GlasswingRuntime(cluster::Platform& platform, dfs::FileSystem& fs,
+                   cl::DeviceSpec device);
+
+  // Per-phase device selection ("map and reduce tasks can be executed on
+  // CPUs or GPUs", §II): e.g. map on the GPU, reduce on the CPU.
+  GlasswingRuntime(cluster::Platform& platform, dfs::FileSystem& fs,
+                   cl::DeviceSpec map_device, cl::DeviceSpec reduce_device);
+
+  // Heterogeneous clusters ("some, but not all, nodes have GPUs", §II):
+  // one device spec per node; the dynamic split scheduler load-balances,
+  // so faster nodes naturally process more splits.
+  GlasswingRuntime(cluster::Platform& platform, dfs::FileSystem& fs,
+                   std::vector<cl::DeviceSpec> per_node_devices);
+
+  // Runs the job to completion on the platform's simulation and returns the
+  // measured result. Output correctness: files under config.output_path,
+  // one per non-empty partition, readable with read_output_file().
+  JobResult run(const AppKernels& app, JobConfig config);
+
+  cl::Device& device(int node) { return *map_devices_.at(node); }
+  cl::Device& reduce_device(int node) { return *reduce_devices_.at(node); }
+
+ private:
+  std::vector<std::unique_ptr<cl::Device>> make_devices(
+      const cl::DeviceSpec& spec);
+
+  cluster::Platform& platform_;
+  dfs::FileSystem& fs_;
+  std::vector<std::unique_ptr<cl::Device>> map_devices_;
+  std::vector<std::unique_ptr<cl::Device>> reduce_devices_;
+};
+
+}  // namespace gw::core

@@ -1,0 +1,162 @@
+#include "core/kv.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "util/error.h"
+
+namespace gw::core {
+
+namespace {
+
+// Pair framing: varint klen, varint vlen, key bytes, value bytes.
+void write_pair(util::ByteWriter& w, std::string_view key,
+                std::string_view value) {
+  w.put_varint(key.size());
+  w.put_varint(value.size());
+  w.put_bytes(key.data(), key.size());
+  w.put_bytes(value.data(), value.size());
+}
+
+}  // namespace
+
+void PairList::add(std::string_view key, std::string_view value) {
+  offsets_.push_back(blob_.size());
+  util::ByteWriter w(&blob_);
+  write_pair(w, key, value);
+  payload_bytes_ += key.size() + value.size();
+}
+
+KV PairList::get(std::size_t i) const {
+  util::ByteReader r(blob_.data() + offsets_[i], blob_.size() - offsets_[i]);
+  const std::uint64_t klen = r.get_varint();
+  const std::uint64_t vlen = r.get_varint();
+  const char* base =
+      reinterpret_cast<const char*>(blob_.data()) + offsets_[i] + r.position();
+  return KV{std::string_view(base, klen), std::string_view(base + klen, vlen)};
+}
+
+std::string_view PairList::key_at(std::uint64_t offset) const {
+  util::ByteReader r(blob_.data() + offset, blob_.size() - offset);
+  const std::uint64_t klen = r.get_varint();
+  (void)r.get_varint();  // vlen
+  const char* base =
+      reinterpret_cast<const char*>(blob_.data()) + offset + r.position();
+  return std::string_view(base, klen);
+}
+
+void PairList::sort_by_key() {
+  std::stable_sort(offsets_.begin(), offsets_.end(),
+                   [this](std::uint64_t a, std::uint64_t b) {
+                     return key_at(a) < key_at(b);
+                   });
+}
+
+void PairList::append(const PairList& other) {
+  const std::uint64_t base = blob_.size();
+  blob_.insert(blob_.end(), other.blob_.begin(), other.blob_.end());
+  offsets_.reserve(offsets_.size() + other.offsets_.size());
+  for (std::uint64_t off : other.offsets_) offsets_.push_back(base + off);
+  payload_bytes_ += other.payload_bytes_;
+}
+
+void PairList::clear() {
+  blob_.clear();
+  offsets_.clear();
+  payload_bytes_ = 0;
+}
+
+void Run::serialize(util::ByteWriter& w) const {
+  w.put_u8(compressed ? 1 : 0);
+  w.put_varint(raw_bytes);
+  w.put_varint(pairs);
+  w.put_str(std::string_view(reinterpret_cast<const char*>(data.data()),
+                             data.size()));
+}
+
+Run Run::deserialize(util::ByteReader& r) {
+  Run run;
+  run.compressed = r.get_u8() != 0;
+  run.raw_bytes = r.get_varint();
+  run.pairs = r.get_varint();
+  const std::string_view payload = r.get_str();
+  run.data.assign(payload.begin(), payload.end());
+  return run;
+}
+
+void RunBuilder::add(std::string_view key, std::string_view value) {
+  write_pair(writer_, key, value);
+  ++pairs_;
+}
+
+Run RunBuilder::finish(bool compress) {
+  util::Bytes raw = writer_.take();
+  const std::uint64_t raw_size = raw.size();
+  if (compress) {
+    util::Bytes packed = util::lz_compress(raw);
+    return Run(std::move(packed), true, raw_size, pairs_);
+  }
+  return Run(std::move(raw), false, raw_size, pairs_);
+}
+
+RunReader::RunReader(const Run& run) : remaining_(run.pairs) {
+  if (run.compressed) {
+    storage_ = util::lz_decompress(run.data);
+  } else {
+    external_ = &run.data;
+  }
+}
+
+bool RunReader::next(KV* kv) {
+  if (remaining_ == 0) return false;
+  const util::Bytes& buf = payload();
+  util::ByteReader r(buf.data() + pos_, buf.size() - pos_);
+  const std::uint64_t klen = r.get_varint();
+  const std::uint64_t vlen = r.get_varint();
+  const char* base =
+      reinterpret_cast<const char*>(buf.data()) + pos_ + r.position();
+  kv->key = std::string_view(base, klen);
+  kv->value = std::string_view(base + klen, vlen);
+  pos_ += r.position() + klen + vlen;
+  --remaining_;
+  return true;
+}
+
+Run merge_runs(const std::vector<const Run*>& inputs, bool compress) {
+  struct Source {
+    RunReader reader;
+    KV current;
+    std::size_t index;
+  };
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto src = std::make_unique<Source>(Source{RunReader(*inputs[i]), KV{}, i});
+    if (src->reader.next(&src->current)) sources.push_back(std::move(src));
+  }
+  auto cmp = [](const Source* a, const Source* b) {
+    if (a->current.key != b->current.key) return a->current.key > b->current.key;
+    return a->index > b->index;  // stable: earlier runs first
+  };
+  std::priority_queue<Source*, std::vector<Source*>, decltype(cmp)> heap(cmp);
+  for (auto& s : sources) heap.push(s.get());
+
+  RunBuilder builder;
+  while (!heap.empty()) {
+    Source* s = heap.top();
+    heap.pop();
+    builder.add(s->current.key, s->current.value);
+    if (s->reader.next(&s->current)) heap.push(s);
+  }
+  return builder.finish(compress);
+}
+
+Run merge_runs(const std::vector<Run>& inputs, bool compress) {
+  std::vector<const Run*> ptrs;
+  ptrs.reserve(inputs.size());
+  for (const auto& r : inputs) ptrs.push_back(&r);
+  return merge_runs(ptrs, compress);
+}
+
+}  // namespace gw::core

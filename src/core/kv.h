@@ -1,0 +1,129 @@
+// Key/value data structures for intermediate data.
+//
+// Intermediate data flows through the system as *runs*: sorted, serialized,
+// optionally compressed sequences of key/value pairs (the paper stores all
+// cached and spilled Partitions "in a serialized and compressed form",
+// §III-B). PairList is the uncompressed staging form used inside the map
+// pipeline before partitioning.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/compress.h"
+
+namespace gw::core {
+
+struct KV {
+  std::string_view key;
+  std::string_view value;
+};
+
+inline bool kv_key_less(const KV& a, const KV& b) { return a.key < b.key; }
+
+// Flat append-only pair storage: one blob plus per-pair offsets, avoiding
+// per-pair heap allocations. Keys/values are copied in on add().
+class PairList {
+ public:
+  void add(std::string_view key, std::string_view value);
+
+  std::size_t size() const { return offsets_.size(); }
+  bool empty() const { return offsets_.empty(); }
+  std::uint64_t blob_bytes() const { return blob_.size(); }
+
+  KV get(std::size_t i) const;
+
+  // Sorts pair indices by key (stable, preserving emit order of equal keys).
+  void sort_by_key();
+
+  // Appends all pairs of `other` (used to gather per-thread collectors).
+  void append(const PairList& other);
+
+  void clear();
+
+  // Total serialized payload bytes (keys+values, without framing).
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  std::string_view key_at(std::uint64_t offset) const;
+
+  util::Bytes blob_;
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+// A sorted, serialized, optionally compressed sequence of pairs.
+struct Run {
+  Run() = default;
+  Run(util::Bytes data_in, bool compressed_in, std::uint64_t raw_bytes_in,
+      std::uint64_t pairs_in)
+      : data(std::move(data_in)),
+        compressed(compressed_in),
+        raw_bytes(raw_bytes_in),
+        pairs(pairs_in) {}
+
+  util::Bytes data;
+  bool compressed = false;
+  std::uint64_t raw_bytes = 0;  // serialized size before compression
+  std::uint64_t pairs = 0;
+
+  std::uint64_t stored_bytes() const { return data.size(); }
+  bool empty() const { return pairs == 0; }
+
+  // Wire format helpers for shuffle messages.
+  void serialize(util::ByteWriter& w) const;
+  static Run deserialize(util::ByteReader& r);
+};
+
+// Builds a run from key-sorted add() calls.
+class RunBuilder {
+ public:
+  void add(std::string_view key, std::string_view value);
+  std::uint64_t pairs() const { return pairs_; }
+  std::uint64_t raw_bytes() const { return writer_.size(); }
+
+  // Finalizes; optionally compresses the payload.
+  Run finish(bool compress);
+
+ private:
+  util::ByteWriter writer_;
+  std::uint64_t pairs_ = 0;
+};
+
+// Sequential reader over a run's pairs. Decompresses up front if needed;
+// returned views point into the reader's storage.
+class RunReader {
+ public:
+  explicit RunReader(const Run& run);
+
+  // Returns false at end of run.
+  bool next(KV* kv);
+
+  std::uint64_t remaining_pairs() const { return remaining_; }
+
+ private:
+  // Move-safe payload access: when compressed, the payload lives in our own
+  // storage_ (heap buffer survives moves); otherwise it aliases the source
+  // run's data, which must outlive the reader. Never cache &storage_ — the
+  // member address changes when the reader is moved.
+  const util::Bytes& payload() const {
+    return external_ != nullptr ? *external_ : storage_;
+  }
+
+  util::Bytes storage_;                  // decompressed payload (if compressed)
+  const util::Bytes* external_ = nullptr;  // uncompressed source run's data
+  std::size_t pos_ = 0;
+  std::uint64_t remaining_ = 0;
+};
+
+// Merges key-sorted runs into one key-sorted run (k-way; duplicate keys are
+// preserved, ordered by input run index). Used by the background merger
+// threads and the reduce input reader.
+Run merge_runs(const std::vector<const Run*>& inputs, bool compress);
+
+// Convenience overload.
+Run merge_runs(const std::vector<Run>& inputs, bool compress);
+
+}  // namespace gw::core

@@ -1,0 +1,363 @@
+// Map pipeline: Input -> Stage -> Kernel -> Retrieve -> Partition (§III-A).
+#include <algorithm>
+#include <memory>
+
+#include "core/pipeline.h"
+#include "util/error.h"
+
+namespace gw::core {
+
+namespace {
+
+constexpr double kRecordSplitBytesPerSec = 1.5e9;  // host-side framing scan
+
+// Items flowing through the pipeline. User-declared constructors per the
+// sim.h channel payload rule.
+struct StagedChunk {
+  StagedChunk(util::Bytes data_in, std::vector<std::uint64_t> offsets_in,
+              InputSplit split_in, sim::Resource::Hold hold_in)
+      : data(std::move(data_in)),
+        offsets(std::move(offsets_in)),
+        split(std::move(split_in)),
+        in_hold(std::move(hold_in)) {}
+  StagedChunk() = default;
+
+  util::Bytes data;
+  std::vector<std::uint64_t> offsets;  // record start offsets
+  InputSplit split;                    // identity, for re-execution
+  sim::Resource::Hold in_hold;
+};
+
+struct KernelOut {
+  KernelOut(MapChunkOutput out_in, sim::Resource::Hold hold_in)
+      : out(std::move(out_in)), out_hold(std::move(hold_in)) {}
+  KernelOut() = default;
+
+  MapChunkOutput out;
+  sim::Resource::Hold out_hold;
+};
+
+// Bridges MapContext emits into the group's collector slot.
+class GroupEmitter : public MapEmitter {
+ public:
+  GroupEmitter(MapOutputCollector* col, std::size_t group,
+               cl::KernelCounters* c)
+      : col_(col), group_(group), c_(c) {}
+  void emit(std::string_view key, std::string_view value) override {
+    col_->emit(group_, key, value, *c_);
+  }
+
+ private:
+  MapOutputCollector* col_;
+  std::size_t group_;
+  cl::KernelCounters* c_;
+};
+
+// Reads a split, aligned to record boundaries so no record straddles
+// splits: fixed-size records round to multiples; text records extend to the
+// newline after the nominal end, and a non-initial split skips the partial
+// first line (standard MapReduce input-split semantics).
+}  // namespace
+
+sim::Task<util::Bytes> read_aligned_split(dfs::FileSystem& fs, int node,
+                                          const AppKernels& app,
+                                          const InputSplit& split) {
+  const std::uint64_t file_size = fs.file_size(split.path);
+  const std::uint64_t rec = app.fixed_record_size;
+  if (rec > 0) {
+    const std::uint64_t start = (split.offset + rec - 1) / rec * rec;
+    std::uint64_t end = (split.offset + split.len + rec - 1) / rec * rec;
+    end = std::min(end, file_size / rec * rec);
+    if (start >= end) co_return util::Bytes{};
+    co_return co_await fs.read(node, split.path, start, end - start);
+  }
+
+  // Text records: a line belongs to the split containing its first byte.
+  // Read one byte before the split (to detect a line starting exactly at
+  // the offset) and look ahead past the end (to finish the last line).
+  constexpr std::uint64_t kLookahead = 16 << 10;
+  const std::uint64_t read_start = split.offset > 0 ? split.offset - 1 : 0;
+  const std::uint64_t read_end =
+      std::min(split.offset + split.len + kLookahead, file_size);
+  util::Bytes raw = co_await fs.read(node, split.path, read_start,
+                                     read_end - read_start);
+  std::string_view view(reinterpret_cast<const char*>(raw.data()), raw.size());
+  std::size_t start = 0;
+  if (split.offset > 0) {
+    // view[0] is the byte before the split. If it terminates a line, the
+    // split begins on a line boundary; otherwise skip the partial line.
+    const std::size_t nl = view.find('\n');
+    if (nl == std::string_view::npos) co_return util::Bytes{};
+    start = nl + 1;
+  }
+  std::size_t end = view.size();
+  if (split.offset + split.len < file_size) {
+    // First line starting at or after the nominal end belongs to the next
+    // split; ours runs through the newline at/after (nominal_end - 1).
+    const std::size_t limit =
+        static_cast<std::size_t>(split.offset + split.len - read_start);
+    if (start >= limit) co_return util::Bytes{};  // whole split was partial
+    const std::size_t nl = view.find('\n', limit - 1);
+    end = (nl == std::string_view::npos) ? view.size() : nl + 1;
+  }
+  co_return util::Bytes(raw.begin() + static_cast<std::ptrdiff_t>(start),
+                        raw.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+std::vector<std::uint64_t> frame_records(const AppKernels& app,
+                                         std::string_view chunk) {
+  if (app.split_records) return app.split_records(chunk);
+  if (app.fixed_record_size > 0) {
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(chunk.size() / app.fixed_record_size);
+    for (std::uint64_t off = 0; off + app.fixed_record_size <= chunk.size();
+         off += app.fixed_record_size) {
+      offsets.push_back(off);
+    }
+    return offsets;
+  }
+  return split_lines(chunk);
+}
+
+namespace {
+
+sim::Task<> input_stage(NodeContext ctx, SplitScheduler& scheduler,
+                        sim::Resource& in_buffers,
+                        sim::Channel<StagedChunk>& out, MapMetrics& m) {
+  for (;;) {
+    auto split = scheduler.next_for(ctx.node_id);
+    if (!split) break;
+    auto hold = co_await in_buffers.acquire();
+    util::Bytes data;
+    std::vector<std::uint64_t> offsets;
+    {
+      ActivityTimer::Scope scope(m.input, ctx.sim());
+      data = co_await read_aligned_split(*ctx.fs, ctx.node_id, *ctx.app, *split);
+      offsets = frame_records(*ctx.app,
+                              std::string_view(
+                                  reinterpret_cast<const char*>(data.data()),
+                                  data.size()));
+      co_await ctx.node->cpu_work(static_cast<double>(data.size()) /
+                                  kRecordSplitBytesPerSec);
+    }
+    if (offsets.empty()) continue;  // hold released by destructor
+    m.records += offsets.size();
+    co_await out.send(StagedChunk(std::move(data), std::move(offsets),
+                                  *split, std::move(hold)));
+  }
+  out.close();
+}
+
+sim::Task<> stage_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
+                        sim::Channel<StagedChunk>& out, MapMetrics& m) {
+  for (;;) {
+    auto item = co_await in.recv();
+    if (!item) break;
+    if (!ctx.device->unified_memory()) {
+      ActivityTimer::Scope scope(m.stage, ctx.sim());
+      co_await ctx.device->stage_in(item->data.size());
+    }
+    co_await out.send(std::move(*item));
+  }
+  out.close();
+}
+
+// Runs the map kernel (plus combine/compaction) over one staged chunk.
+sim::Task<MapChunkOutput> run_map_kernel(const NodeContext& ctx,
+                                         const util::Bytes& bytes,
+                                         const std::vector<std::uint64_t>& offsets,
+                                         MapMetrics& m) {
+  const JobConfig& cfg = *ctx.config;
+  const AppKernels& app = *ctx.app;
+  const std::size_t records = offsets.size();
+  const std::size_t groups = std::max<std::size_t>(
+      1, std::min<std::size_t>(cl::Device::kDefaultWorkGroups, records));
+  auto collector = make_collector(cfg.output_mode, groups);
+  const std::string_view data(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+
+  cl::KernelStats stats = co_await ctx.device->run_kernel_grouped(
+      records, groups,
+      [&](std::size_t i, std::size_t g, cl::KernelCounters& c) {
+        const std::uint64_t begin = offsets[i];
+        const std::uint64_t end =
+            (i + 1 < offsets.size()) ? offsets[i + 1] : data.size();
+        const std::string_view record = data.substr(begin, end - begin);
+        c.charge_read(record.size());
+        GroupEmitter emitter(collector.get(), g, &c);
+        MapContext mctx{&emitter, &c};
+        app.map(record, mctx);
+      },
+      cfg.map_launch);
+  m.kernel_stats += stats;
+
+  const std::optional<CombineFn>& combine =
+      cfg.use_combiner ? app.combine : std::nullopt;
+  MapChunkOutput chunk_out =
+      co_await collector->finalize(*ctx.device, combine, cfg.map_launch);
+  m.kernel_stats += chunk_out.post_stats;
+  co_return std::move(chunk_out);
+}
+
+sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
+                         sim::Resource& out_buffers,
+                         sim::Channel<KernelOut>& out, MapMetrics& m) {
+  const JobConfig& cfg = *ctx.config;
+  for (;;) {
+    auto item = co_await in.recv();
+    if (!item) break;
+    auto out_hold = co_await out_buffers.acquire();
+    MapChunkOutput chunk_out;
+    {
+      ActivityTimer::Scope scope(m.kernel, ctx.sim());
+      chunk_out = co_await run_map_kernel(ctx, item->data, item->offsets, m);
+
+      // Fault injection (§III-E): the first attempt of every Nth task
+      // fails after its kernel ran. Re-execution is bookkeeping: the
+      // partial output is discarded, the input re-fetched and reprocessed
+      // (retries stay on this node, as schedulers prefer anyway).
+      const int every = cfg.fail_every_nth_map_task;
+      if (every > 0 && item->split.attempt == 0 &&
+          item->split.index % every == 0) {
+        ++m.task_failures;
+        chunk_out = MapChunkOutput();  // discard partial output
+        item->split.attempt++;
+        util::Bytes again = co_await read_aligned_split(*ctx.fs, ctx.node_id,
+                                                        *ctx.app, item->split);
+        const std::vector<std::uint64_t> offsets = frame_records(
+            *ctx.app, std::string_view(
+                          reinterpret_cast<const char*>(again.data()),
+                          again.size()));
+        chunk_out = co_await run_map_kernel(ctx, again, offsets, m);
+      }
+
+      m.pairs += chunk_out.pairs.size();
+      m.distinct_keys += chunk_out.distinct_keys;
+      item->in_hold.release();  // input buffer free once the kernel consumed it
+    }
+    co_await out.send(KernelOut(std::move(chunk_out), std::move(out_hold)));
+  }
+  out.close();
+}
+
+sim::Task<> retrieve_stage(NodeContext ctx, sim::Channel<KernelOut>& in,
+                           sim::Channel<KernelOut>& out, MapMetrics& m) {
+  for (;;) {
+    auto item = co_await in.recv();
+    if (!item) break;
+    if (!ctx.device->unified_memory()) {
+      ActivityTimer::Scope scope(m.retrieve, ctx.sim());
+      co_await ctx.device->stage_out(item->out.pairs.blob_bytes());
+    }
+    co_await out.send(std::move(*item));
+  }
+  out.close();
+}
+
+sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
+                             MapMetrics& m, sim::TaskGroup& sends) {
+  const JobConfig& cfg = *ctx.config;
+  const HostCosts& h = cfg.host;
+  const int P = cfg.partitions_per_node;
+  ActivityTimer busy;  // this worker's own busy time
+  for (;;) {
+    auto item = co_await in.recv();
+    if (!item) break;
+    ActivityTimer::Scope scope(busy, ctx.sim());
+
+    MapChunkOutput& out = item->out;
+    const std::size_t n = out.pairs.size();
+    std::vector<PairList> buckets(ctx.total_partitions);
+    for (std::size_t i = 0; i < n; ++i) {
+      const KV kv = out.pairs.get(i);
+      const std::uint32_t g = ctx.app->partition(
+          kv.key, static_cast<std::uint32_t>(ctx.total_partitions));
+      GW_CHECK(g < static_cast<std::uint32_t>(ctx.total_partitions));
+      buckets[g].add(kv.key, kv.value);
+    }
+
+    // Build a sorted, compressed run per destination partition.
+    double cpu_s = out.grouped
+                       ? h.partition_key_overhead_s *
+                             static_cast<double>(out.distinct_keys)
+                       : h.partition_pair_overhead_s * static_cast<double>(n);
+    std::uint64_t disk_bytes = 0;
+    std::vector<std::pair<std::uint32_t, Run>> runs;
+    for (std::uint32_t g = 0; g < buckets.size(); ++g) {
+      PairList& bucket = buckets[g];
+      if (bucket.empty()) continue;
+      bucket.sort_by_key();
+      RunBuilder rb;
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const KV kv = bucket.get(i);
+        rb.add(kv.key, kv.value);
+      }
+      const std::uint64_t raw = rb.raw_bytes();
+      Run run = rb.finish(true);
+      cpu_s += static_cast<double>(bucket.blob_bytes()) / h.sort_bytes_per_s +
+               static_cast<double>(raw) / h.serialize_bytes_per_s +
+               static_cast<double>(raw) / h.compress_bytes_per_s;
+      disk_bytes += run.stored_bytes();
+      m.intermediate_raw += raw;
+      m.intermediate_stored += run.stored_bytes();
+      runs.emplace_back(g, std::move(run));
+    }
+    co_await ctx.node->cpu_work(cpu_s);
+    // Durability: every produced Partition goes to local disk (§III-A/E);
+    // appended sequentially, so seeks amortize.
+    if (disk_bytes > 0) {
+      co_await ctx.node->disk_stream_write(
+          disk_bytes, cluster::Node::amortized_seek(disk_bytes));
+    }
+
+    for (auto& [g, run] : runs) {
+      const int dest = static_cast<int>(g) / P;
+      const int local_index = static_cast<int>(g) % P;
+      if (dest == ctx.node_id) {
+        ctx.store->add_run(local_index, std::move(run));
+      } else {
+        util::ByteWriter w;
+        w.put_u32(g);
+        run.serialize(w);
+        m.shuffle_bytes_remote += w.size();
+        sends.spawn(ctx.platform->fabric().send(ctx.node_id, dest,
+                                                net::kPortShuffle, w.take()));
+      }
+    }
+    item->out_hold.release();
+  }
+  m.partition_worker_busy.push_back(busy.busy_seconds());
+}
+
+}  // namespace
+
+sim::Task<> run_map_phase(NodeContext ctx, SplitScheduler& scheduler,
+                          MapMetrics& metrics) {
+  auto& sim = ctx.sim();
+  metrics.started = sim.now();
+  const JobConfig& cfg = *ctx.config;
+  GW_CHECK_MSG(cfg.buffering >= 1 && cfg.buffering <= 3,
+               "buffering level must be 1..3");
+
+  sim::Resource in_buffers(sim, cfg.buffering);
+  sim::Resource out_buffers(sim, cfg.buffering);
+  sim::Channel<StagedChunk> c12(sim, 8);
+  sim::Channel<StagedChunk> c23(sim, 8);
+  sim::Channel<KernelOut> c34(sim, 8);
+  sim::Channel<KernelOut> c45(sim, 8);
+
+  sim::TaskGroup sends(sim);
+  sim::TaskGroup stages(sim);
+  stages.spawn(input_stage(ctx, scheduler, in_buffers, c12, metrics));
+  stages.spawn(stage_stage(ctx, c12, c23, metrics));
+  stages.spawn(kernel_stage(ctx, c23, out_buffers, c34, metrics));
+  stages.spawn(retrieve_stage(ctx, c34, c45, metrics));
+  for (int i = 0; i < cfg.partitioner_threads; ++i) {
+    stages.spawn(partition_worker(ctx, c45, metrics, sends));
+  }
+  co_await stages.wait();
+  co_await sends.wait();  // all shuffle data delivered
+  metrics.finished = sim.now();
+}
+
+}  // namespace gw::core

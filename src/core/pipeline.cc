@@ -1,0 +1,84 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace gw::core {
+
+SplitScheduler::SplitScheduler(std::vector<InputSplit> splits)
+    : splits_(std::move(splits)),
+      taken_(splits_.size(), false),
+      remaining_(splits_.size()) {}
+
+std::optional<InputSplit> SplitScheduler::next_for(int node) {
+  if (!requeued_.empty()) {
+    InputSplit s = std::move(requeued_.back());
+    requeued_.pop_back();
+    --remaining_;
+    return s;
+  }
+  if (remaining_ == 0) return std::nullopt;
+  // First pass: a split with a local block.
+  for (std::size_t i = 0; i < splits_.size(); ++i) {
+    if (taken_[i]) continue;
+    const auto& locs = splits_[i].locations;
+    if (std::find(locs.begin(), locs.end(), node) != locs.end()) {
+      taken_[i] = true;
+      --remaining_;
+      ++local_grabs_;
+      return splits_[i];
+    }
+  }
+  // Fall back to any split.
+  for (std::size_t i = 0; i < splits_.size(); ++i) {
+    if (!taken_[i]) {
+      taken_[i] = true;
+      --remaining_;
+      ++remote_grabs_;
+      return splits_[i];
+    }
+  }
+  return std::nullopt;
+}
+
+void SplitScheduler::requeue(InputSplit split) {
+  split.attempt++;
+  ++retries_;
+  ++remaining_;
+  requeued_.push_back(std::move(split));
+}
+
+std::vector<InputSplit> SplitScheduler::make_splits(
+    const dfs::FileSystem& fs, const std::vector<std::string>& paths,
+    std::uint64_t split_size) {
+  GW_CHECK(split_size > 0);
+  std::vector<InputSplit> splits;
+  for (const auto& path : paths) {
+    const std::uint64_t size = fs.file_size(path);
+    for (std::uint64_t off = 0; off < size; off += split_size) {
+      InputSplit s(path, off, std::min(split_size, size - off));
+      const std::uint64_t block = off / fs.block_size();
+      s.locations = fs.block_locations(path, block);
+      s.index = static_cast<int>(splits.size());
+      splits.push_back(std::move(s));
+    }
+  }
+  return splits;
+}
+
+std::vector<std::pair<std::string, std::string>> read_output_file(
+    const util::Bytes& file_contents) {
+  util::ByteReader r(file_contents);
+  Run run = Run::deserialize(r);
+  RunReader reader(run);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(run.pairs);
+  KV kv;
+  while (reader.next(&kv)) {
+    out.emplace_back(std::string(kv.key), std::string(kv.value));
+  }
+  return out;
+}
+
+}  // namespace gw::core

@@ -1,0 +1,188 @@
+// The Glasswing 5-stage map and reduce pipelines (paper §III-A, §III-C).
+//
+// Map:    Input -> Stage -> Kernel -> Retrieve -> Partition
+// Reduce: Input(merge) -> Stage -> Kernel -> Retrieve -> Output
+//
+// Stages are sim coroutines linked by channels. Data buffers come from two
+// pools — the input group (Input/Stage/Kernel) and the output group
+// (Kernel/Retrieve/Partition|Output) — each sized by the configured
+// buffering level, which reproduces the single/double/triple-buffering
+// interlocking of §III-D: with one buffer the stages of a group serialize,
+// with more they overlap, and the two groups always run concurrently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/api.h"
+#include "core/collector.h"
+#include "core/intermediate.h"
+#include "gwcl/device.h"
+#include "gwdfs/fs.h"
+#include "simnet/fabric.h"
+
+namespace gw::core {
+
+// Busy time of a stage as the union of its workers' busy intervals; for
+// single-worker stages this equals plain start/stop timing, for the
+// N-threaded partition stage it is the wall time the stage was active
+// (which is what Fig 4(a) plots against N).
+class ActivityTimer {
+ public:
+  void begin(double now) {
+    if (active_++ == 0) started_ = now;
+  }
+  void end(double now) {
+    GW_CHECK(active_ > 0);
+    if (--active_ == 0) busy_ += now - started_;
+  }
+  double busy_seconds() const { return busy_; }
+
+  class Scope {
+   public:
+    Scope(ActivityTimer& t, const sim::Simulation& sim) : t_(t), sim_(sim) {
+      t_.begin(sim_.now());
+    }
+    ~Scope() { t_.end(sim_.now()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ActivityTimer& t_;
+    const sim::Simulation& sim_;
+  };
+
+ private:
+  int active_ = 0;
+  double started_ = 0;
+  double busy_ = 0;
+};
+
+struct InputSplit {
+  InputSplit() = default;
+  InputSplit(std::string path_in, std::uint64_t offset_in, std::uint64_t len_in)
+      : path(std::move(path_in)), offset(offset_in), len(len_in) {}
+
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+  std::vector<int> locations;  // nodes hosting the first block
+  int index = -1;              // job-wide split number
+  int attempt = 0;             // re-execution count (fault tolerance)
+};
+
+// Locality-aware dynamic split dispenser (the Glasswing job coordinator
+// "considers file affinity in its job allocation", §IV-A). Single shared
+// instance; nodes pull splits one at a time, preferring local blocks.
+class SplitScheduler {
+ public:
+  explicit SplitScheduler(std::vector<InputSplit> splits);
+
+  std::optional<InputSplit> next_for(int node);
+
+  // Task re-execution (§III-E): a failed task's input is rescheduled. The
+  // requeued split is handed out (to any node) before fresh splits.
+  void requeue(InputSplit split);
+
+  std::size_t remaining() const { return remaining_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t local_grabs() const { return local_grabs_; }
+  std::uint64_t remote_grabs() const { return remote_grabs_; }
+
+  // Enumerates block-aligned, record-aligned-later splits of the inputs.
+  static std::vector<InputSplit> make_splits(const dfs::FileSystem& fs,
+                                             const std::vector<std::string>& paths,
+                                             std::uint64_t split_size);
+
+ private:
+  std::vector<InputSplit> splits_;
+  std::vector<bool> taken_;
+  std::vector<InputSplit> requeued_;
+  std::size_t remaining_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t local_grabs_ = 0;
+  std::uint64_t remote_grabs_ = 0;
+};
+
+// Everything a per-node pipeline needs.
+struct NodeContext {
+  cluster::Platform* platform = nullptr;
+  cluster::Node* node = nullptr;
+  dfs::FileSystem* fs = nullptr;
+  cl::Device* device = nullptr;
+  IntermediateStore* store = nullptr;
+  const JobConfig* config = nullptr;
+  const AppKernels* app = nullptr;
+  int node_id = 0;
+  int num_nodes = 1;
+  int total_partitions = 1;
+
+  sim::Simulation& sim() const { return platform->sim(); }
+};
+
+struct MapMetrics {
+  std::uint64_t task_failures = 0;
+  ActivityTimer input, stage, kernel, retrieve;
+  // The partition stage runs N worker threads; its reported time is the
+  // maximum per-worker busy time (the paper's Fig 4(a) metric, which falls
+  // as N grows because the same work divides over more threads).
+  std::vector<double> partition_worker_busy;
+  double partition_busy() const {
+    double mx = 0;
+    for (double b : partition_worker_busy) mx = std::max(mx, b);
+    return mx;
+  }
+  double started = 0;
+  double finished = 0;
+  cl::KernelStats kernel_stats;
+  std::uint64_t records = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t intermediate_raw = 0;
+  std::uint64_t intermediate_stored = 0;
+  std::uint64_t shuffle_bytes_remote = 0;
+  std::uint64_t distinct_keys = 0;
+};
+
+// Runs the complete map pipeline on one node, feeding the local store and
+// pushing remote partitions over the fabric. Completes when every split
+// assigned to this node has been partitioned AND all shuffle sends have
+// been handed to the network.
+sim::Task<> run_map_phase(NodeContext ctx, SplitScheduler& scheduler,
+                          MapMetrics& metrics);
+
+struct ReduceMetrics {
+  ActivityTimer input, stage, kernel, retrieve, output;
+  double started = 0;
+  double finished = 0;
+  cl::KernelStats kernel_stats;
+  std::uint64_t output_pairs = 0;
+  std::vector<std::string> output_files;
+};
+
+// Runs the reduce pipeline over this node's partitions (drained store).
+// Jobs without a reduce function (TeraSort) merge and write directly.
+sim::Task<> run_reduce_phase(NodeContext ctx, ReduceMetrics& metrics);
+
+// Output files are uncompressed Runs wrapped with Run::serialize; helper to
+// read one back as pairs (used by tests, benches and examples).
+std::vector<std::pair<std::string, std::string>> read_output_file(
+    const util::Bytes& file_contents);
+
+// Split input helpers shared with the baseline runtimes (identical record
+// framing keeps the comparisons apples-to-apples).
+//
+// Reads a split aligned to record boundaries: fixed-size records round to
+// record multiples; text lines belong to the split containing their first
+// byte (standard MapReduce semantics).
+sim::Task<util::Bytes> read_aligned_split(dfs::FileSystem& fs, int node,
+                                          const AppKernels& app,
+                                          const InputSplit& split);
+
+// Record start offsets within an aligned chunk.
+std::vector<std::uint64_t> frame_records(const AppKernels& app,
+                                         std::string_view chunk);
+
+}  // namespace gw::core

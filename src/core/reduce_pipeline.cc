@@ -1,0 +1,396 @@
+// Reduce pipeline: Input(final merge) -> Stage -> Kernel -> Retrieve ->
+// Output (§III-C). Multiple intermediate keys are processed concurrently in
+// one kernel, each kernel thread handles keys_per_thread keys sequentially,
+// and oversized value lists are sliced across kernel invocations with
+// scratch state carried between calls.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "util/error.h"
+
+namespace gw::core {
+
+namespace {
+
+// Modeled per-kernel-thread creation overhead in simple ops (§III-C: "To
+// alleviate thread creation overhead, Glasswing provides the possibility to
+// have each reduce kernel thread process multiple keys sequentially").
+constexpr std::uint64_t kThreadCreateOps = 600;
+
+struct KeyGroup {
+  KeyGroup() = default;
+  std::string_view key;
+  std::vector<std::string_view> values;
+  bool is_continuation = false;  // prepend scratch value for this key
+  bool has_more = false;         // more value slices follow in later chunks
+};
+
+struct ReduceChunk {
+  ReduceChunk() = default;
+  std::shared_ptr<Run> backing;  // keeps the string_views alive
+  std::vector<KeyGroup> groups;
+  std::uint64_t payload_bytes = 0;
+  int partition = -1;       // local partition index
+  bool last_of_partition = false;
+  bool scratch_chunk = false;  // contains a sliced key; runs single-threaded
+  sim::Resource::Hold in_hold;
+};
+
+struct ReducedChunk {
+  ReducedChunk() = default;
+  PairList pairs;
+  int partition = -1;
+  bool last_of_partition = false;
+  sim::Resource::Hold out_hold;
+};
+
+class ScratchEmitter : public ReduceEmitter {
+ public:
+  explicit ScratchEmitter(std::string* slot) : slot_(slot) {}
+  void emit(std::string_view /*key*/, std::string_view value) override {
+    *slot_ = std::string(value);
+    ++emits_;
+  }
+  int emits() const { return emits_; }
+
+ private:
+  std::string* slot_;
+  int emits_ = 0;
+};
+
+class GroupPairEmitter : public ReduceEmitter {
+ public:
+  GroupPairEmitter(PairList* out, cl::KernelCounters* c) : out_(out), c_(c) {}
+  void emit(std::string_view key, std::string_view value) override {
+    out_->add(key, value);
+    c_->charge_write(key.size() + value.size());
+  }
+
+ private:
+  PairList* out_;
+  cl::KernelCounters* c_;
+};
+
+sim::Task<> input_stage(NodeContext ctx, sim::Resource& in_buffers,
+                        sim::Channel<ReduceChunk>& out, ReduceMetrics& m) {
+  const JobConfig& cfg = *ctx.config;
+  for (int p = 0; p < cfg.partitions_per_node; ++p) {
+    std::uint64_t disk_bytes = 0;
+    std::vector<Run> runs = ctx.store->take_partition(p, &disk_bytes);
+    if (runs.empty()) continue;
+
+    std::shared_ptr<Run> backing;
+    {
+      ActivityTimer::Scope scope(m.input, ctx.sim());
+      if (disk_bytes > 0) {
+        co_await ctx.node->disk_stream_read(
+            disk_bytes, cluster::Node::amortized_seek(disk_bytes));
+      }
+      std::uint64_t in_stored = 0, in_raw = 0;
+      for (const Run& r : runs) {
+        in_stored += r.stored_bytes();
+        in_raw += r.raw_bytes;
+      }
+      Run merged =
+          runs.size() == 1 && !runs.front().compressed
+              ? std::move(runs.front())
+              : merge_runs(runs, false);
+      const HostCosts& h = cfg.host;
+      co_await ctx.node->cpu_work(
+          static_cast<double>(in_stored) / h.decompress_bytes_per_s +
+          static_cast<double>(in_raw) / h.merge_bytes_per_s);
+      backing = std::make_shared<Run>(std::move(merged));
+    }
+
+    // Group consecutive equal keys and slice into chunks.
+    RunReader reader(*backing);
+    ReduceChunk chunk;
+    chunk.backing = backing;
+    chunk.partition = p;
+    std::uint64_t chunk_values = 0;
+
+    auto flush = [&](bool scratch) -> sim::Task<> {
+      if (chunk.groups.empty()) co_return;
+      chunk.scratch_chunk = scratch;
+      chunk.in_hold = co_await in_buffers.acquire();
+      ReduceChunk next;
+      next.backing = backing;
+      next.partition = p;
+      std::swap(next, chunk);
+      chunk_values = 0;
+      co_await out.send(std::move(next));
+    };
+
+    KV kv;
+    bool have = reader.next(&kv);
+    while (have) {
+      KeyGroup group;
+      group.key = kv.key;
+      const std::string_view current_key = kv.key;
+      while (have && kv.key == current_key) {
+        group.values.push_back(kv.value);
+        chunk.payload_bytes += kv.key.size() + kv.value.size();
+        have = reader.next(&kv);
+        if (group.values.size() >= cfg.max_values_per_kernel && have &&
+            kv.key == current_key) {
+          // More values follow: ship this slice alone; a continuation
+          // carries its partial result forward via scratch state.
+          group.has_more = true;
+          co_await flush(false);  // accumulated normal groups first
+          chunk.groups.push_back(std::move(group));
+          co_await flush(true);   // the slice itself, single-threaded
+          group = KeyGroup();
+          group.key = current_key;
+          group.is_continuation = true;
+        }
+      }
+      // End of key: `group` holds the only (or final) slice.
+      if (group.is_continuation) {
+        group.has_more = false;
+        co_await flush(false);
+        chunk.groups.push_back(std::move(group));
+        co_await flush(true);
+      } else if (!group.values.empty()) {
+        chunk_values += group.values.size();
+        chunk.groups.push_back(std::move(group));
+        if (chunk.groups.size() >=
+                static_cast<std::size_t>(cfg.concurrent_keys) ||
+            chunk_values >= cfg.max_values_per_kernel) {
+          co_await flush(false);
+        }
+      }
+    }
+    // Final chunk carries the end-of-partition marker (possibly empty, so
+    // the output stage still finalizes the partition's file).
+    chunk.last_of_partition = true;
+    chunk.in_hold = co_await in_buffers.acquire();
+    co_await out.send(std::move(chunk));
+    chunk = ReduceChunk();
+  }
+  out.close();
+}
+
+sim::Task<> stage_stage(NodeContext ctx, sim::Channel<ReduceChunk>& in,
+                        sim::Channel<ReduceChunk>& out, ReduceMetrics& m) {
+  for (;;) {
+    auto item = co_await in.recv();
+    if (!item) break;
+    if (!ctx.device->unified_memory() && item->payload_bytes > 0) {
+      ActivityTimer::Scope scope(m.stage, ctx.sim());
+      co_await ctx.device->stage_in(item->payload_bytes);
+    }
+    co_await out.send(std::move(*item));
+  }
+  out.close();
+}
+
+sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<ReduceChunk>& in,
+                         sim::Resource& out_buffers,
+                         sim::Channel<ReducedChunk>& out, ReduceMetrics& m) {
+  const JobConfig& cfg = *ctx.config;
+  const ReduceFn& reduce = *ctx.app->reduce;
+  // Scratch state for sliced keys, keyed per (partition, key).
+  std::map<std::pair<int, std::string>, std::string> scratch;
+
+  for (;;) {
+    auto item = co_await in.recv();
+    if (!item) break;
+    auto out_hold = co_await out_buffers.acquire();
+    ReducedChunk result;
+    result.partition = item->partition;
+    result.last_of_partition = item->last_of_partition;
+
+    if (!item->groups.empty()) {
+      ActivityTimer::Scope scope(m.kernel, ctx.sim());
+      const std::size_t keys = item->groups.size();
+      const std::size_t kpt =
+          std::max<std::size_t>(1, static_cast<std::size_t>(cfg.keys_per_thread));
+      const std::size_t threads = (keys + kpt - 1) / kpt;
+      const std::size_t groups =
+          item->scratch_chunk
+              ? 1
+              : std::max<std::size_t>(
+                    1, std::min<std::size_t>(cl::Device::kDefaultWorkGroups,
+                                             threads));
+      std::vector<PairList> out_groups(groups);
+
+      cl::KernelStats stats = co_await ctx.device->run_kernel_grouped(
+          threads, groups,
+          [&](std::size_t t, std::size_t g, cl::KernelCounters& c) {
+            c.charge_ops(kThreadCreateOps);
+            const std::size_t lo = t * kpt;
+            const std::size_t hi = std::min(keys, lo + kpt);
+            for (std::size_t k = lo; k < hi; ++k) {
+              KeyGroup& group = item->groups[k];
+              std::uint64_t bytes = group.key.size();
+              for (auto v : group.values) bytes += v.size();
+              c.charge_read(bytes);
+
+              // Inject carried scratch state for continuations.
+              std::vector<std::string_view>* values = &group.values;
+              std::vector<std::string_view> with_scratch;
+              const auto scratch_key =
+                  std::make_pair(item->partition, std::string(group.key));
+              if (group.is_continuation) {
+                auto it = scratch.find(scratch_key);
+                GW_CHECK_MSG(it != scratch.end(), "missing scratch state");
+                with_scratch.reserve(group.values.size() + 1);
+                with_scratch.push_back(it->second);
+                with_scratch.insert(with_scratch.end(), group.values.begin(),
+                                    group.values.end());
+                values = &with_scratch;
+              }
+
+              if (group.has_more) {
+                // Partial invocation: capture the single partial result.
+                std::string slot;
+                ScratchEmitter emitter(&slot);
+                ReduceContext rctx{&emitter, &c};
+                reduce(group.key, *values, rctx);
+                GW_CHECK_MSG(emitter.emits() == 1,
+                             "sliced reduce must emit exactly one value");
+                scratch[scratch_key] = std::move(slot);
+              } else {
+                if (group.is_continuation) scratch.erase(scratch_key);
+                GroupPairEmitter emitter(&out_groups[g], &c);
+                ReduceContext rctx{&emitter, &c};
+                reduce(group.key, *values, rctx);
+              }
+            }
+          },
+          cfg.reduce_launch);
+      m.kernel_stats += stats;
+      for (auto& pl : out_groups) result.pairs.append(pl);
+    }
+    // Release promptly (the optional holding it lives until the next recv,
+    // which would deadlock a single-buffer pipeline).
+    item->in_hold.release();
+    result.out_hold = std::move(out_hold);
+    co_await out.send(std::move(result));
+  }
+  out.close();
+}
+
+sim::Task<> retrieve_stage(NodeContext ctx, sim::Channel<ReducedChunk>& in,
+                           sim::Channel<ReducedChunk>& out, ReduceMetrics& m) {
+  for (;;) {
+    auto item = co_await in.recv();
+    if (!item) break;
+    if (!ctx.device->unified_memory() && item->pairs.blob_bytes() > 0) {
+      ActivityTimer::Scope scope(m.retrieve, ctx.sim());
+      co_await ctx.device->stage_out(item->pairs.blob_bytes());
+    }
+    co_await out.send(std::move(*item));
+  }
+  out.close();
+}
+
+std::string partition_output_path(const NodeContext& ctx, int local_p) {
+  const int global = ctx.node_id * ctx.config->partitions_per_node + local_p;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/part-%05d", global);
+  return ctx.config->output_path + buf;
+}
+
+sim::Task<> write_output(NodeContext ctx, int local_p, RunBuilder&& builder,
+                         ReduceMetrics& m) {
+  ActivityTimer::Scope scope(m.output, ctx.sim());
+  const std::uint64_t raw = builder.raw_bytes();
+  m.output_pairs += builder.pairs();
+  Run run = builder.finish(false);
+  util::ByteWriter w;
+  run.serialize(w);
+  co_await ctx.node->cpu_work(static_cast<double>(raw) /
+                              ctx.config->host.serialize_bytes_per_s);
+  const std::string path = partition_output_path(ctx, local_p);
+  co_await ctx.fs->write(ctx.node_id, path, w.take());
+  m.output_files.push_back(path);
+}
+
+sim::Task<> output_stage(NodeContext ctx, sim::Channel<ReducedChunk>& in,
+                         ReduceMetrics& m) {
+  std::map<int, RunBuilder> builders;
+  for (;;) {
+    auto item = co_await in.recv();
+    if (!item) break;
+    RunBuilder& builder = builders[item->partition];
+    for (std::size_t i = 0; i < item->pairs.size(); ++i) {
+      const KV kv = item->pairs.get(i);
+      builder.add(kv.key, kv.value);
+    }
+    if (item->last_of_partition) {
+      co_await write_output(ctx, item->partition, std::move(builder), m);
+      builders.erase(item->partition);
+    }
+    item->out_hold.release();
+  }
+}
+
+// TeraSort-style jobs: no reduce function; the merged partitions are the
+// final output (§IV-A1).
+sim::Task<> merge_only_reduce(NodeContext ctx, ReduceMetrics& m) {
+  const JobConfig& cfg = *ctx.config;
+  for (int p = 0; p < cfg.partitions_per_node; ++p) {
+    std::uint64_t disk_bytes = 0;
+    std::vector<Run> runs = ctx.store->take_partition(p, &disk_bytes);
+    if (runs.empty()) continue;
+    RunBuilder builder;
+    {
+      ActivityTimer::Scope scope(m.input, ctx.sim());
+      if (disk_bytes > 0) {
+        co_await ctx.node->disk_stream_read(
+            disk_bytes, cluster::Node::amortized_seek(disk_bytes));
+      }
+      std::uint64_t in_stored = 0, in_raw = 0;
+      for (const Run& r : runs) {
+        in_stored += r.stored_bytes();
+        in_raw += r.raw_bytes;
+      }
+      Run merged = merge_runs(runs, false);
+      const HostCosts& h = cfg.host;
+      co_await ctx.node->cpu_work(
+          static_cast<double>(in_stored) / h.decompress_bytes_per_s +
+          static_cast<double>(in_raw) / h.merge_bytes_per_s);
+      RunReader reader(merged);
+      KV kv;
+      while (reader.next(&kv)) builder.add(kv.key, kv.value);
+    }
+    co_await write_output(ctx, p, std::move(builder), m);
+  }
+  co_return;
+}
+
+}  // namespace
+
+sim::Task<> run_reduce_phase(NodeContext ctx, ReduceMetrics& metrics) {
+  auto& sim = ctx.sim();
+  metrics.started = sim.now();
+  const JobConfig& cfg = *ctx.config;
+
+  if (!ctx.app->reduce.has_value()) {
+    co_await merge_only_reduce(ctx, metrics);
+    metrics.finished = sim.now();
+    co_return;
+  }
+
+  sim::Resource in_buffers(sim, cfg.buffering);
+  sim::Resource out_buffers(sim, cfg.buffering);
+  sim::Channel<ReduceChunk> c12(sim, 8);
+  sim::Channel<ReduceChunk> c23(sim, 8);
+  sim::Channel<ReducedChunk> c34(sim, 8);
+  sim::Channel<ReducedChunk> c45(sim, 8);
+
+  sim::TaskGroup stages(sim);
+  stages.spawn(input_stage(ctx, in_buffers, c12, metrics));
+  stages.spawn(stage_stage(ctx, c12, c23, metrics));
+  stages.spawn(kernel_stage(ctx, c23, out_buffers, c34, metrics));
+  stages.spawn(retrieve_stage(ctx, c34, c45, metrics));
+  stages.spawn(output_stage(ctx, c45, metrics));
+  co_await stages.wait();
+  metrics.finished = sim.now();
+}
+
+}  // namespace gw::core

@@ -1,0 +1,281 @@
+#include "gwdfs/fs.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace gw::dfs {
+
+Dfs::Dfs(cluster::Platform& platform, DfsConfig config)
+    : platform_(platform), config_(config) {
+  GW_CHECK(config_.block_size > 0);
+  GW_CHECK(config_.replication >= 1);
+}
+
+void Dfs::set_replication(int replication) {
+  GW_CHECK(replication >= 1);
+  config_.replication = replication;
+}
+
+std::uint64_t Dfs::num_blocks(const FileMeta& meta) const {
+  return (meta.data.size() + config_.block_size - 1) / config_.block_size;
+}
+
+std::vector<int> Dfs::place_block(int writer, const std::string& path,
+                                  std::uint64_t index) const {
+  // First replica on the writer (HDFS policy); the rest rotate from a
+  // per-block deterministic offset so data spreads evenly.
+  const int n = platform_.num_nodes();
+  const int replicas = std::min(config_.replication, n);
+  std::vector<int> out;
+  out.reserve(replicas);
+  out.push_back(writer);
+  const std::uint64_t h = util::fnv1a(path) ^ util::mix64(index);
+  int next = static_cast<int>(h % static_cast<std::uint64_t>(n));
+  while (static_cast<int>(out.size()) < replicas) {
+    if (std::find(out.begin(), out.end(), next) == out.end()) {
+      out.push_back(next);
+    }
+    next = (next + 1) % n;
+  }
+  return out;
+}
+
+sim::Task<> Dfs::write(int node, const std::string& path, util::Bytes data) {
+  if (exists(path)) util::throw_error("dfs write: path exists: " + path);
+  auto& sim = platform_.sim();
+
+  FileMeta meta;
+  meta.data = std::move(data);
+  const std::uint64_t size = meta.data.size();
+  const std::uint64_t blocks =
+      std::max<std::uint64_t>(1, (size + config_.block_size - 1) / config_.block_size);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    meta.replicas.push_back(place_block(node, path, b));
+  }
+  // Charge the client JNI boundary for the whole payload once.
+  co_await sim.delay(config_.client_call_overhead_s +
+                     config_.client_per_byte_overhead_s *
+                         static_cast<double>(size));
+
+  // Per block: replication pipeline — the writer streams to replica 1, which
+  // streams to replica 2, etc.; every replica also writes its disk. Blocks
+  // are written back-to-back (HDFS streams a file sequentially) but the
+  // replica-side work is concurrent per block.
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t lo = b * config_.block_size;
+    const std::uint64_t len = std::min(config_.block_size, size - lo);
+    const auto& replicas = meta.replicas[b];
+    sim::TaskGroup group(sim);
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+      if (r > 0) {
+        group.spawn(
+            platform_.fabric().transfer(replicas[r - 1], replicas[r], len));
+      }
+      group.spawn(platform_.node(replicas[r])
+                      .disk_stream_write(len, cluster::Node::amortized_seek(len)));
+    }
+    co_await group.wait();
+  }
+  files_.emplace(path, std::move(meta));
+}
+
+sim::Task<> Dfs::write_distributed(const std::string& path, util::Bytes data) {
+  if (exists(path)) util::throw_error("dfs write: path exists: " + path);
+  auto& sim = platform_.sim();
+  const int n = platform_.num_nodes();
+  const int replicas = std::min(config_.replication, n);
+
+  FileMeta meta;
+  meta.data = std::move(data);
+  const std::uint64_t size = meta.data.size();
+  const std::uint64_t blocks = std::max<std::uint64_t>(
+      1, (size + config_.block_size - 1) / config_.block_size);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    // Rotating placement: no node hosts a disproportionate share.
+    std::vector<int> locs;
+    const std::uint64_t h = util::fnv1a(path) ^ util::mix64(b * 2654435761ull);
+    int next = static_cast<int>(h % static_cast<std::uint64_t>(n));
+    while (static_cast<int>(locs.size()) < replicas) {
+      if (std::find(locs.begin(), locs.end(), next) == locs.end()) {
+        locs.push_back(next);
+      }
+      next = (next + 1) % n;
+    }
+    meta.replicas.push_back(std::move(locs));
+  }
+
+  // Per block: replica disk writes + pipeline transfers, concurrently
+  // across blocks (the external client streams blocks to distinct nodes).
+  sim::TaskGroup group(sim);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t lo = b * config_.block_size;
+    const std::uint64_t len = std::min(config_.block_size, size - lo);
+    const auto& locs = meta.replicas[b];
+    for (std::size_t r = 0; r < locs.size(); ++r) {
+      if (r > 0) {
+        group.spawn(platform_.fabric().transfer(locs[r - 1], locs[r], len));
+      }
+      group.spawn(platform_.node(locs[r])
+                      .disk_stream_write(len, cluster::Node::amortized_seek(len)));
+    }
+  }
+  co_await group.wait();
+  files_.emplace(path, std::move(meta));
+}
+
+sim::Task<util::Bytes> Dfs::read(int node, const std::string& path,
+                                 std::uint64_t offset, std::uint64_t len) {
+  auto it = files_.find(path);
+  if (it == files_.end()) util::throw_error("dfs read: no such file: " + path);
+  const FileMeta& meta = it->second;
+  GW_CHECK_MSG(offset + len <= meta.data.size(), "dfs read out of range");
+  auto& sim = platform_.sim();
+
+  co_await sim.delay(config_.client_call_overhead_s +
+                     config_.client_per_byte_overhead_s *
+                         static_cast<double>(len));
+
+  // Touch every block overlapping the range; prefer a local replica.
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + len;
+  while (pos < end) {
+    const std::uint64_t b = pos / config_.block_size;
+    const std::uint64_t block_end = (b + 1) * config_.block_size;
+    const std::uint64_t chunk = std::min(end, block_end) - pos;
+    const auto& replicas = meta.replicas.at(b);
+    const bool local =
+        std::find(replicas.begin(), replicas.end(), node) != replicas.end();
+    // Sequential block streaming: seeks amortize over contiguous I/O.
+    const double seek = cluster::Node::amortized_seek(chunk);
+    if (local) {
+      ++local_reads_;
+      co_await platform_.node(node).disk_stream_read(chunk, seek);
+    } else {
+      ++remote_reads_;
+      const int remote = replicas.front();
+      co_await platform_.node(remote).disk_stream_read(chunk, seek);
+      co_await platform_.fabric().transfer(remote, node, chunk);
+    }
+    pos += chunk;
+  }
+
+  util::Bytes out(meta.data.begin() + static_cast<std::ptrdiff_t>(offset),
+                  meta.data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  co_return out;
+}
+
+bool Dfs::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::uint64_t Dfs::file_size(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) util::throw_error("dfs size: no such file: " + path);
+  return it->second.data.size();
+}
+
+std::vector<std::string> Dfs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, meta] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+std::vector<int> Dfs::block_locations(const std::string& path,
+                                      std::uint64_t index) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    util::throw_error("dfs locations: no such file: " + path);
+  }
+  return it->second.replicas.at(index);
+}
+
+LocalFs::LocalFs(cluster::Platform& platform, LocalFsConfig config)
+    : platform_(platform), config_(config) {}
+
+sim::Task<> LocalFs::write(int node, const std::string& path,
+                           util::Bytes data) {
+  auto& entry = files_[path];
+  if (!entry.nodes.empty() && entry.data != nullptr &&
+      std::find(entry.nodes.begin(), entry.nodes.end(), node) !=
+          entry.nodes.end()) {
+    util::throw_error("localfs write: path exists on node: " + path);
+  }
+  const std::uint64_t size = data.size();
+  entry.data = std::make_shared<const util::Bytes>(std::move(data));
+  entry.nodes.push_back(node);
+  std::sort(entry.nodes.begin(), entry.nodes.end());
+  co_await platform_.sim().delay(config_.open_overhead_s);
+  co_await platform_.node(node).disk_stream_write(
+      size, cluster::Node::amortized_seek(size));
+}
+
+sim::Task<util::Bytes> LocalFs::read(int node, const std::string& path,
+                                     std::uint64_t offset, std::uint64_t len) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    util::throw_error("localfs read: no such file: " + path);
+  }
+  const Entry& entry = it->second;
+  if (std::find(entry.nodes.begin(), entry.nodes.end(), node) ==
+      entry.nodes.end()) {
+    util::throw_error("localfs read: file not hosted on node: " + path);
+  }
+  GW_CHECK_MSG(offset + len <= entry.data->size(), "localfs read out of range");
+  co_await platform_.sim().delay(config_.open_overhead_s);
+  co_await platform_.node(node).disk_stream_read(
+      len, cluster::Node::amortized_seek(len));
+  util::Bytes out(entry.data->begin() + static_cast<std::ptrdiff_t>(offset),
+                  entry.data->begin() + static_cast<std::ptrdiff_t>(offset + len));
+  co_return out;
+}
+
+bool LocalFs::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::uint64_t LocalFs::file_size(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    util::throw_error("localfs size: no such file: " + path);
+  }
+  return it->second.data->size();
+}
+
+std::vector<std::string> LocalFs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, entry] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+std::vector<int> LocalFs::block_locations(const std::string& path,
+                                          std::uint64_t /*index*/) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    util::throw_error("localfs locations: no such file: " + path);
+  }
+  return it->second.nodes;
+}
+
+std::uint64_t LocalFs::block_size() const {
+  // Whole file is one locality unit.
+  return ~0ull;
+}
+
+void LocalFs::replicate_everywhere(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    util::throw_error("localfs replicate: no such file: " + path);
+  }
+  it->second.nodes.clear();
+  for (int n = 0; n < platform_.num_nodes(); ++n) {
+    it->second.nodes.push_back(n);
+  }
+}
+
+}  // namespace gw::dfs

@@ -1,0 +1,596 @@
+// Discrete-event simulation engine.
+//
+// Every concurrent activity in the reproduced system — pipeline stages,
+// merger threads, shuffle receivers, Hadoop task slots, device command
+// queues, NIC transfers — is a C++20 coroutine (`sim::Task`) driven by a
+// single `Simulation` event loop with a deterministic clock. Simulated
+// processes wait with `co_await sim.delay(t)`, synchronize through counted
+// `Resource`s (FIFO), one-shot `Event`s and bounded `Channel<T>`s, exactly
+// the primitives the Glasswing runtime needs to express its 5-stage
+// pipelines and buffer pools (paper §III-A, §III-D).
+//
+// Determinism: events are ordered by (time, insertion sequence); all wakeups
+// go through the event queue (never resumed inline), so execution order is a
+// pure function of the program and its seeds.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace gw::sim {
+
+class Simulation;
+
+namespace detail {
+
+struct PromiseBase {
+  Simulation* sim = nullptr;
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+  bool detached = false;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      if (p.detached) {
+        GW_CHECK_MSG(!p.exception, "detached sim::Task threw");
+        h.destroy();
+        return std::noop_coroutine();
+      }
+      return p.continuation ? p.continuation : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+};
+
+}  // namespace detail
+
+// A simulated process / async operation. Task<T> completes with a value of
+// type T. Awaiting a Task starts it immediately (symmetric transfer);
+// Simulation::spawn starts it as a detached root process.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const { return h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        h.promise().continuation = parent;
+        return h;
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Simulation;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const { return h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Simulation;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// The event loop. Single-threaded; simulated seconds.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  double now() const { return now_; }
+
+  // Schedules `h` to resume after `delay` simulated seconds.
+  void schedule(double delay, std::coroutine_handle<> h) {
+    GW_CHECK_MSG(delay >= 0, "negative delay");
+    queue_.push(Entry{now_ + delay, next_seq_++, h});
+  }
+
+  // Schedules at the current time, after already-queued same-time events.
+  void schedule_now(std::coroutine_handle<> h) { schedule(0.0, h); }
+
+  // Starts a detached root process at the current simulated time. The
+  // coroutine frame self-destructs at final suspend.
+  template <typename T>
+  void spawn(Task<T>&& task) {
+    GW_CHECK(task.handle_);
+    auto h = std::exchange(task.handle_, {});
+    h.promise().detached = true;
+    schedule_now(h);
+  }
+
+  struct DelayAwaiter {
+    Simulation* sim;
+    double delay;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) { sim->schedule(delay, h); }
+    void await_resume() {}
+  };
+
+  // co_await sim.delay(seconds)
+  DelayAwaiter delay(double seconds) { return DelayAwaiter{this, seconds}; }
+
+  // Runs until the event queue drains. Returns the final simulated time.
+  double run() {
+    while (!queue_.empty()) step();
+    return now_;
+  }
+
+  // Runs events with time <= t_end, then sets now() = t_end.
+  void run_until(double t_end) {
+    while (!queue_.empty() && queue_.top().time <= t_end) step();
+    if (t_end > now_) now_ = t_end;
+  }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void step() {
+    Entry e = queue_.top();
+    queue_.pop();
+    GW_CHECK(e.time >= now_);
+    now_ = e.time;
+    ++events_processed_;
+    e.handle.resume();
+  }
+
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+};
+
+// One-shot event: processes wait until another sets it.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sim_->schedule_now(h);
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const { return ev->set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev->waiters_.push_back(h);
+      }
+      void await_resume() {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulation* sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Counted resource with FIFO admission. Models disks, NICs, PCIe links,
+// host-core pools and the pipeline's data-buffer pools.
+class Resource {
+ public:
+  Resource(Simulation& sim, std::int64_t capacity)
+      : sim_(&sim), capacity_(capacity) {
+    GW_CHECK(capacity > 0);
+  }
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t in_use() const { return in_use_; }
+  std::int64_t available() const { return capacity_ - in_use_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  // Move-only RAII hold; releases on destruction.
+  class Hold {
+   public:
+    Hold() = default;
+    Hold(Resource* r, std::int64_t n) : res_(r), n_(n) {}
+    Hold(Hold&& o) noexcept
+        : res_(std::exchange(o.res_, nullptr)), n_(std::exchange(o.n_, 0)) {}
+    Hold& operator=(Hold&& o) noexcept {
+      if (this != &o) {
+        release();
+        res_ = std::exchange(o.res_, nullptr);
+        n_ = std::exchange(o.n_, 0);
+      }
+      return *this;
+    }
+    ~Hold() { release(); }
+
+    void release() {
+      if (res_) {
+        res_->release(n_);
+        res_ = nullptr;
+        n_ = 0;
+      }
+    }
+    bool held() const { return res_ != nullptr; }
+
+   private:
+    Resource* res_ = nullptr;
+    std::int64_t n_ = 0;
+  };
+
+  // co_await res.acquire(n) -> Hold
+  auto acquire(std::int64_t n = 1) {
+    GW_CHECK(n > 0 && n <= capacity_);
+    struct Awaiter {
+      Resource* res;
+      std::int64_t n;
+      bool await_ready() {
+        // FIFO: even if capacity is free, queued waiters go first.
+        if (res->waiters_.empty() && res->available() >= n) {
+          res->in_use_ += n;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res->waiters_.push_back(Waiter{n, h});
+      }
+      Hold await_resume() { return Hold(res, n); }
+    };
+    return Awaiter{this, n};
+  }
+
+  void release(std::int64_t n) {
+    GW_CHECK(n > 0 && in_use_ >= n);
+    in_use_ -= n;
+    wake_waiters();
+  }
+
+ private:
+  struct Waiter {
+    std::int64_t n;
+    std::coroutine_handle<> handle;
+  };
+
+  void wake_waiters() {
+    while (!waiters_.empty() && available() >= waiters_.front().n) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      in_use_ += w.n;  // reserve before the handle actually runs
+      sim_->schedule_now(w.handle);
+    }
+  }
+
+  Simulation* sim_;
+  std::int64_t capacity_;
+  std::int64_t in_use_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+// Bounded MPMC channel connecting pipeline stages. recv() returns nullopt
+// after close() once drained.
+//
+// Implementation note: send/recv are coroutines, so the value in flight
+// lives in the send/recv coroutine frame and the blocked-waiter records hold
+// only pointers into those frames. Carrying the payload inside a by-value
+// awaiter object trips a GCC 12 coroutine bug (the materialized awaiter
+// temporary is destroyed twice when the payload's move constructor is
+// implicitly defined), which double-releases RAII members; pointer-only
+// awaiters sidestep it.
+//
+// PAYLOAD RULE (GCC 12 workaround): types sent through a Channel, or
+// constructed as temporaries inside a co_await full-expression, must have a
+// user-declared constructor (i.e. must NOT be aggregates). GCC 12
+// double-destroys aggregate-initialized temporaries that are materialized
+// into a coroutine frame across a suspension point, which double-runs RAII
+// members' destructors. A user-declared constructor suppresses the broken
+// code path. All payload structs in this codebase follow the rule.
+template <typename T>
+class Channel {
+ public:
+  Channel(Simulation& sim, std::size_t capacity)
+      : sim_(&sim), capacity_(capacity) {
+    GW_CHECK(capacity > 0);
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool closed() const { return closed_; }
+
+  // Blocks (in simulated time) while the channel is full.
+  [[nodiscard]] Task<> send(T value) {
+    struct Awaiter {
+      Channel* ch;
+      T* value;
+      bool await_ready() {
+        GW_CHECK_MSG(!ch->closed_, "send on closed channel");
+        if (ch->senders_.empty() && ch->items_.size() < ch->capacity_) {
+          ch->push(std::move(*value));
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->senders_.push_back(SenderWaiter{value, h});
+      }
+      void await_resume() {}
+    };
+    co_await Awaiter{this, &value};
+  }
+
+  // Returns the next item, or nullopt once closed and drained.
+  [[nodiscard]] Task<std::optional<T>> recv() {
+    std::optional<T> slot;
+    struct Awaiter {
+      Channel* ch;
+      std::optional<T>* slot;
+      bool await_ready() {
+        if (!ch->items_.empty()) {
+          *slot = std::move(ch->items_.front());
+          ch->items_.pop_front();
+          ch->admit_sender();
+          return true;
+        }
+        return ch->closed_;  // drained + closed -> leave slot empty
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->receivers_.push_back(ReceiverWaiter{slot, h});
+      }
+      void await_resume() {}
+    };
+    co_await Awaiter{this, &slot};
+    co_return std::move(slot);
+  }
+
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    GW_CHECK_MSG(senders_.empty(), "close with blocked senders");
+    // Wake all blocked receivers; they observe closed+empty -> nullopt.
+    for (auto& r : receivers_) sim_->schedule_now(r.handle);
+    receivers_.clear();
+  }
+
+ private:
+  struct SenderWaiter {
+    T* value;
+    std::coroutine_handle<> handle;
+  };
+  struct ReceiverWaiter {
+    std::optional<T>* slot;
+    std::coroutine_handle<> handle;
+  };
+
+  void push(T value) {
+    // Deliver directly to a blocked receiver if any, else enqueue.
+    if (!receivers_.empty()) {
+      ReceiverWaiter r = receivers_.front();
+      receivers_.pop_front();
+      *r.slot = std::move(value);
+      sim_->schedule_now(r.handle);
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  void admit_sender() {
+    if (!senders_.empty() && items_.size() < capacity_) {
+      SenderWaiter s = senders_.front();
+      senders_.pop_front();
+      push(std::move(*s.value));
+      sim_->schedule_now(s.handle);
+    }
+  }
+
+  Simulation* sim_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  std::deque<SenderWaiter> senders_;
+  std::deque<ReceiverWaiter> receivers_;
+};
+
+// Fork/join helper: spawn child processes, then await completion of all.
+// The group may drain to zero and receive further spawns repeatedly (e.g. a
+// stream of shuffle sends); wait() resolves only once the count is zero AT
+// THE TIME IT CHECKS and no further children were added meanwhile. All
+// children must be spawned before wait() is CALLED. The first child
+// exception is rethrown from wait(). Single wait() per group.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Simulation& sim) : sim_(&sim) {}
+
+  void spawn(Task<> task) {
+    GW_CHECK_MSG(!waited_, "TaskGroup reused after wait()");
+    ++pending_;
+    sim_->spawn(wrap(std::move(task)));
+  }
+
+  Task<> wait() {
+    waited_ = true;
+    // Loop: the completion event is re-armed each round, so intermediate
+    // drains (count hitting zero before later children were spawned) cannot
+    // release the join early.
+    while (pending_ > 0) {
+      wakeup_ = std::make_unique<Event>(*sim_);
+      co_await wakeup_->wait();
+      wakeup_.reset();
+    }
+    if (first_exception_) std::rethrow_exception(first_exception_);
+  }
+
+  std::size_t pending() const { return pending_; }
+
+ private:
+  Task<> wrap(Task<> task) {
+    try {
+      co_await std::move(task);
+    } catch (...) {
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
+    if (--pending_ == 0 && wakeup_ != nullptr) wakeup_->set();
+  }
+
+  Simulation* sim_;
+  std::unique_ptr<Event> wakeup_;
+  std::size_t pending_ = 0;
+  bool waited_ = false;
+  std::exception_ptr first_exception_;
+};
+
+// Accumulates the busy time of a pipeline stage (paper §IV-B instruments
+// each stage with such timers to produce Tables II/III and Figures 4/5).
+class StageTimer {
+ public:
+  void start(double now) {
+    GW_CHECK(!running_);
+    running_ = true;
+    started_ = now;
+  }
+  void stop(double now) {
+    GW_CHECK(running_);
+    running_ = false;
+    busy_ += now - started_;
+    ++intervals_;
+  }
+
+  double busy_seconds() const { return busy_; }
+  std::uint64_t intervals() const { return intervals_; }
+
+  class Scope {
+   public:
+    Scope(StageTimer& t, const Simulation& sim) : t_(t), sim_(sim) {
+      t_.start(sim_.now());
+    }
+    ~Scope() { t_.stop(sim_.now()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    StageTimer& t_;
+    const Simulation& sim_;
+  };
+
+ private:
+  bool running_ = false;
+  double started_ = 0;
+  double busy_ = 0;
+  std::uint64_t intervals_ = 0;
+};
+
+}  // namespace gw::sim

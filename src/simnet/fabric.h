@@ -1,0 +1,103 @@
+// Simulated cluster interconnect.
+//
+// Substitutes for the DAS-4 network the paper evaluates on (Gigabit
+// Ethernet and QDR InfiniBand used as IP-over-InfiniBand). Each node has a
+// full-duplex NIC modelled as a TX and an RX unit-capacity resource; a
+// message of B bytes propagates after `latency`, then occupies sender TX and
+// receiver RX for overhead + B/bandwidth. Payloads are real bytes, so
+// everything the shuffle moves is byte-accurate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sim.h"
+#include "util/bytes.h"
+
+namespace gw::net {
+
+struct NetworkProfile {
+  std::string name;
+  double bandwidth_bytes_per_s;
+  double latency_s;              // one-way propagation + switching
+  double per_message_overhead_s; // protocol/stack cost per message
+
+  // 1 Gbit/s Ethernet: ~117 MiB/s effective, 100 us latency.
+  static NetworkProfile gigabit_ethernet();
+  // QDR InfiniBand via IP-over-InfiniBand: ~1.0 GiB/s effective TCP
+  // throughput, 25 us latency (IPoIB, not verbs).
+  static NetworkProfile qdr_infiniband_ipoib();
+};
+
+// A delivered message. User-declared constructor per the sim.h channel
+// payload rule.
+struct Message {
+  Message() : src(-1), port(-1) {}
+  Message(int src_in, int port_in, util::Bytes payload_in)
+      : src(src_in), port(port_in), payload(std::move(payload_in)) {}
+
+  int src;
+  int port;
+  util::Bytes payload;
+};
+
+// Well-known service ports.
+enum Port : int {
+  kPortShuffle = 1,       // Glasswing push shuffle
+  kPortDfs = 2,           // DFS block pipeline
+  kPortHadoopFetch = 3,   // Hadoop pull-shuffle requests
+  kPortHadoopReplyBase = 1000,  // + reducer id for fetch replies
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, int num_nodes, NetworkProfile profile);
+
+  int num_nodes() const { return num_nodes_; }
+  const NetworkProfile& profile() const { return profile_; }
+
+  // Transfers `payload` from src to dst and enqueues it on (dst, port).
+  // Completes when the message has been handed to the destination inbox.
+  // Local sends (src == dst) are free of NIC cost but still asynchronous.
+  sim::Task<> send(int src, int dst, int port, util::Bytes payload);
+
+  // Charges the network cost of moving `bytes` from src to dst without
+  // delivering a payload; used by the DFS replication pipeline and remote
+  // block reads, where the real bytes are tracked by the filesystem layer.
+  sim::Task<> transfer(int src, int dst, std::uint64_t bytes);
+
+  // Inbox channel for (node, port); created on first use. Receivers loop on
+  // recv() until the port is closed.
+  sim::Channel<Message>& inbox(int node, int port);
+
+  // Closes an inbox so blocked receivers see end-of-stream.
+  void close_port(int node, int port);
+
+  std::uint64_t bytes_sent(int node) const { return stats_[node].bytes_tx; }
+  std::uint64_t bytes_received(int node) const { return stats_[node].bytes_rx; }
+  std::uint64_t messages_sent(int node) const { return stats_[node].msgs_tx; }
+  std::uint64_t total_bytes_sent() const;
+
+ private:
+  struct NodeState {
+    std::unique_ptr<sim::Resource> tx;
+    std::unique_ptr<sim::Resource> rx;
+  };
+  struct NodeStats {
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t msgs_tx = 0;
+  };
+
+  sim::Simulation& sim_;
+  int num_nodes_;
+  NetworkProfile profile_;
+  std::vector<NodeState> nodes_;
+  std::vector<NodeStats> stats_;
+  std::map<std::pair<int, int>, std::unique_ptr<sim::Channel<Message>>> inboxes_;
+};
+
+}  // namespace gw::net

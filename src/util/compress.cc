@@ -1,0 +1,114 @@
+#include "util/compress.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace gw::util {
+
+namespace {
+
+// Format: varint uncompressed_size, then a token stream.
+//   token = varint literal_len, literal bytes,
+//           varint match_len (0 terminates after literals),
+//           varint match_distance (present iff match_len > 0).
+// Minimum match length 4; greedy matcher over a 64Ki-entry hash of 4-byte
+// prefixes with a 64KB window.
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kWindow = 64 * 1024;
+constexpr std::size_t kHashBits = 16;
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+Bytes lz_compress(const void* input, std::size_t len) {
+  const auto* src = static_cast<const std::uint8_t*>(input);
+  ByteWriter out;
+  out.put_varint(len);
+  if (len == 0) return out.take();
+
+  std::vector<std::uint32_t> table(std::size_t{1} << kHashBits, 0xffffffffu);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  auto flush = [&](std::size_t match_len, std::size_t distance) {
+    out.put_varint(pos - literal_start);
+    out.put_bytes(src + literal_start, pos - literal_start);
+    out.put_varint(match_len);
+    if (match_len > 0) out.put_varint(distance);
+  };
+
+  while (pos + kMinMatch <= len) {
+    const std::uint32_t h = hash4(src + pos);
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+
+    std::size_t match_len = 0;
+    if (cand != 0xffffffffu && pos - cand <= kWindow &&
+        std::memcmp(src + cand, src + pos, kMinMatch) == 0) {
+      match_len = kMinMatch;
+      const std::size_t limit = len - pos;
+      while (match_len < limit && src[cand + match_len] == src[pos + match_len]) {
+        ++match_len;
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      flush(match_len, pos - cand);
+      // Index a few positions inside the match so later data can refer back.
+      const std::size_t end = pos + match_len;
+      for (std::size_t i = pos + 1; i + kMinMatch <= end && i + 4 <= len; i += 3) {
+        table[hash4(src + i)] = static_cast<std::uint32_t>(i);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  pos = len;
+  if (literal_start < pos || len == 0) {
+    flush(0, 0);
+  } else {
+    // Ended exactly on a match boundary: emit empty terminator token.
+    out.put_varint(0);
+    out.put_varint(0);
+  }
+  return out.take();
+}
+
+Bytes lz_decompress(const void* input, std::size_t len) {
+  ByteReader in(input, len);
+  const std::uint64_t total = in.get_varint();
+  Bytes out;
+  out.reserve(total);
+  while (out.size() < total) {
+    const std::uint64_t lit = in.get_varint();
+    if (lit > 0) {
+      if (in.remaining() < lit) throw_error("lz: truncated literal run");
+      const std::size_t off = out.size();
+      out.resize(off + lit);
+      for (std::uint64_t i = 0; i < lit; ++i) out[off + i] = in.get_u8();
+    }
+    const std::uint64_t match = in.get_varint();
+    if (match == 0) {
+      if (out.size() < total && in.done())
+        throw_error("lz: stream ended early");
+      continue;
+    }
+    const std::uint64_t dist = in.get_varint();
+    if (dist == 0 || dist > out.size()) throw_error("lz: bad match distance");
+    std::size_t from = out.size() - dist;
+    for (std::uint64_t i = 0; i < match; ++i) out.push_back(out[from + i]);
+  }
+  if (out.size() != total) throw_error("lz: size mismatch");
+  return out;
+}
+
+}  // namespace gw::util

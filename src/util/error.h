@@ -1,0 +1,50 @@
+// Error handling for the Glasswing runtime.
+//
+// The framework uses exceptions for unrecoverable configuration and I/O
+// errors (per C++ Core Guidelines E.2) and GW_CHECK for internal invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace gw::util {
+
+// Thrown for user-visible failures: bad job configuration, missing DFS
+// paths, device capacity exceeded, etc.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+[[noreturn]] inline void throw_error(std::string what) {
+  throw Error(std::move(what));
+}
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "GW_CHECK failed: %s at %s:%d %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace gw::util
+
+// Internal invariant check; aborts (never throws) so it is usable in
+// noexcept coroutine machinery.
+#define GW_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::gw::util::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+    }                                                                    \
+  } while (0)
+
+#define GW_CHECK_MSG(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::gw::util::detail::check_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,38 @@
+// Hashing used for intermediate-data partitioning and the device hash-table
+// output collector (paper §III-A, §III-F).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace gw::util {
+
+// FNV-1a 64-bit. Stable across platforms; used as the default MapReduce
+// partitioner hash (overridable per job, as in the paper).
+inline std::uint64_t fnv1a(const void* data, std::size_t len,
+                           std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s) {
+  return fnv1a(s.data(), s.size());
+}
+
+// Fast avalanching mix for integer keys (from murmur3 finalizer).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace gw::util

@@ -1,0 +1,48 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <mutex>
+
+namespace gw::util {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return static_cast<LogLevel>(g_threshold.load()); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level));
+}
+
+void log_message(LogLevel level, double sim_time, const char* fmt, ...) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (sim_time >= 0) {
+    std::fprintf(stderr, "[%s t=%.6f] ", level_name(level), sim_time);
+  } else {
+    std::fprintf(stderr, "[%s] ", level_name(level));
+  }
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace gw::util

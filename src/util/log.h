@@ -1,0 +1,36 @@
+// Minimal leveled logger.
+//
+// Logging in a discrete-event simulator must be cheap when disabled and must
+// be able to stamp messages with *simulated* time; callers that have a clock
+// pass it explicitly (see sim::Simulation::log).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace gw::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Defaults to kWarn so
+// tests and benches stay quiet.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+// printf-style logging. `sim_time` < 0 means "no simulated timestamp".
+void log_message(LogLevel level, double sim_time, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace gw::util
+
+#define GW_LOG(level, ...)                                      \
+  do {                                                          \
+    if ((level) >= ::gw::util::log_threshold()) {               \
+      ::gw::util::log_message((level), -1.0, __VA_ARGS__);      \
+    }                                                           \
+  } while (0)
+
+#define GW_DEBUG(...) GW_LOG(::gw::util::LogLevel::kDebug, __VA_ARGS__)
+#define GW_INFO(...) GW_LOG(::gw::util::LogLevel::kInfo, __VA_ARGS__)
+#define GW_WARN(...) GW_LOG(::gw::util::LogLevel::kWarn, __VA_ARGS__)
+#define GW_ERROR(...) GW_LOG(::gw::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace gw::util {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  // Current job, valid while generation is odd.
+  std::function<void(std::size_t, std::size_t, std::size_t)> fn;
+  std::size_t begin = 0, end = 0, chunks = 0;
+  std::size_t next_chunk = 0;
+  std::size_t pending = 0;
+  std::uint64_t generation = 0;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex);
+      work_cv.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      run_chunks(lock);
+    }
+  }
+
+  // Pops and runs chunks until exhausted. Caller holds the lock.
+  void run_chunks(std::unique_lock<std::mutex>& lock) {
+    const std::size_t total = end - begin;
+    while (next_chunk < chunks) {
+      const std::size_t c = next_chunk++;
+      const std::size_t lo = begin + total * c / chunks;
+      const std::size_t hi = begin + total * (c + 1) / chunks;
+      lock.unlock();
+      fn(lo, hi, c);
+      lock.lock();
+      if (--pending == 0) done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_ = threads;
+  // threads-1 workers; the caller participates in parallel_for.
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t chunks = std::min(total, threads_);
+  if (chunks <= 1) {
+    fn(begin, end, 0);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->fn = fn;
+  impl_->begin = begin;
+  impl_->end = end;
+  impl_->chunks = chunks;
+  impl_->next_chunk = 0;
+  impl_->pending = chunks;
+  ++impl_->generation;
+  impl_->work_cv.notify_all();
+  impl_->run_chunks(lock);
+  impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gw::util

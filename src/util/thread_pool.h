@@ -1,0 +1,44 @@
+// Static-partition parallel_for.
+//
+// The simulator charges *simulated* time for kernels, but the work-items are
+// real C++ and independent, so we execute them across host threads to speed
+// up wall-clock runs on multicore machines. Work is split statically into
+// contiguous ranges; per-item results are reduced associatively by the
+// caller, preserving determinism.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace gw::util {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return threads_; }
+
+  // Runs fn(begin..end) partitioned over worker threads plus the calling
+  // thread; blocks until complete. fn(chunk_begin, chunk_end, chunk_index).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn);
+
+  // Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  std::size_t threads_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gw::util

@@ -1,0 +1,305 @@
+// Application tests: each of the five paper workloads runs as a full
+// Glasswing job on a simulated cluster and its output is verified against a
+// direct reference implementation.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/kmeans.h"
+#include "apps/matmul.h"
+#include "apps/pageview.h"
+#include "apps/terasort.h"
+#include "apps/wordcount.h"
+#include "core/job.h"
+#include "util/hash.h"
+
+namespace gw::apps {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::NodeSpec;
+using cluster::Platform;
+
+Platform make_platform(int nodes) {
+  return Platform(ClusterSpec::homogeneous(
+      nodes, NodeSpec::das4_type1(), net::NetworkProfile::qdr_infiniband_ipoib()));
+}
+
+void write_file(Platform& p, dfs::FileSystem& fs, const std::string& path,
+                util::Bytes contents) {
+  p.sim().spawn([](dfs::FileSystem& f, std::string pa,
+                   util::Bytes c) -> sim::Task<> {
+    co_await f.write(0, pa, std::move(c));
+  }(fs, path, std::move(contents)));
+  p.sim().run();
+}
+
+util::Bytes read_file(Platform& p, dfs::FileSystem& fs,
+                      const std::string& path) {
+  util::Bytes out;
+  p.sim().spawn([](dfs::FileSystem& f, std::string pa,
+                   util::Bytes* o) -> sim::Task<> {
+    *o = co_await f.read_all(f.block_locations(pa, 0).front(), pa);
+  }(fs, path, &out));
+  p.sim().run();
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> all_output_pairs(
+    Platform& p, dfs::FileSystem& fs, const core::JobResult& result) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& path : result.output_files) {
+    auto filed = core::read_output_file(read_file(p, fs, path));
+    pairs.insert(pairs.end(), filed.begin(), filed.end());
+  }
+  return pairs;
+}
+
+// ---------- WordCount ----------
+
+TEST(WordCount, GeneratorIsSkewedAndDeterministic) {
+  util::Bytes a = generate_wiki_text(100000, 7);
+  util::Bytes b = generate_wiki_text(100000, 7);
+  EXPECT_EQ(a, b);
+  auto counts = wordcount_reference(a);
+  // "the" must dominate, and a long sparse tail must exist.
+  EXPECT_GT(counts["the"], 400u);
+  std::size_t singletons = 0;
+  for (auto& [w, c] : counts) singletons += (c == 1);
+  EXPECT_GT(singletons, 100u);
+}
+
+TEST(WordCount, JobMatchesReferenceOnCluster) {
+  Platform p = make_platform(4);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  util::Bytes text = generate_wiki_text(1 << 20, 11);
+  write_file(p, fs, "/in/wiki", text);
+
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/wiki"};
+  cfg.output_path = "/out/wc";
+  cfg.split_size = 128 << 10;
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  auto result = rt.run(wordcount().kernels, cfg);
+
+  std::map<std::string, std::uint64_t> actual;
+  for (auto& [k, v] : all_output_pairs(p, fs, result)) {
+    actual[k] += parse_u64(v);
+  }
+  EXPECT_EQ(actual, wordcount_reference(text));
+}
+
+// ---------- PageviewCount ----------
+
+TEST(Pageview, GeneratorIsSparse) {
+  util::Bytes log = generate_weblog(1 << 20, 5);
+  auto counts = pageview_reference(log);
+  std::size_t singles = 0;
+  for (auto& [url, c] : counts) singles += (c == 1);
+  // The paper: "duplicate URLs are rare ... massive number of keys".
+  EXPECT_GT(counts.size(), 8000u);
+  EXPECT_GT(static_cast<double>(singles) / counts.size(), 0.75);
+}
+
+TEST(Pageview, JobMatchesReference) {
+  Platform p = make_platform(2);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  util::Bytes log = generate_weblog(1 << 20, 3);
+  write_file(p, fs, "/in/log", log);
+
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/log"};
+  cfg.output_path = "/out/pvc";
+  cfg.split_size = 256 << 10;
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  auto result = rt.run(pageview_count().kernels, cfg);
+
+  std::map<std::string, std::uint64_t> actual;
+  for (auto& [k, v] : all_output_pairs(p, fs, result)) {
+    actual[k] += parse_u64(v);
+  }
+  EXPECT_EQ(actual, pageview_reference(log));
+}
+
+// ---------- TeraSort ----------
+
+TEST(TeraSort, OutputIsTotallyOrderedAndComplete) {
+  Platform p = make_platform(4);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  util::Bytes input = generate_terasort(20000, 9);
+  const std::uint64_t checksum_in = terasort_checksum(input);
+  write_file(p, fs, "/in/tera", input);
+
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/tera"};
+  cfg.output_path = "/out/tera";
+  cfg.split_size = 128 << 10;
+  cfg.output_replication = 1;
+
+  AppSpec app = terasort();
+  // Sampling pre-pass (client side, like the paper's TeraSort).
+  core::PartitionFn partitioner;
+  p.sim().spawn([](dfs::Dfs& f, core::PartitionFn* out) -> sim::Task<> {
+    std::vector<std::string> paths = {"/in/tera"};
+    *out = co_await sample_range_partitioner(f, 0, std::move(paths), 1000);
+  }(fs, &partitioner));
+  p.sim().run();
+  app.kernels.partition = partitioner;
+
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  auto result = rt.run(app.kernels, cfg);
+
+  // Output files are globally ordered by partition index; validate
+  // in-file sorting, cross-file ordering, record count and checksum.
+  std::uint64_t total = 0;
+  std::uint64_t checksum_out = 0;
+  std::string prev_key;
+  for (const auto& path : result.output_files) {  // sorted by partition
+    auto pairs = core::read_output_file(read_file(p, fs, path));
+    for (auto& [k, v] : pairs) {
+      EXPECT_EQ(k.size(), kTeraKeySize);
+      EXPECT_EQ(v.size(), kTeraRecordSize - kTeraKeySize);
+      EXPECT_LE(prev_key, k);
+      prev_key = k;
+      const std::string rec = k + v;
+      checksum_out ^= util::fnv1a(rec.data(), rec.size());
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 20000u);
+  EXPECT_EQ(checksum_out, checksum_in);
+}
+
+TEST(TeraSort, RangePartitionerIsMonotone) {
+  Platform p = make_platform(1);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  write_file(p, fs, "/in/t", generate_terasort(5000, 1));
+  core::PartitionFn part;
+  p.sim().spawn([](dfs::Dfs& f, core::PartitionFn* out) -> sim::Task<> {
+    std::vector<std::string> paths = {"/in/t"};
+    *out = co_await sample_range_partitioner(f, 0, std::move(paths), 500);
+  }(fs, &part));
+  p.sim().run();
+  // Increasing keys map to non-decreasing partitions, and the spread covers
+  // most buckets.
+  std::set<std::uint32_t> used;
+  std::uint32_t prev = 0;
+  for (int c = 0; c < 95; ++c) {
+    std::string key(10, static_cast<char>(' ' + c));
+    const std::uint32_t bucket = part(key, 32);
+    EXPECT_GE(bucket, prev);
+    prev = bucket;
+    used.insert(bucket);
+  }
+  EXPECT_GT(used.size(), 24u);
+}
+
+// ---------- K-Means ----------
+
+TEST(KMeans, JobMatchesReference) {
+  Platform p = make_platform(2);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  KmeansConfig km{.k = 64, .dims = 4};
+  auto centers = generate_centers(km, 2);
+  util::Bytes points = generate_points(km, 50000, 3);
+  write_file(p, fs, "/in/points", points);
+
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/points"};
+  cfg.output_path = "/out/km";
+  cfg.split_size = 128 << 10;
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  auto result = rt.run(kmeans(km, centers).kernels, cfg);
+
+  const KmeansReference ref = kmeans_reference(km, centers, points);
+  std::uint64_t centers_seen = 0;
+  for (auto& [key, value] : all_output_pairs(p, fs, result)) {
+    const std::uint32_t cid = get_be32(key);
+    ASSERT_LT(cid, static_cast<std::uint32_t>(km.k));
+    ++centers_seen;
+    const std::uint32_t count = get_be32(
+        std::string_view(value).substr(static_cast<std::size_t>(km.dims) * 4));
+    EXPECT_EQ(count, ref.counts[cid]) << "center " << cid;
+    for (int j = 0; j < km.dims; ++j) {
+      const float mean = read_f32(value.data() + 4 * j);
+      EXPECT_NEAR(mean, ref.means[static_cast<std::size_t>(cid) * km.dims + j],
+                  1e-2)
+          << "center " << cid << " dim " << j;
+    }
+  }
+  std::uint64_t nonempty = 0;
+  for (auto c : ref.counts) nonempty += (c > 0);
+  EXPECT_EQ(centers_seen, nonempty);
+}
+
+TEST(KMeans, GpuJobMatchesCpuJob) {
+  auto run_with = [](cl::DeviceSpec dev) {
+    Platform p = make_platform(2);
+    dfs::Dfs fs(p, dfs::DfsConfig{});
+    KmeansConfig km{.k = 32, .dims = 4};
+    auto centers = generate_centers(km, 2);
+    write_file(p, fs, "/in/p", generate_points(km, 20000, 3));
+    core::JobConfig cfg;
+    cfg.input_paths = {"/in/p"};
+    cfg.output_path = "/out/km";
+    core::GlasswingRuntime rt(p, fs, std::move(dev));
+    auto result = rt.run(kmeans(km, centers).kernels, cfg);
+    std::map<std::string, std::string> out;
+    for (auto& [k, v] : all_output_pairs(p, fs, result)) out[k] = v;
+    return out;
+  };
+  EXPECT_EQ(run_with(cl::DeviceSpec::cpu_dual_e5620()),
+            run_with(cl::DeviceSpec::gtx480()));
+}
+
+// ---------- Matrix Multiply ----------
+
+TEST(MatMul, ElementsAreDeterministicAndBounded) {
+  for (std::uint32_t r = 0; r < 50; ++r) {
+    const float v = matrix_element(1, r, r * 3);
+    EXPECT_EQ(v, matrix_element(1, r, r * 3));
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LE(v, 0.5f);
+  }
+}
+
+TEST(MatMul, JobComputesCorrectProduct) {
+  Platform p = make_platform(2);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  MatmulConfig mm{.n = 128, .tile = 16};
+  util::Bytes input = generate_tile_pairs(mm, 100, 200);
+  write_file(p, fs, "/in/tiles", input);
+
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/tiles"};
+  cfg.output_path = "/out/mm";
+  cfg.split_size = 256 << 10;
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  auto result = rt.run(matmul(mm).kernels, cfg);
+
+  std::map<std::string, std::string> out;
+  for (auto& [k, v] : all_output_pairs(p, fs, result)) out[k] = v;
+  const std::uint32_t grid = mm.tiles_per_side();
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(grid) * grid);
+
+  // Verify a handful of C tiles against the direct reference.
+  for (auto [ti, tj] : {std::pair<std::uint32_t, std::uint32_t>{0, 0},
+                        {1, 3},
+                        {grid - 1, grid - 1},
+                        {2, 0}}) {
+    const auto it = out.find(c_tile_key(ti, tj));
+    ASSERT_NE(it, out.end());
+    const std::vector<float> expected = reference_c_tile(mm, 100, 200, ti, tj);
+    ASSERT_EQ(it->second.size(), expected.size() * 4);
+    for (std::size_t e = 0; e < expected.size(); ++e) {
+      EXPECT_NEAR(read_f32(it->second.data() + 4 * e), expected[e], 1e-3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gw::apps

@@ -1,0 +1,298 @@
+// Focused unit tests for core components: output collectors, the
+// intermediate-data store, and the split scheduler.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/collector.h"
+#include "core/intermediate.h"
+#include "core/pipeline.h"
+#include "gwdfs/fs.h"
+#include "util/rng.h"
+
+namespace gw::core {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::NodeSpec;
+using cluster::Platform;
+
+Platform make_platform(int nodes = 1) {
+  return Platform(ClusterSpec::homogeneous(
+      nodes, NodeSpec::das4_type1(), net::NetworkProfile::qdr_infiniband_ipoib()));
+}
+
+// ---------- collectors ----------
+
+cl::KernelStats emit_through(MapOutputCollector& col, cl::Device& dev,
+                             std::size_t items,
+                             const std::function<std::pair<std::string, std::string>(
+                                 std::size_t)>& pair_for,
+                             sim::Simulation& sim) {
+  cl::KernelStats out;
+  sim.spawn([](MapOutputCollector& c, cl::Device& d, std::size_t n,
+               const std::function<std::pair<std::string, std::string>(std::size_t)>& pf,
+               cl::KernelStats* stats) -> sim::Task<> {
+    *stats = co_await d.run_kernel_grouped(
+        n, c.groups(), [&](std::size_t i, std::size_t g, cl::KernelCounters& kc) {
+          auto [k, v] = pf(i);
+          c.emit(g, k, v, kc);
+        });
+  }(col, dev, items, pair_for, &out));
+  sim.run();
+  return out;
+}
+
+MapChunkOutput finalize_now(MapOutputCollector& col, cl::Device& dev,
+                            const std::optional<CombineFn>& combine,
+                            sim::Simulation& sim) {
+  MapChunkOutput out;
+  sim.spawn([](MapOutputCollector& c, cl::Device& d,
+               std::optional<CombineFn> comb, MapChunkOutput* o) -> sim::Task<> {
+    *o = co_await c.finalize(d, comb, {});
+  }(col, dev, combine, &out));
+  sim.run();
+  return out;
+}
+
+TEST(SharedPoolCollector, OneAtomicPerEmit) {
+  sim::Simulation sim;
+  cl::Device dev(sim, cl::DeviceSpec::cpu_dual_e5620());
+  SharedPoolCollector col(8);
+  auto stats = emit_through(col, dev, 1000,
+                            [](std::size_t i) {
+                              return std::make_pair("k" + std::to_string(i % 10),
+                                                    "v");
+                            },
+                            sim);
+  EXPECT_EQ(stats.atomic_ops, 1000u);
+  EXPECT_EQ(stats.hash_probes, 0u);
+  auto out = finalize_now(col, dev, std::nullopt, sim);
+  EXPECT_EQ(out.pairs.size(), 1000u);
+  EXPECT_FALSE(out.grouped);
+}
+
+TEST(HashTableCollector, ProbesAndGrouping) {
+  sim::Simulation sim;
+  cl::Device dev(sim, cl::DeviceSpec::cpu_dual_e5620());
+  HashTableCollector col(4);
+  auto stats = emit_through(col, dev, 2000,
+                            [](std::size_t i) {
+                              return std::make_pair("key" + std::to_string(i % 50),
+                                                    std::to_string(i));
+                            },
+                            sim);
+  EXPECT_GE(stats.hash_probes, 2000u);  // at least one probe per emit
+  EXPECT_GE(stats.atomic_ops, 2000u);   // value-append atomics
+  auto out = finalize_now(col, dev, std::nullopt, sim);
+  // Compaction keeps every pair but groups keys contiguously.
+  EXPECT_EQ(out.pairs.size(), 2000u);
+  EXPECT_TRUE(out.grouped);
+  EXPECT_EQ(out.distinct_keys, 50u);
+  std::set<std::string> seen;
+  std::string current;
+  for (std::size_t i = 0; i < out.pairs.size(); ++i) {
+    const std::string key(out.pairs.get(i).key);
+    if (key != current) {
+      EXPECT_TRUE(seen.insert(key).second) << "key not contiguous: " << key;
+      current = key;
+    }
+  }
+}
+
+TEST(HashTableCollector, CombinerCollapsesDuplicates) {
+  sim::Simulation sim;
+  cl::Device dev(sim, cl::DeviceSpec::cpu_dual_e5620());
+  HashTableCollector col(4);
+  emit_through(col, dev, 3000,
+               [](std::size_t i) {
+                 return std::make_pair("w" + std::to_string(i % 20), "1");
+               },
+               sim);
+  CombineFn sum = [](std::string_view key,
+                     const std::vector<std::string_view>& values,
+                     ReduceContext& ctx) {
+    ctx.emit(key, std::to_string(values.size()));
+  };
+  auto out = finalize_now(col, dev, sum, sim);
+  EXPECT_EQ(out.pairs.size(), 20u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < out.pairs.size(); ++i) {
+    total += std::stoull(std::string(out.pairs.get(i).value));
+  }
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST(HashTableCollector, ProbeCountGrowsWithKeyCardinality) {
+  // More distinct keys -> fuller tables -> more probes per emit on average.
+  auto probes_for = [](int distinct) {
+    sim::Simulation sim;
+    cl::Device dev(sim, cl::DeviceSpec::cpu_dual_e5620());
+    HashTableCollector col(1);
+    auto stats = emit_through(col, dev, 20000,
+                              [distinct](std::size_t i) {
+                                return std::make_pair(
+                                    "key" + std::to_string(i % distinct), "1");
+                              },
+                              sim);
+    return stats.hash_probes;
+  };
+  EXPECT_GT(probes_for(15000), probes_for(50));
+}
+
+// ---------- intermediate store ----------
+
+gw::core::Run make_run(const std::string& prefix, int pairs) {
+  RunBuilder rb;
+  for (int i = 0; i < pairs; ++i) {
+    rb.add(prefix + std::to_string(i), "v" + std::to_string(i));
+  }
+  return rb.finish(true);
+}
+
+JobConfig store_config() {
+  JobConfig cfg;
+  cfg.partitions_per_node = 4;
+  cfg.cache_threshold_bytes = 4 << 10;
+  cfg.max_disk_runs = 3;
+  return cfg;
+}
+
+TEST(IntermediateStore, RoundTripsAllData) {
+  Platform p = make_platform();
+  JobConfig cfg = store_config();
+  IntermediateStore store(p.node(0), p.sim(), cfg);
+  store.start_mergers();
+  for (int r = 0; r < 20; ++r) {
+    store.add_run(r % 4, make_run("a" + std::to_string(r) + "-", 50));
+  }
+  p.sim().spawn([](IntermediateStore& s) -> sim::Task<> {
+    co_await s.drain();
+  }(store));
+  p.sim().run();
+
+  std::uint64_t pairs = 0;
+  for (int part = 0; part < 4; ++part) {
+    std::uint64_t disk_bytes = 0;
+    for (gw::core::Run& r : store.take_partition(part, &disk_bytes)) {
+      pairs += r.pairs;
+    }
+  }
+  EXPECT_EQ(pairs, 20u * 50u);
+  EXPECT_GT(store.spills(), 0u);  // threshold was tiny: spills happened
+}
+
+TEST(IntermediateStore, DrainConsolidatesRunCount) {
+  Platform p = make_platform();
+  JobConfig cfg = store_config();
+  cfg.cache_threshold_bytes = 1 << 30;  // never spill
+  IntermediateStore store(p.node(0), p.sim(), cfg);
+  store.start_mergers();
+  for (int r = 0; r < 32; ++r) store.add_run(0, make_run("x", 10));
+  p.sim().spawn([](IntermediateStore& s) -> sim::Task<> {
+    co_await s.drain();
+  }(store));
+  p.sim().run();
+  std::uint64_t disk_bytes = 0;
+  auto runs = store.take_partition(0, &disk_bytes);
+  EXPECT_EQ(runs.size(), 1u);  // consolidated to a single cached run
+  EXPECT_EQ(disk_bytes, 0u);   // nothing spilled
+  EXPECT_EQ(runs[0].pairs, 320u);
+}
+
+TEST(IntermediateStore, MergedRunsStaySorted) {
+  Platform p = make_platform();
+  JobConfig cfg = store_config();
+  IntermediateStore store(p.node(0), p.sim(), cfg);
+  store.start_mergers();
+  util::Rng rng(31);
+  std::uint64_t expected = 0;
+  for (int r = 0; r < 12; ++r) {
+    RunBuilder rb;
+    std::vector<std::string> keys;
+    for (int i = 0; i < 100; ++i) {
+      keys.push_back("k" + std::to_string(rng.below(1000)));
+    }
+    std::sort(keys.begin(), keys.end());
+    for (auto& k : keys) rb.add(k, "v");
+    expected += 100;
+    store.add_run(1, rb.finish(true));
+  }
+  p.sim().spawn([](IntermediateStore& s) -> sim::Task<> {
+    co_await s.drain();
+  }(store));
+  p.sim().run();
+  std::uint64_t disk_bytes = 0;
+  auto runs = store.take_partition(1, &disk_bytes);
+  std::uint64_t total = 0;
+  for (const gw::core::Run& run : runs) {
+    RunReader reader(run);
+    KV kv;
+    std::string prev;
+    while (reader.next(&kv)) {
+      EXPECT_GE(std::string(kv.key), prev);
+      prev = std::string(kv.key);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, expected);
+}
+
+// ---------- split scheduler ----------
+
+TEST(SplitScheduler, PrefersLocalSplits) {
+  std::vector<InputSplit> splits;
+  for (int i = 0; i < 8; ++i) {
+    InputSplit s("/f", i * 100, 100);
+    s.locations = {i % 4};
+    splits.push_back(s);
+  }
+  SplitScheduler sched(std::move(splits));
+  // Node 2 should receive its two local splits first.
+  auto a = sched.next_for(2);
+  auto b = sched.next_for(2);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->offset / 100 % 4, 2u);
+  EXPECT_EQ(b->offset / 100 % 4, 2u);
+  EXPECT_EQ(sched.local_grabs(), 2u);
+  // Third grab falls back to a remote split.
+  auto c = sched.next_for(2);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(sched.remote_grabs(), 1u);
+}
+
+TEST(SplitScheduler, HandsOutEverySplitExactlyOnce) {
+  std::vector<InputSplit> splits;
+  for (int i = 0; i < 20; ++i) {
+    InputSplit s("/f", i * 10, 10);
+    s.locations = {0};
+    splits.push_back(s);
+  }
+  SplitScheduler sched(std::move(splits));
+  std::set<std::uint64_t> offsets;
+  for (int node = 0; node < 4; ++node) {
+    while (auto s = sched.next_for(node)) offsets.insert(s->offset);
+  }
+  EXPECT_EQ(offsets.size(), 20u);
+  EXPECT_FALSE(sched.next_for(0).has_value());
+}
+
+TEST(SplitScheduler, MakeSplitsCoversFilesExactly) {
+  Platform p = make_platform(2);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  p.sim().spawn([](dfs::Dfs& f) -> sim::Task<> {
+    co_await f.write(0, "/a", util::Bytes(1000));
+    co_await f.write(0, "/b", util::Bytes(2500));
+  }(fs));
+  p.sim().run();
+  auto splits = SplitScheduler::make_splits(fs, {"/a", "/b"}, 1000);
+  std::uint64_t total = 0;
+  for (auto& s : splits) total += s.len;
+  EXPECT_EQ(total, 3500u);
+  EXPECT_EQ(splits.size(), 4u);  // 1 + 3
+  for (auto& s : splits) EXPECT_FALSE(s.locations.empty());
+}
+
+}  // namespace
+}  // namespace gw::core

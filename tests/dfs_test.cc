@@ -1,0 +1,225 @@
+// Tests for the HDFS-like DFS and the node-local filesystem.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gwdfs/fs.h"
+#include "util/rng.h"
+
+namespace gw::dfs {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::NodeSpec;
+using cluster::Platform;
+
+Platform make_platform(int nodes) {
+  return Platform(ClusterSpec::homogeneous(
+      nodes, NodeSpec::das4_type1(), net::NetworkProfile::qdr_infiniband_ipoib()));
+}
+
+util::Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+void run_task(Platform& p, sim::Task<> task) {
+  p.sim().spawn(std::move(task));
+  p.sim().run();
+}
+
+TEST(Dfs, WriteReadRoundTrip) {
+  Platform p = make_platform(4);
+  Dfs fs(p, DfsConfig{});
+  util::Bytes data = random_bytes(1 << 20, 1);
+  util::Bytes readback;
+  run_task(p, [](Dfs& fs, Platform&, util::Bytes d,
+                 util::Bytes* out) -> sim::Task<> {
+    co_await fs.write(0, "/in/file", std::move(d));
+    *out = co_await fs.read_all(2, "/in/file");
+  }(fs, p, data, &readback));
+  EXPECT_EQ(readback, data);
+  EXPECT_TRUE(fs.exists("/in/file"));
+  EXPECT_EQ(fs.file_size("/in/file"), data.size());
+}
+
+TEST(Dfs, PartialReadReturnsRange) {
+  Platform p = make_platform(2);
+  Dfs fs(p, DfsConfig{});
+  util::Bytes data = random_bytes(100000, 2);
+  util::Bytes part;
+  run_task(p, [](Dfs& fs, util::Bytes d, util::Bytes* out) -> sim::Task<> {
+    co_await fs.write(0, "/f", std::move(d));
+    *out = co_await fs.read(0, "/f", 5000, 1234);
+  }(fs, data, &part));
+  ASSERT_EQ(part.size(), 1234u);
+  EXPECT_TRUE(std::equal(part.begin(), part.end(), data.begin() + 5000));
+}
+
+TEST(Dfs, ReplicationPlacesConfiguredCopies) {
+  Platform p = make_platform(8);
+  DfsConfig cfg;
+  cfg.replication = 3;
+  cfg.block_size = 1 << 16;
+  Dfs fs(p, cfg);
+  run_task(p, [](Dfs& fs, util::Bytes d) -> sim::Task<> {
+    co_await fs.write(3, "/f", std::move(d));
+  }(fs, random_bytes(5 << 16, 3)));
+  for (std::uint64_t b = 0; b < 5; ++b) {
+    auto locs = fs.block_locations("/f", b);
+    EXPECT_EQ(locs.size(), 3u);
+    EXPECT_EQ(locs[0], 3);  // first replica on the writer
+    std::set<int> unique(locs.begin(), locs.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(Dfs, ReplicationCappedByClusterSize) {
+  Platform p = make_platform(2);
+  DfsConfig cfg;
+  cfg.replication = 3;
+  Dfs fs(p, cfg);
+  run_task(p, [](Dfs& fs) -> sim::Task<> {
+    co_await fs.write(0, "/f", util::Bytes(100));
+  }(fs));
+  EXPECT_EQ(fs.block_locations("/f", 0).size(), 2u);
+}
+
+TEST(Dfs, LocalReadPreferredOverRemote) {
+  Platform p = make_platform(8);
+  DfsConfig cfg;
+  cfg.replication = 2;
+  Dfs fs(p, cfg);
+  run_task(p, [](Dfs& fs) -> sim::Task<> {
+    co_await fs.write(1, "/f", util::Bytes(100000));
+    // Node 1 holds a replica: local read.
+    (void)co_await fs.read_all(1, "/f");
+  }(fs));
+  EXPECT_GT(fs.local_reads(), 0u);
+  EXPECT_EQ(fs.remote_reads(), 0u);
+}
+
+TEST(Dfs, RemoteReadChargesNetwork) {
+  Platform p = make_platform(8);
+  DfsConfig cfg;
+  cfg.replication = 1;  // only on the writer
+  Dfs fs(p, cfg);
+  run_task(p, [](Dfs& fs, Platform&) -> sim::Task<> {
+    co_await fs.write(0, "/f", util::Bytes(1 << 20));
+    (void)co_await fs.read_all(5, "/f");  // node 5 has no replica
+  }(fs, p));
+  EXPECT_GT(fs.remote_reads(), 0u);
+  EXPECT_GE(p.fabric().bytes_sent(0), 1u << 20);
+}
+
+TEST(Dfs, WriteOnExistingPathThrows) {
+  Platform p = make_platform(2);
+  Dfs fs(p, DfsConfig{});
+  bool threw = false;
+  run_task(p, [](Dfs& fs, bool* t) -> sim::Task<> {
+    co_await fs.write(0, "/f", util::Bytes(10));
+    try {
+      co_await fs.write(0, "/f", util::Bytes(10));
+    } catch (const util::Error&) {
+      *t = true;
+    }
+  }(fs, &threw));
+  EXPECT_TRUE(threw);
+}
+
+TEST(Dfs, ReadMissingFileThrows) {
+  Platform p = make_platform(1);
+  Dfs fs(p, DfsConfig{});
+  bool threw = false;
+  run_task(p, [](Dfs& fs, bool* t) -> sim::Task<> {
+    try {
+      (void)co_await fs.read(0, "/missing", 0, 1);
+    } catch (const util::Error&) {
+      *t = true;
+    }
+  }(fs, &threw));
+  EXPECT_TRUE(threw);
+}
+
+TEST(Dfs, ListFiltersByPrefix) {
+  Platform p = make_platform(1);
+  Dfs fs(p, DfsConfig{});
+  run_task(p, [](Dfs& fs) -> sim::Task<> {
+    co_await fs.write(0, "/in/a", util::Bytes(1));
+    co_await fs.write(0, "/in/b", util::Bytes(1));
+    co_await fs.write(0, "/out/c", util::Bytes(1));
+  }(fs));
+  EXPECT_EQ(fs.list("/in/").size(), 2u);
+  EXPECT_EQ(fs.list("/out/").size(), 1u);
+  EXPECT_EQ(fs.list("/").size(), 3u);
+}
+
+TEST(Dfs, HigherReplicationSendsMoreNetworkTraffic) {
+  // The replication pipeline overlaps replica disk writes, so wall time is
+  // roughly replication-independent (as in HDFS); the cost shows up as
+  // network traffic and remote disk occupancy.
+  auto traffic_for = [](int replication) {
+    Platform p = make_platform(8);
+    DfsConfig cfg;
+    cfg.replication = replication;
+    Dfs fs(p, cfg);
+    p.sim().spawn([](Dfs& fs) -> sim::Task<> {
+      co_await fs.write(0, "/f", util::Bytes(32 << 20));
+    }(fs));
+    const double elapsed = p.sim().run();
+    EXPECT_GT(elapsed, 0.0);
+    return p.fabric().total_bytes_sent();
+  };
+  const auto t1 = traffic_for(1);
+  const auto t3 = traffic_for(3);
+  EXPECT_EQ(t1, 0u);
+  EXPECT_GE(t3, 2u * (32u << 20));
+}
+
+TEST(LocalFs, RoundTripAndLocality) {
+  Platform p = make_platform(4);
+  LocalFs fs(p);
+  util::Bytes data = random_bytes(5000, 7);
+  util::Bytes readback;
+  run_task(p, [](LocalFs& fs, util::Bytes d, util::Bytes* out) -> sim::Task<> {
+    co_await fs.write(2, "/local", std::move(d));
+    *out = co_await fs.read_all(2, "/local");
+  }(fs, data, &readback));
+  EXPECT_EQ(readback, data);
+  EXPECT_EQ(fs.block_locations("/local", 0), std::vector<int>{2});
+}
+
+TEST(LocalFs, ReadFromWrongNodeThrows) {
+  Platform p = make_platform(2);
+  LocalFs fs(p);
+  bool threw = false;
+  run_task(p, [](LocalFs& fs, bool* t) -> sim::Task<> {
+    co_await fs.write(0, "/f", util::Bytes(10));
+    try {
+      (void)co_await fs.read_all(1, "/f");
+    } catch (const util::Error&) {
+      *t = true;
+    }
+  }(fs, &threw));
+  EXPECT_TRUE(threw);
+}
+
+TEST(LocalFs, ReplicateEverywhereEnablesAllNodes) {
+  Platform p = make_platform(4);
+  LocalFs fs(p);
+  run_task(p, [](LocalFs& fs, Platform& pl) -> sim::Task<> {
+    co_await fs.write(0, "/f", util::Bytes(100));
+    fs.replicate_everywhere("/f");
+    for (int n = 0; n < pl.num_nodes(); ++n) {
+      auto d = co_await fs.read_all(n, "/f");
+      EXPECT_EQ(d.size(), 100u);
+    }
+  }(fs, p));
+  EXPECT_EQ(fs.block_locations("/f", 0).size(), 4u);
+}
+
+}  // namespace
+}  // namespace gw::dfs

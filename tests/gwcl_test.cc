@@ -1,0 +1,204 @@
+// Tests for the compute-device abstraction and its cost model.
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "gwcl/device.h"
+
+namespace gw::cl {
+namespace {
+
+TEST(DeviceSpec, PresetsAreSane) {
+  for (const DeviceSpec& s :
+       {DeviceSpec::cpu_dual_e5620(), DeviceSpec::cpu_dual_e5_2640(),
+        DeviceSpec::gtx480(), DeviceSpec::gtx680(), DeviceSpec::k20m(),
+        DeviceSpec::xeon_phi_5110p()}) {
+    EXPECT_GT(s.compute_units, 0) << s.name;
+    EXPECT_GT(s.ops_per_lane_per_s, 0) << s.name;
+    EXPECT_GT(s.mem_bandwidth_bytes_per_s, 0) << s.name;
+    EXPECT_GT(s.mem_capacity_bytes, 0u) << s.name;
+    if (!s.unified_memory) {
+      EXPECT_GT(s.pcie_bandwidth_bytes_per_s, 0) << s.name;
+    }
+  }
+  EXPECT_TRUE(DeviceSpec::cpu_dual_e5620().unified_memory);
+  EXPECT_FALSE(DeviceSpec::gtx480().unified_memory);
+  EXPECT_TRUE(DeviceSpec::gtx480().transfer_kernel_coupling);
+}
+
+TEST(DeviceModel, ComputeBoundScalesWithLanes) {
+  sim::Simulation sim;
+  Device dev(sim, DeviceSpec::gtx480());
+  KernelStats stats;
+  stats.ops = 1'000'000'000;
+  const double wide = dev.model_kernel_seconds(stats, {.threads = 480});
+  const double narrow = dev.model_kernel_seconds(stats, {.threads = 48});
+  EXPECT_NEAR(narrow / wide, 10.0, 0.5);
+}
+
+TEST(DeviceModel, MemoryBoundIgnoresLaneCount) {
+  sim::Simulation sim;
+  Device dev(sim, DeviceSpec::gtx480());
+  KernelStats stats;
+  stats.bytes_read = 10ull << 30;  // firmly memory-bound
+  const double wide = dev.model_kernel_seconds(stats, {.threads = 480});
+  const double narrow = dev.model_kernel_seconds(stats, {.threads = 120});
+  EXPECT_NEAR(narrow, wide, wide * 0.01);
+}
+
+TEST(DeviceModel, AtomicsAddSerializedCost) {
+  sim::Simulation sim;
+  Device dev(sim, DeviceSpec::cpu_dual_e5620());
+  KernelStats base;
+  base.ops = 1'000'000;
+  KernelStats contended = base;
+  contended.atomic_ops = 10'000'000;
+  EXPECT_GT(dev.model_kernel_seconds(contended),
+            2 * dev.model_kernel_seconds(base));
+}
+
+TEST(DeviceModel, GpuBeatsCpuOnComputeBoundKernels) {
+  sim::Simulation sim;
+  Device cpu(sim, DeviceSpec::cpu_dual_e5620());
+  Device gpu(sim, DeviceSpec::gtx480());
+  KernelStats stats;
+  stats.ops = 100'000'000'000ull;
+  const double cpu_t = cpu.model_kernel_seconds(stats);
+  const double gpu_t = gpu.model_kernel_seconds(stats);
+  // Raw compute advantage in the ballpark the paper exploits (order 10-50x).
+  EXPECT_GT(cpu_t / gpu_t, 10.0);
+  EXPECT_LT(cpu_t / gpu_t, 60.0);
+}
+
+TEST(Device, RunKernelExecutesEveryItemOnce) {
+  sim::Simulation sim;
+  Device dev(sim, DeviceSpec::gtx480());
+  std::vector<std::atomic<int>> hits(10000);
+  auto job = [](Device& d, std::vector<std::atomic<int>>* h) -> sim::Task<> {
+    KernelStats stats = co_await d.run_kernel(
+        h->size(), [&](std::size_t i, KernelCounters& c) {
+          (*h)[i]++;
+          c.charge_ops(10);
+        });
+    EXPECT_EQ(stats.work_items, h->size());
+    EXPECT_EQ(stats.ops, 10 * h->size());
+  };
+  sim.spawn(job(dev, &hits));
+  sim.run();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(dev.kernels_launched(), 1u);
+}
+
+TEST(Device, KernelTimeMatchesModel) {
+  sim::Simulation sim;
+  Device dev(sim, DeviceSpec::gtx480());
+  auto job = [](sim::Simulation& s, Device& d) -> sim::Task<> {
+    KernelStats stats = co_await d.run_kernel(
+        1000, [](std::size_t, KernelCounters& c) { c.charge_ops(100000); });
+    EXPECT_NEAR(s.now(), d.model_kernel_seconds(stats), 1e-9);
+  };
+  sim.spawn(job(sim, dev));
+  sim.run();
+}
+
+TEST(Device, KernelsSerializeOnCommandQueue) {
+  sim::Simulation sim;
+  Device dev(sim, DeviceSpec::gtx480());
+  KernelStats stats;
+  stats.ops = 144'000'000'000;  // exactly 1 s at 480 lanes x 0.3 Gops
+  auto job = [](Device& d, KernelStats st) -> sim::Task<> {
+    co_await d.charge_kernel(st);
+  };
+  sim.spawn(job(dev, stats));
+  sim.spawn(job(dev, stats));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 2.0, 0.01);
+}
+
+TEST(Device, UnifiedMemoryStagingIsFree) {
+  sim::Simulation sim;
+  Device dev(sim, DeviceSpec::cpu_dual_e5620());
+  auto job = [](Device& d) -> sim::Task<> {
+    co_await d.stage_in(1ull << 30);
+    co_await d.stage_out(1ull << 30);
+  };
+  sim.spawn(job(dev));
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Device, DiscreteStagingChargesPcie) {
+  sim::Simulation sim;
+  DeviceSpec spec = DeviceSpec::gtx480();
+  spec.transfer_kernel_coupling = false;
+  Device dev(sim, spec);
+  auto job = [](Device& d) -> sim::Task<> {
+    co_await d.stage_in(550'000'000);  // 0.1 s at 5.5 GB/s
+  };
+  sim.spawn(job(dev));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 0.1, 0.001);
+}
+
+TEST(Device, TransferKernelCouplingSerializesWithKernel) {
+  // With coupling (NVidia driver behaviour), a transfer issued while a
+  // kernel runs waits for the kernel; without, it proceeds concurrently.
+  auto elapsed_with = [](bool coupling) {
+    sim::Simulation sim;
+    DeviceSpec spec = DeviceSpec::gtx480();
+    spec.transfer_kernel_coupling = coupling;
+    Device dev(sim, spec);
+    KernelStats st;
+    st.ops = 144'000'000'000;  // 1 s kernel
+    auto kernel = [](Device& d, KernelStats s) -> sim::Task<> {
+      co_await d.charge_kernel(s);
+    };
+    auto mover = [](sim::Simulation& s, Device& d) -> sim::Task<> {
+      co_await s.delay(0.01);  // let the kernel start first
+      co_await d.stage_in(550'000'000);  // 0.1 s transfer
+    };
+    sim.spawn(kernel(dev, st));
+    sim.spawn(mover(sim, dev));
+    return sim.run();
+  };
+  EXPECT_NEAR(elapsed_with(false), 1.0, 0.01);
+  EXPECT_NEAR(elapsed_with(true), 1.1, 0.01);
+}
+
+TEST(Device, CpuKernelContendsWithHostThreads) {
+  // A CPU kernel sharing the node's cores slows down when other host work
+  // occupies half the cores.
+  auto run_with_background = [](bool background) {
+    sim::Simulation sim;
+    sim::Resource cores(sim, 16);
+    Device dev(sim, DeviceSpec::cpu_dual_e5620(), &cores);
+    KernelStats st;
+    st.ops = static_cast<std::uint64_t>(16 * 0.55e9);  // 1 s on 16 lanes
+    double kernel_done = 0;
+    auto kernel = [](Device& d, KernelStats s, double* done,
+                     sim::Simulation& si) -> sim::Task<> {
+      co_await d.charge_kernel(s);
+      *done = si.now();
+    };
+    auto hog = [](sim::Simulation& si, sim::Resource& c) -> sim::Task<> {
+      // 8 long-lived host workers in 20 ms quanta.
+      for (int i = 0; i < 100; ++i) {
+        auto hold = co_await c.acquire();
+        co_await si.delay(0.02);
+      }
+    };
+    sim.spawn(kernel(dev, st, &kernel_done, sim));
+    if (background) {
+      for (int i = 0; i < 8; ++i) sim.spawn(hog(sim, cores));
+    }
+    sim.run();
+    return kernel_done;
+  };
+  const double alone = run_with_background(false);
+  const double contended = run_with_background(true);
+  EXPECT_NEAR(alone, 1.0, 0.05);
+  EXPECT_GT(contended, 1.3 * alone);
+}
+
+}  // namespace
+}  // namespace gw::cl

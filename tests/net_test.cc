@@ -1,0 +1,222 @@
+// Tests for the simulated network fabric and cluster platform.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "simnet/fabric.h"
+
+namespace gw {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::NodeSpec;
+using cluster::Platform;
+using net::Fabric;
+using net::Message;
+using net::NetworkProfile;
+
+Platform make_platform(int nodes,
+                       NetworkProfile profile = NetworkProfile::qdr_infiniband_ipoib()) {
+  return Platform(
+      ClusterSpec::homogeneous(nodes, NodeSpec::das4_type1(), profile));
+}
+
+TEST(Fabric, DeliversPayloadIntact) {
+  Platform p = make_platform(2);
+  util::Bytes payload = {1, 2, 3, 4, 5};
+  util::Bytes received;
+  auto sender = [](Platform& pl, util::Bytes data) -> sim::Task<> {
+    co_await pl.fabric().send(0, 1, net::kPortShuffle, std::move(data));
+  };
+  auto receiver = [](Platform& pl, util::Bytes* out) -> sim::Task<> {
+    auto msg = co_await pl.fabric().inbox(1, net::kPortShuffle).recv();
+    EXPECT_TRUE(msg.has_value());  // ASSERT_* returns, which coroutines forbid
+    if (!msg) co_return;
+    EXPECT_EQ(msg->src, 0);
+    *out = std::move(msg->payload);
+  };
+  p.sim().spawn(sender(p, payload));
+  p.sim().spawn(receiver(p, &received));
+  p.sim().run();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(Fabric, TransferTimeMatchesBandwidthPlusLatency) {
+  NetworkProfile prof{"test", 100e6, 1e-3, 0.0};
+  Platform p = make_platform(2, prof);
+  auto sender = [](Platform& pl) -> sim::Task<> {
+    co_await pl.fabric().transfer(0, 1, 50'000'000);  // 0.5 s at 100 MB/s
+  };
+  p.sim().spawn(sender(p));
+  p.sim().run();
+  EXPECT_NEAR(p.sim().now(), 0.501, 1e-9);
+}
+
+TEST(Fabric, LocalSendIsFree) {
+  Platform p = make_platform(2);
+  auto sender = [](Platform& pl) -> sim::Task<> {
+    co_await pl.fabric().send(0, 0, net::kPortShuffle, util::Bytes(1 << 20));
+  };
+  p.sim().spawn(sender(p));
+  p.sim().run();
+  EXPECT_DOUBLE_EQ(p.sim().now(), 0.0);
+  EXPECT_EQ(p.fabric().inbox(0, net::kPortShuffle).size(), 1u);
+}
+
+TEST(Fabric, SenderNicSerializesOutgoingTraffic) {
+  NetworkProfile prof{"test", 100e6, 0.0, 0.0};
+  Platform p = make_platform(3, prof);
+  // Two 1-second transfers from node 0 must serialize on its TX unit.
+  auto sender = [](Platform& pl, int dst) -> sim::Task<> {
+    co_await pl.fabric().transfer(0, dst, 100'000'000);
+  };
+  p.sim().spawn(sender(p, 1));
+  p.sim().spawn(sender(p, 2));
+  p.sim().run();
+  EXPECT_NEAR(p.sim().now(), 2.0, 1e-9);
+}
+
+TEST(Fabric, DisjointPairsRunInParallel) {
+  NetworkProfile prof{"test", 100e6, 0.0, 0.0};
+  Platform p = make_platform(4, prof);
+  auto sender = [](Platform& pl, int src, int dst) -> sim::Task<> {
+    co_await pl.fabric().transfer(src, dst, 100'000'000);
+  };
+  p.sim().spawn(sender(p, 0, 1));
+  p.sim().spawn(sender(p, 2, 3));
+  p.sim().run();
+  EXPECT_NEAR(p.sim().now(), 1.0, 1e-9);
+}
+
+TEST(Fabric, StatsAccumulate) {
+  Platform p = make_platform(2);
+  auto sender = [](Platform& pl) -> sim::Task<> {
+    co_await pl.fabric().transfer(0, 1, 1000);
+    co_await pl.fabric().transfer(0, 1, 500);
+  };
+  p.sim().spawn(sender(p));
+  p.sim().run();
+  EXPECT_EQ(p.fabric().bytes_sent(0), 1500u);
+  EXPECT_EQ(p.fabric().bytes_received(1), 1500u);
+  EXPECT_EQ(p.fabric().messages_sent(0), 2u);
+  EXPECT_EQ(p.fabric().total_bytes_sent(), 1500u);
+}
+
+TEST(Fabric, ClosePortWakesReceiver) {
+  Platform p = make_platform(1);
+  bool saw_eof = false;
+  auto receiver = [](Platform& pl, bool* eof) -> sim::Task<> {
+    auto msg = co_await pl.fabric().inbox(0, net::kPortShuffle).recv();
+    *eof = !msg.has_value();
+  };
+  auto closer = [](Platform& pl) -> sim::Task<> {
+    co_await pl.sim().delay(1.0);
+    pl.fabric().close_port(0, net::kPortShuffle);
+  };
+  p.sim().spawn(receiver(p, &saw_eof));
+  p.sim().spawn(closer(p));
+  p.sim().run();
+  EXPECT_TRUE(saw_eof);
+}
+
+TEST(Node, DiskReadTimeMatchesModel) {
+  Platform p = make_platform(1);
+  const auto& disk = p.node(0).spec().disk;
+  auto reader = [](Platform& pl) -> sim::Task<> {
+    co_await pl.node(0).disk_read(100 << 20);
+  };
+  p.sim().spawn(reader(p));
+  p.sim().run();
+  const double expected =
+      disk.seek_latency_s + (100 << 20) / disk.read_bw_bytes_per_s;
+  EXPECT_NEAR(p.sim().now(), expected, 1e-9);
+  EXPECT_EQ(p.node(0).disk_bytes_read(), static_cast<std::uint64_t>(100 << 20));
+}
+
+TEST(Node, DiskOperationsSerialize) {
+  Platform p = make_platform(1);
+  auto reader = [](Platform& pl) -> sim::Task<> {
+    co_await pl.node(0).disk_read(100 << 20);
+  };
+  p.sim().spawn(reader(p));
+  p.sim().spawn(reader(p));
+  p.sim().run();
+  const auto& disk = p.node(0).spec().disk;
+  const double one = disk.seek_latency_s + (100 << 20) / disk.read_bw_bytes_per_s;
+  EXPECT_NEAR(p.sim().now(), 2 * one, 1e-9);
+}
+
+TEST(Node, CpuWorkTimesharesCores) {
+  Platform p = make_platform(1);
+  const int cores = p.node(0).spec().hw_threads;
+  // 2x cores workers, each needing 1 s of CPU: with timesharing the whole
+  // batch completes in ~2 s.
+  auto worker = [](Platform& pl) -> sim::Task<> {
+    co_await pl.node(0).cpu_work(1.0);
+  };
+  for (int i = 0; i < 2 * cores; ++i) p.sim().spawn(worker(p));
+  p.sim().run();
+  EXPECT_NEAR(p.sim().now(), 2.0, 0.05);
+}
+
+TEST(Node, CpuWorkSingleWorkerUnaffectedByFreeCores) {
+  Platform p = make_platform(1);
+  auto worker = [](Platform& pl) -> sim::Task<> {
+    co_await pl.node(0).cpu_work(3.0);
+  };
+  p.sim().spawn(worker(p));
+  p.sim().run();
+  EXPECT_NEAR(p.sim().now(), 3.0, 1e-9);
+}
+
+TEST(Platform, SpecsExposeDas4Types) {
+  const NodeSpec t1 = NodeSpec::das4_type1();
+  const NodeSpec t2 = NodeSpec::das4_type2();
+  EXPECT_EQ(t1.hw_threads, 16);
+  EXPECT_EQ(t2.hw_threads, 24);
+  EXPECT_GT(t2.ram_bytes, t1.ram_bytes);
+}
+
+TEST(TaskGroup, JoinsAllChildren) {
+  Platform p = make_platform(1);
+  int done = 0;
+  auto child = [](Platform& pl, double t, int* n) -> sim::Task<> {
+    co_await pl.sim().delay(t);
+    ++*n;
+  };
+  auto parent = [&child](Platform& pl, int* n) -> sim::Task<> {
+    sim::TaskGroup group(pl.sim());
+    group.spawn(child(pl, 1.0, n));
+    group.spawn(child(pl, 2.0, n));
+    group.spawn(child(pl, 3.0, n));
+    co_await group.wait();
+    EXPECT_EQ(*n, 3);
+  };
+  p.sim().spawn(parent(p, &done));
+  p.sim().run();
+  EXPECT_EQ(done, 3);
+  EXPECT_DOUBLE_EQ(p.sim().now(), 3.0);
+}
+
+TEST(TaskGroup, PropagatesChildException) {
+  Platform p = make_platform(1);
+  bool caught = false;
+  auto bad_child = [](Platform& pl) -> sim::Task<> {
+    co_await pl.sim().delay(0.5);
+    util::throw_error("child failed");
+  };
+  auto parent = [&bad_child](Platform& pl, bool* flag) -> sim::Task<> {
+    sim::TaskGroup group(pl.sim());
+    group.spawn(bad_child(pl));
+    try {
+      co_await group.wait();
+    } catch (const util::Error&) {
+      *flag = true;
+    }
+  };
+  p.sim().spawn(parent(p, &caught));
+  p.sim().run();
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace gw

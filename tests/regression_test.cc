@@ -1,0 +1,228 @@
+// Regression tests for defects found while bringing up the benchmarks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "apps/wordcount.h"
+#include "core/job.h"
+#include "gwdfs/fs.h"
+
+namespace gw {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::NodeSpec;
+using cluster::Platform;
+
+Platform make_platform(int nodes) {
+  return Platform(ClusterSpec::homogeneous(
+      nodes, NodeSpec::das4_type1(), net::NetworkProfile::qdr_infiniband_ipoib()));
+}
+
+// A TaskGroup whose pending count drains to zero and then receives more
+// spawns (a streaming producer) must not release wait() early. This
+// use-after-free crashed 8+-node jobs: shuffle sends trickled in while the
+// group intermittently hit zero.
+TEST(TaskGroupRegression, IntermittentDrainDoesNotReleaseJoin) {
+  sim::Simulation sim;
+  sim::TaskGroup group(sim);
+  int completed = 0;
+
+  auto worker = [](sim::Simulation& s, double t, int* done) -> sim::Task<> {
+    co_await s.delay(t);
+    ++*done;
+  };
+  auto producer = [&worker](sim::Simulation& s, sim::TaskGroup& g,
+                            int* done) -> sim::Task<> {
+    for (int wave = 0; wave < 5; ++wave) {
+      g.spawn(worker(s, 0.1, done));   // short task: drains before next wave
+      co_await s.delay(1.0);
+    }
+  };
+  bool join_ok = false;
+  auto joiner = [](sim::Simulation& s, sim::TaskGroup& g, int* done,
+                   bool* ok) -> sim::Task<> {
+    co_await s.delay(4.5);  // all five waves spawned by now; some drained
+    co_await g.wait();
+    *ok = (*done == 5);
+  };
+  sim::Simulation* sp = &sim;
+  sp->spawn(producer(sim, group, &completed));
+  sp->spawn(joiner(sim, group, &completed, &join_ok));
+  sim.run();
+  EXPECT_EQ(completed, 5);
+  EXPECT_TRUE(join_ok);
+}
+
+// Text lines starting exactly at a split boundary must be processed exactly
+// once (they were dropped by both adjacent splits).
+TEST(SplitBoundaryRegression, LineAtExactSplitOffsetCountedOnce) {
+  Platform p = make_platform(1);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  // 10-byte lines; split size a multiple of the line length, so every split
+  // boundary falls exactly on a line start.
+  std::string text;
+  for (int i = 0; i < 2000; ++i) text += "abcd efgh\n";
+  p.sim().spawn([](dfs::Dfs& f, std::string t) -> sim::Task<> {
+    co_await f.write(0, "/in", util::Bytes(t.begin(), t.end()));
+  }(fs, text));
+  p.sim().run();
+
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in"};
+  cfg.output_path = "/out";
+  cfg.split_size = 1000;  // boundary every 100 lines
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  auto result = rt.run(apps::wordcount().kernels, cfg);
+  EXPECT_EQ(result.stats.input_records, 2000u);
+}
+
+// write_distributed must spread first replicas across the cluster instead
+// of pinning them all to one node (which made that node a shuffle-serving
+// hotspot).
+TEST(DfsRegression, DistributedWriteSpreadsFirstReplicas) {
+  Platform p = make_platform(16);
+  dfs::DfsConfig cfg;
+  cfg.block_size = 64 << 10;
+  dfs::Dfs fs(p, cfg);
+  p.sim().spawn([](dfs::Dfs& f) -> sim::Task<> {
+    co_await f.write_distributed("/big", util::Bytes(32 * (64 << 10)));
+  }(fs));
+  p.sim().run();
+  std::map<int, int> first_replica_counts;
+  for (std::uint64_t b = 0; b < 32; ++b) {
+    first_replica_counts[fs.block_locations("/big", b).front()]++;
+  }
+  // 32 blocks over 16 nodes: no node should own a large share.
+  for (auto& [node, count] : first_replica_counts) {
+    EXPECT_LE(count, 8) << "node " << node << " owns too many first replicas";
+  }
+  EXPECT_GT(first_replica_counts.size(), 4u);
+}
+
+// Moving a RunReader (e.g. into a merge heap) must not invalidate it.
+TEST(RunReaderRegression, SurvivesMove) {
+  core::RunBuilder rb;
+  for (int i = 0; i < 500; ++i) rb.add("key" + std::to_string(i), "value");
+  core::Run run = rb.finish(true);  // compressed: owns its payload
+  core::RunReader original(run);
+  core::KV kv;
+  ASSERT_TRUE(original.next(&kv));
+  core::RunReader moved(std::move(original));
+  int remaining = 0;
+  while (moved.next(&kv)) {
+    EXPECT_FALSE(kv.key.empty());
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 499);
+}
+
+// Streamed disk I/O charges amortized seeks: many small sequential reads
+// must not cost a full seek each.
+TEST(DiskRegression, AmortizedSeeksForSmallSequentialReads) {
+  Platform p = make_platform(1);
+  auto& node = p.node(0);
+  auto reader = [](cluster::Node& n) -> sim::Task<> {
+    for (int i = 0; i < 100; ++i) {
+      co_await n.disk_stream_read(64 << 10,
+                                  cluster::Node::amortized_seek(64 << 10));
+    }
+  };
+  p.sim().spawn(reader(node));
+  const double elapsed = p.sim().run();
+  const double full_seeks = 100 * node.spec().disk.seek_latency_s;
+  EXPECT_LT(elapsed, full_seeks);  // must be far below 100 full seeks
+}
+
+// ---- new-feature tests ----
+
+// Task re-execution (§III-E): injected map-task failures must not change
+// the job's output, only add retries.
+TEST(FaultTolerance, InjectedMapFailuresAreReExecuted) {
+  util::Bytes text = apps::generate_wiki_text(1 << 20, 17);
+  auto run_with = [&text](int fail_every) {
+    Platform p = make_platform(2);
+    dfs::Dfs fs(p, dfs::DfsConfig{});
+    p.sim().spawn([](dfs::Dfs& f, util::Bytes c) -> sim::Task<> {
+      co_await f.write_distributed("/in", std::move(c));
+    }(fs, text));
+    p.sim().run();
+    core::JobConfig cfg;
+    cfg.input_paths = {"/in"};
+    cfg.output_path = "/out";
+    cfg.split_size = 128 << 10;
+    cfg.fail_every_nth_map_task = fail_every;
+    core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+    auto result = rt.run(apps::wordcount().kernels, cfg);
+    // Gather output counts.
+    std::map<std::string, std::uint64_t> counts;
+    for (const auto& path : result.output_files) {
+      util::Bytes contents;
+      p.sim().spawn([](dfs::Dfs& f, std::string pa,
+                       util::Bytes* o) -> sim::Task<> {
+        *o = co_await f.read_all(f.block_locations(pa, 0).front(), pa);
+      }(fs, path, &contents));
+      p.sim().run();
+      for (auto& [k, v] : core::read_output_file(contents)) {
+        counts[k] += apps::parse_u64(v);
+      }
+    }
+    return std::make_tuple(counts, result.stats.map_task_retries,
+                           result.elapsed_seconds);
+  };
+  const auto [clean_counts, clean_retries, clean_t] = run_with(0);
+  const auto [fail_counts, fail_retries, fail_t] = run_with(3);
+  EXPECT_EQ(clean_retries, 0u);
+  EXPECT_GT(fail_retries, 0u);
+  EXPECT_EQ(fail_counts, clean_counts);       // identical output
+  EXPECT_GT(fail_t, clean_t);                 // wasted work costs time
+}
+
+// Per-phase devices: map on the GPU, reduce on the CPU — same output as a
+// single-device job, with staging active only in the map phase.
+TEST(PerPhaseDevices, GpuMapCpuReduceMatchesSingleDevice) {
+  util::Bytes text = apps::generate_wiki_text(1 << 19, 23);
+  auto run_with = [&text](bool split_devices,
+                          core::JobResult* out) {
+    Platform p = make_platform(2);
+    dfs::Dfs fs(p, dfs::DfsConfig{});
+    p.sim().spawn([](dfs::Dfs& f, util::Bytes c) -> sim::Task<> {
+      co_await f.write_distributed("/in", std::move(c));
+    }(fs, text));
+    p.sim().run();
+    core::JobConfig cfg;
+    cfg.input_paths = {"/in"};
+    cfg.output_path = "/out";
+    cfg.split_size = 128 << 10;
+    auto rt = split_devices
+                  ? core::GlasswingRuntime(p, fs, cl::DeviceSpec::gtx480(),
+                                           cl::DeviceSpec::cpu_dual_e5620())
+                  : core::GlasswingRuntime(p, fs,
+                                           cl::DeviceSpec::cpu_dual_e5620());
+    *out = rt.run(apps::wordcount().kernels, cfg);
+    std::map<std::string, std::uint64_t> counts;
+    for (const auto& path : out->output_files) {
+      util::Bytes contents;
+      p.sim().spawn([](dfs::Dfs& f, std::string pa,
+                       util::Bytes* o) -> sim::Task<> {
+        *o = co_await f.read_all(f.block_locations(pa, 0).front(), pa);
+      }(fs, path, &contents));
+      p.sim().run();
+      for (auto& [k, v] : core::read_output_file(contents)) {
+        counts[k] += apps::parse_u64(v);
+      }
+    }
+    return counts;
+  };
+  core::JobResult single, mixed;
+  const auto counts_single = run_with(false, &single);
+  const auto counts_mixed = run_with(true, &mixed);
+  EXPECT_EQ(counts_mixed, counts_single);
+  // GPU map pays staging; the CPU reduce does not.
+  EXPECT_GT(mixed.stages.stage, 0.0);
+  EXPECT_DOUBLE_EQ(mixed.stages.reduce_stage, 0.0);
+}
+
+}  // namespace
+}  // namespace gw
