@@ -121,6 +121,22 @@ class SeriesTable {
   std::map<std::string, std::vector<std::pair<double, double>>> data_;
 };
 
+// One-line host-path summary for a finished job: intermediate-store merge
+// activity (count, average fan-in, spills) and collector hash-probe work.
+inline void print_host_path_summary(const char* label,
+                                    const core::JobResult& r) {
+  const double fanin =
+      r.stats.merges > 0 ? static_cast<double>(r.stats.merge_fanin_runs) /
+                               static_cast<double>(r.stats.merges)
+                         : 0.0;
+  std::printf(
+      "host-path[%s]: merges=%llu avg-fanin=%.1f spills=%llu "
+      "hash-probes=%llu\n",
+      label, static_cast<unsigned long long>(r.stats.merges), fanin,
+      static_cast<unsigned long long>(r.stats.spills),
+      static_cast<unsigned long long>(r.stats.hash_table_probes));
+}
+
 // --- one-shot job runners (fresh platform + filesystem per point) ---
 
 struct RunOpts {

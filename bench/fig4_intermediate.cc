@@ -54,7 +54,10 @@ int main(int argc, char** argv) {
     std::printf("%-6d %14.3f %14.3f %14.3f\n", n, r.stages.partition,
                 r.stages.kernel, r.stages.map_elapsed);
     if (n == 1) part1 = r.stages.partition;
-    if (n == 4) part4 = r.stages.partition;
+    if (n == 4) {
+      part4 = r.stages.partition;
+      bench::print_host_path_summary("N=4,P=8", r);
+    }
   }
   std::printf("Shape check: partitioning time falls with N: %.3f -> %.3f "
               "(%s)\n",

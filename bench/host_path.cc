@@ -1,0 +1,238 @@
+// Host-path throughput microbenchmarks (REAL wall-clock time, not simulated
+// seconds).
+//
+// Every simulated-seconds result in bench/fig* and bench/table* is computed
+// by *really* sorting, merging and compressing intermediate data on the
+// host, so the wall-clock cost of the repo is dominated by these primitives.
+// This binary tracks their throughput directly:
+//
+//   * sort:       PairList::sort_by_key vs the decode-per-comparison
+//                 reference implementation
+//   * merge:      N-way merge_runs (N in {2, 8, 64}) vs the priority-queue
+//                 reference implementation
+//   * compress:   lz_compress + lz_decompress roundtrip
+//   * collector:  HashTableCollector emits under Zipf key skew
+//
+// Run via bench/run_host_path.sh to record BENCH_hostpath.json; CI smokes it
+// with --benchmark_min_time so regressions in the host path are visible
+// without a profiler.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/collector.h"
+#include "core/kv.h"
+#include "core/kv_reference.h"
+#include "util/compress.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gw;
+
+// Deterministic skewed word list: Zipf-ranked vocabulary with mixed key
+// lengths (3..24 bytes), the shape WordCount/PageviewCount feed the sort
+// and merge paths.
+std::vector<std::string> make_vocabulary(std::size_t n) {
+  std::vector<std::string> words;
+  words.reserve(n);
+  util::Rng rng(2014);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = 3 + rng.below(22);
+    std::string w;
+    w.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      w.push_back(static_cast<char>('a' + rng.below(26)));
+    }
+    w += std::to_string(i);  // distinct ranks stay distinct keys
+    words.push_back(std::move(w));
+  }
+  return words;
+}
+
+core::PairList make_pairs(std::size_t pairs, std::uint64_t seed) {
+  static const std::vector<std::string> vocab = make_vocabulary(30000);
+  static const util::ZipfSampler zipf(vocab.size(), 1.1);
+  util::Rng rng(seed);
+  core::PairList pl;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    pl.add(vocab[zipf.sample(rng)], "1");
+  }
+  return pl;
+}
+
+// N key-sorted runs with `total_pairs` pairs spread evenly across them.
+std::vector<core::Run> make_runs(std::size_t n, std::size_t total_pairs,
+                                 bool compress) {
+  std::vector<core::Run> runs;
+  runs.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    core::PairList pl = make_pairs(total_pairs / n, 1000 + r);
+    pl.sort_by_key();
+    core::RunBuilder rb;
+    for (std::size_t i = 0; i < pl.size(); ++i) {
+      const core::KV kv = pl.get(i);
+      rb.add(kv.key, kv.value);
+    }
+    runs.push_back(rb.finish(compress));
+  }
+  return runs;
+}
+
+util::Bytes make_text(std::size_t bytes) {
+  static const std::vector<std::string> vocab = make_vocabulary(30000);
+  static const util::ZipfSampler zipf(vocab.size(), 1.1);
+  util::Rng rng(7);
+  util::Bytes text;
+  text.reserve(bytes + 32);
+  while (text.size() < bytes) {
+    const std::string& w = vocab[zipf.sample(rng)];
+    text.insert(text.end(), w.begin(), w.end());
+    text.push_back(' ');
+  }
+  return text;
+}
+
+// ---- sort ----
+
+constexpr std::size_t kSortPairs = 200000;
+
+void BM_SortByKey(benchmark::State& state) {
+  const core::PairList base = make_pairs(kSortPairs, 42);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::PairList pl = base;
+    state.ResumeTiming();
+    pl.sort_by_key();
+    benchmark::DoNotOptimize(pl);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.blob_bytes()));
+}
+BENCHMARK(BM_SortByKey);
+
+void BM_SortByKeyReference(benchmark::State& state) {
+  const core::PairList base = make_pairs(kSortPairs, 42);
+  for (auto _ : state) {
+    core::PairList sorted = core::reference::sorted_by_key(base);
+    benchmark::DoNotOptimize(sorted);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.blob_bytes()));
+}
+BENCHMARK(BM_SortByKeyReference);
+
+// ---- merge ----
+
+constexpr std::size_t kMergePairs = 128000;
+
+void BM_MergeRuns(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<core::Run> runs = make_runs(n, kMergePairs, false);
+  std::uint64_t raw = 0;
+  for (const auto& r : runs) raw += r.raw_bytes;
+  for (auto _ : state) {
+    core::Run merged = core::merge_runs(runs, false);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw));
+}
+BENCHMARK(BM_MergeRuns)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_MergeRunsReference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<core::Run> runs = make_runs(n, kMergePairs, false);
+  std::uint64_t raw = 0;
+  for (const auto& r : runs) raw += r.raw_bytes;
+  for (auto _ : state) {
+    core::Run merged = core::reference::merge_runs(runs, false);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw));
+}
+BENCHMARK(BM_MergeRunsReference)->Arg(2)->Arg(8)->Arg(64);
+
+// Compressed inputs: adds the per-run decompression (pooled scratch path).
+void BM_MergeCompressedRuns(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<core::Run> runs = make_runs(n, kMergePairs, true);
+  std::uint64_t raw = 0;
+  for (const auto& r : runs) raw += r.raw_bytes;
+  for (auto _ : state) {
+    core::Run merged = core::merge_runs(runs, false);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw));
+}
+BENCHMARK(BM_MergeCompressedRuns)->Arg(8);
+
+// ---- compression ----
+
+constexpr std::size_t kTextBytes = 4 << 20;
+
+void BM_CompressRoundtrip(benchmark::State& state) {
+  const util::Bytes text = make_text(kTextBytes);
+  for (auto _ : state) {
+    util::Bytes packed = util::lz_compress(text);
+    util::Bytes back = util::lz_decompress(packed);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_CompressRoundtrip);
+
+void BM_Decompress(benchmark::State& state) {
+  const util::Bytes text = make_text(kTextBytes);
+  const util::Bytes packed = util::lz_compress(text);
+  for (auto _ : state) {
+    util::Bytes back = util::lz_decompress(packed);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_Decompress);
+
+// ---- hash-table collector under Zipf skew ----
+
+constexpr std::size_t kInsertPairs = 100000;
+constexpr std::size_t kCollectorGroups = 64;
+
+void BM_HashCollectorInsert(benchmark::State& state) {
+  static const std::vector<std::string> vocab = make_vocabulary(30000);
+  static const util::ZipfSampler zipf(vocab.size(), 1.1);
+  // Pre-sample the emit stream so only collector work is timed.
+  util::Rng rng(99);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stream;  // (group, rank)
+  stream.reserve(kInsertPairs);
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < kInsertPairs; ++i) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(zipf.sample(rng));
+    stream.emplace_back(static_cast<std::uint32_t>(rng.below(kCollectorGroups)),
+                        rank);
+    bytes += vocab[rank].size() + 1;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::HashTableCollector collector(kCollectorGroups);
+    state.ResumeTiming();
+    cl::KernelCounters counters;
+    for (const auto& [group, rank] : stream) {
+      collector.emit(group, vocab[rank], "1", counters);
+    }
+    benchmark::DoNotOptimize(counters);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_HashCollectorInsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Runs the host-path throughput microbenchmarks and records the results as
+# BENCH_hostpath.json in the repo root, so the real-time perf trajectory of
+# the sort/merge/compress/collect primitives is tracked PR over PR.
+#
+# Usage: bench/run_host_path.sh [extra google-benchmark flags]
+#   BUILD_DIR  build tree containing bench/host_path (default: build)
+#   OUT        output JSON path (default: BENCH_hostpath.json)
+set -eu
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_hostpath.json}"
+
+"${BUILD_DIR}/bench/host_path" \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1 \
+  "$@"
+
+echo "wrote ${OUT}"

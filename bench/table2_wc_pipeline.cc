@@ -71,6 +71,12 @@ int main(int argc, char** argv) {
   row("Reduce time",
       [](const core::JobResult& r) { return r.reduce_phase_seconds; });
 
+  std::printf("\n");
+  bench::print_host_path_summary("hash+comb", i);
+  bench::print_host_path_summary("hash", ii);
+  bench::print_host_path_summary("simple", iii);
+  bench::print_host_path_summary("single-buf", iv);
+
   std::printf(
       "\nShape checks (paper Table II):\n"
       "  simple collection lowers kernel time vs hash: %.3fs -> %.3fs (%s)\n"

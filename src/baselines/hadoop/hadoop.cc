@@ -130,10 +130,10 @@ sim::Task<> map_slot(Shared& sh, core::SplitScheduler& scheduler, int node_id) {
     // 3. Partition, sort, combine, spill.
     std::vector<core::PairList> buckets(sh.total_reducers);
     for (std::size_t i = 0; i < output.size(); ++i) {
-      const core::KV kv = output.get(i);
-      buckets[app.partition(kv.key,
+      const core::PairList::PairView pv = output.pair_view(i);
+      buckets[app.partition(pv.kv.key,
                             static_cast<std::uint32_t>(sh.total_reducers))]
-          .add(kv.key, kv.value);
+          .add_encoded(pv);
     }
     double spill_cpu_s = 0;
     std::uint64_t spill_bytes = 0;
@@ -151,8 +151,7 @@ sim::Task<> map_slot(Shared& sh, core::SplitScheduler& scheduler, int node_id) {
       }
       core::RunBuilder rb;
       for (std::size_t i = 0; i < final_pairs->size(); ++i) {
-        const core::KV kv = final_pairs->get(i);
-        rb.add(kv.key, kv.value);
+        rb.add_encoded(final_pairs->encoded_pair(i));
       }
       sh.pairs += rb.pairs();
       core::Run run = rb.finish(false);  // Hadoop: no map-output compression
@@ -264,8 +263,7 @@ sim::Task<> reducer_task(Shared& sh, int reducer, HadoopResult& result) {
     }
   }
   for (std::size_t i = 0; i < reduced.size(); ++i) {
-    const core::KV out_kv = reduced.get(i);
-    builder.add(out_kv.key, out_kv.value);
+    builder.add_encoded(reduced.encoded_pair(i));
   }
   const double reduce_cpu_s =
       (static_cast<double>(counters.stats().ops) +

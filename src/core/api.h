@@ -193,6 +193,11 @@ struct JobStats {
   std::uint64_t shuffle_bytes_remote = 0;
   std::uint64_t spills = 0;
   std::uint64_t merges = 0;
+  // Input runs consumed across all intermediate-store merges; divided by
+  // `merges` this gives the average merge fan-in.
+  std::uint64_t merge_fanin_runs = 0;
+  // Collector hash-table probes during map (0 in shared-pool mode).
+  std::uint64_t hash_table_probes = 0;
   cl::KernelStats map_kernel;
   cl::KernelStats reduce_kernel;
 };

@@ -61,7 +61,15 @@ sim::Task<MapChunkOutput> SharedPoolCollector::finalize(
   co_return std::move(out);
 }
 
-HashTableCollector::Table::Table() : slots(1024) {}
+HashTableCollector::Table::Table() : slots(kInitialSlots) {}
+
+void HashTableCollector::Table::reset() {
+  blob.clear();
+  values.clear();
+  slots.assign(kInitialSlots, Slot{});
+  used = 0;
+  probes = 0;
+}
 
 void HashTableCollector::Table::grow() {
   std::vector<Slot> old = std::move(slots);
@@ -89,6 +97,7 @@ void HashTableCollector::Table::insert(std::string_view key,
   for (;;) {
     Slot& s = slots[idx];
     c.charge_hash_probe(1);
+    ++probes;
     if (s.key_off == kEmpty) {
       // Claim the slot (CAS) and store the key once.
       c.charge_atomic(1);
@@ -199,7 +208,10 @@ sim::Task<MapChunkOutput> HashTableCollector::finalize(
   out.distinct_keys = keys.size();
   out.grouped = true;
   out.post_stats = post;
-  for (auto& t : tables_) t = Table();  // reset for reuse
+  for (auto& t : tables_) {
+    out.hash_probes += t.probes;
+    t.reset();  // keeps blob/values capacity for the next chunk
+  }
   co_return std::move(out);
 }
 

@@ -34,6 +34,9 @@ struct MapChunkOutput {
   // True when pairs of equal key are adjacent (hash-table collector), so
   // the partitioner pays per-key instead of per-pair decode overhead.
   bool grouped = false;
+  // Hash-table probe count accumulated while collecting this chunk (0 for
+  // the shared-pool collector).
+  std::uint64_t hash_probes = 0;
   // Stats of the post-processing (combine/compaction) kernel, if any.
   cl::KernelStats post_stats;
 };
@@ -112,6 +115,7 @@ class HashTableCollector : public MapOutputCollector {
     };
     static constexpr std::uint64_t kEmpty = ~0ull;
     static constexpr std::uint32_t kNil = ~0u;
+    static constexpr std::size_t kInitialSlots = 1024;
 
     util::Bytes blob;
     std::vector<Slot> slots;
@@ -123,6 +127,10 @@ class HashTableCollector : public MapOutputCollector {
     void insert(std::string_view key, std::string_view value,
                 cl::KernelCounters& c);
     void grow();
+    // Restores the empty state while keeping heap capacity. Slot count goes
+    // back to kInitialSlots so the grow()/rehash charge sequence of the next
+    // chunk matches a freshly constructed table exactly.
+    void reset();
     std::string_view view(std::uint64_t off, std::uint32_t len) const {
       return std::string_view(reinterpret_cast<const char*>(blob.data()) + off,
                               len);

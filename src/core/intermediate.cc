@@ -111,6 +111,7 @@ sim::Task<> IntermediateStore::service(int p) {
     Run merged = cached.size() == 1 ? std::move(cached.front())
                                     : merge_runs(cached, true);
     ++merges_;
+    merge_fanin_runs_ += cached.size();
     co_await node_.cpu_work(
         host_merge_seconds(in_stored, in_raw, merged.raw_bytes));
     if (pressure) {
@@ -141,6 +142,7 @@ sim::Task<> IntermediateStore::service(int p) {
                                     cluster::Node::amortized_seek(in_stored));
     Run merged = merge_runs(inputs, true);
     ++merges_;
+    merge_fanin_runs_ += inputs.size();
     co_await node_.cpu_work(
         host_merge_seconds(in_stored, in_raw, merged.raw_bytes));
     co_await node_.disk_stream_write(

@@ -53,6 +53,9 @@ class IntermediateStore {
   // Metrics.
   std::uint64_t spills() const { return spills_; }
   std::uint64_t merges() const { return merges_; }
+  // Total input runs consumed across all merges; merge_fanin_runs()/merges()
+  // is the average merge fan-in.
+  std::uint64_t merge_fanin_runs() const { return merge_fanin_runs_; }
   std::uint64_t cache_bytes() const { return cache_bytes_total_; }
   std::uint64_t stored_bytes() const;
 
@@ -86,6 +89,7 @@ class IntermediateStore {
 
   std::uint64_t spills_ = 0;
   std::uint64_t merges_ = 0;
+  std::uint64_t merge_fanin_runs_ = 0;
 };
 
 }  // namespace gw::core

@@ -227,6 +227,8 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     result.stats.map_task_retries += s.map.task_failures;
     result.stats.spills += s.store->spills();
     result.stats.merges += s.store->merges();
+    result.stats.merge_fanin_runs += s.store->merge_fanin_runs();
+    result.stats.hash_table_probes += s.map.hash_probes;
     result.stats.output_pairs += s.reduce.output_pairs;
     result.stats.map_kernel += s.map.kernel_stats;
     result.stats.reduce_kernel += s.reduce.kernel_stats;

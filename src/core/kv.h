@@ -5,6 +5,11 @@
 // cached and spilled Partitions "in a serialized and compressed form",
 // §III-B). PairList is the uncompressed staging form used inside the map
 // pipeline before partitioning.
+//
+// The pair framing (varint klen, varint vlen, key bytes, value bytes) is
+// IDENTICAL in PairList blobs and Run payloads, so the hot host paths move
+// pairs between stages by copying the framed span verbatim instead of
+// decoding and re-encoding (PairList::pair_view / RunBuilder::add_encoded).
 #pragma once
 
 #include <cstdint>
@@ -35,7 +40,27 @@ class PairList {
 
   KV get(std::size_t i) const;
 
-  // Sorts pair indices by key (stable, preserving emit order of equal keys).
+  // Decoded pair plus its framed byte span (valid until the list mutates).
+  struct PairView {
+    KV kv;
+    std::string_view encoded;  // varint lengths + key + value, as framed
+  };
+  PairView pair_view(std::size_t i) const;
+
+  // The framed bytes of pair i. A key-sorted PairList's run payload is the
+  // concatenation of these spans, so builders copy pairs without
+  // re-encoding.
+  std::string_view encoded_pair(std::size_t i) const {
+    return pair_view(i).encoded;
+  }
+
+  // Copies a framed pair verbatim from another list (zero re-encode).
+  void add_encoded(const PairView& p);
+
+  // Sorts pair indices by key (stable, preserving emit order of equal
+  // keys). Internally builds a one-shot sidecar of 8-byte big-endian key
+  // prefixes so the comparator is a uint64 compare with a memcmp fallback,
+  // instead of re-decoding two varints per comparison.
   void sort_by_key();
 
   // Appends all pairs of `other` (used to gather per-thread collectors).
@@ -47,8 +72,6 @@ class PairList {
   std::uint64_t payload_bytes() const { return payload_bytes_; }
 
  private:
-  std::string_view key_at(std::uint64_t offset) const;
-
   util::Bytes blob_;
   std::vector<std::uint64_t> offsets_;
   std::uint64_t payload_bytes_ = 0;
@@ -69,6 +92,7 @@ struct Run {
   std::uint64_t raw_bytes = 0;  // serialized size before compression
   std::uint64_t pairs = 0;
 
+  // Branch-free accessor on the hot accounting paths.
   std::uint64_t stored_bytes() const { return data.size(); }
   bool empty() const { return pairs == 0; }
 
@@ -81,6 +105,11 @@ struct Run {
 class RunBuilder {
  public:
   void add(std::string_view key, std::string_view value);
+
+  // Appends already-framed pair bytes verbatim (`pair_count` pairs). Used
+  // by the merge and partition paths to move pairs without re-encoding.
+  void add_encoded(std::string_view framed, std::uint64_t pair_count = 1);
+
   std::uint64_t pairs() const { return pairs_; }
   std::uint64_t raw_bytes() const { return writer_.size(); }
 
@@ -92,11 +121,18 @@ class RunBuilder {
   std::uint64_t pairs_ = 0;
 };
 
-// Sequential reader over a run's pairs. Decompresses up front if needed;
+// Sequential reader over a run's pairs. Decompresses up front if needed
+// (into a pooled scratch buffer, returned to the pool on destruction);
 // returned views point into the reader's storage.
 class RunReader {
  public:
   explicit RunReader(const Run& run);
+  ~RunReader();
+
+  RunReader(RunReader&& other) noexcept;
+  RunReader& operator=(RunReader&& other) noexcept;
+  RunReader(const RunReader&) = delete;
+  RunReader& operator=(const RunReader&) = delete;
 
   // Returns false at end of run.
   bool next(KV* kv);
@@ -121,6 +157,11 @@ class RunReader {
 // Merges key-sorted runs into one key-sorted run (k-way; duplicate keys are
 // preserved, ordered by input run index). Used by the background merger
 // threads and the reduce input reader.
+//
+// Implementation: streaming cursors copying framed pair spans verbatim,
+// ordered by a cache-friendly loser tree with cached 8-byte key prefixes;
+// dedicated 1-way (bulk copy) and 2-way fast paths. Output is
+// byte-identical to reference::merge_runs (see kv_reference.h).
 Run merge_runs(const std::vector<const Run*>& inputs, bool compress);
 
 // Convenience overload.

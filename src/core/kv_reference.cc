@@ -1,0 +1,61 @@
+#include "core/kv_reference.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <queue>
+
+namespace gw::core::reference {
+
+Run merge_runs(const std::vector<const Run*>& inputs, bool compress) {
+  struct Source {
+    RunReader reader;
+    KV current;
+    std::size_t index;
+  };
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto src = std::make_unique<Source>(Source{RunReader(*inputs[i]), KV{}, i});
+    if (src->reader.next(&src->current)) sources.push_back(std::move(src));
+  }
+  auto cmp = [](const Source* a, const Source* b) {
+    if (a->current.key != b->current.key) return a->current.key > b->current.key;
+    return a->index > b->index;  // stable: earlier runs first
+  };
+  std::priority_queue<Source*, std::vector<Source*>, decltype(cmp)> heap(cmp);
+  for (auto& s : sources) heap.push(s.get());
+
+  RunBuilder builder;
+  while (!heap.empty()) {
+    Source* s = heap.top();
+    heap.pop();
+    builder.add(s->current.key, s->current.value);
+    if (s->reader.next(&s->current)) heap.push(s);
+  }
+  return builder.finish(compress);
+}
+
+Run merge_runs(const std::vector<Run>& inputs, bool compress) {
+  std::vector<const Run*> ptrs;
+  ptrs.reserve(inputs.size());
+  for (const auto& r : inputs) ptrs.push_back(&r);
+  return reference::merge_runs(ptrs, compress);
+}
+
+PairList sorted_by_key(const PairList& in) {
+  std::vector<std::size_t> idx(in.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&in](std::size_t a, std::size_t b) {
+                     return in.get(a).key < in.get(b).key;
+                   });
+  PairList out;
+  for (std::size_t i : idx) {
+    const KV kv = in.get(i);
+    out.add(kv.key, kv.value);
+  }
+  return out;
+}
+
+}  // namespace gw::core::reference

@@ -1,0 +1,25 @@
+// Straightforward reference implementations of the host-side record path.
+//
+// These are the pre-optimization algorithms (priority-queue k-way merge,
+// decode-per-comparison sort) kept as an executable specification: the
+// optimized PairList::sort_by_key and merge_runs in kv.cc must produce
+// byte-identical output. Property tests assert the equivalence, and
+// bench/host_path reports the speedup of the optimized path over these.
+#pragma once
+
+#include <vector>
+
+#include "core/kv.h"
+
+namespace gw::core::reference {
+
+// k-way merge via a binary heap of per-run readers, re-encoding every pair
+// through RunBuilder::add. Byte-identical to core::merge_runs.
+Run merge_runs(const std::vector<const Run*>& inputs, bool compress);
+Run merge_runs(const std::vector<Run>& inputs, bool compress);
+
+// Returns the pairs of `in` in stable key order as a new PairList (the
+// result of PairList::sort_by_key, rebuilt pair by pair).
+PairList sorted_by_key(const PairList& in);
+
+}  // namespace gw::core::reference

@@ -163,16 +163,21 @@ sim::Task<> stage_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
 }
 
 // Runs the map kernel (plus combine/compaction) over one staged chunk.
-sim::Task<MapChunkOutput> run_map_kernel(const NodeContext& ctx,
-                                         const util::Bytes& bytes,
-                                         const std::vector<std::uint64_t>& offsets,
-                                         MapMetrics& m) {
+// `collector` is a per-stage cache: finalize() resets collectors in place,
+// so reusing one across chunks keeps its heap buffers warm. Recreated only
+// when the group count changes (e.g. a short final chunk).
+sim::Task<MapChunkOutput> run_map_kernel(
+    const NodeContext& ctx, const util::Bytes& bytes,
+    const std::vector<std::uint64_t>& offsets,
+    std::unique_ptr<MapOutputCollector>& collector, MapMetrics& m) {
   const JobConfig& cfg = *ctx.config;
   const AppKernels& app = *ctx.app;
   const std::size_t records = offsets.size();
   const std::size_t groups = std::max<std::size_t>(
       1, std::min<std::size_t>(cl::Device::kDefaultWorkGroups, records));
-  auto collector = make_collector(cfg.output_mode, groups);
+  if (!collector || collector->groups() != groups) {
+    collector = make_collector(cfg.output_mode, groups);
+  }
   const std::string_view data(reinterpret_cast<const char*>(bytes.data()),
                               bytes.size());
 
@@ -203,6 +208,7 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
                          sim::Resource& out_buffers,
                          sim::Channel<KernelOut>& out, MapMetrics& m) {
   const JobConfig& cfg = *ctx.config;
+  std::unique_ptr<MapOutputCollector> collector;
   for (;;) {
     auto item = co_await in.recv();
     if (!item) break;
@@ -210,7 +216,8 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
     MapChunkOutput chunk_out;
     {
       ActivityTimer::Scope scope(m.kernel, ctx.sim());
-      chunk_out = co_await run_map_kernel(ctx, item->data, item->offsets, m);
+      chunk_out = co_await run_map_kernel(ctx, item->data, item->offsets,
+                                          collector, m);
 
       // Fault injection (§III-E): the first attempt of every Nth task
       // fails after its kernel ran. Re-execution is bookkeeping: the
@@ -228,11 +235,12 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
             *ctx.app, std::string_view(
                           reinterpret_cast<const char*>(again.data()),
                           again.size()));
-        chunk_out = co_await run_map_kernel(ctx, again, offsets, m);
+        chunk_out = co_await run_map_kernel(ctx, again, offsets, collector, m);
       }
 
       m.pairs += chunk_out.pairs.size();
       m.distinct_keys += chunk_out.distinct_keys;
+      m.hash_probes += chunk_out.hash_probes;
       item->in_hold.release();  // input buffer free once the kernel consumed it
     }
     co_await out.send(KernelOut(std::move(chunk_out), std::move(out_hold)));
@@ -269,11 +277,11 @@ sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
     const std::size_t n = out.pairs.size();
     std::vector<PairList> buckets(ctx.total_partitions);
     for (std::size_t i = 0; i < n; ++i) {
-      const KV kv = out.pairs.get(i);
+      const PairList::PairView pv = out.pairs.pair_view(i);
       const std::uint32_t g = ctx.app->partition(
-          kv.key, static_cast<std::uint32_t>(ctx.total_partitions));
+          pv.kv.key, static_cast<std::uint32_t>(ctx.total_partitions));
       GW_CHECK(g < static_cast<std::uint32_t>(ctx.total_partitions));
-      buckets[g].add(kv.key, kv.value);
+      buckets[g].add_encoded(pv);  // framed bytes copied verbatim
     }
 
     // Build a sorted, compressed run per destination partition.
@@ -289,8 +297,7 @@ sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
       bucket.sort_by_key();
       RunBuilder rb;
       for (std::size_t i = 0; i < bucket.size(); ++i) {
-        const KV kv = bucket.get(i);
-        rb.add(kv.key, kv.value);
+        rb.add_encoded(bucket.encoded_pair(i));
       }
       const std::uint64_t raw = rb.raw_bytes();
       Run run = rb.finish(true);

@@ -144,6 +144,8 @@ struct MapMetrics {
   std::uint64_t intermediate_stored = 0;
   std::uint64_t shuffle_bytes_remote = 0;
   std::uint64_t distinct_keys = 0;
+  // Hash-table collector probe count (0 in shared-pool mode).
+  std::uint64_t hash_probes = 0;
 };
 
 // Runs the complete map pipeline on one node, feeding the local store and

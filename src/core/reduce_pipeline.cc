@@ -318,8 +318,7 @@ sim::Task<> output_stage(NodeContext ctx, sim::Channel<ReducedChunk>& in,
     if (!item) break;
     RunBuilder& builder = builders[item->partition];
     for (std::size_t i = 0; i < item->pairs.size(); ++i) {
-      const KV kv = item->pairs.get(i);
-      builder.add(kv.key, kv.value);
+      builder.add_encoded(item->pairs.encoded_pair(i));
     }
     if (item->last_of_partition) {
       co_await write_output(ctx, item->partition, std::move(builder), m);
@@ -354,9 +353,12 @@ sim::Task<> merge_only_reduce(NodeContext ctx, ReduceMetrics& m) {
       co_await ctx.node->cpu_work(
           static_cast<double>(in_stored) / h.decompress_bytes_per_s +
           static_cast<double>(in_raw) / h.merge_bytes_per_s);
-      RunReader reader(merged);
-      KV kv;
-      while (reader.next(&kv)) builder.add(kv.key, kv.value);
+      // The merged run is uncompressed and shares our pair framing: its
+      // payload can be appended to the output builder wholesale.
+      builder.add_encoded(
+          std::string_view(reinterpret_cast<const char*>(merged.data.data()),
+                           merged.data.size()),
+          merged.pairs);
     }
     co_await write_output(ctx, p, std::move(builder), m);
   }

@@ -84,17 +84,27 @@ Bytes lz_compress(const void* input, std::size_t len) {
 }
 
 Bytes lz_decompress(const void* input, std::size_t len) {
+  Bytes out;
+  lz_decompress_into(input, len, out);
+  return out;
+}
+
+void lz_decompress_into(const void* input, std::size_t len, Bytes& out) {
   ByteReader in(input, len);
   const std::uint64_t total = in.get_varint();
-  Bytes out;
+  out.clear();
+  // Reserving the full output up front keeps out.data() stable below, so
+  // match copies can read and write through raw pointers.
   out.reserve(total);
+  const auto* src = static_cast<const std::uint8_t*>(input);
   while (out.size() < total) {
     const std::uint64_t lit = in.get_varint();
     if (lit > 0) {
       if (in.remaining() < lit) throw_error("lz: truncated literal run");
       const std::size_t off = out.size();
       out.resize(off + lit);
-      for (std::uint64_t i = 0; i < lit; ++i) out[off + i] = in.get_u8();
+      std::memcpy(out.data() + off, src + in.position(), lit);
+      in.skip(lit);
     }
     const std::uint64_t match = in.get_varint();
     if (match == 0) {
@@ -104,11 +114,19 @@ Bytes lz_decompress(const void* input, std::size_t len) {
     }
     const std::uint64_t dist = in.get_varint();
     if (dist == 0 || dist > out.size()) throw_error("lz: bad match distance");
-    std::size_t from = out.size() - dist;
-    for (std::uint64_t i = 0; i < match; ++i) out.push_back(out[from + i]);
+    if (out.size() + match > total) throw_error("lz: match overruns output");
+    const std::size_t off = out.size();
+    out.resize(off + match);
+    const std::uint8_t* from = out.data() + off - dist;
+    std::uint8_t* to = out.data() + off;
+    if (dist >= match) {
+      std::memcpy(to, from, match);
+    } else {
+      // Overlapping match (RLE-style): must copy byte-by-byte forward.
+      for (std::uint64_t i = 0; i < match; ++i) to[i] = from[i];
+    }
   }
   if (out.size() != total) throw_error("lz: size mismatch");
-  return out;
 }
 
 }  // namespace gw::util

@@ -25,4 +25,8 @@ inline Bytes lz_decompress(const Bytes& in) {
   return lz_decompress(in.data(), in.size());
 }
 
+// Decompresses into `out` (cleared first, capacity retained), so callers can
+// recycle scratch buffers across runs instead of allocating per call.
+void lz_decompress_into(const void* input, std::size_t len, Bytes& out);
+
 }  // namespace gw::util
