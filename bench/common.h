@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -67,20 +68,39 @@ inline void stage_input(cluster::Platform& p, dfs::FileSystem& fs,
 }
 
 // Accumulates (x, seconds) series and prints the paper-style summary:
-// execution times (falling) and speedups over the 1st x (rising).
+// execution times (falling) and speedups over the 1st x (rising). Points
+// added with add_timed() also report the host wall-clock spent producing
+// them — the cost of actually running the simulation, which the offload
+// pool shrinks on multicore hosts while the simulated column stays
+// bit-identical.
 class SeriesTable {
  public:
   explicit SeriesTable(std::string x_label) : x_label_(std::move(x_label)) {}
 
-  void add(const std::string& series, double x, double seconds) {
-    data_[series].emplace_back(x, seconds);
+  void add(const std::string& series, double x, double seconds,
+           double wall_seconds = -1) {
+    data_[series].push_back(Point{x, seconds, wall_seconds});
+  }
+
+  // Runs fn() (returning simulated seconds), measures the host wall-clock
+  // around it, and records both. Returns the simulated seconds.
+  template <typename Fn>
+  double add_timed(const std::string& series, double x, Fn&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const double seconds = fn();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    add(series, x, seconds, wall);
+    return seconds;
   }
 
   void print(const char* title) const {
     std::printf("\n=== %s ===\n", title);
     std::printf("%-12s", x_label_.c_str());
     for (const auto& [name, points] : data_) {
-      std::printf(" %16s %9s", (name + "(s)").c_str(), "speedup");
+      std::printf(" %16s %9s %9s", (name + "(s)").c_str(), "speedup",
+                  "wall(s)");
     }
     std::printf("\n");
     // Collect the x values of the longest series.
@@ -88,21 +108,29 @@ class SeriesTable {
     for (const auto& [name, points] : data_) {
       if (points.size() > xs.size()) {
         xs.clear();
-        for (auto& [x, t] : points) xs.push_back(x);
+        for (auto& p : points) xs.push_back(p.x);
       }
     }
     for (double x : xs) {
       std::printf("%-12g", x);
       for (const auto& [name, points] : data_) {
-        double t = -1, base = -1;
-        for (auto& [px, pt] : points) {
-          if (px == x) t = pt;
-          if (base < 0) base = pt;  // first point of the series
+        double t = -1, base = -1, wall = -1;
+        for (auto& p : points) {
+          if (p.x == x) {
+            t = p.sim_s;
+            wall = p.wall_s;
+          }
+          if (base < 0) base = p.sim_s;  // first point of the series
         }
         if (t >= 0) {
           std::printf(" %16.3f %9.2f", t, base / t);
+          if (wall >= 0) {
+            std::printf(" %9.3f", wall);
+          } else {
+            std::printf(" %9s", "-");
+          }
         } else {
-          std::printf(" %16s %9s", "-", "-");
+          std::printf(" %16s %9s %9s", "-", "-", "-");
         }
       }
       std::printf("\n");
@@ -110,15 +138,20 @@ class SeriesTable {
   }
 
   double at(const std::string& series, double x) const {
-    for (auto& [px, pt] : data_.at(series)) {
-      if (px == x) return pt;
+    for (auto& p : data_.at(series)) {
+      if (p.x == x) return p.sim_s;
     }
     return -1;
   }
 
  private:
+  struct Point {
+    double x;
+    double sim_s;
+    double wall_s;  // host wall-clock; < 0 when not measured
+  };
   std::string x_label_;
-  std::map<std::string, std::vector<std::pair<double, double>>> data_;
+  std::map<std::string, std::vector<Point>> data_;
 };
 
 // One-line host-path summary for a finished job: intermediate-store merge

@@ -21,14 +21,16 @@ int main(int argc, char** argv) {
   for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
     hadoop::HadoopConfig hcfg;
     hcfg.split_size = kSplit;
-    table.add("Hadoop", nodes,
-              bench::run_hadoop(nodes, apps::pageview_count().kernels, input,
-                                hcfg));
+    table.add_timed("Hadoop", nodes, [&] {
+      return bench::run_hadoop(nodes, apps::pageview_count().kernels, input,
+                               hcfg);
+    });
     core::JobConfig gcfg;
     gcfg.split_size = kSplit;
-    table.add("Glasswing", nodes,
-              bench::run_glasswing_cpu(nodes, apps::pageview_count().kernels,
-                                       input, gcfg));
+    table.add_timed("Glasswing", nodes, [&] {
+      return bench::run_glasswing_cpu(nodes, apps::pageview_count().kernels,
+                                      input, gcfg);
+    });
   }
   table.print("Figure 2(a): PVC, Hadoop vs Glasswing CPU over HDFS");
 

@@ -62,8 +62,9 @@ int main(int argc, char** argv) {
 
   bench::SeriesTable table("nodes");
   for (int nodes : {4, 8, 16, 32, 64}) {  // paper starts at 4 (disk space)
-    table.add("Hadoop", nodes, run_hadoop(nodes, input));
-    table.add("Glasswing", nodes, run_glasswing(nodes, input));
+    table.add_timed("Hadoop", nodes, [&] { return run_hadoop(nodes, input); });
+    table.add_timed("Glasswing", nodes,
+                    [&] { return run_glasswing(nodes, input); });
   }
   table.print("Figure 2(c): TS, Hadoop vs Glasswing CPU over HDFS");
 

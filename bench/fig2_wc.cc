@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
 
   gw::bench::SeriesTable table("nodes");
   for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
-    table.add("Hadoop", nodes, run_hadoop(nodes, input));
-    table.add("Glasswing", nodes, run_glasswing(nodes, input));
+    table.add_timed("Hadoop", nodes, [&] { return run_hadoop(nodes, input); });
+    table.add_timed("Glasswing", nodes,
+                    [&] { return run_glasswing(nodes, input); });
   }
   table.print("Figure 2(b): WC, Hadoop vs Glasswing CPU over HDFS");
 

@@ -42,11 +42,13 @@ int main(int argc, char** argv) {
     hadoop::HadoopConfig hcfg;
     hcfg.input_paths = {"/in/points"};
     hcfg.split_size = kSplit;
-    cpu_table.add("Hadoop", nodes,
-                  bench::run_hadoop(nodes, app1024.kernels, points, hcfg));
-    cpu_table.add("Glasswing-CPU", nodes,
-                  bench::run_glasswing_cpu(nodes, app1024.kernels, points,
-                                           base_config()));
+    cpu_table.add_timed("Hadoop", nodes, [&] {
+      return bench::run_hadoop(nodes, app1024.kernels, points, hcfg);
+    });
+    cpu_table.add_timed("Glasswing-CPU", nodes, [&] {
+      return bench::run_glasswing_cpu(nodes, app1024.kernels, points,
+                                      base_config());
+    });
   }
   cpu_table.print("Figure 3(a): KM (1K centers) on CPU over HDFS");
 
@@ -55,14 +57,16 @@ int main(int argc, char** argv) {
   for (int nodes : {1, 2, 4, 8, 16}) {
     bench::RunOpts gpu_hdfs;
     gpu_hdfs.device = cl::DeviceSpec::gtx480();
-    gpu_table.add("GW-GPU(hdfs)", nodes,
-                  bench::run_glasswing(nodes, app1024.kernels, points,
-                                       base_config(), gpu_hdfs));
+    gpu_table.add_timed("GW-GPU(hdfs)", nodes, [&] {
+      return bench::run_glasswing(nodes, app1024.kernels, points,
+                                  base_config(), gpu_hdfs);
+    });
     bench::RunOpts gpu_local = gpu_hdfs;
     gpu_local.local_fs = true;
-    gpu_table.add("GW-GPU(local)", nodes,
-                  bench::run_glasswing(nodes, app1024.kernels, points,
-                                       base_config(), gpu_local));
+    gpu_table.add_timed("GW-GPU(local)", nodes, [&] {
+      return bench::run_glasswing(nodes, app1024.kernels, points,
+                                  base_config(), gpu_local);
+    });
     gpmr::GpmrConfig pcfg;
     pcfg.input_paths = {"/in/points"};
     // The paper's minimally-adapted GPMR KM code is "not expected to run
@@ -101,9 +105,10 @@ int main(int argc, char** argv) {
     core::JobConfig io_cfg = base_config();
     io_cfg.split_size = 512 << 10;
     io_cfg.map_launch.threads = 48;
-    io_table.add("GW-GPU(local)", nodes,
-                 bench::run_glasswing(nodes, app16.kernels, points, io_cfg,
-                                      gpu_local));
+    io_table.add_timed("GW-GPU(local)", nodes, [&] {
+      return bench::run_glasswing(nodes, app16.kernels, points, io_cfg,
+                                  gpu_local);
+    });
   }
   io_table.print("Figure 3(e): KM (16 centers) on GPU, local FS");
   std::printf("\nShape check (paper: GPMR total = I/O + compute ~ 1.5x "

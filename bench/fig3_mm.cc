@@ -42,11 +42,13 @@ int main(int argc, char** argv) {
     hadoop::HadoopConfig hcfg;
     hcfg.input_paths = {"/in/tiles"};
     hcfg.split_size = 256 << 10;  // ~2 tiles per task: keeps all slots busy
-    cpu_table.add("Hadoop", nodes,
-                  bench::run_hadoop(nodes, app.kernels, tiles, hcfg));
-    cpu_table.add("Glasswing-CPU", nodes,
-                  bench::run_glasswing_cpu(nodes, app.kernels, tiles,
-                                           base_config()));
+    cpu_table.add_timed("Hadoop", nodes, [&] {
+      return bench::run_hadoop(nodes, app.kernels, tiles, hcfg);
+    });
+    cpu_table.add_timed("Glasswing-CPU", nodes, [&] {
+      return bench::run_glasswing_cpu(nodes, app.kernels, tiles,
+                                      base_config());
+    });
   }
   cpu_table.print("Figure 3(b): MM on CPU over HDFS");
 
@@ -54,15 +56,17 @@ int main(int argc, char** argv) {
   for (int nodes : {1, 2, 4, 8, 16}) {
     bench::RunOpts hdfs;
     hdfs.device = cl::DeviceSpec::gtx480();
-    gpu_table.add("GW-GPU(hdfs)", nodes,
-                  bench::run_glasswing(nodes, app.kernels, tiles,
-                                       base_config(), hdfs));
+    gpu_table.add_timed("GW-GPU(hdfs)", nodes, [&] {
+      return bench::run_glasswing(nodes, app.kernels, tiles, base_config(),
+                                  hdfs);
+    });
     bench::RunOpts local = hdfs;
     local.local_fs = true;
     core::JobResult gw_local;
-    gpu_table.add("GW-GPU(local)", nodes,
-                  bench::run_glasswing(nodes, app.kernels, tiles,
-                                       base_config(), local, &gw_local));
+    gpu_table.add_timed("GW-GPU(local)", nodes, [&] {
+      return bench::run_glasswing(nodes, app.kernels, tiles, base_config(),
+                                  local, &gw_local);
+    });
     if (nodes == 4) gw_kernel_busy = gw_local.stages.kernel;
     gpmr::GpmrConfig pcfg;
     pcfg.input_paths = {"/in/tiles"};

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Runs the simulated-vs-wall-clock benchmark and records the results as
+# BENCH_simwall.json in the repo root: simulated seconds must be
+# bit-identical between the serial (GW_THREADS=1) and parallel host pools,
+# while the wall-clock columns track what the offload engine buys on this
+# host, PR over PR.
+#
+# Usage: bench/run_simwall.sh [output.json]
+#   BUILD_DIR  build tree containing bench/simwall (default: build)
+#   OUT        output JSON path (default: BENCH_simwall.json)
+#   GW_THREADS parallel pool size (default: hardware concurrency)
+set -eu
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-${OUT:-BENCH_simwall.json}}"
+
+"${BUILD_DIR}/bench/simwall" "${OUT}"

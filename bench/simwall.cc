@@ -1,0 +1,176 @@
+// Offload-engine wall-clock benchmark: simulated seconds vs host seconds.
+//
+// Runs wordcount and k-means jobs at 1/8/64 simulated nodes twice each —
+// once on a serial 1-thread host pool (the pre-offload baseline) and once
+// on the default pool (GW_THREADS or hardware_concurrency) — and verifies
+// that the SIMULATED result is bit-identical across the two, while the
+// host wall-clock is whatever the pool achieves on this machine. Emits a
+// JSON report (host metadata + per-point pool and offload statistics) for
+// PR-over-PR tracking; see bench/run_simwall.sh.
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/kmeans.h"
+#include "apps/wordcount.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+struct PointResult {
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  std::uint64_t pool_tasks = 0;
+  double pool_busy_seconds = 0;
+  std::uint64_t offload_joins = 0;
+  double join_block_seconds = 0;
+};
+
+// One full job on a fresh platform, with the sim/pool statistics kept.
+PointResult run_job(int nodes, const core::AppKernels& app,
+                    const util::Bytes& input, std::uint64_t split_size,
+                    std::size_t pool_threads) {
+  util::ThreadPool::reset_global(pool_threads);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  cluster::Platform p = bench::make_platform(nodes);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  bench::stage_input(p, fs, "/in/data", input);
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/data"};
+  cfg.output_path = "/out";
+  cfg.split_size = split_size;
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  const core::JobResult result = rt.run(app, cfg);
+
+  PointResult out;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.sim_seconds = result.elapsed_seconds;
+  const util::ThreadPool::Stats ps = util::ThreadPool::global().stats();
+  out.pool_tasks = ps.tasks_executed;
+  out.pool_busy_seconds = ps.busy_seconds;
+  out.offload_joins = p.sim().offload_joins();
+  out.join_block_seconds = p.sim().offload_join_block_seconds();
+  return out;
+}
+
+struct Point {
+  std::string app;
+  int nodes;
+  PointResult serial;    // 1-thread pool: the pre-offload baseline
+  PointResult parallel;  // default pool (GW_THREADS / hardware_concurrency)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_simwall.json";
+
+  const util::Bytes wc_input =
+      apps::generate_wiki_text(bench::scaled_bytes(4 << 20), 2014);
+  apps::KmeansConfig km{.k = 256, .dims = 4};
+  const auto centers = apps::generate_centers(km, 77);
+  const util::Bytes km_input =
+      apps::generate_points(km, bench::scaled_bytes(120000), 88);
+  const auto wc = apps::wordcount();
+  const auto kmeans = apps::kmeans(km, centers);
+
+  const std::size_t parallel_threads = [] {
+    util::ThreadPool::reset_global(0);
+    return util::ThreadPool::global().thread_count();
+  }();
+
+  std::vector<Point> points;
+  int mismatches = 0;
+  for (int nodes : {1, 8, 64}) {
+    for (int which : {0, 1}) {
+      Point pt;
+      pt.app = which == 0 ? "wordcount" : "kmeans";
+      pt.nodes = nodes;
+      const core::AppKernels& app = which == 0 ? wc.kernels : kmeans.kernels;
+      const util::Bytes& input = which == 0 ? wc_input : km_input;
+      const std::uint64_t split = 64 << 10;
+      pt.serial = run_job(nodes, app, input, split, 1);
+      pt.parallel = run_job(nodes, app, input, split, parallel_threads);
+      if (std::bit_cast<std::uint64_t>(pt.serial.sim_seconds) !=
+          std::bit_cast<std::uint64_t>(pt.parallel.sim_seconds)) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %s @%d nodes: serial %.17g != "
+                     "parallel %.17g simulated seconds\n",
+                     pt.app.c_str(), nodes, pt.serial.sim_seconds,
+                     pt.parallel.sim_seconds);
+        ++mismatches;
+      }
+      points.push_back(std::move(pt));
+    }
+  }
+  util::ThreadPool::reset_global(1);
+
+  std::printf("\n=== simwall: simulated vs host wall-clock (pool=%zu) ===\n",
+              parallel_threads);
+  std::printf("%-10s %5s %12s %12s %12s %8s %8s %10s\n", "app", "nodes",
+              "sim(s)", "wall-1t(s)", "wall-Nt(s)", "speedup", "tasks",
+              "joins");
+  for (const auto& pt : points) {
+    std::printf("%-10s %5d %12.3f %12.3f %12.3f %8.2f %8llu %10llu\n",
+                pt.app.c_str(), pt.nodes, pt.serial.sim_seconds,
+                pt.serial.wall_seconds, pt.parallel.wall_seconds,
+                pt.serial.wall_seconds / pt.parallel.wall_seconds,
+                static_cast<unsigned long long>(pt.parallel.pool_tasks),
+                static_cast<unsigned long long>(pt.parallel.offload_joins));
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"host\": {\n");
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"pool_threads\": %zu,\n", parallel_threads);
+  std::fprintf(f, "    \"bench_scale\": %g\n", bench::scale());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"deterministic\": %s,\n",
+               mismatches == 0 ? "true" : "false");
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"app\": \"%s\",\n", pt.app.c_str());
+    std::fprintf(f, "      \"nodes\": %d,\n", pt.nodes);
+    std::fprintf(f, "      \"sim_seconds\": %.17g,\n", pt.serial.sim_seconds);
+    for (int s = 0; s < 2; ++s) {
+      const PointResult& r = s == 0 ? pt.serial : pt.parallel;
+      std::fprintf(f, "      \"%s\": {\n", s == 0 ? "serial" : "parallel");
+      std::fprintf(f, "        \"wall_seconds\": %.6f,\n", r.wall_seconds);
+      std::fprintf(f, "        \"pool_tasks\": %llu,\n",
+                   static_cast<unsigned long long>(r.pool_tasks));
+      std::fprintf(f, "        \"pool_busy_seconds\": %.6f,\n",
+                   r.pool_busy_seconds);
+      std::fprintf(f, "        \"offload_joins\": %llu,\n",
+                   static_cast<unsigned long long>(r.offload_joins));
+      std::fprintf(f, "        \"join_block_seconds\": %.6f\n",
+                   r.join_block_seconds);
+      std::fprintf(f, "      }%s\n", s == 0 ? "," : ",");
+    }
+    std::fprintf(f, "      \"wall_speedup\": %.4f\n",
+                 pt.serial.wall_seconds / pt.parallel.wall_seconds);
+    std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  return mismatches == 0 ? 0 : 1;
+}

@@ -61,6 +61,32 @@ struct Shared {
   }
 };
 
+// Results of the offloaded map record loop (user-declared constructor per
+// the coroutine payload rule in sim/sim.h).
+struct MapJobOut {
+  MapJobOut() = default;
+  cl::KernelCounters counters;
+  core::PairList output;
+};
+
+// Results of the offloaded partition/sort/combine/spill job. The spill cpu
+// charge is computed inside the job with the exact per-bucket summation
+// order of the sequential code so the simulated seconds are bit-identical.
+struct SpillJobOut {
+  SpillJobOut() = default;
+  double cpu_s = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t pairs = 0;
+  std::vector<std::pair<int, core::Run>> outputs;
+};
+
+// Results of the offloaded reduce record loop.
+struct ReduceJobOut {
+  ReduceJobOut() = default;
+  cl::KernelCounters counters;
+  std::uint64_t reduce_records = 0;
+};
+
 // Applies the combiner over a key-sorted PairList; returns the combined
 // list and accumulates ops into `c`.
 core::PairList combine_sorted(const core::AppKernels& app,
@@ -110,69 +136,81 @@ sim::Task<> map_slot(Shared& sh, core::SplitScheduler& scheduler, int node_id) {
     if (offsets.empty()) continue;
     sh.records += offsets.size();
 
-    // 2. Sequential record loop through the user map function.
-    cl::KernelCounters counters;
-    core::PairList output;
-    PairListEmitter emitter(&output, &counters);
-    for (std::size_t i = 0; i < offsets.size(); ++i) {
-      const std::uint64_t begin = offsets[i];
-      const std::uint64_t end =
-          (i + 1 < offsets.size()) ? offsets[i + 1] : chunk.size();
-      core::MapContext ctx{&emitter, &counters};
-      app.map(chunk.substr(begin, end - begin), ctx);
-    }
+    // 2. Sequential record loop through the user map function — real host
+    // work, run on the offload pool. The charge depends on the counters, so
+    // the job is joined right away; the join blocks before the next
+    // simulated event, keeping the timeline identical to inline execution.
+    auto map_job = sim.offload([&app, &offsets, chunk] {
+      MapJobOut out;
+      PairListEmitter emitter(&out.output, &out.counters);
+      for (std::size_t i = 0; i < offsets.size(); ++i) {
+        const std::uint64_t begin = offsets[i];
+        const std::uint64_t end =
+            (i + 1 < offsets.size()) ? offsets[i + 1] : chunk.size();
+        core::MapContext ctx{&emitter, &out.counters};
+        app.map(chunk.substr(begin, end - begin), ctx);
+      }
+      return out;
+    });
+    MapJobOut map_out = co_await sim.join(std::move(map_job));
     const double map_cpu_s =
-        (static_cast<double>(counters.stats().ops) +
+        (static_cast<double>(map_out.counters.stats().ops) +
          cfg.per_record_overhead_ops * static_cast<double>(offsets.size())) /
         sh.java_ops_per_s(node);
-    co_await node.cpu_work(map_cpu_s);
 
-    // 3. Partition, sort, combine, spill.
-    std::vector<core::PairList> buckets(sh.total_reducers);
-    for (std::size_t i = 0; i < output.size(); ++i) {
-      const core::PairList::PairView pv = output.pair_view(i);
-      buckets[app.partition(pv.kv.key,
-                            static_cast<std::uint32_t>(sh.total_reducers))]
-          .add_encoded(pv);
-    }
-    double spill_cpu_s = 0;
-    std::uint64_t spill_bytes = 0;
-    std::vector<std::pair<int, core::Run>> outputs;
-    for (int r = 0; r < sh.total_reducers; ++r) {
-      core::PairList& bucket = buckets[r];
-      if (bucket.empty()) continue;
-      bucket.sort_by_key();
-      cl::KernelCounters combine_counters;
-      const core::PairList* final_pairs = &bucket;
-      core::PairList combined;
-      if (cfg.use_combiner && app.combine.has_value()) {
-        combined = combine_sorted(app, bucket, combine_counters);
-        final_pairs = &combined;
+    // 3. Partition, sort, combine, spill. Submitted before the map charge so
+    // the real spill work overlaps the simulated map seconds; joined where
+    // the spill charge (computed inside the job) is first needed.
+    auto spill_job = sim.offload([&sh, &app, &cfg, &node, &map_out] {
+      SpillJobOut res;
+      std::vector<core::PairList> buckets(sh.total_reducers);
+      const core::PairList& output = map_out.output;
+      for (std::size_t i = 0; i < output.size(); ++i) {
+        const core::PairList::PairView pv = output.pair_view(i);
+        buckets[app.partition(pv.kv.key,
+                              static_cast<std::uint32_t>(sh.total_reducers))]
+            .add_encoded(pv);
       }
-      core::RunBuilder rb;
-      for (std::size_t i = 0; i < final_pairs->size(); ++i) {
-        rb.add_encoded(final_pairs->encoded_pair(i));
+      for (int r = 0; r < sh.total_reducers; ++r) {
+        core::PairList& bucket = buckets[r];
+        if (bucket.empty()) continue;
+        bucket.sort_by_key();
+        cl::KernelCounters combine_counters;
+        const core::PairList* final_pairs = &bucket;
+        core::PairList combined;
+        if (cfg.use_combiner && app.combine.has_value()) {
+          combined = combine_sorted(app, bucket, combine_counters);
+          final_pairs = &combined;
+        }
+        core::RunBuilder rb;
+        for (std::size_t i = 0; i < final_pairs->size(); ++i) {
+          rb.add_encoded(final_pairs->encoded_pair(i));
+        }
+        res.pairs += rb.pairs();
+        core::Run run = rb.finish(false);  // Hadoop: no map-output compression
+        res.cpu_s +=
+            cfg.jvm_cpu_factor *
+                static_cast<double>(bucket.blob_bytes()) / cfg.host.sort_bytes_per_s +
+            static_cast<double>(run.raw_bytes) / cfg.host.serialize_bytes_per_s +
+            static_cast<double>(combine_counters.stats().ops) /
+                sh.java_ops_per_s(node);
+        res.bytes += run.stored_bytes();
+        res.outputs.emplace_back(r, std::move(run));
       }
-      sh.pairs += rb.pairs();
-      core::Run run = rb.finish(false);  // Hadoop: no map-output compression
-      spill_cpu_s +=
-          cfg.jvm_cpu_factor *
-              static_cast<double>(bucket.blob_bytes()) / cfg.host.sort_bytes_per_s +
-          static_cast<double>(run.raw_bytes) / cfg.host.serialize_bytes_per_s +
-          static_cast<double>(combine_counters.stats().ops) /
-              sh.java_ops_per_s(node);
-      spill_bytes += run.stored_bytes();
-      outputs.emplace_back(r, std::move(run));
-    }
-    co_await node.cpu_work(spill_cpu_s);
-    if (spill_bytes > 0) {
+      return res;
+    });
+    co_await node.cpu_work(map_cpu_s);
+    SpillJobOut spill = co_await sim.join(std::move(spill_job));
+    sh.pairs += spill.pairs;
+    co_await node.cpu_work(spill.cpu_s);
+    if (spill.bytes > 0) {
       co_await node.disk_stream_write(
-          spill_bytes, cluster::Node::amortized_seek(spill_bytes));
+          spill.bytes, cluster::Node::amortized_seek(spill.bytes));
     }
 
     // 4. Publish outputs. Reducers PULL: they learn about the completed map
     // via the next heartbeat, then fetch over the network.
-    for (auto& [r, run] : outputs) {
+    for (auto& [r, run] : spill.outputs) {
       const int dst_node = r % sh.num_nodes;
       const std::uint64_t bytes = run.stored_bytes();
       sh.shuffle_bytes += bytes;
@@ -212,9 +250,12 @@ sim::Task<> reducer_task(Shared& sh, int reducer, HadoopResult& result) {
     if (ram_bytes > cfg.shuffle_buffer_bytes) {
       std::uint64_t raw = 0;
       for (const auto& r : in_ram) raw += r.raw_bytes;
-      core::Run merged = core::merge_runs(in_ram, false);
+      // Charge is known pre-merge: the real merge overlaps the cpu charge.
+      auto merging = sh.platform->sim().offload(
+          [&in_ram] { return core::merge_runs(in_ram, false); });
       co_await node.cpu_work(cfg.jvm_cpu_factor * static_cast<double>(raw) /
                              cfg.host.merge_bytes_per_s);
+      core::Run merged = co_await sh.platform->sim().join(std::move(merging));
       co_await node.disk_stream_write(merged.stored_bytes());
       spilled.push_back(std::move(merged));
       in_ram.clear();
@@ -231,54 +272,69 @@ sim::Task<> reducer_task(Shared& sh, int reducer, HadoopResult& result) {
   for (auto& r : in_ram) runs.push_back(std::move(r));
   if (runs.empty()) co_return;
 
-  // Final merge + sequential reduce.
+  // Final merge + sequential reduce. The merge charge is known pre-merge,
+  // so the real merge overlaps the cpu charge.
   std::uint64_t raw = 0;
   for (const auto& r : runs) raw += r.raw_bytes;
-  core::Run merged = core::merge_runs(runs, false);
+  auto merging = sh.platform->sim().offload(
+      [&runs] { return core::merge_runs(runs, false); });
   co_await node.cpu_work(cfg.jvm_cpu_factor * static_cast<double>(raw) /
                          cfg.host.merge_bytes_per_s);
+  core::Run merged = co_await sh.platform->sim().join(std::move(merging));
 
-  cl::KernelCounters counters;
+  // The reduce record loop runs on the pool; its charge needs the counters,
+  // so it is joined right away (invisible to the simulated timeline).
   core::RunBuilder builder;
-  core::PairList reduced;
-  PairListEmitter emitter(&reduced, &counters);
-  core::RunReader reader(merged);
-  core::KV kv;
-  bool have = reader.next(&kv);
-  std::uint64_t reduce_records = 0;
-  std::vector<std::string_view> values;
-  while (have) {
-    const std::string_view key = kv.key;
-    values.clear();
-    while (have && kv.key == key) {
-      values.push_back(kv.value);
-      have = reader.next(&kv);
+  auto reduce_job = sh.platform->sim().offload([&app, &merged, &builder] {
+    ReduceJobOut res;
+    core::PairList reduced;
+    PairListEmitter emitter(&reduced, &res.counters);
+    core::RunReader reader(merged);
+    core::KV kv;
+    bool have = reader.next(&kv);
+    std::vector<std::string_view> values;
+    while (have) {
+      const std::string_view key = kv.key;
+      values.clear();
+      while (have && kv.key == key) {
+        values.push_back(kv.value);
+        have = reader.next(&kv);
+      }
+      ++res.reduce_records;
+      if (app.reduce.has_value()) {
+        core::ReduceContext ctx{&emitter, &res.counters};
+        (*app.reduce)(key, values, ctx);
+      } else {
+        for (auto v : values) reduced.add(key, v);
+      }
     }
-    ++reduce_records;
-    if (app.reduce.has_value()) {
-      core::ReduceContext ctx{&emitter, &counters};
-      (*app.reduce)(key, values, ctx);
-    } else {
-      for (auto v : values) reduced.add(key, v);
+    for (std::size_t i = 0; i < reduced.size(); ++i) {
+      builder.add_encoded(reduced.encoded_pair(i));
     }
-  }
-  for (std::size_t i = 0; i < reduced.size(); ++i) {
-    builder.add_encoded(reduced.encoded_pair(i));
-  }
+    return res;
+  });
+  ReduceJobOut red = co_await sh.platform->sim().join(std::move(reduce_job));
   const double reduce_cpu_s =
-      (static_cast<double>(counters.stats().ops) +
-       cfg.per_record_overhead_ops * static_cast<double>(reduce_records)) /
+      (static_cast<double>(red.counters.stats().ops) +
+       cfg.per_record_overhead_ops * static_cast<double>(red.reduce_records)) /
       sh.java_ops_per_s(node);
+
+  // Output finish + serialization overlaps the reduce cpu charge.
+  result.output_pairs += builder.pairs();
+  auto serializing =
+      sh.platform->sim().offload([b = std::move(builder)]() mutable {
+        core::Run out_run = b.finish(false);
+        util::ByteWriter w;
+        out_run.serialize(w);
+        return w.take();
+      });
   co_await node.cpu_work(reduce_cpu_s);
 
-  result.output_pairs += builder.pairs();
   char buf[32];
   std::snprintf(buf, sizeof(buf), "/part-r-%05d", reducer);
   const std::string path = cfg.output_path + buf;
-  core::Run out_run = builder.finish(false);
-  util::ByteWriter w;
-  out_run.serialize(w);
-  co_await sh.fs->write(node_id, path, w.take());
+  util::Bytes wire = co_await sh.platform->sim().join(std::move(serializing));
+  co_await sh.fs->write(node_id, path, std::move(wire));
   result.output_files.push_back(path);
 }
 

@@ -142,29 +142,33 @@ sim::Task<MapChunkOutput> HashTableCollector::finalize(
     cl::Device& device, const std::optional<CombineFn>& combine,
     cl::LaunchConfig launch) {
   // Merge the per-group tables into a deterministic key list (first-seen
-  // order over groups, then slots).
+  // order over groups, then slots). This CPU-side gather is real host work
+  // with no charge of its own, so it is folded into the kernel job below
+  // and runs on the pool together with the post-processing kernel.
   struct KeyEntry {
     std::string_view key;
     std::vector<std::string_view> values;
   };
   std::vector<KeyEntry> keys;
-  std::unordered_map<std::string_view, std::size_t> index;
-  for (const Table& t : tables_) {
-    for (const Table::Slot& s : t.slots) {
-      if (s.key_off == Table::kEmpty) continue;
-      const std::string_view key = t.view(s.key_off, s.key_len);
-      auto [it, inserted] = index.try_emplace(key, keys.size());
-      if (inserted) keys.push_back(KeyEntry{key, {}});
-      KeyEntry& entry = keys[it->second];
-      // Chain is newest-first; restore emit order within the group.
-      const std::size_t first = entry.values.size();
-      for (std::uint32_t v = s.head; v != Table::kNil;
-           v = t.values[v].next) {
-        entry.values.push_back(t.view(t.values[v].off, t.values[v].len));
+  const auto gather = [this, &keys] {
+    std::unordered_map<std::string_view, std::size_t> index;
+    for (const Table& t : tables_) {
+      for (const Table::Slot& s : t.slots) {
+        if (s.key_off == Table::kEmpty) continue;
+        const std::string_view key = t.view(s.key_off, s.key_len);
+        auto [it, inserted] = index.try_emplace(key, keys.size());
+        if (inserted) keys.push_back(KeyEntry{key, {}});
+        KeyEntry& entry = keys[it->second];
+        // Chain is newest-first; restore emit order within the group.
+        const std::size_t first = entry.values.size();
+        for (std::uint32_t v = s.head; v != Table::kNil;
+             v = t.values[v].next) {
+          entry.values.push_back(t.view(t.values[v].off, t.values[v].len));
+        }
+        std::reverse(entry.values.begin() + first, entry.values.end());
       }
-      std::reverse(entry.values.begin() + first, entry.values.end());
     }
-  }
+  };
 
   // Post-processing kernel over keys: combine, or compaction when no
   // combiner is configured (the paper always runs one of the two after
@@ -172,10 +176,14 @@ sim::Task<MapChunkOutput> HashTableCollector::finalize(
   const std::size_t groups = tables_.size();
   std::vector<PairList> out_groups(groups);
   const auto run = [&](auto&& per_key) -> sim::Task<cl::KernelStats> {
-    return device.run_kernel_grouped(
-        keys.size(), groups,
-        [&](std::size_t i, std::size_t g, cl::KernelCounters& c) {
-          per_key(keys[i], out_groups[g], c);
+    return device.run_kernel_job(
+        [&gather, &keys, &out_groups, groups, per_key] {
+          gather();
+          return cl::Device::execute_grouped(
+              keys.size(), groups,
+              [&](std::size_t i, std::size_t g, cl::KernelCounters& c) {
+                per_key(keys[i], out_groups[g], c);
+              });
         },
         launch);
   };

@@ -108,12 +108,22 @@ sim::Task<> IntermediateStore::service(int p) {
       in_stored += r.stored_bytes();
       in_raw += r.raw_bytes;
     }
-    Run merged = cached.size() == 1 ? std::move(cached.front())
-                                    : merge_runs(cached, true);
     ++merges_;
     merge_fanin_runs_ += cached.size();
-    co_await node_.cpu_work(
-        host_merge_seconds(in_stored, in_raw, merged.raw_bytes));
+    Run merged;
+    if (cached.size() == 1) {
+      merged = std::move(cached.front());
+      co_await node_.cpu_work(
+          host_merge_seconds(in_stored, in_raw, merged.raw_bytes));
+    } else {
+      // Merging preserves every framed pair, so the output raw size equals
+      // the input raw sum and the charge is known up front: the real merge
+      // runs on the pool while the cpu charge elapses.
+      auto merging = sim_.offload([&cached] { return merge_runs(cached, true); });
+      co_await node_.cpu_work(host_merge_seconds(in_stored, in_raw, in_raw));
+      merged = co_await sim_.join(std::move(merging));
+      GW_CHECK(merged.raw_bytes == in_raw);
+    }
     if (pressure) {
       // Spill to disk to relieve memory pressure.
       ++spills_;
@@ -138,13 +148,16 @@ sim::Task<> IntermediateStore::service(int p) {
       in_stored += r.stored_bytes();
       in_raw += r.raw_bytes;
     }
+    // As in step 1, the charge is size-determined: overlap the real merge
+    // with the simulated disk read + cpu charges.
+    auto merging = sim_.offload([&inputs] { return merge_runs(inputs, true); });
     co_await node_.disk_stream_read(in_stored,
                                     cluster::Node::amortized_seek(in_stored));
-    Run merged = merge_runs(inputs, true);
     ++merges_;
     merge_fanin_runs_ += inputs.size();
-    co_await node_.cpu_work(
-        host_merge_seconds(in_stored, in_raw, merged.raw_bytes));
+    co_await node_.cpu_work(host_merge_seconds(in_stored, in_raw, in_raw));
+    Run merged = co_await sim_.join(std::move(merging));
+    GW_CHECK(merged.raw_bytes == in_raw);
     co_await node_.disk_stream_write(
         merged.stored_bytes(),
         cluster::Node::amortized_seek(merged.stored_bytes()));

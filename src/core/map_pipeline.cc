@@ -133,12 +133,16 @@ sim::Task<> input_stage(NodeContext ctx, SplitScheduler& scheduler,
     {
       ActivityTimer::Scope scope(m.input, ctx.sim());
       data = co_await read_aligned_split(*ctx.fs, ctx.node_id, *ctx.app, *split);
-      offsets = frame_records(*ctx.app,
-                              std::string_view(
-                                  reinterpret_cast<const char*>(data.data()),
-                                  data.size()));
+      // The framing scan's simulated charge depends only on the byte count,
+      // so the real scan runs on the host pool while the charge elapses.
+      auto framing = ctx.sim().offload([&app = *ctx.app, &data] {
+        return frame_records(app, std::string_view(
+                                      reinterpret_cast<const char*>(data.data()),
+                                      data.size()));
+      });
       co_await ctx.node->cpu_work(static_cast<double>(data.size()) /
                                   kRecordSplitBytesPerSec);
+      offsets = co_await ctx.sim().join(std::move(framing));
     }
     if (offsets.empty()) continue;  // hold released by destructor
     m.records += offsets.size();
@@ -262,12 +266,23 @@ sim::Task<> retrieve_stage(NodeContext ctx, sim::Channel<KernelOut>& in,
   out.close();
 }
 
+// Result of one offloaded partition job: sorted+compressed runs for the
+// chunk's non-empty buckets (in ascending partition order).
+struct PartitionJobOut {
+  PartitionJobOut() = default;
+  std::vector<std::pair<std::uint32_t, Run>> runs;
+  std::uint64_t disk_bytes = 0;
+};
+
 sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
                              MapMetrics& m, sim::TaskGroup& sends) {
   const JobConfig& cfg = *ctx.config;
   const HostCosts& h = cfg.host;
   const int P = cfg.partitions_per_node;
   ActivityTimer busy;  // this worker's own busy time
+  // One bucket vector per worker, cleared in place between chunks so the
+  // heap capacity stays warm across the whole map phase.
+  std::vector<PairList> buckets(ctx.total_partitions);
   for (;;) {
     auto item = co_await in.recv();
     if (!item) break;
@@ -275,7 +290,6 @@ sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
 
     MapChunkOutput& out = item->out;
     const std::size_t n = out.pairs.size();
-    std::vector<PairList> buckets(ctx.total_partitions);
     for (std::size_t i = 0; i < n; ++i) {
       const PairList::PairView pv = out.pairs.pair_view(i);
       const std::uint32_t g = ctx.app->partition(
@@ -284,40 +298,58 @@ sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
       buckets[g].add_encoded(pv);  // framed bytes copied verbatim
     }
 
-    // Build a sorted, compressed run per destination partition.
+    // Build a sorted, compressed run per destination partition. The
+    // simulated cost is a function of the bucket sizes alone (a RunBuilder
+    // fed framed pairs verbatim has raw_bytes == the bucket's blob_bytes),
+    // so it is known before the work runs: submit the real sort+compress
+    // job, let the cpu charge elapse while it executes on the pool, and
+    // join where the compressed sizes are consumed (the disk write).
     double cpu_s = out.grouped
                        ? h.partition_key_overhead_s *
                              static_cast<double>(out.distinct_keys)
                        : h.partition_pair_overhead_s * static_cast<double>(n);
-    std::uint64_t disk_bytes = 0;
-    std::vector<std::pair<std::uint32_t, Run>> runs;
+    std::vector<std::uint32_t> live;
     for (std::uint32_t g = 0; g < buckets.size(); ++g) {
-      PairList& bucket = buckets[g];
+      const PairList& bucket = buckets[g];
       if (bucket.empty()) continue;
-      bucket.sort_by_key();
-      RunBuilder rb;
-      for (std::size_t i = 0; i < bucket.size(); ++i) {
-        rb.add_encoded(bucket.encoded_pair(i));
-      }
-      const std::uint64_t raw = rb.raw_bytes();
-      Run run = rb.finish(true);
+      live.push_back(g);
+      const std::uint64_t raw = bucket.blob_bytes();
       cpu_s += static_cast<double>(bucket.blob_bytes()) / h.sort_bytes_per_s +
                static_cast<double>(raw) / h.serialize_bytes_per_s +
                static_cast<double>(raw) / h.compress_bytes_per_s;
-      disk_bytes += run.stored_bytes();
       m.intermediate_raw += raw;
-      m.intermediate_stored += run.stored_bytes();
-      runs.emplace_back(g, std::move(run));
     }
+    auto work = ctx.sim().offload([&buckets, &live] {
+      PartitionJobOut res;
+      res.runs.resize(live.size());
+      util::ThreadPool::global().parallel_for(
+          0, live.size(), [&](std::size_t jlo, std::size_t jhi, std::size_t) {
+            for (std::size_t j = jlo; j < jhi; ++j) {
+              PairList& bucket = buckets[live[j]];
+              bucket.sort_by_key();
+              RunBuilder rb;
+              for (std::size_t i = 0; i < bucket.size(); ++i) {
+                rb.add_encoded(bucket.encoded_pair(i));
+              }
+              res.runs[j] = {live[j], rb.finish(true)};
+            }
+          });
+      for (const auto& [g, run] : res.runs) res.disk_bytes += run.stored_bytes();
+      return res;
+    });
     co_await ctx.node->cpu_work(cpu_s);
+    PartitionJobOut job_out = co_await ctx.sim().join(std::move(work));
+    for (const auto& [g, run] : job_out.runs) {
+      m.intermediate_stored += run.stored_bytes();
+    }
     // Durability: every produced Partition goes to local disk (§III-A/E);
     // appended sequentially, so seeks amortize.
-    if (disk_bytes > 0) {
+    if (job_out.disk_bytes > 0) {
       co_await ctx.node->disk_stream_write(
-          disk_bytes, cluster::Node::amortized_seek(disk_bytes));
+          job_out.disk_bytes, cluster::Node::amortized_seek(job_out.disk_bytes));
     }
 
-    for (auto& [g, run] : runs) {
+    for (auto& [g, run] : job_out.runs) {
       const int dest = static_cast<int>(g) / P;
       const int local_index = static_cast<int>(g) % P;
       if (dest == ctx.node_id) {
@@ -331,6 +363,7 @@ sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
                                                 net::kPortShuffle, w.take()));
       }
     }
+    for (std::uint32_t g : live) buckets[g].clear();
     item->out_hold.release();
   }
   m.partition_worker_busy.push_back(busy.busy_seconds());

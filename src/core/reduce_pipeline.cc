@@ -85,23 +85,33 @@ sim::Task<> input_stage(NodeContext ctx, sim::Resource& in_buffers,
     std::shared_ptr<Run> backing;
     {
       ActivityTimer::Scope scope(m.input, ctx.sim());
-      if (disk_bytes > 0) {
-        co_await ctx.node->disk_stream_read(
-            disk_bytes, cluster::Node::amortized_seek(disk_bytes));
-      }
       std::uint64_t in_stored = 0, in_raw = 0;
       for (const Run& r : runs) {
         in_stored += r.stored_bytes();
         in_raw += r.raw_bytes;
       }
-      Run merged =
-          runs.size() == 1 && !runs.front().compressed
-              ? std::move(runs.front())
-              : merge_runs(runs, false);
+      // The decompress+merge charge depends only on the input run sizes, so
+      // the real merge overlaps the simulated disk + cpu charges on the
+      // host pool.
+      const bool trivial = runs.size() == 1 && !runs.front().compressed;
+      util::Future<Run> merging;
+      if (!trivial) {
+        merging = ctx.sim().offload([&runs] { return merge_runs(runs, false); });
+      }
+      if (disk_bytes > 0) {
+        co_await ctx.node->disk_stream_read(
+            disk_bytes, cluster::Node::amortized_seek(disk_bytes));
+      }
       const HostCosts& h = cfg.host;
       co_await ctx.node->cpu_work(
           static_cast<double>(in_stored) / h.decompress_bytes_per_s +
           static_cast<double>(in_raw) / h.merge_bytes_per_s);
+      Run merged;
+      if (trivial) {
+        merged = std::move(runs.front());
+      } else {
+        merged = co_await ctx.sim().join(std::move(merging));
+      }
       backing = std::make_shared<Run>(std::move(merged));
     }
 
@@ -229,16 +239,22 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<ReduceChunk>& in,
               for (auto v : group.values) bytes += v.size();
               c.charge_read(bytes);
 
-              // Inject carried scratch state for continuations.
+              // Inject carried scratch state for continuations. The value is
+              // moved into a local first: erasing (or overwriting) the map
+              // entry while `with_scratch` still views its string would
+              // leave a dangling view during the reduce call below.
               std::vector<std::string_view>* values = &group.values;
               std::vector<std::string_view> with_scratch;
+              std::string carried;
               const auto scratch_key =
                   std::make_pair(item->partition, std::string(group.key));
               if (group.is_continuation) {
                 auto it = scratch.find(scratch_key);
                 GW_CHECK_MSG(it != scratch.end(), "missing scratch state");
+                carried = std::move(it->second);
+                if (!group.has_more) scratch.erase(it);
                 with_scratch.reserve(group.values.size() + 1);
-                with_scratch.push_back(it->second);
+                with_scratch.push_back(carried);
                 with_scratch.insert(with_scratch.end(), group.values.begin(),
                                     group.values.end());
                 values = &with_scratch;
@@ -254,7 +270,6 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<ReduceChunk>& in,
                              "sliced reduce must emit exactly one value");
                 scratch[scratch_key] = std::move(slot);
               } else {
-                if (group.is_continuation) scratch.erase(scratch_key);
                 GroupPairEmitter emitter(&out_groups[g], &c);
                 ReduceContext rctx{&emitter, &c};
                 reduce(group.key, *values, rctx);
@@ -300,13 +315,19 @@ sim::Task<> write_output(NodeContext ctx, int local_p, RunBuilder&& builder,
   ActivityTimer::Scope scope(m.output, ctx.sim());
   const std::uint64_t raw = builder.raw_bytes();
   m.output_pairs += builder.pairs();
-  Run run = builder.finish(false);
-  util::ByteWriter w;
-  run.serialize(w);
+  // Finalizing + wire-framing the output run is size-charged: overlap the
+  // real work with the serialize charge.
+  auto work = ctx.sim().offload([b = std::move(builder)]() mutable {
+    Run run = b.finish(false);
+    util::ByteWriter w;
+    run.serialize(w);
+    return w.take();
+  });
   co_await ctx.node->cpu_work(static_cast<double>(raw) /
                               ctx.config->host.serialize_bytes_per_s);
+  util::Bytes wire = co_await ctx.sim().join(std::move(work));
   const std::string path = partition_output_path(ctx, local_p);
-  co_await ctx.fs->write(ctx.node_id, path, w.take());
+  co_await ctx.fs->write(ctx.node_id, path, std::move(wire));
   m.output_files.push_back(path);
 }
 
@@ -339,20 +360,24 @@ sim::Task<> merge_only_reduce(NodeContext ctx, ReduceMetrics& m) {
     RunBuilder builder;
     {
       ActivityTimer::Scope scope(m.input, ctx.sim());
-      if (disk_bytes > 0) {
-        co_await ctx.node->disk_stream_read(
-            disk_bytes, cluster::Node::amortized_seek(disk_bytes));
-      }
       std::uint64_t in_stored = 0, in_raw = 0;
       for (const Run& r : runs) {
         in_stored += r.stored_bytes();
         in_raw += r.raw_bytes;
       }
-      Run merged = merge_runs(runs, false);
+      // As in input_stage: the merge charge is size-determined, so the real
+      // merge overlaps the simulated disk + cpu charges.
+      auto merging =
+          ctx.sim().offload([&runs] { return merge_runs(runs, false); });
+      if (disk_bytes > 0) {
+        co_await ctx.node->disk_stream_read(
+            disk_bytes, cluster::Node::amortized_seek(disk_bytes));
+      }
       const HostCosts& h = cfg.host;
       co_await ctx.node->cpu_work(
           static_cast<double>(in_stored) / h.decompress_bytes_per_s +
           static_cast<double>(in_raw) / h.merge_bytes_per_s);
+      Run merged = co_await ctx.sim().join(std::move(merging));
       // The merged run is uncompressed and shares our pair framing: its
       // payload can be appended to the output builder wholesale.
       builder.add_encoded(

@@ -117,19 +117,18 @@ double Device::model_kernel_seconds(const KernelStats& stats,
 
 sim::Task<KernelStats> Device::run_kernel(std::size_t items, WorkItemFn fn,
                                           LaunchConfig cfg) {
-  co_return co_await run_kernel_grouped(
-      items, kDefaultWorkGroups,
+  // Named local, not a temporary in the co_await full-expression (closure
+  // types have implicit constructors — see the payload rule in sim/sim.h).
+  GroupWorkItemFn grouped =
       [fn = std::move(fn)](std::size_t i, std::size_t, KernelCounters& c) {
         fn(i, c);
-      },
-      cfg);
+      };
+  co_return co_await run_kernel_grouped(items, kDefaultWorkGroups,
+                                        std::move(grouped), cfg);
 }
 
-sim::Task<KernelStats> Device::run_kernel_grouped(std::size_t items,
-                                                  std::size_t groups,
-                                                  GroupWorkItemFn fn,
-                                                  LaunchConfig cfg) {
-  GW_CHECK(groups > 0);
+KernelStats Device::execute_grouped(std::size_t items, std::size_t groups,
+                                    const GroupWorkItemFn& fn) {
   // Real execution on the host pool. The group decomposition is fixed, so
   // per-group side effects and counters are independent of how many host
   // threads happen to exist; counter reduction is associative.
@@ -150,7 +149,32 @@ sim::Task<KernelStats> Device::run_kernel_grouped(std::size_t items,
   }
   KernelStats stats;
   for (const auto& c : per_group) stats += c.stats();
-  co_await charge_kernel(stats, cfg);
+  return stats;
+}
+
+sim::Task<KernelStats> Device::run_kernel_grouped(std::size_t items,
+                                                  std::size_t groups,
+                                                  GroupWorkItemFn fn,
+                                                  LaunchConfig cfg) {
+  GW_CHECK(groups > 0);
+  // Named local for the same payload-rule reason as in run_kernel above.
+  KernelJobFn job = [items, groups, fn = std::move(fn)] {
+    return execute_grouped(items, groups, fn);
+  };
+  co_return co_await run_kernel_job(std::move(job), cfg);
+}
+
+sim::Task<KernelStats> Device::run_kernel_job(KernelJobFn job,
+                                              LaunchConfig cfg) {
+  // The real work starts now (on the pool); the simulated charge is joined
+  // only once the command queue grants execution and the stats are needed.
+  auto future = sim_.offload(std::move(job));
+  ++kernels_launched_;
+  auto queue_hold = co_await queue_->acquire();
+  const KernelStats stats = co_await sim_.join(std::move(future));
+  const double seconds = model_kernel_seconds(stats, cfg);
+  total_kernel_seconds_ += seconds;
+  co_await charge_locked(seconds, cfg);
   co_return stats;
 }
 
@@ -160,6 +184,11 @@ sim::Task<> Device::charge_kernel(const KernelStats& stats, LaunchConfig cfg) {
   total_kernel_seconds_ += seconds;
 
   auto queue_hold = co_await queue_->acquire();
+  co_await charge_locked(seconds, cfg);
+}
+
+// Models kernel execution time while the command queue is held.
+sim::Task<> Device::charge_locked(double seconds, LaunchConfig cfg) {
   if (spec_.type == DeviceType::kCpu && shared_cores_ != nullptr) {
     // CPU kernels timeshare the node's host threads with partitioner and
     // merger threads: spread lane-seconds over `lanes` sliced workers.

@@ -147,6 +147,22 @@ class Device {
                                             GroupWorkItemFn fn,
                                             LaunchConfig cfg = {});
 
+  // Offload-engine kernel primitive: `job` is a pure function doing the
+  // kernel's real host work and returning its measured counters. It is
+  // submitted to the host pool at the simulated launch instant; the
+  // coroutine then acquires the command queue and joins the job only where
+  // the stats-derived charge is consumed, so other nodes' events keep
+  // dispatching while the job runs.
+  using KernelJobFn = std::function<KernelStats()>;
+  sim::Task<KernelStats> run_kernel_job(KernelJobFn job, LaunchConfig cfg = {});
+
+  // The real-execution body of run_kernel_grouped: runs `items` work-items
+  // in `groups` fixed groups (fanned out over the pool) and reduces the
+  // per-group counters in group order. Usable inside a caller-composed
+  // run_kernel_job closure to fold extra host work into the same kernel job.
+  static KernelStats execute_grouped(std::size_t items, std::size_t groups,
+                                     const GroupWorkItemFn& fn);
+
   // Charges time for a kernel whose counters were measured elsewhere.
   sim::Task<> charge_kernel(const KernelStats& stats, LaunchConfig cfg = {});
 
@@ -167,6 +183,7 @@ class Device {
  private:
   sim::Task<> transfer(std::uint64_t bytes);
   sim::Task<> lane_work(double seconds);
+  sim::Task<> charge_locked(double seconds, LaunchConfig cfg);
   int effective_lanes(LaunchConfig cfg) const;
 
   sim::Simulation& sim_;

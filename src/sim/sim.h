@@ -12,12 +12,25 @@
 // Determinism: events are ordered by (time, insertion sequence); all wakeups
 // go through the event queue (never resumed inline), so execution order is a
 // pure function of the program and its seeds.
+//
+// Host-compute offload: real host work that a simulated process performs
+// (kernel bodies, sorts, merges, compression) can be decoupled from the
+// simulated timeline — submitted to the work-stealing `util::ThreadPool` at
+// the simulated instant the work starts (`Simulation::offload`) and joined
+// at the simulated instant its result is consumed (`co_await sim.join(f)`).
+// The joining coroutine suspends with a pending-completion marker; the event
+// loop resumes it *before* dispatching any further event, so event order is
+// exactly that of a serial execution for every GW_THREADS value, while jobs
+// whose submit and join lie at different simulated instants overlap in
+// wall-clock with all events dispatched in between.
 #pragma once
 
+#include <chrono>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -25,6 +38,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace gw::sim {
 
@@ -215,19 +229,67 @@ class Simulation {
   // co_await sim.delay(seconds)
   DelayAwaiter delay(double seconds) { return DelayAwaiter{this, seconds}; }
 
+  // --- host-compute offload ---
+
+  // Submits real host work to the process-wide pool. The returned future is
+  // consumed with `co_await sim.join(std::move(f))` at the simulated point
+  // where the result (or its derived charge) is needed.
+  template <typename F>
+  auto offload(F fn) {
+    return util::ThreadPool::global().submit(std::move(fn));
+  }
+
+  template <typename T>
+  class HostJoinAwaiter {
+   public:
+    HostJoinAwaiter(Simulation* sim, util::Future<T> f)
+        : sim_(sim), future_(std::move(f)) {}
+    // Suspends unconditionally — even when the job already finished — so the
+    // resume path is identical whether or not the host happened to be fast.
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim_->pending_joins_.push_back(PendingJoin(future_, h));
+    }
+    T await_resume() { return future_.get(); }
+
+   private:
+    Simulation* sim_;
+    util::Future<T> future_;
+  };
+
+  // co_await sim.join(std::move(future)) — rethrows the job's exception.
+  template <typename T>
+  HostJoinAwaiter<T> join(util::Future<T> f) {
+    return HostJoinAwaiter<T>(this, std::move(f));
+  }
+
   // Runs until the event queue drains. Returns the final simulated time.
   double run() {
-    while (!queue_.empty()) step();
+    for (;;) {
+      drain_pending_joins();
+      if (queue_.empty()) break;
+      step();
+    }
     return now_;
   }
 
   // Runs events with time <= t_end, then sets now() = t_end.
   void run_until(double t_end) {
-    while (!queue_.empty() && queue_.top().time <= t_end) step();
+    for (;;) {
+      drain_pending_joins();
+      if (queue_.empty() || queue_.top().time > t_end) break;
+      step();
+    }
     if (t_end > now_) now_ = t_end;
   }
 
   std::uint64_t events_processed() const { return events_processed_; }
+
+  // Offload observability (wall-clock; never affects simulated time).
+  std::uint64_t offload_joins() const { return offload_joins_; }
+  double offload_join_block_seconds() const {
+    return static_cast<double>(join_block_nanos_) * 1e-9;
+  }
 
  private:
   struct Entry {
@@ -239,6 +301,18 @@ class Simulation {
     }
   };
 
+  // A coroutine suspended on a host-job join: resumed (after blocking on the
+  // job if needed) before the loop dispatches any further event, at an
+  // unchanged now(). FIFO order = suspension order, which a serial execution
+  // would also follow.
+  struct PendingJoin {
+    template <typename T>
+    PendingJoin(const util::Future<T>& f, std::coroutine_handle<> h)
+        : wait([f] { f.wait(); }), handle(h) {}
+    std::function<void()> wait;
+    std::coroutine_handle<> handle;
+  };
+
   void step() {
     Entry e = queue_.top();
     queue_.pop();
@@ -248,10 +322,28 @@ class Simulation {
     e.handle.resume();
   }
 
+  void drain_pending_joins() {
+    while (!pending_joins_.empty()) {
+      PendingJoin p = std::move(pending_joins_.front());
+      pending_joins_.pop_front();
+      const auto start = std::chrono::steady_clock::now();
+      p.wait();
+      join_block_nanos_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      ++offload_joins_;
+      p.handle.resume();  // may enqueue further events and pending joins
+    }
+  }
+
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t offload_joins_ = 0;
+  std::uint64_t join_block_nanos_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::deque<PendingJoin> pending_joins_;
 };
 
 // One-shot event: processes wait until another sets it.

@@ -1,61 +1,178 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <cstdint>
-#include <mutex>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <thread>
+#include <vector>
 
 #include "util/error.h"
 
 namespace gw::util {
 
-struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  // Current job, valid while generation is odd.
-  std::function<void(std::size_t, std::size_t, std::size_t)> fn;
-  std::size_t begin = 0, end = 0, chunks = 0;
-  std::size_t next_chunk = 0;
-  std::size_t pending = 0;
-  std::uint64_t generation = 0;
-  bool stop = false;
-  std::vector<std::thread> workers;
+namespace {
 
-  void worker_loop() {
-    std::uint64_t seen = 0;
-    for (;;) {
-      std::unique_lock<std::mutex> lock(mutex);
-      work_cv.wait(lock, [&] { return stop || generation != seen; });
-      if (stop) return;
-      seen = generation;
-      run_chunks(lock);
+// Deterministic id of the task the current thread is running (0 = none).
+thread_local std::uint64_t t_current_task_id = 0;
+
+std::size_t resolve_thread_count(std::size_t threads) {
+  if (threads == 0) {
+    if (const char* env = std::getenv("GW_THREADS")) {
+      threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
     }
   }
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return threads;
+}
 
-  // Pops and runs chunks until exhausted. Caller holds the lock.
-  void run_chunks(std::unique_lock<std::mutex>& lock) {
-    const std::size_t total = end - begin;
-    while (next_chunk < chunks) {
-      const std::size_t c = next_chunk++;
-      const std::size_t lo = begin + total * c / chunks;
-      const std::size_t hi = begin + total * (c + 1) / chunks;
-      lock.unlock();
-      fn(lo, hi, c);
-      lock.lock();
-      if (--pending == 0) done_cv.notify_all();
+// parallel_for state, heap-allocated so straggler helper tasks that wake up
+// after the loop completed can still touch it safely.
+struct ForJob {
+  ForJob(std::size_t begin, std::size_t total, std::size_t chunks,
+         const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+      : begin(begin), total(total), chunks(chunks), fn(fn) {}
+
+  const std::size_t begin, total, chunks;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>& fn;
+  std::uint64_t parent_task_id = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;
+  std::size_t error_chunk = static_cast<std::size_t>(-1);
+
+  // Claims and runs chunks until none remain. Any participant (caller,
+  // worker, helping joiner) may execute this; chunk boundaries depend only
+  // on (begin, total, chunks), so the work done is identical regardless of
+  // which thread claims which chunk.
+  void run_chunks() {
+    const std::uint64_t saved = t_current_task_id;
+    t_current_task_id = parent_task_id;
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      try {
+        fn(begin + total * c / chunks, begin + total * (c + 1) / chunks, c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (c < error_chunk) {
+          error_chunk = c;
+          error = std::current_exception();
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+    t_current_task_id = saved;
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One deque per worker (owner pushes/pops the back, thieves pop the
+  // front) plus a global injector for tasks submitted from outside the
+  // pool — i.e. from the single-threaded simulator.
+  struct Deque {
+    std::deque<std::shared_ptr<detail::TaskNode>> q;
+  };
+
+  std::mutex mutex;  // guards all deques + injector + sleep bookkeeping
+  std::condition_variable work_cv;
+  std::deque<std::shared_ptr<detail::TaskNode>> injector;
+  std::vector<Deque> deques;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  std::atomic<std::uint64_t> tasks_executed{0};
+  std::atomic<std::uint64_t> busy_nanos{0};
+
+  // Index of the worker running on this thread, or -1.
+  static thread_local int t_worker_index;
+
+  std::shared_ptr<detail::TaskNode> pop_locked(int self) {
+    if (self >= 0 && !deques[static_cast<std::size_t>(self)].q.empty()) {
+      auto n = std::move(deques[static_cast<std::size_t>(self)].q.back());
+      deques[static_cast<std::size_t>(self)].q.pop_back();
+      return n;
+    }
+    if (!injector.empty()) {
+      auto n = std::move(injector.front());
+      injector.pop_front();
+      return n;
+    }
+    const std::size_t w = deques.size();
+    for (std::size_t k = 1; k <= w; ++k) {
+      const std::size_t victim = (static_cast<std::size_t>(self + 1) + k) % w;
+      if (!deques[victim].q.empty()) {
+        auto n = std::move(deques[victim].q.front());
+        deques[victim].q.pop_front();
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  void worker_loop(ThreadPool* pool, int index) {
+    t_worker_index = index;
+    for (;;) {
+      std::shared_ptr<detail::TaskNode> node;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return stop || (node = pop_locked(index)); });
+        if (node == nullptr) return;  // stop
+      }
+      if (node->try_claim()) pool->run_node(*node);
     }
   }
 };
 
-ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+thread_local int ThreadPool::Impl::t_worker_index = -1;
+
+void detail::FutureStateBase::mark_done() {
+  std::lock_guard<std::mutex> lock(mutex);
+  done = true;
+  cv.notify_all();
+}
+
+void detail::FutureStateBase::abandon() {
+  // Claiming an unclaimed task cancels it: pop sites skip claimed nodes, so
+  // the closure (which may reference a dying coroutine frame) never runs.
+  if (auto n = node.lock(); n != nullptr && n->try_claim()) return;
+  // Already claimed: the task ran or is running on another thread. Wait it
+  // out — everything its closure references is still alive during this call.
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+}
+
+void detail::FutureStateBase::wait() {
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (done) return;
   }
-  threads_ = threads;
-  // threads-1 workers; the caller participates in parallel_for.
-  for (std::size_t i = 0; i + 1 < threads; ++i) {
-    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  // Help: if the task is still queued (common on small pools, guaranteed on
+  // a 1-thread pool), run it right here instead of blocking.
+  if (auto n = node.lock(); n != nullptr && n->try_claim()) {
+    pool->run_node(*n);
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(resolve_thread_count(threads)), impl_(new Impl) {
+  // threads-1 workers; the caller participates in parallel_for and joins.
+  const std::size_t workers = threads_ - 1;
+  impl_->deques.resize(std::max<std::size_t>(1, workers));
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back(
+        [this, i] { impl_->worker_loop(this, static_cast<int>(i)); });
   }
 }
 
@@ -66,6 +183,46 @@ ThreadPool::~ThreadPool() {
   }
   impl_->work_cv.notify_all();
   for (auto& t : impl_->workers) t.join();
+  // Complete any still-queued tasks inline so futures never dangle.
+  for (;;) {
+    std::shared_ptr<detail::TaskNode> node;
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      node = impl_->pop_locked(-1);
+    }
+    if (node == nullptr) break;
+    if (node->try_claim()) run_node(*node);
+  }
+}
+
+void ThreadPool::enqueue(std::shared_ptr<detail::TaskNode> node) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const int self = Impl::t_worker_index;
+    if (self >= 0 && static_cast<std::size_t>(self) < impl_->deques.size()) {
+      impl_->deques[static_cast<std::size_t>(self)].q.push_back(
+          std::move(node));
+    } else {
+      impl_->injector.push_back(std::move(node));
+    }
+  }
+  impl_->work_cv.notify_one();
+}
+
+void ThreadPool::run_node(detail::TaskNode& node) {
+  const std::uint64_t saved = t_current_task_id;
+  t_current_task_id = node.seed_id;
+  const auto start = std::chrono::steady_clock::now();
+  node.run();
+  if (node.counted) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    impl_->busy_nanos.fetch_add(static_cast<std::uint64_t>(ns),
+                                std::memory_order_relaxed);
+    impl_->tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  }
+  t_current_task_id = saved;
 }
 
 void ThreadPool::parallel_for(
@@ -73,27 +230,62 @@ void ThreadPool::parallel_for(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const std::size_t chunks = std::min(total, threads_);
-  if (chunks <= 1) {
-    fn(begin, end, 0);
+  // Fixed fan-out: the decomposition must not depend on the thread count,
+  // only the number of *helpers* does.
+  constexpr std::size_t kMaxChunks = 64;
+  const std::size_t chunks = std::min(total, kMaxChunks);
+  if (chunks == 1 || threads_ == 1) {
+    // Serial fast path; still a single fn call per chunk boundary set.
+    auto job = std::make_shared<ForJob>(begin, total, chunks, fn);
+    job->parent_task_id = t_current_task_id;
+    job->run_chunks();
+    if (job->error) std::rethrow_exception(job->error);
     return;
   }
-  std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->fn = fn;
-  impl_->begin = begin;
-  impl_->end = end;
-  impl_->chunks = chunks;
-  impl_->next_chunk = 0;
-  impl_->pending = chunks;
-  ++impl_->generation;
-  impl_->work_cv.notify_all();
-  impl_->run_chunks(lock);
-  impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+  auto job = std::make_shared<ForJob>(begin, total, chunks, fn);
+  job->parent_task_id = t_current_task_id;
+  const std::size_t helpers = std::min(chunks, threads_) - 1;
+  for (std::size_t i = 0; i < helpers; ++i) {
+    auto node = std::make_shared<detail::TaskNode>();
+    node->seed_id = job->parent_task_id;
+    node->counted = false;
+    node->run = [job] { job->run_chunks(); };
+    enqueue(std::move(node));
+  }
+  job->run_chunks();
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->cv.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == job->chunks;
+  });
+  if (job->error) std::rethrow_exception(job->error);
 }
 
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+std::uint64_t ThreadPool::current_task_id() { return t_current_task_id; }
+
+namespace {
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  auto& slot = global_slot();
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::reset_global(std::size_t threads) {
+  global_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_executed = impl_->tasks_executed.load(std::memory_order_relaxed);
+  s.busy_seconds =
+      static_cast<double>(impl_->busy_nanos.load(std::memory_order_relaxed)) *
+      1e-9;
+  return s;
 }
 
 }  // namespace gw::util
