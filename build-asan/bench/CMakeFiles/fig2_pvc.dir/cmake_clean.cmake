@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pvc.dir/fig2_pvc.cc.o"
+  "CMakeFiles/fig2_pvc.dir/fig2_pvc.cc.o.d"
+  "fig2_pvc"
+  "fig2_pvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

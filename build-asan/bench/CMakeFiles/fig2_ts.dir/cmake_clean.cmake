@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ts.dir/fig2_ts.cc.o"
+  "CMakeFiles/fig2_ts.dir/fig2_ts.cc.o.d"
+  "fig2_ts"
+  "fig2_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_wc.dir/fig2_wc.cc.o"
+  "CMakeFiles/fig2_wc.dir/fig2_wc.cc.o.d"
+  "fig2_wc"
+  "fig2_wc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_wc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

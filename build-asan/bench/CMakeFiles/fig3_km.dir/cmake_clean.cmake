@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_km.dir/fig3_km.cc.o"
+  "CMakeFiles/fig3_km.dir/fig3_km.cc.o.d"
+  "fig3_km"
+  "fig3_km.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_km.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mm.dir/fig3_mm.cc.o"
+  "CMakeFiles/fig3_mm.dir/fig3_mm.cc.o.d"
+  "fig3_mm"
+  "fig3_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

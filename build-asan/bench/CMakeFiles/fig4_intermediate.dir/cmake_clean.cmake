@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_intermediate.dir/fig4_intermediate.cc.o"
+  "CMakeFiles/fig4_intermediate.dir/fig4_intermediate.cc.o.d"
+  "fig4_intermediate"
+  "fig4_intermediate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_intermediate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_reduce.dir/fig5_reduce.cc.o"
+  "CMakeFiles/fig5_reduce.dir/fig5_reduce.cc.o.d"
+  "fig5_reduce"
+  "fig5_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vertical.dir/fig6_vertical.cc.o"
+  "CMakeFiles/fig6_vertical.dir/fig6_vertical.cc.o.d"
+  "fig6_vertical"
+  "fig6_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

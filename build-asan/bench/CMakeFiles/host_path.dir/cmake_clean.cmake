@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_path.dir/host_path.cc.o"
+  "CMakeFiles/host_path.dir/host_path.cc.o.d"
+  "host_path"
+  "host_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

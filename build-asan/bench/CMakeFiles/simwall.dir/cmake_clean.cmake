@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simwall.dir/simwall.cc.o"
+  "CMakeFiles/simwall.dir/simwall.cc.o.d"
+  "simwall"
+  "simwall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simwall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

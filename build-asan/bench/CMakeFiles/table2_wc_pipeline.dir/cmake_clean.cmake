@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_wc_pipeline.dir/table2_wc_pipeline.cc.o"
+  "CMakeFiles/table2_wc_pipeline.dir/table2_wc_pipeline.cc.o.d"
+  "table2_wc_pipeline"
+  "table2_wc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

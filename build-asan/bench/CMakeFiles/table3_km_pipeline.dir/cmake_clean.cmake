@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_km_pipeline.dir/table3_km_pipeline.cc.o"
+  "CMakeFiles/table3_km_pipeline.dir/table3_km_pipeline.cc.o.d"
+  "table3_km_pipeline"
+  "table3_km_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_km_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gwrun.dir/gwrun.cpp.o"
+  "CMakeFiles/gwrun.dir/gwrun.cpp.o.d"
+  "gwrun"
+  "gwrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gwrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_gpu_cluster.dir/kmeans_gpu_cluster.cpp.o"
+  "CMakeFiles/kmeans_gpu_cluster.dir/kmeans_gpu_cluster.cpp.o.d"
+  "kmeans_gpu_cluster"
+  "kmeans_gpu_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_gpu_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terasort_cluster.dir/terasort_cluster.cpp.o"
+  "CMakeFiles/terasort_cluster.dir/terasort_cluster.cpp.o.d"
+  "terasort_cluster"
+  "terasort_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terasort_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblog_analytics.dir/weblog_analytics.cpp.o"
+  "CMakeFiles/weblog_analytics.dir/weblog_analytics.cpp.o.d"
+  "weblog_analytics"
+  "weblog_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblog_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

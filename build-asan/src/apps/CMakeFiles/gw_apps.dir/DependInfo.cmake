@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/blackscholes.cc" "src/apps/CMakeFiles/gw_apps.dir/blackscholes.cc.o" "gcc" "src/apps/CMakeFiles/gw_apps.dir/blackscholes.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/gw_apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/gw_apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/matmul.cc" "src/apps/CMakeFiles/gw_apps.dir/matmul.cc.o" "gcc" "src/apps/CMakeFiles/gw_apps.dir/matmul.cc.o.d"
+  "/root/repo/src/apps/pageview.cc" "src/apps/CMakeFiles/gw_apps.dir/pageview.cc.o" "gcc" "src/apps/CMakeFiles/gw_apps.dir/pageview.cc.o.d"
+  "/root/repo/src/apps/terasort.cc" "src/apps/CMakeFiles/gw_apps.dir/terasort.cc.o" "gcc" "src/apps/CMakeFiles/gw_apps.dir/terasort.cc.o.d"
+  "/root/repo/src/apps/wordcount.cc" "src/apps/CMakeFiles/gw_apps.dir/wordcount.cc.o" "gcc" "src/apps/CMakeFiles/gw_apps.dir/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/gw_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gwdfs/CMakeFiles/gw_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/gw_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gwcl/CMakeFiles/gw_cl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cluster/CMakeFiles/gw_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simnet/CMakeFiles/gw_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_apps.dir/blackscholes.cc.o"
+  "CMakeFiles/gw_apps.dir/blackscholes.cc.o.d"
+  "CMakeFiles/gw_apps.dir/kmeans.cc.o"
+  "CMakeFiles/gw_apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/gw_apps.dir/matmul.cc.o"
+  "CMakeFiles/gw_apps.dir/matmul.cc.o.d"
+  "CMakeFiles/gw_apps.dir/pageview.cc.o"
+  "CMakeFiles/gw_apps.dir/pageview.cc.o.d"
+  "CMakeFiles/gw_apps.dir/terasort.cc.o"
+  "CMakeFiles/gw_apps.dir/terasort.cc.o.d"
+  "CMakeFiles/gw_apps.dir/wordcount.cc.o"
+  "CMakeFiles/gw_apps.dir/wordcount.cc.o.d"
+  "libgw_apps.a"
+  "libgw_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

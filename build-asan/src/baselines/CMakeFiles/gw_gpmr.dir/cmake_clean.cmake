@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_gpmr.dir/gpmr/gpmr.cc.o"
+  "CMakeFiles/gw_gpmr.dir/gpmr/gpmr.cc.o.d"
+  "libgw_gpmr.a"
+  "libgw_gpmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_gpmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

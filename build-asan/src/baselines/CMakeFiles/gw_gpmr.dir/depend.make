@@ -1,0 +1,2 @@
+# Empty dependencies file for gw_gpmr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_hadoop.dir/hadoop/hadoop.cc.o"
+  "CMakeFiles/gw_hadoop.dir/hadoop/hadoop.cc.o.d"
+  "libgw_hadoop.a"
+  "libgw_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_cluster.dir/cluster.cc.o"
+  "CMakeFiles/gw_cluster.dir/cluster.cc.o.d"
+  "libgw_cluster.a"
+  "libgw_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_core.dir/api.cc.o"
+  "CMakeFiles/gw_core.dir/api.cc.o.d"
+  "CMakeFiles/gw_core.dir/collector.cc.o"
+  "CMakeFiles/gw_core.dir/collector.cc.o.d"
+  "CMakeFiles/gw_core.dir/intermediate.cc.o"
+  "CMakeFiles/gw_core.dir/intermediate.cc.o.d"
+  "CMakeFiles/gw_core.dir/job.cc.o"
+  "CMakeFiles/gw_core.dir/job.cc.o.d"
+  "CMakeFiles/gw_core.dir/kv.cc.o"
+  "CMakeFiles/gw_core.dir/kv.cc.o.d"
+  "CMakeFiles/gw_core.dir/kv_reference.cc.o"
+  "CMakeFiles/gw_core.dir/kv_reference.cc.o.d"
+  "CMakeFiles/gw_core.dir/map_pipeline.cc.o"
+  "CMakeFiles/gw_core.dir/map_pipeline.cc.o.d"
+  "CMakeFiles/gw_core.dir/pipeline.cc.o"
+  "CMakeFiles/gw_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/gw_core.dir/reduce_pipeline.cc.o"
+  "CMakeFiles/gw_core.dir/reduce_pipeline.cc.o.d"
+  "libgw_core.a"
+  "libgw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

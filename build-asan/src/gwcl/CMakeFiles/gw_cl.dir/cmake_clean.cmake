@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_cl.dir/device.cc.o"
+  "CMakeFiles/gw_cl.dir/device.cc.o.d"
+  "libgw_cl.a"
+  "libgw_cl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_cl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_dfs.dir/fs.cc.o"
+  "CMakeFiles/gw_dfs.dir/fs.cc.o.d"
+  "libgw_dfs.a"
+  "libgw_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_net.dir/fabric.cc.o"
+  "CMakeFiles/gw_net.dir/fabric.cc.o.d"
+  "libgw_net.a"
+  "libgw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

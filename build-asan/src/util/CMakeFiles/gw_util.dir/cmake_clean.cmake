@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_util.dir/compress.cc.o"
+  "CMakeFiles/gw_util.dir/compress.cc.o.d"
+  "CMakeFiles/gw_util.dir/log.cc.o"
+  "CMakeFiles/gw_util.dir/log.cc.o.d"
+  "CMakeFiles/gw_util.dir/rng.cc.o"
+  "CMakeFiles/gw_util.dir/rng.cc.o.d"
+  "CMakeFiles/gw_util.dir/thread_pool.cc.o"
+  "CMakeFiles/gw_util.dir/thread_pool.cc.o.d"
+  "libgw_util.a"
+  "libgw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

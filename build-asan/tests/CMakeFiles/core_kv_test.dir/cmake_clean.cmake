@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_kv_test.dir/core_kv_test.cc.o"
+  "CMakeFiles/core_kv_test.dir/core_kv_test.cc.o.d"
+  "core_kv_test"
+  "core_kv_test.pdb"
+  "core_kv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

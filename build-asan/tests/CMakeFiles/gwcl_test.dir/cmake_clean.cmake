@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gwcl_test.dir/gwcl_test.cc.o"
+  "CMakeFiles/gwcl_test.dir/gwcl_test.cc.o.d"
+  "gwcl_test"
+  "gwcl_test.pdb"
+  "gwcl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gwcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

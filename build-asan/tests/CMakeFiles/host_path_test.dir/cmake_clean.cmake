@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_path_test.dir/host_path_test.cc.o"
+  "CMakeFiles/host_path_test.dir/host_path_test.cc.o.d"
+  "host_path_test"
+  "host_path_test.pdb"
+  "host_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_test.dir/offload_test.cc.o"
+  "CMakeFiles/offload_test.dir/offload_test.cc.o.d"
+  "offload_test"
+  "offload_test.pdb"
+  "offload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

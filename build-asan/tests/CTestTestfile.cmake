@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gwcl_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_kv_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/host_path_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_job_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_components_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/regression_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/offload_test[1]_include.cmake")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_km.
+# This may be replaced when dependencies are built.

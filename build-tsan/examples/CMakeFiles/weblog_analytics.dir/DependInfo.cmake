@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/weblog_analytics.cpp" "examples/CMakeFiles/weblog_analytics.dir/weblog_analytics.cpp.o" "gcc" "examples/CMakeFiles/weblog_analytics.dir/weblog_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/apps/CMakeFiles/gw_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/gw_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/gw_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gwcl/CMakeFiles/gw_cl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gwdfs/CMakeFiles/gw_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/gw_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simnet/CMakeFiles/gw_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/gw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

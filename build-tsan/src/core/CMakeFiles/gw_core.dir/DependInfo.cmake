@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cc" "src/core/CMakeFiles/gw_core.dir/api.cc.o" "gcc" "src/core/CMakeFiles/gw_core.dir/api.cc.o.d"
+  "/root/repo/src/core/collector.cc" "src/core/CMakeFiles/gw_core.dir/collector.cc.o" "gcc" "src/core/CMakeFiles/gw_core.dir/collector.cc.o.d"
+  "/root/repo/src/core/intermediate.cc" "src/core/CMakeFiles/gw_core.dir/intermediate.cc.o" "gcc" "src/core/CMakeFiles/gw_core.dir/intermediate.cc.o.d"
+  "/root/repo/src/core/job.cc" "src/core/CMakeFiles/gw_core.dir/job.cc.o" "gcc" "src/core/CMakeFiles/gw_core.dir/job.cc.o.d"
+  "/root/repo/src/core/kv.cc" "src/core/CMakeFiles/gw_core.dir/kv.cc.o" "gcc" "src/core/CMakeFiles/gw_core.dir/kv.cc.o.d"
+  "/root/repo/src/core/kv_reference.cc" "src/core/CMakeFiles/gw_core.dir/kv_reference.cc.o" "gcc" "src/core/CMakeFiles/gw_core.dir/kv_reference.cc.o.d"
+  "/root/repo/src/core/map_pipeline.cc" "src/core/CMakeFiles/gw_core.dir/map_pipeline.cc.o" "gcc" "src/core/CMakeFiles/gw_core.dir/map_pipeline.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/gw_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/gw_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/reduce_pipeline.cc" "src/core/CMakeFiles/gw_core.dir/reduce_pipeline.cc.o" "gcc" "src/core/CMakeFiles/gw_core.dir/reduce_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/gwcl/CMakeFiles/gw_cl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gwdfs/CMakeFiles/gw_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/gw_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simnet/CMakeFiles/gw_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/gw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gw_cl.
+# This may be replaced when dependencies are built.

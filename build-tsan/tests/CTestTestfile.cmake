@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/gwcl_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_kv_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/host_path_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_job_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_components_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/regression_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/offload_test[1]_include.cmake")
