@@ -154,6 +154,41 @@ class SeriesTable {
   std::map<std::string, std::vector<Point>> data_;
 };
 
+// Paper-style map-pipeline breakdown table body: one column per
+// configuration, one row per stage busy time. Rows come from
+// JobResult::stages, which job.cc reduces from the trace
+// (trace::Tracer::occupancy) — benches no longer aggregate spans
+// themselves. Stage/Retrieve rows only matter on discrete-memory devices;
+// `show_staging` toggles them (§IV-B2). Callers print their own title line.
+inline void print_stage_breakdown(const std::vector<const char*>& columns,
+                                  const std::vector<const core::JobResult*>& rs,
+                                  bool show_staging) {
+  std::printf("%-16s", "");
+  for (const char* c : columns) std::printf(" %10s", c);
+  std::printf("\n");
+  auto row = [&](const char* label, auto get) {
+    std::printf("%-16s", label);
+    for (const core::JobResult* r : rs) std::printf(" %10.3f", get(*r));
+    std::printf("\n");
+  };
+  row("Input", [](const core::JobResult& r) { return r.stages.input; });
+  if (show_staging) {
+    row("Stage", [](const core::JobResult& r) { return r.stages.stage; });
+  }
+  row("Kernel", [](const core::JobResult& r) { return r.stages.kernel; });
+  if (show_staging) {
+    row("Retrieve", [](const core::JobResult& r) { return r.stages.retrieve; });
+  }
+  row("Partitioning",
+      [](const core::JobResult& r) { return r.stages.partition; });
+  row("Map elapsed",
+      [](const core::JobResult& r) { return r.stages.map_elapsed; });
+  row("Merge delay",
+      [](const core::JobResult& r) { return r.merge_delay_seconds; });
+  row("Reduce time",
+      [](const core::JobResult& r) { return r.reduce_phase_seconds; });
+}
+
 // One-line host-path summary for a finished job: intermediate-store merge
 // activity (count, average fan-in, spills) and collector hash-probe work.
 inline void print_host_path_summary(const char* label,

@@ -36,10 +36,6 @@ core::JobResult run_config(const util::Bytes& input, core::OutputMode mode,
   return result;
 }
 
-void print_row(const char* label, double a, double b, double c, double d) {
-  std::printf("%-16s %10.3f %10.3f %10.3f %10.3f\n", label, a, b, c, d);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,21 +51,8 @@ int main(int argc, char** argv) {
       run_config(input, core::OutputMode::kHashTable, true, 1);
 
   std::printf("=== Table II: WC map pipeline breakdown (seconds) ===\n");
-  std::printf("%-16s %10s %10s %10s %10s\n", "", "hash+comb", "hash",
-              "simple", "single-buf");
-  auto row = [&](const char* label, auto get) {
-    print_row(label, get(i), get(ii), get(iii), get(iv));
-  };
-  row("Input", [](const core::JobResult& r) { return r.stages.input; });
-  row("Kernel", [](const core::JobResult& r) { return r.stages.kernel; });
-  row("Partitioning",
-      [](const core::JobResult& r) { return r.stages.partition; });
-  row("Map elapsed",
-      [](const core::JobResult& r) { return r.stages.map_elapsed; });
-  row("Merge delay",
-      [](const core::JobResult& r) { return r.merge_delay_seconds; });
-  row("Reduce time",
-      [](const core::JobResult& r) { return r.reduce_phase_seconds; });
+  bench::print_stage_breakdown({"hash+comb", "hash", "simple", "single-buf"},
+                               {&i, &ii, &iii, &iv}, /*show_staging=*/false);
 
   std::printf("\n");
   bench::print_host_path_summary("hash+comb", i);

@@ -37,27 +37,8 @@ void print_table(const char* title, const core::JobResult& i,
                  const core::JobResult& ii, const core::JobResult& iii,
                  bool show_staging) {
   std::printf("\n=== %s ===\n", title);
-  std::printf("%-16s %10s %10s %10s\n", "", "hash+comb", "hash", "simple");
-  auto row = [&](const char* label, auto get) {
-    std::printf("%-16s %10.3f %10.3f %10.3f\n", label, get(i), get(ii),
-                get(iii));
-  };
-  row("Input", [](const core::JobResult& r) { return r.stages.input; });
-  if (show_staging) {
-    row("Stage", [](const core::JobResult& r) { return r.stages.stage; });
-  }
-  row("Kernel", [](const core::JobResult& r) { return r.stages.kernel; });
-  if (show_staging) {
-    row("Retrieve", [](const core::JobResult& r) { return r.stages.retrieve; });
-  }
-  row("Partitioning",
-      [](const core::JobResult& r) { return r.stages.partition; });
-  row("Map elapsed",
-      [](const core::JobResult& r) { return r.stages.map_elapsed; });
-  row("Merge delay",
-      [](const core::JobResult& r) { return r.merge_delay_seconds; });
-  row("Reduce time",
-      [](const core::JobResult& r) { return r.reduce_phase_seconds; });
+  bench::print_stage_breakdown({"hash+comb", "hash", "simple"},
+                               {&i, &ii, &iii}, show_staging);
 }
 
 }  // namespace

@@ -41,6 +41,7 @@ struct Flags {
   bool combiner = true;
   std::uint64_t split_kb = 256;
   std::uint64_t seed = 42;
+  std::string trace_path;  // empty = no export
 };
 
 void usage() {
@@ -55,7 +56,9 @@ void usage() {
       "  --buffering=1|2|3  pipeline buffering level\n"
       "  --collector=hash|pool  map output collection\n"
       "  --no-combiner      disable the combiner\n"
-      "  --partitions=P --partitioner-threads=N --split-kb=K --seed=S\n");
+      "  --partitions=P --partitioner-threads=N --split-kb=K --seed=S\n"
+      "  --trace=FILE       export the run's simulated timeline as Chrome\n"
+      "                     trace_event JSON (open in about:tracing/Perfetto)\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -95,6 +98,7 @@ int main(int argc, char** argv) {
     else if (parse_flag(argv[i], "--collector", &v)) flags.collector = v;
     else if (parse_flag(argv[i], "--split-kb", &v)) flags.split_kb = std::strtoull(v.c_str(), nullptr, 10);
     else if (parse_flag(argv[i], "--seed", &v)) flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(argv[i], "--trace", &v)) flags.trace_path = v;
     else if (std::strcmp(argv[i], "--no-combiner") == 0) flags.combiner = false;
     else if (std::strcmp(argv[i], "--help") == 0) { usage(); return 0; }
     else { std::fprintf(stderr, "unknown flag %s\n\n", argv[i]); usage(); return 2; }
@@ -168,6 +172,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.input_records),
                 static_cast<unsigned long long>(r.intermediate_pairs),
                 static_cast<unsigned long long>(r.output_pairs));
+    if (!flags.trace_path.empty()) {
+      if (!platform.sim().tracer().save_chrome_json(flags.trace_path)) {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     flags.trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace written to %s\n", flags.trace_path.c_str());
+    }
     return 0;
   }
 
@@ -197,5 +209,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.stats.intermediate_pairs),
               static_cast<unsigned long long>(r.stats.output_pairs),
               r.output_files.size());
+  if (!flags.trace_path.empty()) {
+    if (!platform.sim().tracer().save_chrome_json(flags.trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   flags.trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", flags.trace_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON export against the schema the repo
+emits (src/util/trace.cc):
+
+  * the file parses and is an object with a "traceEvents" array;
+  * every event carries ph/pid/tid/name, duration events also carry ts+cat;
+  * per (pid, tid), B/E events are balanced and properly nested, with the
+    E name matching the innermost open B;
+  * per pid, timestamps are monotone non-decreasing in file order (the ring
+    preserves record order per node);
+  * span end >= span begin.
+
+Exit code 0 when valid; 1 with a description on the first violation.
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} trace.json")
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+
+    stacks = {}  # (pid, tid) -> [(name, ts), ...]
+    last_ts = {}  # pid -> ts
+    counts = {"B": 0, "E": 0, "i": 0, "M": 0}
+    for idx, ev in enumerate(events):
+        where = f"event #{idx}"
+        for field in ("ph", "pid", "tid", "name"):
+            if field not in ev:
+                fail(f"{where}: missing required field '{field}'")
+        ph = ev["ph"]
+        if ph not in counts:
+            fail(f"{where}: unknown phase '{ph}'")
+        counts[ph] += 1
+        if ph == "M":
+            continue
+        for field in ("ts", "cat"):
+            if field not in ev:
+                fail(f"{where}: {ph} event missing '{field}'")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: bad ts {ts!r}")
+        pid = ev["pid"]
+        if ts < last_ts.get(pid, 0.0):
+            fail(
+                f"{where}: ts {ts} goes backwards on pid {pid} "
+                f"(previous {last_ts[pid]})"
+            )
+        last_ts[pid] = ts
+
+        key = (pid, ev["tid"])
+        if ph == "B":
+            stacks.setdefault(key, []).append((ev["name"], ts))
+        elif ph == "E":
+            stack = stacks.get(key)
+            if not stack:
+                fail(f"{where}: E '{ev['name']}' with no open span on {key}")
+            name, begin_ts = stack.pop()
+            if name != ev["name"]:
+                fail(
+                    f"{where}: E '{ev['name']}' does not match innermost "
+                    f"B '{name}' on {key}"
+                )
+            if ts < begin_ts:
+                fail(f"{where}: span '{name}' ends at {ts} before {begin_ts}")
+
+    open_spans = {k: v for k, v in stacks.items() if v}
+    if open_spans:
+        key, stack = next(iter(open_spans.items()))
+        fail(f"unclosed span '{stack[-1][0]}' on (pid, tid) {key}")
+    if counts["B"] != counts["E"]:
+        fail(f"{counts['B']} B events vs {counts['E']} E events")
+    if counts["B"] + counts["i"] == 0:
+        fail("trace has no span or instant events")
+
+    print(
+        f"validate_trace: OK: {len(events)} events "
+        f"({counts['B']} spans, {counts['i']} instants, "
+        f"{len(last_ts)} nodes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,14 @@
 #include "baselines/gpmr/gpmr.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <memory>
 
 #include "core/collector.h"
 #include "core/kv.h"
 #include "core/pipeline.h"
+#include "core/stage.h"
 #include "util/error.h"
 
 namespace gw::gpmr {
@@ -33,8 +35,10 @@ struct Shared {
 
 // I/O phase: read this node's contiguous share of every (fully replicated)
 // input file from the local filesystem. No compute overlap.
-sim::Task<> io_phase(Shared& sh, int node) {
+sim::Task<> io_phase(core::Stage& st, Shared& sh) {
+  const int node = st.node();
   const core::AppKernels& app = *sh.app;
+  core::Stage::BusyScope busy(st);
   util::Bytes slice;
   for (const auto& path : sh.cfg->input_paths) {
     const std::uint64_t size = sh.fs->file_size(path);
@@ -50,7 +54,9 @@ sim::Task<> io_phase(Shared& sh, int node) {
 
 // Compute phase: chunked map kernels on the GPU; per-chunk combine (GPMR's
 // partial reduction); bin results by destination node in host memory.
-sim::Task<> map_phase(Shared& sh, int node) {
+sim::Task<> map_phase(core::Stage& st, Shared& sh) {
+  const int node = st.node();
+  core::Stage::BusyScope busy(st);
   const core::AppKernels& app = *sh.app;
   const GpmrConfig& cfg = *sh.cfg;
   cl::Device& device = *sh.devices[node];
@@ -135,7 +141,10 @@ sim::Task<> map_phase(Shared& sh, int node) {
 }
 
 // Exchange + reduce phase on the destination node.
-sim::Task<> reduce_phase(Shared& sh, int node, GpmrResult& result) {
+sim::Task<> reduce_phase(core::Stage& st, Shared& sh, GpmrResult& result) {
+  const int node = st.node();
+  core::Stage::BusyScope busy(st);
+  const std::int32_t exchange_name = st.span_name("exchange");
   cl::Device& device = *sh.devices[node];
   const core::AppKernels& app = *sh.app;
 
@@ -144,6 +153,7 @@ sim::Task<> reduce_phase(Shared& sh, int node, GpmrResult& result) {
   for (int src = 0; src < sh.num_nodes; ++src) {
     core::PairList& bin = sh.bins[node][src];
     if (src != node && bin.blob_bytes() > 0) {
+      st.instant(trace::Kind::kShuffle, exchange_name, bin.blob_bytes());
       co_await sh.platform->fabric().transfer(src, node, bin.blob_bytes());
     }
     mine.append(bin);
@@ -226,22 +236,28 @@ sim::Task<> reduce_phase(Shared& sh, int node, GpmrResult& result) {
   }
 }
 
-sim::Task<> run_group_phase(Shared& sh, GpmrResult* result, int phase) {
-  sim::TaskGroup group(sh.platform->sim());
-  for (int n = 0; n < sh.num_nodes; ++n) {
+// One cluster-wide StageGraph per phase: worker n runs on node n. GPMR
+// inserts a barrier between phases, so each graph drains fully before the
+// next starts.
+std::unique_ptr<core::StageGraph> make_phase_graph(Shared& sh,
+                                                   GpmrResult* result,
+                                                   int phase) {
+  auto g = std::make_unique<core::StageGraph>(sh.platform->sim(), "gpmr", 0);
+  std::vector<int> node_of;
+  for (int n = 0; n < sh.num_nodes; ++n) node_of.push_back(n);
+  const char* name = phase == 0 ? "io" : (phase == 1 ? "map" : "reduce");
+  g->add_stage(name, sh.num_nodes, node_of, [&sh, result, phase](
+                                                core::Stage& st) {
     switch (phase) {
       case 0:
-        group.spawn(io_phase(sh, n));
-        break;
+        return io_phase(st, sh);
       case 1:
-        group.spawn(map_phase(sh, n));
-        break;
+        return map_phase(st, sh);
       default:
-        group.spawn(reduce_phase(sh, n, *result));
-        break;
+        return reduce_phase(st, sh, *result);
     }
-  }
-  co_await group.wait();
+  });
+  return g;
 }
 
 }  // namespace
@@ -253,7 +269,7 @@ GpmrRuntime::GpmrRuntime(cluster::Platform& platform, dfs::FileSystem& fs,
                "GPMR runs on GPUs only");
   for (int n = 0; n < platform_.num_nodes(); ++n) {
     devices_.push_back(
-        std::make_unique<cl::Device>(platform_.sim(), device_spec_, nullptr));
+        std::make_unique<cl::Device>(platform_.sim(), device_spec_, nullptr, n));
   }
 }
 
@@ -264,6 +280,7 @@ GpmrResult GpmrRuntime::run(const core::AppKernels& app, GpmrConfig config) {
   }
 
   auto& sim = platform_.sim();
+  sim.tracer().clear();  // one job per trace
   GpmrResult result;
 
   Shared sh;
@@ -277,19 +294,28 @@ GpmrResult GpmrRuntime::run(const core::AppKernels& app, GpmrConfig config) {
   sh.bins.resize(sh.num_nodes);
   for (auto& b : sh.bins) b.resize(sh.num_nodes);
 
+  auto& tr = sim.tracer();
+  const auto phase_track = tr.track(0, "phase");
+  const auto phase_names = std::array<std::int32_t, 3>{
+      tr.intern("phase.io"), tr.intern("phase.map"), tr.intern("phase.reduce")};
+  auto run_phase = [&](int phase) {
+    auto g = make_phase_graph(sh, &result, phase);
+    tr.begin(phase_track, trace::Kind::kPhase, phase_names[phase], sim.now());
+    sim.spawn(g->run());
+    sim.run();
+    tr.end(phase_track, trace::Kind::kPhase, phase_names[phase], sim.now());
+  };
+
   // Phase barriers: I/O, then compute, then exchange+reduce — GPMR does not
   // overlap them (total = sum), which is exactly the paper's Fig 3(e) point.
   const double t0 = sim.now();
-  sim.spawn(run_group_phase(sh, &result, 0));
-  sim.run();
+  run_phase(0);
   result.io_seconds = sim.now() - t0;
 
   const double t1 = sim.now();
-  sim.spawn(run_group_phase(sh, &result, 1));
-  sim.run();
+  run_phase(1);
   if (!config.skip_reduce) {
-    sim.spawn(run_group_phase(sh, &result, 2));
-    sim.run();
+    run_phase(2);
   } else {
     // MM mode: partial results stay on the nodes; expose them merged for
     // verification only (no simulated cost).

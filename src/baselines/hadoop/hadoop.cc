@@ -7,6 +7,7 @@
 
 #include "core/kv.h"
 #include "core/pipeline.h"
+#include "core/stage.h"
 #include "util/error.h"
 
 namespace gw::hadoop {
@@ -115,21 +116,31 @@ core::PairList combine_sorted(const core::AppKernels& app,
 // One map slot: pulls splits until none remain. Hadoop tasks are strictly
 // sequential: read the whole split, then map every record on one core, then
 // sort/combine/spill — no intra-task overlap.
-sim::Task<> map_slot(Shared& sh, core::SplitScheduler& scheduler, int node_id) {
+sim::Task<> map_slot(core::Stage& st, Shared& sh,
+                     core::SplitScheduler& scheduler) {
   auto& sim = sh.platform->sim();
+  const int node_id = st.node();
   cluster::Node& node = sh.platform->node(node_id);
   const HadoopConfig& cfg = *sh.cfg;
   const core::AppKernels& app = *sh.app;
+  const std::int32_t read_name = st.span_name("read");
+  const std::int32_t compute_name = st.span_name("map.compute");
+  const std::int32_t spill_name = st.span_name("spill");
+  const std::int32_t shuffle_name = st.span_name("shuffle");
 
   for (;;) {
     auto split = scheduler.next_for(node_id);
     if (!split) break;
 
+    core::Stage::BusyScope busy(st);  // one span per map task
     co_await sim.delay(cfg.task_startup_s);
 
     // 1. Read the entire split (blocking; no compute overlap).
-    util::Bytes data =
-        co_await core::read_aligned_split(*sh.fs, node_id, app, *split);
+    util::Bytes data;
+    {
+      core::Stage::Span span(st, trace::Kind::kStage, read_name);
+      data = co_await core::read_aligned_split(*sh.fs, node_id, app, *split);
+    }
     const std::string_view chunk(reinterpret_cast<const char*>(data.data()),
                                  data.size());
     const std::vector<std::uint64_t> offsets = core::frame_records(app, chunk);
@@ -199,13 +210,20 @@ sim::Task<> map_slot(Shared& sh, core::SplitScheduler& scheduler, int node_id) {
       }
       return res;
     });
-    co_await node.cpu_work(map_cpu_s);
+    {
+      core::Stage::Span span(st, trace::Kind::kKernel, compute_name,
+                             map_out.counters.stats().ops);
+      co_await node.cpu_work(map_cpu_s);
+    }
     SpillJobOut spill = co_await sim.join(std::move(spill_job));
     sh.pairs += spill.pairs;
-    co_await node.cpu_work(spill.cpu_s);
-    if (spill.bytes > 0) {
-      co_await node.disk_stream_write(
-          spill.bytes, cluster::Node::amortized_seek(spill.bytes));
+    {
+      core::Stage::Span span(st, trace::Kind::kSpill, spill_name, spill.bytes);
+      co_await node.cpu_work(spill.cpu_s);
+      if (spill.bytes > 0) {
+        co_await node.disk_stream_write(
+            spill.bytes, cluster::Node::amortized_seek(spill.bytes));
+      }
     }
 
     // 4. Publish outputs. Reducers PULL: they learn about the completed map
@@ -214,6 +232,7 @@ sim::Task<> map_slot(Shared& sh, core::SplitScheduler& scheduler, int node_id) {
       const int dst_node = r % sh.num_nodes;
       const std::uint64_t bytes = run.stored_bytes();
       sh.shuffle_bytes += bytes;
+      st.instant(trace::Kind::kShuffle, shuffle_name, bytes);
       sh.fetches->spawn([](Shared& s, int src, int dst, int reducer,
                            core::Run rn, std::uint64_t b) -> sim::Task<> {
         co_await s.platform->sim().delay(s.cfg->heartbeat_s);
@@ -229,12 +248,16 @@ sim::Task<> map_slot(Shared& sh, core::SplitScheduler& scheduler, int node_id) {
   }
 }
 
-sim::Task<> reducer_task(Shared& sh, int reducer, HadoopResult& result) {
+sim::Task<> reducer_task(core::Stage& st, Shared& sh, int reducer,
+                         HadoopResult& result) {
   const HadoopConfig& cfg = *sh.cfg;
   const core::AppKernels& app = *sh.app;
-  const int node_id = reducer % sh.num_nodes;
+  const int node_id = st.node();
   cluster::Node& node = sh.platform->node(node_id);
   auto& feed = *sh.feeds[reducer];
+  const std::int32_t merge_name = st.span_name("merge");
+  const std::int32_t compute_name = st.span_name("reduce.compute");
+  const std::int32_t output_name = st.span_name("output");
 
   // Fetch phase: segments land in the reducer's in-memory shuffle buffer;
   // when it overflows, the buffered runs are merged and spilled to disk
@@ -253,8 +276,12 @@ sim::Task<> reducer_task(Shared& sh, int reducer, HadoopResult& result) {
       // Charge is known pre-merge: the real merge overlaps the cpu charge.
       auto merging = sh.platform->sim().offload(
           [&in_ram] { return core::merge_runs(in_ram, false); });
-      co_await node.cpu_work(cfg.jvm_cpu_factor * static_cast<double>(raw) /
-                             cfg.host.merge_bytes_per_s);
+      {
+        core::Stage::Span span(st, trace::Kind::kMerge, merge_name,
+                               in_ram.size());
+        co_await node.cpu_work(cfg.jvm_cpu_factor * static_cast<double>(raw) /
+                               cfg.host.merge_bytes_per_s);
+      }
       core::Run merged = co_await sh.platform->sim().join(std::move(merging));
       co_await node.disk_stream_write(merged.stored_bytes());
       spilled.push_back(std::move(merged));
@@ -278,8 +305,11 @@ sim::Task<> reducer_task(Shared& sh, int reducer, HadoopResult& result) {
   for (const auto& r : runs) raw += r.raw_bytes;
   auto merging = sh.platform->sim().offload(
       [&runs] { return core::merge_runs(runs, false); });
-  co_await node.cpu_work(cfg.jvm_cpu_factor * static_cast<double>(raw) /
-                         cfg.host.merge_bytes_per_s);
+  {
+    core::Stage::Span span(st, trace::Kind::kMerge, merge_name, runs.size());
+    co_await node.cpu_work(cfg.jvm_cpu_factor * static_cast<double>(raw) /
+                           cfg.host.merge_bytes_per_s);
+  }
   core::Run merged = co_await sh.platform->sim().join(std::move(merging));
 
   // The reduce record loop runs on the pool; its charge needs the counters,
@@ -328,13 +358,20 @@ sim::Task<> reducer_task(Shared& sh, int reducer, HadoopResult& result) {
         out_run.serialize(w);
         return w.take();
       });
-  co_await node.cpu_work(reduce_cpu_s);
+  {
+    core::Stage::Span span(st, trace::Kind::kKernel, compute_name,
+                           red.counters.stats().ops);
+    co_await node.cpu_work(reduce_cpu_s);
+  }
 
   char buf[32];
   std::snprintf(buf, sizeof(buf), "/part-r-%05d", reducer);
   const std::string path = cfg.output_path + buf;
   util::Bytes wire = co_await sh.platform->sim().join(std::move(serializing));
-  co_await sh.fs->write(node_id, path, std::move(wire));
+  {
+    core::Stage::Span span(st, trace::Kind::kStage, output_name, wire.size());
+    co_await sh.fs->write(node_id, path, std::move(wire));
+  }
   result.output_files.push_back(path);
 }
 
@@ -357,6 +394,7 @@ HadoopResult HadoopRuntime::run(const core::AppKernels& app,
   }
 
   auto& sim = platform_.sim();
+  sim.tracer().clear();  // one job per trace
   const double start = sim.now();
   const int num_nodes = platform_.num_nodes();
 
@@ -379,34 +417,56 @@ HadoopResult HadoopRuntime::run(const core::AppKernels& app,
 
   HadoopResult result;
 
-  sim::TaskGroup mappers(sim);
+  // Map and reduce slots are cluster-wide stages: worker w of the map stage
+  // is slot w in node-major order, reducer r lands on node r % num_nodes.
+  core::StageGraph g_map(sim, "hadoop", 0);
+  core::StageGraph g_reduce(sim, "hadoop", 0);
+  std::vector<int> map_node_of;
   for (int n = 0; n < num_nodes; ++n) {
     const int slots = config.map_slots_per_node > 0
                           ? config.map_slots_per_node
                           : platform_.node(n).spec().hw_threads;
-    for (int s = 0; s < slots; ++s) {
-      mappers.spawn(map_slot(sh, scheduler, n));
-    }
+    for (int s = 0; s < slots; ++s) map_node_of.push_back(n);
   }
-  sim::TaskGroup reducers(sim);
+  g_map.add_stage("map", static_cast<int>(map_node_of.size()), map_node_of,
+                  [&](core::Stage& st) { return map_slot(st, sh, scheduler); });
+  std::vector<int> reduce_node_of;
   for (int r = 0; r < sh.total_reducers; ++r) {
-    reducers.spawn(reducer_task(sh, r, result));
+    reduce_node_of.push_back(r % num_nodes);
   }
+  g_reduce.add_stage("reduce", sh.total_reducers, reduce_node_of,
+                     [&](core::Stage& st) {
+                       return reducer_task(st, sh, st.worker(), result);
+                     });
 
-  sim.spawn([](Shared& s, sim::TaskGroup& maps, sim::TaskGroup& fets,
-               HadoopResult& res, double t0) -> sim::Task<> {
-    co_await maps.wait();
+  auto& tr = sim.tracer();
+  const auto phase_track = tr.track(0, "phase");
+  const auto phase_map_name = tr.intern("phase.map");
+  const auto phase_reduce_name = tr.intern("phase.reduce");
+  tr.begin(phase_track, trace::Kind::kPhase, phase_map_name, sim.now());
+
+  // Awaiting run() transfers symmetrically, so the monitor continues at the
+  // exact event-queue position where the old TaskGroup wait resumed.
+  sim.spawn([](Shared& s, core::StageGraph& gm, sim::TaskGroup& fets,
+               HadoopResult& res, double t0, trace::TrackRef pt,
+               std::int32_t map_n, std::int32_t red_n) -> sim::Task<> {
+    co_await gm.run();
+    auto& trc = s.platform->sim().tracer();
     s.map_end_time = s.platform->sim().now();
+    trc.end(pt, trace::Kind::kPhase, map_n, s.map_end_time);
+    trc.begin(pt, trace::Kind::kPhase, red_n, s.map_end_time);
     res.map_phase_seconds = s.map_end_time - t0;
     co_await fets.wait();  // all fetch deliveries handed to reducers
     for (auto& feed : s.feeds) feed->close();
-  }(sh, mappers, fetches, result, start));
+  }(sh, g_map, fetches, result, start, phase_track, phase_map_name,
+    phase_reduce_name));
 
-  sim.spawn([](sim::TaskGroup& reds) -> sim::Task<> {
-    co_await reds.wait();
-  }(reducers));
+  sim.spawn([](core::StageGraph& gr) -> sim::Task<> {
+    co_await gr.run();
+  }(g_reduce));
 
   sim.run();
+  tr.end(phase_track, trace::Kind::kPhase, phase_reduce_name, sim.now());
 
   result.elapsed_seconds = sim.now() - start;
   result.reduce_phase_seconds =

@@ -16,6 +16,8 @@ IntermediateStore::IntermediateStore(cluster::Node& node, sim::Simulation& sim,
       mergers_(sim) {
   work_ = std::make_unique<sim::Channel<int>>(sim_, 4096);
   drained_ = std::make_unique<sim::Event>(sim_);
+  merge_name_ = sim_.tracer().intern("store.merge");
+  spill_name_ = sim_.tracer().intern("store.spill");
 }
 
 IntermediateStore::~IntermediateStore() = default;
@@ -49,7 +51,8 @@ void IntermediateStore::enqueue(int p) {
 
 void IntermediateStore::start_mergers() {
   for (int i = 0; i < config_.effective_merger_threads(); ++i) {
-    mergers_.spawn(merger_loop());
+    mergers_.spawn(merger_loop(
+        sim_.tracer().track(node_.id(), "store/" + std::to_string(i))));
   }
 }
 
@@ -62,11 +65,11 @@ double IntermediateStore::host_merge_seconds(std::uint64_t in_stored,
          static_cast<double>(out_raw) / h.compress_bytes_per_s;
 }
 
-sim::Task<> IntermediateStore::merger_loop() {
+sim::Task<> IntermediateStore::merger_loop(trace::TrackRef track) {
   for (;;) {
     auto p = co_await work_->recv();
     if (!p) break;
-    co_await service(*p);
+    co_await service(*p, track);
     parts_[*p].queued = false;
     // Re-examine: service may leave work (e.g. disk runs still above the
     // limit is impossible here, but cache may have refilled meanwhile).
@@ -83,7 +86,8 @@ sim::Task<> IntermediateStore::merger_loop() {
   }
 }
 
-sim::Task<> IntermediateStore::service(int p) {
+sim::Task<> IntermediateStore::service(int p, trace::TrackRef track) {
+  auto& tr = sim_.tracer();
   Part& part = parts_[p];
 
   // Step 1: merge+flush the cached runs to one on-disk run. During the
@@ -110,6 +114,8 @@ sim::Task<> IntermediateStore::service(int p) {
     }
     ++merges_;
     merge_fanin_runs_ += cached.size();
+    tr.begin(track, trace::Kind::kMerge, merge_name_, sim_.now(),
+             cached.size());
     Run merged;
     if (cached.size() == 1) {
       merged = std::move(cached.front());
@@ -124,9 +130,12 @@ sim::Task<> IntermediateStore::service(int p) {
       merged = co_await sim_.join(std::move(merging));
       GW_CHECK(merged.raw_bytes == in_raw);
     }
+    tr.end(track, trace::Kind::kMerge, merge_name_, sim_.now());
     if (pressure) {
       // Spill to disk to relieve memory pressure.
       ++spills_;
+      tr.instant(track, trace::Kind::kSpill, spill_name_, sim_.now(),
+                 merged.stored_bytes());
       co_await node_.disk_stream_write(
           merged.stored_bytes(),
           cluster::Node::amortized_seek(merged.stored_bytes()));
@@ -155,9 +164,12 @@ sim::Task<> IntermediateStore::service(int p) {
                                     cluster::Node::amortized_seek(in_stored));
     ++merges_;
     merge_fanin_runs_ += inputs.size();
+    tr.begin(track, trace::Kind::kMerge, merge_name_, sim_.now(),
+             inputs.size());
     co_await node_.cpu_work(host_merge_seconds(in_stored, in_raw, in_raw));
     Run merged = co_await sim_.join(std::move(merging));
     GW_CHECK(merged.raw_bytes == in_raw);
+    tr.end(track, trace::Kind::kMerge, merge_name_, sim_.now());
     co_await node_.disk_stream_write(
         merged.stored_bytes(),
         cluster::Node::amortized_seek(merged.stored_bytes()));

@@ -67,8 +67,8 @@ class IntermediateStore {
     bool queued = false;
   };
 
-  sim::Task<> merger_loop();
-  sim::Task<> service(int p);
+  sim::Task<> merger_loop(trace::TrackRef track);
+  sim::Task<> service(int p, trace::TrackRef track);
   void enqueue(int p);
   void maybe_trigger_flushes();
   double host_merge_seconds(std::uint64_t in_bytes, std::uint64_t raw_bytes,
@@ -90,6 +90,8 @@ class IntermediateStore {
   std::uint64_t spills_ = 0;
   std::uint64_t merges_ = 0;
   std::uint64_t merge_fanin_runs_ = 0;
+  std::int32_t merge_name_ = -1;
+  std::int32_t spill_name_ = -1;
 };
 
 }  // namespace gw::core

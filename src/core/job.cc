@@ -16,9 +16,8 @@ struct NodeRun {
   std::unique_ptr<IntermediateStore> store;
   MapMetrics map;
   ReduceMetrics reduce;
-  double map_end = 0;
-  double merge_delay = 0;
   std::unique_ptr<sim::Event> shuffle_done;
+  trace::TrackRef phase_track;
 };
 
 sim::Task<> shuffle_receiver(NodeContext ctx, sim::Event& done) {
@@ -44,11 +43,18 @@ sim::Task<> shuffle_receiver(NodeContext ctx, sim::Event& done) {
 sim::Task<> node_main(NodeContext ctx, cl::Device* reduce_device,
                       SplitScheduler& scheduler, NodeRun& state) {
   auto& sim = ctx.sim();
+  auto& tr = sim.tracer();
+  const auto t = state.phase_track;
+  const auto map_name = tr.intern("phase.map");
+  const auto merge_name = tr.intern("phase.merge");
+  const auto reduce_name = tr.intern("phase.reduce");
   ctx.store->start_mergers();
   sim.spawn(shuffle_receiver(ctx, *state.shuffle_done));
 
+  tr.begin(t, trace::Kind::kPhase, map_name, sim.now());
   co_await run_map_phase(ctx, scheduler, state.map);
-  state.map_end = sim.now();
+  tr.end(t, trace::Kind::kPhase, map_name, sim.now());
+  tr.begin(t, trace::Kind::kPhase, merge_name, sim.now());
 
   // Map phase done on this node: tell every node (including self) that no
   // more intermediate data will arrive from here.
@@ -64,10 +70,12 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* reduce_device,
   // completes, the reduce phase is started").
   co_await state.shuffle_done->wait();
   co_await ctx.store->drain();
-  state.merge_delay = sim.now() - state.map_end;
+  tr.end(t, trace::Kind::kPhase, merge_name, sim.now());
 
   ctx.device = reduce_device;  // per-phase device selection
+  tr.begin(t, trace::Kind::kPhase, reduce_name, sim.now());
   co_await run_reduce_phase(ctx, state.reduce);
+  tr.end(t, trace::Kind::kPhase, reduce_name, sim.now());
 }
 
 }  // namespace
@@ -80,7 +88,7 @@ std::vector<std::unique_ptr<cl::Device>> GlasswingRuntime::make_devices(
                                ? &platform_.node(n).host_cores()
                                : nullptr;
     devices.push_back(
-        std::make_unique<cl::Device>(platform_.sim(), spec, cores));
+        std::make_unique<cl::Device>(platform_.sim(), spec, cores, n));
   }
   return devices;
 }
@@ -114,9 +122,9 @@ GlasswingRuntime::GlasswingRuntime(cluster::Platform& platform,
                                ? &platform_.node(n).host_cores()
                                : nullptr;
     map_devices_.push_back(
-        std::make_unique<cl::Device>(platform_.sim(), spec, cores));
+        std::make_unique<cl::Device>(platform_.sim(), spec, cores, n));
     reduce_devices_.push_back(
-        std::make_unique<cl::Device>(platform_.sim(), spec, cores));
+        std::make_unique<cl::Device>(platform_.sim(), spec, cores, n));
   }
 }
 
@@ -142,6 +150,7 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   }
 
   auto& sim = platform_.sim();
+  sim.tracer().clear();  // one job per trace
   const int num_nodes = platform_.num_nodes();
   const double start = sim.now();
 
@@ -155,6 +164,7 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     state.store = std::make_unique<IntermediateStore>(platform_.node(n), sim,
                                                       config);
     state.shuffle_done = std::make_unique<sim::Event>(sim);
+    state.phase_track = sim.tracer().track(n, "phase");
 
     NodeContext ctx;
     ctx.platform = &platform_;
@@ -186,38 +196,46 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
 
   JobResult result;
   result.elapsed_seconds = sim.now() - start;
+  // Stage breakdown reduces from the trace: each column is the max over
+  // nodes of that span's busy occupancy (partition: max over its worker
+  // tracks, the paper's Fig 4(a) metric).
+  const trace::Tracer& tr = sim.tracer();
   double map_end = start, merge_delay = 0, reduce_elapsed = 0;
-  for (const NodeRun& s : nodes) {
-    map_end = std::max(map_end, s.map.finished);
-    merge_delay = std::max(merge_delay, s.merge_delay);
-    reduce_elapsed =
-        std::max(reduce_elapsed, s.reduce.finished - s.reduce.started);
+  for (int n = 0; n < num_nodes; ++n) {
+    const NodeRun& s = nodes[static_cast<std::size_t>(n)];
+    const trace::Occupancy phase_map = tr.occupancy(n, "phase.map");
+    const trace::Occupancy phase_merge = tr.occupancy(n, "phase.merge");
+    const trace::Occupancy phase_reduce = tr.occupancy(n, "phase.reduce");
+    map_end = std::max(map_end, phase_map.last_end);
+    merge_delay = std::max(merge_delay, phase_merge.busy);
+    reduce_elapsed = std::max(reduce_elapsed, phase_reduce.busy);
 
-    result.stages.input = std::max(result.stages.input, s.map.input.busy_seconds());
-    result.stages.stage = std::max(result.stages.stage, s.map.stage.busy_seconds());
+    result.stages.input =
+        std::max(result.stages.input, tr.occupancy(n, "map.input").busy);
+    result.stages.stage =
+        std::max(result.stages.stage, tr.occupancy(n, "map.stage").busy);
     result.stages.kernel =
-        std::max(result.stages.kernel, s.map.kernel.busy_seconds());
+        std::max(result.stages.kernel, tr.occupancy(n, "map.kernel").busy);
     result.stages.retrieve =
-        std::max(result.stages.retrieve, s.map.retrieve.busy_seconds());
-    result.stages.partition =
-        std::max(result.stages.partition, s.map.partition_busy());
-    result.stages.map_elapsed = std::max(result.stages.map_elapsed,
-                                         s.map.finished - s.map.started);
-    result.stages.merge_delay = std::max(result.stages.merge_delay,
-                                         s.merge_delay);
-    result.stages.reduce_input =
-        std::max(result.stages.reduce_input, s.reduce.input.busy_seconds());
-    result.stages.reduce_stage =
-        std::max(result.stages.reduce_stage, s.reduce.stage.busy_seconds());
-    result.stages.reduce_kernel =
-        std::max(result.stages.reduce_kernel, s.reduce.kernel.busy_seconds());
-    result.stages.reduce_retrieve =
-        std::max(result.stages.reduce_retrieve, s.reduce.retrieve.busy_seconds());
-    result.stages.reduce_output =
-        std::max(result.stages.reduce_output, s.reduce.output.busy_seconds());
+        std::max(result.stages.retrieve, tr.occupancy(n, "map.retrieve").busy);
+    result.stages.partition = std::max(
+        result.stages.partition, tr.occupancy(n, "map.partition").max_track_busy);
+    result.stages.map_elapsed =
+        std::max(result.stages.map_elapsed, phase_map.busy);
+    result.stages.merge_delay =
+        std::max(result.stages.merge_delay, phase_merge.busy);
+    result.stages.reduce_input = std::max(result.stages.reduce_input,
+                                          tr.occupancy(n, "reduce.input").busy);
+    result.stages.reduce_stage = std::max(result.stages.reduce_stage,
+                                          tr.occupancy(n, "reduce.stage").busy);
+    result.stages.reduce_kernel = std::max(
+        result.stages.reduce_kernel, tr.occupancy(n, "reduce.kernel").busy);
+    result.stages.reduce_retrieve = std::max(
+        result.stages.reduce_retrieve, tr.occupancy(n, "reduce.retrieve").busy);
+    result.stages.reduce_output = std::max(
+        result.stages.reduce_output, tr.occupancy(n, "reduce.output").busy);
     result.stages.reduce_elapsed =
-        std::max(result.stages.reduce_elapsed,
-                 s.reduce.finished - s.reduce.started);
+        std::max(result.stages.reduce_elapsed, phase_reduce.busy);
 
     result.stats.input_records += s.map.records;
     result.stats.intermediate_pairs += s.map.pairs;

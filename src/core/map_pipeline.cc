@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/pipeline.h"
+#include "core/stage.h"
 #include "util/error.h"
 
 namespace gw::core {
@@ -121,7 +122,7 @@ std::vector<std::uint64_t> frame_records(const AppKernels& app,
 
 namespace {
 
-sim::Task<> input_stage(NodeContext ctx, SplitScheduler& scheduler,
+sim::Task<> input_stage(Stage& st, NodeContext ctx, SplitScheduler& scheduler,
                         sim::Resource& in_buffers,
                         sim::Channel<StagedChunk>& out, MapMetrics& m) {
   for (;;) {
@@ -131,7 +132,7 @@ sim::Task<> input_stage(NodeContext ctx, SplitScheduler& scheduler,
     util::Bytes data;
     std::vector<std::uint64_t> offsets;
     {
-      ActivityTimer::Scope scope(m.input, ctx.sim());
+      Stage::BusyScope scope(st);
       data = co_await read_aligned_split(*ctx.fs, ctx.node_id, *ctx.app, *split);
       // The framing scan's simulated charge depends only on the byte count,
       // so the real scan runs on the host pool while the charge elapses.
@@ -152,13 +153,14 @@ sim::Task<> input_stage(NodeContext ctx, SplitScheduler& scheduler,
   out.close();
 }
 
-sim::Task<> stage_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
-                        sim::Channel<StagedChunk>& out, MapMetrics& m) {
+sim::Task<> stage_stage(Stage& st, NodeContext ctx,
+                        sim::Channel<StagedChunk>& in,
+                        sim::Channel<StagedChunk>& out) {
   for (;;) {
     auto item = co_await in.recv();
     if (!item) break;
     if (!ctx.device->unified_memory()) {
-      ActivityTimer::Scope scope(m.stage, ctx.sim());
+      Stage::BusyScope scope(st);
       co_await ctx.device->stage_in(item->data.size());
     }
     co_await out.send(std::move(*item));
@@ -208,10 +210,12 @@ sim::Task<MapChunkOutput> run_map_kernel(
   co_return std::move(chunk_out);
 }
 
-sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
+sim::Task<> kernel_stage(Stage& st, NodeContext ctx,
+                         sim::Channel<StagedChunk>& in,
                          sim::Resource& out_buffers,
                          sim::Channel<KernelOut>& out, MapMetrics& m) {
   const JobConfig& cfg = *ctx.config;
+  const std::int32_t retry_name = st.span_name("retry");
   std::unique_ptr<MapOutputCollector> collector;
   for (;;) {
     auto item = co_await in.recv();
@@ -219,7 +223,7 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
     auto out_hold = co_await out_buffers.acquire();
     MapChunkOutput chunk_out;
     {
-      ActivityTimer::Scope scope(m.kernel, ctx.sim());
+      Stage::BusyScope scope(st);
       chunk_out = co_await run_map_kernel(ctx, item->data, item->offsets,
                                           collector, m);
 
@@ -231,6 +235,8 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
       if (every > 0 && item->split.attempt == 0 &&
           item->split.index % every == 0) {
         ++m.task_failures;
+        st.instant(trace::Kind::kRetry, retry_name,
+                   static_cast<std::uint64_t>(item->split.index));
         chunk_out = MapChunkOutput();  // discard partial output
         item->split.attempt++;
         util::Bytes again = co_await read_aligned_split(*ctx.fs, ctx.node_id,
@@ -252,13 +258,14 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<StagedChunk>& in,
   out.close();
 }
 
-sim::Task<> retrieve_stage(NodeContext ctx, sim::Channel<KernelOut>& in,
-                           sim::Channel<KernelOut>& out, MapMetrics& m) {
+sim::Task<> retrieve_stage(Stage& st, NodeContext ctx,
+                           sim::Channel<KernelOut>& in,
+                           sim::Channel<KernelOut>& out) {
   for (;;) {
     auto item = co_await in.recv();
     if (!item) break;
     if (!ctx.device->unified_memory()) {
-      ActivityTimer::Scope scope(m.retrieve, ctx.sim());
+      Stage::BusyScope scope(st);
       co_await ctx.device->stage_out(item->out.pairs.blob_bytes());
     }
     co_await out.send(std::move(*item));
@@ -274,19 +281,20 @@ struct PartitionJobOut {
   std::uint64_t disk_bytes = 0;
 };
 
-sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
-                             MapMetrics& m, sim::TaskGroup& sends) {
+sim::Task<> partition_worker(Stage& st, NodeContext ctx,
+                             sim::Channel<KernelOut>& in, MapMetrics& m,
+                             sim::TaskGroup& sends) {
   const JobConfig& cfg = *ctx.config;
   const HostCosts& h = cfg.host;
   const int P = cfg.partitions_per_node;
-  ActivityTimer busy;  // this worker's own busy time
+  const std::int32_t shuffle_name = st.span_name("shuffle");
   // One bucket vector per worker, cleared in place between chunks so the
   // heap capacity stays warm across the whole map phase.
   std::vector<PairList> buckets(ctx.total_partitions);
   for (;;) {
     auto item = co_await in.recv();
     if (!item) break;
-    ActivityTimer::Scope scope(busy, ctx.sim());
+    Stage::BusyScope scope(st);
 
     MapChunkOutput& out = item->out;
     const std::size_t n = out.pairs.size();
@@ -359,6 +367,7 @@ sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
         w.put_u32(g);
         run.serialize(w);
         m.shuffle_bytes_remote += w.size();
+        st.instant(trace::Kind::kShuffle, shuffle_name, w.size());
         sends.spawn(ctx.platform->fabric().send(ctx.node_id, dest,
                                                 net::kPortShuffle, w.take()));
       }
@@ -366,7 +375,6 @@ sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
     for (std::uint32_t g : live) buckets[g].clear();
     item->out_hold.release();
   }
-  m.partition_worker_busy.push_back(busy.busy_seconds());
 }
 
 }  // namespace
@@ -374,30 +382,36 @@ sim::Task<> partition_worker(NodeContext ctx, sim::Channel<KernelOut>& in,
 sim::Task<> run_map_phase(NodeContext ctx, SplitScheduler& scheduler,
                           MapMetrics& metrics) {
   auto& sim = ctx.sim();
-  metrics.started = sim.now();
   const JobConfig& cfg = *ctx.config;
   GW_CHECK_MSG(cfg.buffering >= 1 && cfg.buffering <= 3,
                "buffering level must be 1..3");
 
-  sim::Resource in_buffers(sim, cfg.buffering);
-  sim::Resource out_buffers(sim, cfg.buffering);
-  sim::Channel<StagedChunk> c12(sim, 8);
-  sim::Channel<StagedChunk> c23(sim, 8);
-  sim::Channel<KernelOut> c34(sim, 8);
-  sim::Channel<KernelOut> c45(sim, 8);
+  StageGraph g(sim, "map", ctx.node_id);
+  sim::Resource& in_buffers = g.pool(cfg.buffering);
+  sim::Resource& out_buffers = g.pool(cfg.buffering);
+  auto& c12 = g.channel<StagedChunk>(8);
+  auto& c23 = g.channel<StagedChunk>(8);
+  auto& c34 = g.channel<KernelOut>(8);
+  auto& c45 = g.channel<KernelOut>(8);
 
   sim::TaskGroup sends(sim);
-  sim::TaskGroup stages(sim);
-  stages.spawn(input_stage(ctx, scheduler, in_buffers, c12, metrics));
-  stages.spawn(stage_stage(ctx, c12, c23, metrics));
-  stages.spawn(kernel_stage(ctx, c23, out_buffers, c34, metrics));
-  stages.spawn(retrieve_stage(ctx, c34, c45, metrics));
-  for (int i = 0; i < cfg.partitioner_threads; ++i) {
-    stages.spawn(partition_worker(ctx, c45, metrics, sends));
-  }
-  co_await stages.wait();
+  MapMetrics& m = metrics;
+  g.add_stage("input", 1, [&, ctx](Stage& st) {
+    return input_stage(st, ctx, scheduler, in_buffers, c12, m);
+  });
+  g.add_stage("stage", 1,
+              [&, ctx](Stage& st) { return stage_stage(st, ctx, c12, c23); });
+  g.add_stage("kernel", 1, [&, ctx](Stage& st) {
+    return kernel_stage(st, ctx, c23, out_buffers, c34, m);
+  });
+  g.add_stage("retrieve", 1, [&, ctx](Stage& st) {
+    return retrieve_stage(st, ctx, c34, c45);
+  });
+  g.add_stage("partition", cfg.partitioner_threads, [&, ctx](Stage& st) {
+    return partition_worker(st, ctx, c45, m, sends);
+  });
+  co_await g.run();
   co_await sends.wait();  // all shuffle data delivered
-  metrics.finished = sim.now();
 }
 
 }  // namespace gw::core

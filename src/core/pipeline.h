@@ -26,41 +26,6 @@
 
 namespace gw::core {
 
-// Busy time of a stage as the union of its workers' busy intervals; for
-// single-worker stages this equals plain start/stop timing, for the
-// N-threaded partition stage it is the wall time the stage was active
-// (which is what Fig 4(a) plots against N).
-class ActivityTimer {
- public:
-  void begin(double now) {
-    if (active_++ == 0) started_ = now;
-  }
-  void end(double now) {
-    GW_CHECK(active_ > 0);
-    if (--active_ == 0) busy_ += now - started_;
-  }
-  double busy_seconds() const { return busy_; }
-
-  class Scope {
-   public:
-    Scope(ActivityTimer& t, const sim::Simulation& sim) : t_(t), sim_(sim) {
-      t_.begin(sim_.now());
-    }
-    ~Scope() { t_.end(sim_.now()); }
-    Scope(const Scope&) = delete;
-    Scope& operator=(const Scope&) = delete;
-
-   private:
-    ActivityTimer& t_;
-    const sim::Simulation& sim_;
-  };
-
- private:
-  int active_ = 0;
-  double started_ = 0;
-  double busy_ = 0;
-};
-
 struct InputSplit {
   InputSplit() = default;
   InputSplit(std::string path_in, std::uint64_t offset_in, std::uint64_t len_in)
@@ -123,20 +88,10 @@ struct NodeContext {
   sim::Simulation& sim() const { return platform->sim(); }
 };
 
+// Counters only; stage busy times and phase boundaries live in the trace
+// (sim.tracer()), reduced via trace::Tracer::occupancy.
 struct MapMetrics {
   std::uint64_t task_failures = 0;
-  ActivityTimer input, stage, kernel, retrieve;
-  // The partition stage runs N worker threads; its reported time is the
-  // maximum per-worker busy time (the paper's Fig 4(a) metric, which falls
-  // as N grows because the same work divides over more threads).
-  std::vector<double> partition_worker_busy;
-  double partition_busy() const {
-    double mx = 0;
-    for (double b : partition_worker_busy) mx = std::max(mx, b);
-    return mx;
-  }
-  double started = 0;
-  double finished = 0;
   cl::KernelStats kernel_stats;
   std::uint64_t records = 0;
   std::uint64_t pairs = 0;
@@ -156,9 +111,6 @@ sim::Task<> run_map_phase(NodeContext ctx, SplitScheduler& scheduler,
                           MapMetrics& metrics);
 
 struct ReduceMetrics {
-  ActivityTimer input, stage, kernel, retrieve, output;
-  double started = 0;
-  double finished = 0;
   cl::KernelStats kernel_stats;
   std::uint64_t output_pairs = 0;
   std::vector<std::string> output_files;

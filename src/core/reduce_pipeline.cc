@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/pipeline.h"
+#include "core/stage.h"
 #include "util/error.h"
 
 namespace gw::core {
@@ -74,8 +75,8 @@ class GroupPairEmitter : public ReduceEmitter {
   cl::KernelCounters* c_;
 };
 
-sim::Task<> input_stage(NodeContext ctx, sim::Resource& in_buffers,
-                        sim::Channel<ReduceChunk>& out, ReduceMetrics& m) {
+sim::Task<> input_stage(Stage& st, NodeContext ctx, sim::Resource& in_buffers,
+                        sim::Channel<ReduceChunk>& out) {
   const JobConfig& cfg = *ctx.config;
   for (int p = 0; p < cfg.partitions_per_node; ++p) {
     std::uint64_t disk_bytes = 0;
@@ -84,7 +85,7 @@ sim::Task<> input_stage(NodeContext ctx, sim::Resource& in_buffers,
 
     std::shared_ptr<Run> backing;
     {
-      ActivityTimer::Scope scope(m.input, ctx.sim());
+      Stage::BusyScope scope(st);
       std::uint64_t in_stored = 0, in_raw = 0;
       for (const Run& r : runs) {
         in_stored += r.stored_bytes();
@@ -183,13 +184,14 @@ sim::Task<> input_stage(NodeContext ctx, sim::Resource& in_buffers,
   out.close();
 }
 
-sim::Task<> stage_stage(NodeContext ctx, sim::Channel<ReduceChunk>& in,
-                        sim::Channel<ReduceChunk>& out, ReduceMetrics& m) {
+sim::Task<> stage_stage(Stage& st, NodeContext ctx,
+                        sim::Channel<ReduceChunk>& in,
+                        sim::Channel<ReduceChunk>& out) {
   for (;;) {
     auto item = co_await in.recv();
     if (!item) break;
     if (!ctx.device->unified_memory() && item->payload_bytes > 0) {
-      ActivityTimer::Scope scope(m.stage, ctx.sim());
+      Stage::BusyScope scope(st);
       co_await ctx.device->stage_in(item->payload_bytes);
     }
     co_await out.send(std::move(*item));
@@ -197,7 +199,8 @@ sim::Task<> stage_stage(NodeContext ctx, sim::Channel<ReduceChunk>& in,
   out.close();
 }
 
-sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<ReduceChunk>& in,
+sim::Task<> kernel_stage(Stage& st, NodeContext ctx,
+                         sim::Channel<ReduceChunk>& in,
                          sim::Resource& out_buffers,
                          sim::Channel<ReducedChunk>& out, ReduceMetrics& m) {
   const JobConfig& cfg = *ctx.config;
@@ -214,7 +217,7 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<ReduceChunk>& in,
     result.last_of_partition = item->last_of_partition;
 
     if (!item->groups.empty()) {
-      ActivityTimer::Scope scope(m.kernel, ctx.sim());
+      Stage::BusyScope scope(st);
       const std::size_t keys = item->groups.size();
       const std::size_t kpt =
           std::max<std::size_t>(1, static_cast<std::size_t>(cfg.keys_per_thread));
@@ -289,13 +292,14 @@ sim::Task<> kernel_stage(NodeContext ctx, sim::Channel<ReduceChunk>& in,
   out.close();
 }
 
-sim::Task<> retrieve_stage(NodeContext ctx, sim::Channel<ReducedChunk>& in,
-                           sim::Channel<ReducedChunk>& out, ReduceMetrics& m) {
+sim::Task<> retrieve_stage(Stage& st, NodeContext ctx,
+                           sim::Channel<ReducedChunk>& in,
+                           sim::Channel<ReducedChunk>& out) {
   for (;;) {
     auto item = co_await in.recv();
     if (!item) break;
     if (!ctx.device->unified_memory() && item->pairs.blob_bytes() > 0) {
-      ActivityTimer::Scope scope(m.retrieve, ctx.sim());
+      Stage::BusyScope scope(st);
       co_await ctx.device->stage_out(item->pairs.blob_bytes());
     }
     co_await out.send(std::move(*item));
@@ -310,9 +314,9 @@ std::string partition_output_path(const NodeContext& ctx, int local_p) {
   return ctx.config->output_path + buf;
 }
 
-sim::Task<> write_output(NodeContext ctx, int local_p, RunBuilder&& builder,
-                         ReduceMetrics& m) {
-  ActivityTimer::Scope scope(m.output, ctx.sim());
+sim::Task<> write_output(Stage& st, NodeContext ctx, int local_p,
+                         RunBuilder&& builder, ReduceMetrics& m) {
+  Stage::Span scope(st, trace::Kind::kStage, st.span_name("output"));
   const std::uint64_t raw = builder.raw_bytes();
   m.output_pairs += builder.pairs();
   // Finalizing + wire-framing the output run is size-charged: overlap the
@@ -331,8 +335,8 @@ sim::Task<> write_output(NodeContext ctx, int local_p, RunBuilder&& builder,
   m.output_files.push_back(path);
 }
 
-sim::Task<> output_stage(NodeContext ctx, sim::Channel<ReducedChunk>& in,
-                         ReduceMetrics& m) {
+sim::Task<> output_stage(Stage& st, NodeContext ctx,
+                         sim::Channel<ReducedChunk>& in, ReduceMetrics& m) {
   std::map<int, RunBuilder> builders;
   for (;;) {
     auto item = co_await in.recv();
@@ -342,7 +346,7 @@ sim::Task<> output_stage(NodeContext ctx, sim::Channel<ReducedChunk>& in,
       builder.add_encoded(item->pairs.encoded_pair(i));
     }
     if (item->last_of_partition) {
-      co_await write_output(ctx, item->partition, std::move(builder), m);
+      co_await write_output(st, ctx, item->partition, std::move(builder), m);
       builders.erase(item->partition);
     }
     item->out_hold.release();
@@ -351,7 +355,7 @@ sim::Task<> output_stage(NodeContext ctx, sim::Channel<ReducedChunk>& in,
 
 // TeraSort-style jobs: no reduce function; the merged partitions are the
 // final output (§IV-A1).
-sim::Task<> merge_only_reduce(NodeContext ctx, ReduceMetrics& m) {
+sim::Task<> merge_only_reduce(Stage& st, NodeContext ctx, ReduceMetrics& m) {
   const JobConfig& cfg = *ctx.config;
   for (int p = 0; p < cfg.partitions_per_node; ++p) {
     std::uint64_t disk_bytes = 0;
@@ -359,7 +363,7 @@ sim::Task<> merge_only_reduce(NodeContext ctx, ReduceMetrics& m) {
     if (runs.empty()) continue;
     RunBuilder builder;
     {
-      ActivityTimer::Scope scope(m.input, ctx.sim());
+      Stage::BusyScope scope(st);
       std::uint64_t in_stored = 0, in_raw = 0;
       for (const Run& r : runs) {
         in_stored += r.stored_bytes();
@@ -385,7 +389,7 @@ sim::Task<> merge_only_reduce(NodeContext ctx, ReduceMetrics& m) {
                            merged.data.size()),
           merged.pairs);
     }
-    co_await write_output(ctx, p, std::move(builder), m);
+    co_await write_output(st, ctx, p, std::move(builder), m);
   }
   co_return;
 }
@@ -394,30 +398,40 @@ sim::Task<> merge_only_reduce(NodeContext ctx, ReduceMetrics& m) {
 
 sim::Task<> run_reduce_phase(NodeContext ctx, ReduceMetrics& metrics) {
   auto& sim = ctx.sim();
-  metrics.started = sim.now();
   const JobConfig& cfg = *ctx.config;
 
+  StageGraph g(sim, "reduce", ctx.node_id);
+
   if (!ctx.app->reduce.has_value()) {
-    co_await merge_only_reduce(ctx, metrics);
-    metrics.finished = sim.now();
+    // Must stay inline-awaited: spawning would reorder the final Dfs
+    // writes relative to other nodes' events.
+    Stage& st = g.inline_stage("input");
+    co_await merge_only_reduce(st, ctx, metrics);
     co_return;
   }
 
-  sim::Resource in_buffers(sim, cfg.buffering);
-  sim::Resource out_buffers(sim, cfg.buffering);
-  sim::Channel<ReduceChunk> c12(sim, 8);
-  sim::Channel<ReduceChunk> c23(sim, 8);
-  sim::Channel<ReducedChunk> c34(sim, 8);
-  sim::Channel<ReducedChunk> c45(sim, 8);
+  sim::Resource& in_buffers = g.pool(cfg.buffering);
+  sim::Resource& out_buffers = g.pool(cfg.buffering);
+  auto& c12 = g.channel<ReduceChunk>(8);
+  auto& c23 = g.channel<ReduceChunk>(8);
+  auto& c34 = g.channel<ReducedChunk>(8);
+  auto& c45 = g.channel<ReducedChunk>(8);
 
-  sim::TaskGroup stages(sim);
-  stages.spawn(input_stage(ctx, in_buffers, c12, metrics));
-  stages.spawn(stage_stage(ctx, c12, c23, metrics));
-  stages.spawn(kernel_stage(ctx, c23, out_buffers, c34, metrics));
-  stages.spawn(retrieve_stage(ctx, c34, c45, metrics));
-  stages.spawn(output_stage(ctx, c45, metrics));
-  co_await stages.wait();
-  metrics.finished = sim.now();
+  ReduceMetrics& m = metrics;
+  g.add_stage("input", 1, [&, ctx](Stage& st) {
+    return input_stage(st, ctx, in_buffers, c12);
+  });
+  g.add_stage("stage", 1,
+              [&, ctx](Stage& st) { return stage_stage(st, ctx, c12, c23); });
+  g.add_stage("kernel", 1, [&, ctx](Stage& st) {
+    return kernel_stage(st, ctx, c23, out_buffers, c34, m);
+  });
+  g.add_stage("retrieve", 1, [&, ctx](Stage& st) {
+    return retrieve_stage(st, ctx, c34, c45);
+  });
+  g.add_stage("output", 1,
+              [&, ctx](Stage& st) { return output_stage(st, ctx, c45, m); });
+  co_await g.run();
 }
 
 }  // namespace gw::core

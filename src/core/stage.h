@@ -1,0 +1,174 @@
+// Shared stage-graph runtime (paper §III-A / §III-D).
+//
+// Every engine expresses its per-node (or per-cluster) pipeline as a
+// StageGraph: named stages with N worker coroutines each, wired by bounded
+// sim::Channels and throttled by buffer-pool sim::Resources that the graph
+// owns. The graph spawns all workers in declaration order into one
+// TaskGroup and awaits them, so a declarative composition resumes in
+// exactly the order the old hand-rolled spawn sequences did — simulated
+// results stay bit-identical.
+//
+// Each worker gets a Stage context carrying its trace track; Stage::BusyScope
+// brackets the worker's busy intervals and Stage::Span/instant record nested
+// activity (kernel launches, merges, shuffle sends). All stage-breakdown
+// reporting reduces from these spans via trace::Tracer::occupancy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/sim.h"
+#include "util/trace.h"
+
+namespace gw::core {
+
+class StageGraph;
+
+// Per-worker execution context handed to a stage body. Stable address for
+// the graph's lifetime.
+class Stage {
+ public:
+  sim::Simulation& sim() const { return *sim_; }
+  trace::Tracer& tracer() const { return sim_->tracer(); }
+  int worker() const { return worker_; }
+  int node() const { return node_; }
+  trace::TrackRef track() const { return track_; }
+  std::int32_t name_id() const { return name_id_; }
+
+  // Interns "<graph>.<label>" for use with Span/instant.
+  std::int32_t span_name(std::string_view label) const;
+
+  // RAII busy interval of this stage on its own track (kStage).
+  class BusyScope {
+   public:
+    explicit BusyScope(Stage& st, std::uint64_t arg = 0) : st_(&st) {
+      st_->tracer().begin(st_->track_, trace::Kind::kStage, st_->name_id_,
+                          st_->sim().now(), arg);
+    }
+    ~BusyScope() {
+      st_->tracer().end(st_->track_, trace::Kind::kStage, st_->name_id_,
+                        st_->sim().now());
+    }
+    BusyScope(const BusyScope&) = delete;
+    BusyScope& operator=(const BusyScope&) = delete;
+
+   private:
+    Stage* st_;
+  };
+
+  // RAII nested span of arbitrary kind/name on this stage's track.
+  class Span {
+   public:
+    Span(Stage& st, trace::Kind kind, std::int32_t name, std::uint64_t arg = 0)
+        : st_(&st), kind_(kind), name_(name) {
+      st_->tracer().begin(st_->track_, kind_, name_, st_->sim().now(), arg);
+    }
+    ~Span() {
+      st_->tracer().end(st_->track_, kind_, name_, st_->sim().now());
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    Stage* st_;
+    trace::Kind kind_;
+    std::int32_t name_;
+  };
+
+  void instant(trace::Kind kind, std::int32_t name, std::uint64_t arg = 0) {
+    tracer().instant(track_, kind, name, sim().now(), arg);
+  }
+
+ private:
+  friend class StageGraph;
+  Stage(StageGraph* graph, sim::Simulation* sim, std::int32_t name_id,
+        int worker, int node, trace::TrackRef track)
+      : graph_(graph),
+        sim_(sim),
+        name_id_(name_id),
+        worker_(worker),
+        node_(node),
+        track_(track) {}
+
+  StageGraph* graph_;
+  sim::Simulation* sim_;
+  std::int32_t name_id_;
+  int worker_;
+  int node_;
+  trace::TrackRef track_;
+};
+
+// Declarative pipeline: owns channels and buffer pools, runs stages.
+class StageGraph {
+ public:
+  using StageBody = std::function<sim::Task<>(Stage&)>;
+
+  // `name` prefixes every span name ("map", "reduce", "hadoop", "gpmr");
+  // `default_node` attributes single-node graphs' tracks.
+  StageGraph(sim::Simulation& sim, std::string_view name, int default_node);
+
+  sim::Simulation& sim() const { return *sim_; }
+  const std::string& name() const { return name_; }
+
+  // Buffer pool of `capacity` slots (§III-D input/output buffer groups),
+  // owned by the graph. Stable address.
+  sim::Resource& pool(std::int64_t capacity) {
+    pools_.emplace_back(*sim_, capacity);
+    return pools_.back();
+  }
+
+  // Bounded channel between stages, owned by the graph. Stable address.
+  template <typename T>
+  sim::Channel<T>& channel(std::size_t capacity) {
+    auto ch = std::make_shared<sim::Channel<T>>(*sim_, capacity);
+    sim::Channel<T>& ref = *ch;
+    channels_.push_back(std::move(ch));
+    return ref;
+  }
+
+  // Declares a stage with `workers` parallel worker coroutines, all on the
+  // graph's default node. Workers spawn in declaration order at run().
+  void add_stage(std::string_view name, int workers, StageBody body);
+  // Cluster-wide variant: worker w runs on node node_of[w].
+  void add_stage(std::string_view name, int workers, std::vector<int> node_of,
+                 StageBody body);
+
+  // A stage context with a registered track but no spawned worker; the
+  // caller awaits the body inline. Used where converting an inline await
+  // into a spawn would reorder the event loop (e.g. merge-only reduce).
+  Stage& inline_stage(std::string_view name);
+
+  // Spawns every declared stage's workers in declaration order into one
+  // TaskGroup, awaits them all, then sets done_event().
+  sim::Task<> run();
+
+  // Set when run() finishes; lets monitor coroutines join the graph.
+  sim::Event& done_event() { return done_; }
+
+ private:
+  struct StageSpec {
+    std::string label;
+    int workers;
+    std::vector<int> node_of;  // empty = all on default_node_
+    StageBody body;
+  };
+
+  Stage& make_stage(const std::string& label, int worker, int workers,
+                    int node);
+
+  sim::Simulation* sim_;
+  std::string name_;
+  int default_node_;
+  sim::Event done_;
+  std::deque<sim::Resource> pools_;
+  std::vector<std::shared_ptr<void>> channels_;
+  std::vector<StageSpec> specs_;
+  std::deque<Stage> stages_;  // stable addresses for worker contexts
+};
+
+}  // namespace gw::core

@@ -91,10 +91,17 @@ DeviceSpec DeviceSpec::xeon_phi_5110p() {
 }
 
 Device::Device(sim::Simulation& sim, DeviceSpec spec,
-               sim::Resource* shared_cores)
+               sim::Resource* shared_cores, int trace_node)
     : sim_(sim), spec_(std::move(spec)), shared_cores_(shared_cores) {
   queue_ = std::make_unique<sim::Resource>(sim_, 1);
   pcie_ = std::make_unique<sim::Resource>(sim_, 1);
+  // Registered once at construction; Tracer::clear() keeps tracks, so the
+  // refs stay valid across jobs on the same platform.
+  auto& tr = sim_.tracer();
+  kernel_track_ = tr.track(trace_node, "device:" + spec_.name);
+  pcie_track_ = tr.track(trace_node, "pcie:" + spec_.name);
+  kernel_name_ = tr.intern("kernel");
+  transfer_name_ = tr.intern("pcie");
 }
 
 int Device::effective_lanes(LaunchConfig cfg) const {
@@ -174,7 +181,11 @@ sim::Task<KernelStats> Device::run_kernel_job(KernelJobFn job,
   const KernelStats stats = co_await sim_.join(std::move(future));
   const double seconds = model_kernel_seconds(stats, cfg);
   total_kernel_seconds_ += seconds;
+  sim_.tracer().begin(kernel_track_, trace::Kind::kKernel, kernel_name_,
+                      sim_.now(), stats.ops);
   co_await charge_locked(seconds, cfg);
+  sim_.tracer().end(kernel_track_, trace::Kind::kKernel, kernel_name_,
+                    sim_.now());
   co_return stats;
 }
 
@@ -184,7 +195,11 @@ sim::Task<> Device::charge_kernel(const KernelStats& stats, LaunchConfig cfg) {
   total_kernel_seconds_ += seconds;
 
   auto queue_hold = co_await queue_->acquire();
+  sim_.tracer().begin(kernel_track_, trace::Kind::kKernel, kernel_name_,
+                      sim_.now(), stats.ops);
   co_await charge_locked(seconds, cfg);
+  sim_.tracer().end(kernel_track_, trace::Kind::kKernel, kernel_name_,
+                    sim_.now());
 }
 
 // Models kernel execution time while the command queue is held.
@@ -225,10 +240,18 @@ sim::Task<> Device::transfer(std::uint64_t bytes) {
     // Driver serializes transfers with kernel execution.
     auto queue_hold = co_await queue_->acquire();
     auto pcie_hold = co_await pcie_->acquire();
+    sim_.tracer().begin(pcie_track_, trace::Kind::kTransfer, transfer_name_,
+                        sim_.now(), bytes);
     co_await sim_.delay(seconds);
+    sim_.tracer().end(pcie_track_, trace::Kind::kTransfer, transfer_name_,
+                      sim_.now());
   } else {
     auto pcie_hold = co_await pcie_->acquire();
+    sim_.tracer().begin(pcie_track_, trace::Kind::kTransfer, transfer_name_,
+                        sim_.now(), bytes);
     co_await sim_.delay(seconds);
+    sim_.tracer().end(pcie_track_, trace::Kind::kTransfer, transfer_name_,
+                      sim_.now());
   }
 }
 

@@ -114,9 +114,10 @@ class Device {
  public:
   // `shared_cores` (may be null) is the node's host-core resource; CPU-type
   // devices execute kernels on it so device kernels contend with host
-  // threads. Discrete devices ignore it.
+  // threads. Discrete devices ignore it. `trace_node` attributes the
+  // device's kernel/PCIe trace tracks to a simulated node.
   Device(sim::Simulation& sim, DeviceSpec spec,
-         sim::Resource* shared_cores = nullptr);
+         sim::Resource* shared_cores = nullptr, int trace_node = 0);
 
   const DeviceSpec& spec() const { return spec_; }
   const std::string& name() const { return spec_.name; }
@@ -189,6 +190,10 @@ class Device {
   sim::Simulation& sim_;
   DeviceSpec spec_;
   sim::Resource* shared_cores_;
+  trace::TrackRef kernel_track_;
+  trace::TrackRef pcie_track_;
+  std::int32_t kernel_name_ = -1;
+  std::int32_t transfer_name_ = -1;
   std::unique_ptr<sim::Resource> queue_;  // kernel execution, capacity 1
   std::unique_ptr<sim::Resource> pcie_;   // staging transfers, capacity 1
   std::uint64_t kernels_launched_ = 0;

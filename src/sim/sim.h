@@ -39,6 +39,7 @@
 
 #include "util/error.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace gw::sim {
 
@@ -285,6 +286,11 @@ class Simulation {
 
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // Simulated-timeline tracer. Recording is a pure observer of the event
+  // loop; callers stamp events with now(). Sim thread only.
+  trace::Tracer& tracer() { return tracer_; }
+  const trace::Tracer& tracer() const { return tracer_; }
+
   // Offload observability (wall-clock; never affects simulated time).
   std::uint64_t offload_joins() const { return offload_joins_; }
   double offload_join_block_seconds() const {
@@ -344,6 +350,7 @@ class Simulation {
   std::uint64_t join_block_nanos_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
   std::deque<PendingJoin> pending_joins_;
+  trace::Tracer tracer_;
 };
 
 // One-shot event: processes wait until another sets it.
@@ -643,46 +650,6 @@ class TaskGroup {
   std::size_t pending_ = 0;
   bool waited_ = false;
   std::exception_ptr first_exception_;
-};
-
-// Accumulates the busy time of a pipeline stage (paper §IV-B instruments
-// each stage with such timers to produce Tables II/III and Figures 4/5).
-class StageTimer {
- public:
-  void start(double now) {
-    GW_CHECK(!running_);
-    running_ = true;
-    started_ = now;
-  }
-  void stop(double now) {
-    GW_CHECK(running_);
-    running_ = false;
-    busy_ += now - started_;
-    ++intervals_;
-  }
-
-  double busy_seconds() const { return busy_; }
-  std::uint64_t intervals() const { return intervals_; }
-
-  class Scope {
-   public:
-    Scope(StageTimer& t, const Simulation& sim) : t_(t), sim_(sim) {
-      t_.start(sim_.now());
-    }
-    ~Scope() { t_.stop(sim_.now()); }
-    Scope(const Scope&) = delete;
-    Scope& operator=(const Scope&) = delete;
-
-   private:
-    StageTimer& t_;
-    const Simulation& sim_;
-  };
-
- private:
-  bool running_ = false;
-  double started_ = 0;
-  double busy_ = 0;
-  std::uint64_t intervals_ = 0;
 };
 
 }  // namespace gw::sim

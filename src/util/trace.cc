@@ -1,0 +1,353 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace gw::trace {
+
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 16;
+
+std::size_t ring_capacity_from_env() {
+  if (const char* env = std::getenv("GW_TRACE_RING")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return kDefaultRingCapacity;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kStage: return "stage";
+    case Kind::kPhase: return "phase";
+    case Kind::kKernel: return "kernel";
+    case Kind::kTransfer: return "transfer";
+    case Kind::kShuffle: return "shuffle";
+    case Kind::kMerge: return "merge";
+    case Kind::kSpill: return "spill";
+    case Kind::kRetry: return "retry";
+    case Kind::kMark: return "mark";
+  }
+  return "?";
+}
+
+Tracer::Tracer() : ring_capacity_(ring_capacity_from_env()) {}
+
+std::int32_t Tracer::intern(std::string_view name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::int32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::int32_t>(names_.size() - 1);
+}
+
+const std::string& Tracer::name(std::int32_t id) const {
+  GW_CHECK(id >= 0 && static_cast<std::size_t>(id) < names_.size());
+  return names_[static_cast<std::size_t>(id)];
+}
+
+Tracer::NodeState& Tracer::node_state(std::int32_t node) {
+  GW_CHECK_MSG(node >= 0, "trace events need a node id");
+  if (static_cast<std::size_t>(node) >= nodes_.size()) {
+    nodes_.resize(static_cast<std::size_t>(node) + 1);
+  }
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+TrackRef Tracer::track(std::int32_t node, std::string_view label) {
+  NodeState& ns = node_state(node);
+  ns.track_labels.emplace_back(label);
+  return TrackRef{node, static_cast<std::int32_t>(ns.track_labels.size() - 1)};
+}
+
+Tracer::Acc& Tracer::acc(NodeState& ns, std::int32_t name) {
+  GW_CHECK(name >= 0 && static_cast<std::size_t>(name) < names_.size());
+  if (static_cast<std::size_t>(name) >= ns.accs.size()) {
+    ns.accs.resize(static_cast<std::size_t>(name) + 1);
+  }
+  Acc& a = ns.accs[static_cast<std::size_t>(name)];
+  if (!a.seen && a.spans == 0 && a.active == 0 && a.tracks.empty()) {
+    // First touch on this node: remember appearance order for reports.
+    ns.order.push_back(name);
+  }
+  return a;
+}
+
+Tracer::TrackAcc& Tracer::track_acc(Acc& a, std::int32_t track) {
+  for (TrackAcc& t : a.tracks) {
+    if (t.track == track) return t;
+  }
+  a.tracks.push_back(TrackAcc{track, 0, 0, false});
+  return a.tracks.back();
+}
+
+void Tracer::record(NodeState& ns, const Event& e) {
+  if (ns.ring.size() < ring_capacity_) {
+    ns.ring.push_back(e);
+  } else {
+    ns.ring[ns.count % ring_capacity_] = e;
+  }
+  ++ns.count;
+}
+
+void Tracer::begin(TrackRef ref, Kind kind, std::int32_t name, double now,
+                   std::uint64_t arg) {
+  GW_CHECK_MSG(ref.valid(), "begin on unregistered track");
+  NodeState& ns = node_state(ref.node);
+  record(ns, Event{now, arg, name, ref.track, kind, 0});
+  Acc& a = acc(ns, name);
+  TrackAcc& t = track_acc(a, ref.track);
+  GW_CHECK_MSG(!t.running, "span re-entered on its own track");
+  t.running = true;
+  t.started = now;
+  if (a.active++ == 0) a.union_started = now;
+  if (!a.seen) {
+    a.seen = true;
+    a.first_begin = now;
+  }
+}
+
+void Tracer::end(TrackRef ref, Kind kind, std::int32_t name, double now,
+                 std::uint64_t arg) {
+  GW_CHECK_MSG(ref.valid(), "end on unregistered track");
+  NodeState& ns = node_state(ref.node);
+  record(ns, Event{now, arg, name, ref.track, kind, 1});
+  Acc& a = acc(ns, name);
+  TrackAcc& t = track_acc(a, ref.track);
+  GW_CHECK_MSG(t.running, "span end without begin");
+  t.running = false;
+  t.busy += now - t.started;
+  GW_CHECK(a.active > 0);
+  if (--a.active == 0) {
+    a.busy += now - a.union_started;
+    ++a.intervals;
+  }
+  ++a.spans;
+  a.last_end = now;
+}
+
+void Tracer::instant(TrackRef ref, Kind kind, std::int32_t name, double now,
+                     std::uint64_t arg) {
+  GW_CHECK_MSG(ref.valid(), "instant on unregistered track");
+  record(node_state(ref.node), Event{now, arg, name, ref.track, kind, 2});
+}
+
+void Tracer::clear() {
+  for (NodeState& ns : nodes_) {
+    ns.ring.clear();
+    ns.count = 0;
+    ns.accs.clear();
+    ns.order.clear();
+  }
+}
+
+Occupancy Tracer::occupancy(std::int32_t node, std::string_view name) const {
+  Occupancy out;
+  if (node < 0 || static_cast<std::size_t>(node) >= nodes_.size()) return out;
+  std::int32_t id = -1;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      id = static_cast<std::int32_t>(i);
+      break;
+    }
+  }
+  if (id < 0) return out;
+  const NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+  if (static_cast<std::size_t>(id) >= ns.accs.size()) return out;
+  const Acc& a = ns.accs[static_cast<std::size_t>(id)];
+  out.busy = a.busy;
+  out.first_begin = a.first_begin;
+  out.last_end = a.last_end;
+  out.intervals = a.intervals;
+  out.spans = a.spans;
+  out.seen = a.seen;
+  for (const TrackAcc& t : a.tracks) {
+    if (t.busy > out.max_track_busy) out.max_track_busy = t.busy;
+  }
+  return out;
+}
+
+std::vector<std::string> Tracer::span_names(std::int32_t node) const {
+  std::vector<std::string> out;
+  if (node < 0 || static_cast<std::size_t>(node) >= nodes_.size()) return out;
+  for (std::int32_t id : nodes_[static_cast<std::size_t>(node)].order) {
+    out.push_back(names_[static_cast<std::size_t>(id)]);
+  }
+  return out;
+}
+
+std::string Tracer::chrome_json() const {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeState& ns = nodes_[n];
+    if (ns.count == 0) continue;
+
+    const std::size_t retained = std::min<std::uint64_t>(ns.count, ns.ring.size());
+    const std::size_t oldest =
+        ns.count > ns.ring.size() ? ns.count % ring_capacity_ : 0;
+
+    // Which tracks actually carry events (skip metadata for idle tracks).
+    std::vector<bool> used(ns.track_labels.size(), false);
+    for (std::size_t i = 0; i < retained; ++i) {
+      const Event& e = ns.ring[(oldest + i) % ns.ring.size()];
+      if (e.track >= 0 && static_cast<std::size_t>(e.track) < used.size()) {
+        used[static_cast<std::size_t>(e.track)] = true;
+      }
+    }
+
+    std::string line;
+    line = "{\"ph\":\"M\",\"pid\":" + std::to_string(n) +
+           ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"node" +
+           std::to_string(n) + "\"}}";
+    emit(line);
+    for (std::size_t t = 0; t < ns.track_labels.size(); ++t) {
+      if (!used[t]) continue;
+      line = "{\"ph\":\"M\",\"pid\":" + std::to_string(n) +
+             ",\"tid\":" + std::to_string(t) +
+             ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      append_escaped(line, ns.track_labels[t]);
+      line += "\"}}";
+      emit(line);
+    }
+
+    for (std::size_t i = 0; i < retained; ++i) {
+      const Event& e = ns.ring[(oldest + i) % ns.ring.size()];
+      line.clear();
+      line += "{\"ph\":\"";
+      line += e.type == 0 ? 'B' : (e.type == 1 ? 'E' : 'i');
+      line += "\",\"pid\":" + std::to_string(n) +
+              ",\"tid\":" + std::to_string(e.track) + ",\"ts\":";
+      append_number(line, e.t * 1e6, "%.3f");
+      line += ",\"name\":\"";
+      append_escaped(line, name(e.name));
+      line += "\",\"cat\":\"";
+      line += kind_name(e.kind);
+      line += "\"";
+      if (e.type == 2) line += ",\"s\":\"t\"";
+      if (e.type != 1) {
+        line += ",\"args\":{\"arg\":" + std::to_string(e.arg) + "}";
+      }
+      line += "}";
+      emit(line);
+    }
+
+    if (ns.count > ns.ring.size()) {
+      line = "{\"ph\":\"i\",\"pid\":" + std::to_string(n) +
+             ",\"tid\":0,\"ts\":0.000,\"name\":\"ring_dropped\",\"cat\":"
+             "\"mark\",\"s\":\"t\",\"args\":{\"arg\":" +
+             std::to_string(ns.count - ns.ring.size()) + "}}";
+      emit(line);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::save_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string Tracer::validate() const {
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeState& ns = nodes_[n];
+    if (ns.count == 0) continue;
+    if (ns.count > ns.ring.size()) continue;  // overflow: prefix lost
+    double last_t = 0;
+    std::vector<std::vector<std::int32_t>> stacks(ns.track_labels.size());
+    for (std::size_t i = 0; i < ns.ring.size(); ++i) {
+      const Event& e = ns.ring[i];
+      if (e.t < last_t) {
+        return "node " + std::to_string(n) + ": timestamp went backwards at " +
+               name(e.name);
+      }
+      last_t = e.t;
+      if (e.track < 0 || static_cast<std::size_t>(e.track) >= stacks.size()) {
+        return "node " + std::to_string(n) + ": event on unregistered track";
+      }
+      auto& stack = stacks[static_cast<std::size_t>(e.track)];
+      if (e.type == 0) {
+        stack.push_back(e.name);
+      } else if (e.type == 1) {
+        if (stack.empty() || stack.back() != e.name) {
+          return "node " + std::to_string(n) + ": unbalanced end of " +
+                 name(e.name) + " on track " +
+                 ns.track_labels[static_cast<std::size_t>(e.track)];
+        }
+        stack.pop_back();
+      }
+    }
+    for (std::size_t t = 0; t < stacks.size(); ++t) {
+      if (!stacks[t].empty()) {
+        return "node " + std::to_string(n) + ": span " +
+               name(stacks[t].back()) + " never ended on track " +
+               ns.track_labels[t];
+      }
+    }
+  }
+  return std::string();
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::uint64_t total = 0;
+  for (const NodeState& ns : nodes_) total += ns.count;
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  for (const NodeState& ns : nodes_) {
+    if (ns.count > ns.ring.size()) total += ns.count - ns.ring.size();
+  }
+  return total;
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  GW_CHECK_MSG(events > 0, "ring capacity must be positive");
+  GW_CHECK_MSG(recorded() == 0, "set_ring_capacity after events recorded");
+  ring_capacity_ = events;
+}
+
+}  // namespace gw::trace

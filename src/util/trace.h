@@ -1,0 +1,175 @@
+// Simulated-timeline tracing.
+//
+// Every engine (Glasswing, Hadoop, GPMR) records what it does as typed
+// span/instant events stamped with the SIMULATED clock: stage busy
+// intervals, kernel launches, PCIe transfers, shuffle sends, merge rounds,
+// cache spills, task retries, phase boundaries. Events land in a bounded
+// per-node ring buffer (export payload) and simultaneously feed streaming
+// per-stage occupancy accumulators (exact aggregates, immune to ring
+// overflow). The ring exports as Chrome `trace_event` JSON — loadable in
+// about:tracing / Perfetto — with one process per simulated node and one
+// thread per track (a stage worker, a device queue, a merger thread).
+//
+// Tracing is a PURE OBSERVER of the simulation: recording an event never
+// schedules, suspends, or otherwise perturbs the event loop, so traced and
+// untraced runs are bit-identical. The occupancy accumulators replicate the
+// float arithmetic of plain interval timers (busy += end - start in event
+// order), so breakdowns derived here equal the ad-hoc per-engine timers
+// they replaced, bit for bit.
+//
+// Threading: all record calls happen on the simulation thread (host-pool
+// offload jobs must not trace); the Tracer is deliberately unsynchronized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gw::trace {
+
+// Event type. `kind_name` doubles as the Chrome-trace category.
+enum class Kind : std::uint8_t {
+  kStage = 0,  // pipeline-stage busy interval
+  kPhase,      // engine phase (map / merge / reduce / io)
+  kKernel,     // device kernel execution (arg = modeled ops)
+  kTransfer,   // PCIe staging transfer (arg = bytes)
+  kShuffle,    // shuffle send handed to the network (arg = bytes)
+  kMerge,      // intermediate-store merge round (arg = fan-in)
+  kSpill,      // cache spill to disk (arg = stored bytes)
+  kRetry,      // task re-execution (arg = split index)
+  kMark,       // untyped instant
+};
+const char* kind_name(Kind k);
+
+// A registered track: (simulated node, per-node thread index). Tracks give
+// events a stable home in the exported trace; registration order is
+// deterministic because it happens on the single-threaded sim.
+struct TrackRef {
+  std::int32_t node = -1;
+  std::int32_t track = -1;
+  bool valid() const { return node >= 0; }
+};
+
+// One recorded event (28 bytes + padding). Span begin/end pairs share the
+// interned name; instants stand alone.
+struct Event {
+  double t = 0;             // simulated seconds
+  std::uint64_t arg = 0;    // kind-specific payload (bytes, ops, fan-in)
+  std::int32_t name = -1;   // interned via Tracer::intern
+  std::int32_t track = -1;  // per-node thread index
+  Kind kind = Kind::kMark;
+  std::uint8_t type = 0;  // 0 = begin, 1 = end, 2 = instant
+};
+
+// Reduction of one span name on one node: the union of its busy intervals
+// across all tracks carrying that name, plus the per-track maximum (the
+// paper's Fig 4(a) partition-stage metric: max over worker threads).
+struct Occupancy {
+  double busy = 0;            // union of busy intervals
+  double max_track_busy = 0;  // max over per-track busy sums
+  double first_begin = 0;
+  double last_end = 0;
+  std::uint64_t intervals = 0;  // union intervals (concurrent spans merge)
+  std::uint64_t spans = 0;      // individual spans closed
+  bool seen = false;
+
+  double elapsed() const { return seen ? last_end - first_begin : 0.0; }
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  // Interns a span name; ids are stable for the Tracer's lifetime
+  // (clear() keeps them, so refs cached across jobs stay valid).
+  std::int32_t intern(std::string_view name);
+  const std::string& name(std::int32_t id) const;
+
+  // Registers a track on `node` (>= 0). The label becomes the Chrome-trace
+  // thread name ("map.partition/2", "device:GTX480", "store/0", "phase").
+  TrackRef track(std::int32_t node, std::string_view label);
+
+  // --- recording (simulated timestamps; pure observers) ---
+  void begin(TrackRef ref, Kind kind, std::int32_t name, double now,
+             std::uint64_t arg = 0);
+  void end(TrackRef ref, Kind kind, std::int32_t name, double now,
+           std::uint64_t arg = 0);
+  void instant(TrackRef ref, Kind kind, std::int32_t name, double now,
+               std::uint64_t arg = 0);
+
+  // Drops all events and occupancy state, keeping interned names and
+  // registered tracks (device/store tracks are registered at construction
+  // and must survive across jobs on the same platform). Runtimes call this
+  // at job start so a trace covers exactly one job.
+  void clear();
+
+  // --- reduction ---
+  // Occupancy of span `name` on `node`; zero-initialized if never seen.
+  Occupancy occupancy(std::int32_t node, std::string_view name) const;
+  // All span names seen on `node`, in first-appearance order.
+  std::vector<std::string> span_names(std::int32_t node) const;
+  std::int32_t num_nodes() const {
+    return static_cast<std::int32_t>(nodes_.size());
+  }
+
+  // --- export ---
+  // Chrome trace_event JSON (object format with a traceEvents array).
+  // Timestamps are microseconds; pid = node, tid = track.
+  std::string chrome_json() const;
+  bool save_chrome_json(const std::string& path) const;
+
+  // Structural self-check over the retained events: per-track spans must be
+  // balanced and properly nested, timestamps monotone per node. Returns an
+  // empty string when valid, else a description of the first violation.
+  // Skipped (returns empty) when the ring dropped events.
+  std::string validate() const;
+
+  std::uint64_t recorded() const;  // total events recorded (incl. dropped)
+  std::uint64_t dropped() const;   // events evicted by ring overflow
+
+  // Ring capacity per node; settable before events are recorded. Defaults
+  // to GW_TRACE_RING (events) or 1<<16.
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  void set_ring_capacity(std::size_t events);
+
+ private:
+  struct TrackAcc {
+    std::int32_t track = -1;
+    double busy = 0;
+    double started = 0;
+    bool running = false;
+  };
+  // Streaming accumulator for one (node, span name). The union arithmetic
+  // is byte-compatible with the old ActivityTimer: busy += now - started
+  // when the active count returns to zero.
+  struct Acc {
+    int active = 0;
+    double union_started = 0;
+    double busy = 0;
+    double first_begin = 0;
+    double last_end = 0;
+    std::uint64_t intervals = 0;
+    std::uint64_t spans = 0;
+    bool seen = false;
+    std::vector<TrackAcc> tracks;
+  };
+  struct NodeState {
+    std::vector<Event> ring;
+    std::uint64_t count = 0;  // total recorded on this node
+    std::vector<std::string> track_labels;
+    std::vector<Acc> accs;            // indexed by interned name id (sparse)
+    std::vector<std::int32_t> order;  // name ids in first-appearance order
+  };
+
+  NodeState& node_state(std::int32_t node);
+  Acc& acc(NodeState& ns, std::int32_t name);
+  static TrackAcc& track_acc(Acc& a, std::int32_t track);
+  void record(NodeState& ns, const Event& e);
+
+  std::vector<std::string> names_;
+  std::vector<NodeState> nodes_;
+  std::size_t ring_capacity_;
+};
+
+}  // namespace gw::trace

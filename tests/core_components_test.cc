@@ -278,6 +278,86 @@ TEST(SplitScheduler, HandsOutEverySplitExactlyOnce) {
   EXPECT_FALSE(sched.next_for(0).has_value());
 }
 
+TEST(SplitScheduler, LocalAndRemoteGrabCountsPartitionTheTotal) {
+  std::vector<InputSplit> splits;
+  for (int i = 0; i < 12; ++i) {
+    InputSplit s("/f", i * 100, 100);
+    s.locations = {i % 3};  // nodes 0..2 host 4 splits each; node 3 none
+    splits.push_back(s);
+  }
+  SplitScheduler sched(std::move(splits));
+  // Nodes 0-2 each pull their own 4 splits: all grabs are local.
+  std::uint64_t handed = 0;
+  for (int node = 0; node < 3; ++node) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(sched.next_for(node).has_value());
+      ++handed;
+    }
+  }
+  EXPECT_EQ(handed, 12u);
+  EXPECT_EQ(sched.local_grabs(), 12u);
+  EXPECT_EQ(sched.remote_grabs(), 0u);
+  EXPECT_EQ(sched.local_grabs() + sched.remote_grabs(), handed);
+  // Node 3 hosts no blocks and everything is taken: nothing left, and a
+  // node with no local blocks never inflates the locality counters.
+  EXPECT_FALSE(sched.next_for(3).has_value());
+  EXPECT_EQ(sched.local_grabs() + sched.remote_grabs(), 12u);
+  EXPECT_EQ(sched.retries(), 0u);
+}
+
+TEST(SplitScheduler, RequeuedSplitServedBeforeFreshSplits) {
+  std::vector<InputSplit> splits;
+  for (int i = 0; i < 4; ++i) {
+    InputSplit s("/f", i * 100, 100);
+    s.locations = {0};
+    s.index = i;
+    splits.push_back(s);
+  }
+  SplitScheduler sched(std::move(splits));
+  auto first = sched.next_for(0);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->attempt, 0);
+  EXPECT_EQ(sched.remaining(), 3u);
+
+  // A failed task's input goes back in and must be handed out (to ANY
+  // node) ahead of splits never attempted — §III-E re-execution.
+  sched.requeue(*first);
+  EXPECT_EQ(sched.remaining(), 4u);
+  EXPECT_EQ(sched.retries(), 1u);
+  auto retry = sched.next_for(3);
+  ASSERT_TRUE(retry);
+  EXPECT_EQ(retry->index, first->index);
+  EXPECT_EQ(retry->attempt, 1);
+}
+
+TEST(SplitScheduler, RequeueAfterExhaustionReopensTheScheduler) {
+  std::vector<InputSplit> splits;
+  for (int i = 0; i < 3; ++i) {
+    InputSplit s("/f", i * 100, 100);
+    s.locations = {0};
+    s.index = i;
+    splits.push_back(s);
+  }
+  SplitScheduler sched(std::move(splits));
+  std::vector<InputSplit> got;
+  while (auto s = sched.next_for(0)) got.push_back(*s);
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(sched.remaining(), 0u);
+  EXPECT_FALSE(sched.next_for(0).has_value());
+
+  sched.requeue(got[1]);
+  sched.requeue(got[2]);
+  EXPECT_EQ(sched.remaining(), 2u);
+  auto a = sched.next_for(1);
+  auto b = sched.next_for(1);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->attempt, 1);
+  EXPECT_EQ(b->attempt, 1);
+  EXPECT_EQ(sched.remaining(), 0u);
+  EXPECT_FALSE(sched.next_for(1).has_value());
+  EXPECT_EQ(sched.retries(), 2u);
+}
+
 TEST(SplitScheduler, MakeSplitsCoversFilesExactly) {
   Platform p = make_platform(2);
   dfs::Dfs fs(p, dfs::DfsConfig{});

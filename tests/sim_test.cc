@@ -349,21 +349,27 @@ TEST(Channel, MultipleConsumersShareWork) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(all[i], i);
 }
 
-TEST(StageTimer, AccumulatesBusyTime) {
+TEST(SimulationTracer, AccumulatesBusyTime) {
   Simulation sim;
-  StageTimer timer;
-  auto proc = [](Simulation& s, StageTimer& t) -> Task<> {
+  auto& tr = sim.tracer();
+  const auto ref = tr.track(0, "stage/0");
+  const auto id = tr.intern("work");
+  auto proc = [](Simulation& s, trace::TrackRef ref, std::int32_t id) -> Task<> {
+    auto& tr = s.tracer();
     for (int i = 0; i < 3; ++i) {
-      t.start(s.now());
+      tr.begin(ref, trace::Kind::kStage, id, s.now());
       co_await s.delay(2.0);
-      t.stop(s.now());
+      tr.end(ref, trace::Kind::kStage, id, s.now());
       co_await s.delay(1.0);  // idle, not counted
     }
   };
-  sim.spawn(proc(sim, timer));
+  sim.spawn(proc(sim, ref, id));
   sim.run();
-  EXPECT_DOUBLE_EQ(timer.busy_seconds(), 6.0);
-  EXPECT_EQ(timer.intervals(), 3u);
+  const auto occ = tr.occupancy(0, "work");
+  EXPECT_DOUBLE_EQ(occ.busy, 6.0);
+  EXPECT_EQ(occ.intervals, 3u);
+  EXPECT_EQ(occ.spans, 3u);
+  EXPECT_EQ(tr.validate(), "");
 }
 
 // Determinism property: identical programs produce identical event traces.

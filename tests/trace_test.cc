@@ -1,0 +1,240 @@
+// Tests for the simulated-timeline trace subsystem: occupancy reduction
+// semantics, structural validation, ring overflow, Chrome-trace export, and
+// the bit-identity of recorded traces across host thread-pool sizes
+// (tracing must be a pure observer of the simulation).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/wordcount.h"
+#include "core/job.h"
+#include "gwdfs/fs.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace gw {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::NodeSpec;
+using cluster::Platform;
+
+TEST(Trace, OccupancyUnionsOverlappingSpans) {
+  trace::Tracer tr;
+  const auto t0 = tr.track(0, "w/0");
+  const auto t1 = tr.track(0, "w/1");
+  const std::int32_t name = tr.intern("stage");
+  // Two workers overlap on [1,3] and [2,5]: union busy = 4, per-track
+  // maximum = 3 (the Fig 4(a) partition metric), one merged interval.
+  tr.begin(t0, trace::Kind::kStage, name, 1.0);
+  tr.begin(t1, trace::Kind::kStage, name, 2.0);
+  tr.end(t0, trace::Kind::kStage, name, 3.0);
+  tr.end(t1, trace::Kind::kStage, name, 5.0);
+  const auto occ = tr.occupancy(0, "stage");
+  EXPECT_TRUE(occ.seen);
+  EXPECT_DOUBLE_EQ(occ.busy, 4.0);
+  EXPECT_DOUBLE_EQ(occ.max_track_busy, 3.0);
+  EXPECT_EQ(occ.intervals, 1u);
+  EXPECT_EQ(occ.spans, 2u);
+  EXPECT_DOUBLE_EQ(occ.elapsed(), 4.0);
+  EXPECT_EQ(tr.validate(), "");
+}
+
+TEST(Trace, OccupancyDisjointIntervalsAccumulate) {
+  trace::Tracer tr;
+  const auto t0 = tr.track(2, "w");
+  const std::int32_t name = tr.intern("stage");
+  for (int i = 0; i < 3; ++i) {
+    tr.begin(t0, trace::Kind::kStage, name, i * 10.0);
+    tr.end(t0, trace::Kind::kStage, name, i * 10.0 + 2.0);
+  }
+  const auto occ = tr.occupancy(2, "stage");
+  EXPECT_DOUBLE_EQ(occ.busy, 6.0);
+  EXPECT_EQ(occ.intervals, 3u);
+  EXPECT_EQ(occ.spans, 3u);
+  EXPECT_DOUBLE_EQ(occ.elapsed(), 22.0);
+  // Never-seen names reduce to zeroes, not errors.
+  EXPECT_FALSE(tr.occupancy(2, "absent").seen);
+  EXPECT_FALSE(tr.occupancy(7, "stage").seen);
+}
+
+TEST(Trace, SpanNamesInFirstAppearanceOrder) {
+  trace::Tracer tr;
+  const auto t0 = tr.track(0, "w");
+  tr.begin(t0, trace::Kind::kStage, tr.intern("b"), 0.0);
+  tr.end(t0, trace::Kind::kStage, tr.intern("b"), 1.0);
+  tr.begin(t0, trace::Kind::kStage, tr.intern("a"), 2.0);
+  tr.end(t0, trace::Kind::kStage, tr.intern("a"), 3.0);
+  // Instants are point events, not busy intervals: they never open an
+  // occupancy accumulator.
+  tr.instant(t0, trace::Kind::kMark, tr.intern("ping"), 4.0);
+  const auto names = tr.span_names(0);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_EQ(names[1], "a");
+  EXPECT_FALSE(tr.occupancy(0, "ping").seen);
+}
+
+TEST(Trace, ValidateCatchesUnbalancedAndMisnestedSpans) {
+  {
+    trace::Tracer tr;
+    const auto t0 = tr.track(0, "w");
+    tr.begin(t0, trace::Kind::kStage, tr.intern("open"), 1.0);
+    EXPECT_NE(tr.validate(), "");  // begin without end
+  }
+  {
+    // Overlapping (not nested) spans on one track: x opens, y opens, x
+    // closes while y is still the innermost — improper nesting.
+    trace::Tracer tr;
+    const auto t0 = tr.track(0, "w");
+    const std::int32_t x = tr.intern("x");
+    const std::int32_t y = tr.intern("y");
+    tr.begin(t0, trace::Kind::kStage, x, 1.0);
+    tr.begin(t0, trace::Kind::kStage, y, 2.0);
+    tr.end(t0, trace::Kind::kStage, x, 3.0);
+    tr.end(t0, trace::Kind::kStage, y, 4.0);
+    EXPECT_NE(tr.validate(), "");
+  }
+}
+
+TEST(Trace, ValidateAcceptsProperNesting) {
+  trace::Tracer tr;
+  const auto t0 = tr.track(0, "w");
+  const std::int32_t outer = tr.intern("outer");
+  const std::int32_t inner = tr.intern("inner");
+  tr.begin(t0, trace::Kind::kStage, outer, 0.0);
+  tr.begin(t0, trace::Kind::kKernel, inner, 1.0);
+  tr.instant(t0, trace::Kind::kShuffle, tr.intern("send"), 1.5);
+  tr.end(t0, trace::Kind::kKernel, inner, 2.0);
+  tr.end(t0, trace::Kind::kStage, outer, 3.0);
+  EXPECT_EQ(tr.validate(), "");
+}
+
+TEST(Trace, ClearKeepsNamesAndTracksDropsEvents) {
+  trace::Tracer tr;
+  const auto t0 = tr.track(1, "device:X");
+  const std::int32_t name = tr.intern("kernel");
+  tr.begin(t0, trace::Kind::kKernel, name, 0.0);
+  tr.end(t0, trace::Kind::kKernel, name, 1.0);
+  EXPECT_EQ(tr.recorded(), 2u);
+  tr.clear();
+  EXPECT_EQ(tr.recorded(), 0u);
+  EXPECT_FALSE(tr.occupancy(1, "kernel").seen);
+  // Cached name ids and TrackRefs stay usable across clear() — device and
+  // store tracks register once at construction.
+  EXPECT_EQ(tr.intern("kernel"), name);
+  tr.begin(t0, trace::Kind::kKernel, name, 5.0);
+  tr.end(t0, trace::Kind::kKernel, name, 6.0);
+  EXPECT_DOUBLE_EQ(tr.occupancy(1, "kernel").busy, 1.0);
+  EXPECT_EQ(tr.validate(), "");
+}
+
+TEST(Trace, RingOverflowDropsEventsButKeepsExactAggregates) {
+  trace::Tracer tr;
+  tr.set_ring_capacity(8);
+  const auto t0 = tr.track(0, "w");
+  const std::int32_t name = tr.intern("stage");
+  for (int i = 0; i < 50; ++i) {
+    tr.begin(t0, trace::Kind::kStage, name, i * 2.0);
+    tr.end(t0, trace::Kind::kStage, name, i * 2.0 + 1.0);
+  }
+  EXPECT_EQ(tr.recorded(), 100u);
+  EXPECT_EQ(tr.dropped(), 92u);
+  // Occupancy accumulators stream past the ring: still exact.
+  const auto occ = tr.occupancy(0, "stage");
+  EXPECT_DOUBLE_EQ(occ.busy, 50.0);
+  EXPECT_EQ(occ.spans, 50u);
+  // Validation is skipped (not failed) for nodes with evicted events.
+  EXPECT_EQ(tr.validate(), "");
+  // The export still loads: it carries the retained suffix plus a marker.
+  const std::string json = tr.chrome_json();
+  EXPECT_NE(json.find("ring_dropped"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonShape) {
+  trace::Tracer tr;
+  const auto t0 = tr.track(0, "map.input");
+  const std::int32_t name = tr.intern("map.input");
+  tr.begin(t0, trace::Kind::kStage, name, 0.25, 7);
+  tr.end(t0, trace::Kind::kStage, name, 0.5);
+  tr.instant(t0, trace::Kind::kShuffle, tr.intern("map.shuffle"), 0.75, 99);
+  const std::string json = tr.chrome_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');  // trailing newline after the object
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Timestamps are microseconds: 0.25s -> 250000.
+  EXPECT_NE(json.find("\"ts\":250000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"shuffle\""), std::string::npos);
+  EXPECT_NE(json.find("\"arg\":99"), std::string::npos);
+}
+
+// --- pure-observer bit-identity on a real job ---
+
+// One full 4-node wordcount job; exports the trace before teardown.
+struct TracedRun {
+  core::JobResult result;
+  std::string trace_json;
+  std::string validation;
+  std::uint64_t events = 0;
+};
+
+TracedRun run_traced_wordcount() {
+  Platform p(ClusterSpec::homogeneous(
+      4, NodeSpec::das4_type1(), net::NetworkProfile::qdr_infiniband_ipoib()));
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  util::Bytes text = apps::generate_wiki_text(1 << 20, 2014);
+  p.sim().spawn([](dfs::Dfs& f, util::Bytes t) -> sim::Task<> {
+    co_await f.write_distributed("/in", std::move(t));
+  }(fs, std::move(text)));
+  p.sim().run();
+
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in"};
+  cfg.output_path = "/out";
+  cfg.split_size = 128 << 10;
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  TracedRun out;
+  out.result = rt.run(apps::wordcount().kernels, cfg);
+  out.trace_json = p.sim().tracer().chrome_json();
+  out.validation = p.sim().tracer().validate();
+  out.events = p.sim().tracer().recorded();
+  return out;
+}
+
+TEST(TraceDeterminism, WordcountSpansBalancedAndCoverPhases) {
+  util::ThreadPool::reset_global(1);
+  const TracedRun run = run_traced_wordcount();
+  EXPECT_EQ(run.validation, "");
+  EXPECT_GT(run.events, 0u);
+  for (const char* name : {"phase.map", "phase.merge", "phase.reduce",
+                           "map.input", "map.kernel", "map.partition",
+                           "reduce.kernel", "store.merge"}) {
+    EXPECT_NE(run.trace_json.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(TraceDeterminism, WordcountTraceIdenticalAcrossThreadCounts) {
+  // Same property offload_test checks for outputs, extended to the trace:
+  // the recorded timeline (every event, timestamp and payload) must not
+  // depend on the host pool size the simulation happened to run under.
+  util::ThreadPool::reset_global(1);
+  const TracedRun base = run_traced_wordcount();
+  ASSERT_FALSE(base.trace_json.empty());
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    util::ThreadPool::reset_global(threads);
+    const TracedRun run = run_traced_wordcount();
+    EXPECT_EQ(run.trace_json, base.trace_json) << "pool size " << threads;
+    EXPECT_EQ(run.events, base.events);
+  }
+  util::ThreadPool::reset_global(1);
+}
+
+}  // namespace
+}  // namespace gw
