@@ -40,9 +40,10 @@ inline std::uint64_t scaled_bytes(std::uint64_t base) {
 }
 
 inline cluster::Platform make_platform(
-    int nodes, cluster::NodeSpec spec = cluster::NodeSpec::das4_type1()) {
+    int nodes, cluster::NodeSpec spec = cluster::NodeSpec::das4_type1(),
+    net::NetworkProfile network = net::NetworkProfile::qdr_infiniband_ipoib()) {
   return cluster::Platform(cluster::ClusterSpec::homogeneous(
-      nodes, std::move(spec), net::NetworkProfile::qdr_infiniband_ipoib()));
+      nodes, std::move(spec), std::move(network)));
 }
 
 inline void stage_input(cluster::Platform& p, dfs::FileSystem& fs,
@@ -205,19 +206,30 @@ inline void print_host_path_summary(const char* label,
       static_cast<unsigned long long>(r.stats.hash_table_probes));
 }
 
+// One-line remote-traffic split for a finished job: what the transport put
+// on the wire per class (shuffle vs DFS block traffic vs control frames).
+inline void print_traffic_split(const char* label, const core::JobResult& r) {
+  std::printf("net-split[%s]: shuffle=%llu dfs=%llu control=%llu bytes\n",
+              label,
+              static_cast<unsigned long long>(r.stats.net_shuffle_bytes),
+              static_cast<unsigned long long>(r.stats.net_dfs_bytes),
+              static_cast<unsigned long long>(r.stats.net_control_bytes));
+}
+
 // --- one-shot job runners (fresh platform + filesystem per point) ---
 
 struct RunOpts {
   cl::DeviceSpec device = cl::DeviceSpec::cpu_dual_e5620();
   bool local_fs = false;  // LocalFs with fully-replicated input (GPMR layout)
   cluster::NodeSpec node = cluster::NodeSpec::das4_type1();
+  net::NetworkProfile network = net::NetworkProfile::qdr_infiniband_ipoib();
 };
 
 inline double run_glasswing(int nodes, const core::AppKernels& app,
                             const util::Bytes& input, core::JobConfig cfg,
                             RunOpts opts = {},
                             core::JobResult* out = nullptr) {
-  cluster::Platform p = make_platform(nodes, opts.node);
+  cluster::Platform p = make_platform(nodes, opts.node, opts.network);
   std::unique_ptr<dfs::FileSystem> fs;
   if (opts.local_fs) {
     fs = std::make_unique<dfs::LocalFs>(p);

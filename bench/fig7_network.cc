@@ -1,0 +1,150 @@
+// Figure 7 (new experiment, beyond the paper's figures): shuffle-bound
+// scaling across interconnects. The paper evaluates Glasswing on 1 Gb
+// Ethernet and QDR InfiniBand (IPoIB) and attributes its horizontal
+// scalability to the push shuffle overlapping communication with the map
+// pipeline (§III-D, §IV-C). This bench sweeps nodes x {GbE, IPoIB} x
+// bisection oversubscription on a shuffle-heavy WordCount (no combiner, so
+// the full intermediate volume crosses the wire) and reports:
+//   * execution time + speedup per interconnect (SeriesTable),
+//   * the remote-traffic split measured by the transport layer,
+//   * per-link busy occupancy from the "net.tx" trace spans, whose spread
+//     across nodes shows whether the load on the fabric is balanced.
+// Oversubscribed configs ("-o4") model a core switch with bisection
+// capacity nodes/4 and enable 256 KiB chunking + a 2 MiB credit window, so
+// concurrent flows interleave on links instead of occupying them atomically.
+#include <algorithm>
+#include <map>
+
+#include "apps/wordcount.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+const std::uint64_t kInputBytes = bench::scaled_bytes(12ull << 20);
+constexpr std::uint64_t kSplit = 256 << 10;
+
+struct NetPoint {
+  double seconds = 0;
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t dfs_bytes = 0;
+  std::uint64_t control_bytes = 0;
+  double tx_busy_min = 0;  // per-node "net.tx" busy spread
+  double tx_busy_max = 0;
+};
+
+net::NetworkProfile make_profile(bool gbe, double oversub) {
+  net::NetworkProfile p = gbe ? net::NetworkProfile::gigabit_ethernet()
+                              : net::NetworkProfile::qdr_infiniband_ipoib();
+  if (oversub > 0) {
+    p.name += "-o" + std::to_string(static_cast<int>(oversub));
+    p.bisection_oversubscription = oversub;
+    p.max_chunk_bytes = 256 << 10;
+    p.credit_bytes = 2 << 20;
+  }
+  return p;
+}
+
+NetPoint run_point(int nodes, const net::NetworkProfile& profile,
+                   const util::Bytes& input) {
+  // Built inline (not via run_glasswing) so the platform outlives the job
+  // and its tracer/transport can be inspected afterwards. LocalFs with
+  // fully replicated input keeps DFS traffic off the wire: what remains is
+  // the push shuffle this figure is about.
+  cluster::Platform p =
+      bench::make_platform(nodes, cluster::NodeSpec::das4_type1(), profile);
+  dfs::LocalFs fs(p);
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/wiki"};
+  cfg.output_path = "/out";
+  cfg.split_size = kSplit;
+  cfg.use_combiner = false;
+  bench::stage_input(p, fs, cfg.input_paths[0], input);
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  const core::JobResult r = rt.run(apps::wordcount().kernels, cfg);
+
+  NetPoint out;
+  out.seconds = r.elapsed_seconds;
+  out.shuffle_bytes = r.stats.net_shuffle_bytes;
+  out.dfs_bytes = r.stats.net_dfs_bytes;
+  out.control_bytes = r.stats.net_control_bytes;
+  const trace::Tracer& tr = p.sim().tracer();
+  for (int n = 0; n < nodes; ++n) {
+    const double busy = tr.occupancy(n, "net.tx").busy;
+    if (n == 0) {
+      out.tx_busy_min = out.tx_busy_max = busy;
+    } else {
+      out.tx_busy_min = std::min(out.tx_busy_min, busy);
+      out.tx_busy_max = std::max(out.tx_busy_max, busy);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Bytes input = apps::generate_wiki_text(kInputBytes, 2014);
+
+  const std::vector<std::pair<std::string, net::NetworkProfile>> configs = {
+      {"GbE", make_profile(true, 0)},
+      {"GbE-o4", make_profile(true, 4)},
+      {"IPoIB", make_profile(false, 0)},
+      {"IPoIB-o4", make_profile(false, 4)},
+  };
+  const std::vector<int> node_counts = {2, 4, 8};
+
+  bench::SeriesTable table("nodes");
+  std::map<std::pair<std::string, int>, NetPoint> points;
+  for (int nodes : node_counts) {
+    for (const auto& [name, profile] : configs) {
+      NetPoint pt;
+      table.add_timed(name, nodes, [&] {
+        pt = run_point(nodes, profile, input);
+        return pt.seconds;
+      });
+      points[{name, nodes}] = pt;
+    }
+  }
+  table.print("Figure 7: WC shuffle scaling, interconnect x oversubscription");
+
+  const int big = node_counts.back();
+  std::printf("\nTraffic split at %d nodes (GbE-o4):\n", big);
+  const NetPoint& gbe_o4 = points.at({"GbE-o4", big});
+  std::printf("  shuffle=%llu dfs=%llu control=%llu bytes\n",
+              static_cast<unsigned long long>(gbe_o4.shuffle_bytes),
+              static_cast<unsigned long long>(gbe_o4.dfs_bytes),
+              static_cast<unsigned long long>(gbe_o4.control_bytes));
+  std::printf("net.tx busy per node at %d nodes: GbE-o4 [%.3f, %.3f]s, "
+              "IPoIB-o4 [%.3f, %.3f]s\n",
+              big, gbe_o4.tx_busy_min, gbe_o4.tx_busy_max,
+              points.at({"IPoIB-o4", big}).tx_busy_min,
+              points.at({"IPoIB-o4", big}).tx_busy_max);
+
+  const double gbe = table.at("GbE", big);
+  const double gbe_o = table.at("GbE-o4", big);
+  const double ib = table.at("IPoIB", big);
+  const double ib_o = table.at("IPoIB-o4", big);
+  const double gbe_degrade = gbe_o / gbe;
+  const double ib_degrade = ib_o / ib;
+  std::printf(
+      "\nShape checks:\n"
+      "  IPoIB beats GbE at %d nodes: %.3fs vs %.3fs (%s)\n"
+      "  oversubscription hurts GbE more than IPoIB: %.3fx vs %.3fx (%s)\n"
+      "  shuffle dominates DFS traffic (LocalFs input): %llu vs %llu (%s)\n",
+      big, ib, gbe, ib < gbe ? "OK" : "MISMATCH", gbe_degrade, ib_degrade,
+      gbe_degrade > ib_degrade ? "OK" : "MISMATCH",
+      static_cast<unsigned long long>(gbe_o4.shuffle_bytes),
+      static_cast<unsigned long long>(gbe_o4.dfs_bytes),
+      gbe_o4.shuffle_bytes > gbe_o4.dfs_bytes ? "OK" : "MISMATCH");
+
+  for (const auto& [name, profile] : configs) {
+    const double t = table.at(name, big);
+    bench::register_point("Fig7/WC/" + name + "/nodes:" + std::to_string(big),
+                          [t](benchmark::State&) { return t; });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -74,6 +74,12 @@ int main(int argc, char** argv) {
       ii.reduce_phase_seconds, iv.stages.map_elapsed, iv.stages.input,
       iv.stages.kernel);
 
+  std::printf("\n");
+  bench::print_traffic_split("hash+comb", i);
+  bench::print_traffic_split("hash", ii);
+  bench::print_traffic_split("simple", iii);
+  bench::print_traffic_split("single-buf", iv);
+
   bench::register_point("Table2/WC/hash+comb",
                         [t = i.elapsed_seconds](benchmark::State&) { return t; });
   bench::register_point("Table2/WC/hash",

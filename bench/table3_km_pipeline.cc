@@ -82,6 +82,14 @@ int main(int argc, char** argv) {
       gi.stages.partition <= ci.stages.partition ? "OK" : "MISMATCH",
       gi.elapsed_seconds, gii.elapsed_seconds, giii.elapsed_seconds);
 
+  std::printf("\n");
+  bench::print_traffic_split("cpu/hash+comb", ci);
+  bench::print_traffic_split("cpu/hash", cii);
+  bench::print_traffic_split("cpu/simple", ciii);
+  bench::print_traffic_split("gpu/hash+comb", gi);
+  bench::print_traffic_split("gpu/hash", gii);
+  bench::print_traffic_split("gpu/simple", giii);
+
   bench::register_point("Table3/KM-CPU/hash+comb",
                         [t = ci.elapsed_seconds](benchmark::State&) { return t; });
   bench::register_point("Table3/KM-GPU/hash+comb",

@@ -42,6 +42,14 @@ struct Flags {
   std::uint64_t split_kb = 256;
   std::uint64_t seed = 42;
   std::string trace_path;  // empty = no export
+  // Network: profile plus topology/transport knobs. Defaults reproduce the
+  // legacy fabric (infinite bisection, unchunked, unbounded in-flight), so
+  // default output stays byte-identical.
+  std::string net = "ipoib";
+  double oversub = 0;
+  std::uint64_t chunk_kb = 0;
+  std::uint64_t credit_kb = 0;
+  bool net_report = false;
 };
 
 void usage() {
@@ -57,6 +65,16 @@ void usage() {
       "  --collector=hash|pool  map output collection\n"
       "  --no-combiner      disable the combiner\n"
       "  --partitions=P --partitioner-threads=N --split-kb=K --seed=S\n"
+      "  --net=ipoib|gbe    interconnect profile (QDR InfiniBand IPoIB or\n"
+      "                     1 Gb Ethernet; default ipoib)\n"
+      "  --oversub=F        core-switch bisection oversubscription factor\n"
+      "                     (0 = infinite bisection, the legacy model)\n"
+      "  --chunk-kb=K       chunk messages larger than K KiB on the wire\n"
+      "                     (0 = unchunked)\n"
+      "  --credit-kb=K      per-peer shuffle credit window in KiB\n"
+      "                     (0 = unbounded in-flight data)\n"
+      "  --net-report       print the remote-traffic split (shuffle/DFS/\n"
+      "                     control bytes) after the job report\n"
       "  --trace=FILE       export the run's simulated timeline as Chrome\n"
       "                     trace_event JSON (open in about:tracing/Perfetto)\n");
 }
@@ -99,6 +117,11 @@ int main(int argc, char** argv) {
     else if (parse_flag(argv[i], "--split-kb", &v)) flags.split_kb = std::strtoull(v.c_str(), nullptr, 10);
     else if (parse_flag(argv[i], "--seed", &v)) flags.seed = std::strtoull(v.c_str(), nullptr, 10);
     else if (parse_flag(argv[i], "--trace", &v)) flags.trace_path = v;
+    else if (parse_flag(argv[i], "--net", &v)) flags.net = v;
+    else if (parse_flag(argv[i], "--oversub", &v)) flags.oversub = std::atof(v.c_str());
+    else if (parse_flag(argv[i], "--chunk-kb", &v)) flags.chunk_kb = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(argv[i], "--credit-kb", &v)) flags.credit_kb = std::strtoull(v.c_str(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--net-report") == 0) flags.net_report = true;
     else if (std::strcmp(argv[i], "--no-combiner") == 0) flags.combiner = false;
     else if (std::strcmp(argv[i], "--help") == 0) { usage(); return 0; }
     else { std::fprintf(stderr, "unknown flag %s\n\n", argv[i]); usage(); return 2; }
@@ -134,9 +157,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  net::NetworkProfile network;
+  if (flags.net == "ipoib") {
+    network = net::NetworkProfile::qdr_infiniband_ipoib();
+  } else if (flags.net == "gbe") {
+    network = net::NetworkProfile::gigabit_ethernet();
+  } else {
+    std::fprintf(stderr, "unknown network profile '%s'\n", flags.net.c_str());
+    return 2;
+  }
+  network.bisection_oversubscription = flags.oversub;
+  network.max_chunk_bytes = flags.chunk_kb << 10;
+  network.credit_bytes = flags.credit_kb << 10;
+
   cluster::Platform platform(cluster::ClusterSpec::homogeneous(
-      flags.nodes, cluster::NodeSpec::das4_type1(),
-      net::NetworkProfile::qdr_infiniband_ipoib()));
+      flags.nodes, cluster::NodeSpec::das4_type1(), std::move(network)));
   dfs::Dfs fs(platform, dfs::DfsConfig{});
   platform.sim().spawn([](dfs::Dfs& f, util::Bytes data) -> sim::Task<> {
     co_await f.write_distributed("/in/data", std::move(data));
@@ -172,6 +207,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.input_records),
                 static_cast<unsigned long long>(r.intermediate_pairs),
                 static_cast<unsigned long long>(r.output_pairs));
+    if (flags.net_report) {
+      std::printf("net: shuffle=%llu dfs=%llu control=%llu bytes\n",
+                  static_cast<unsigned long long>(r.net_shuffle_bytes),
+                  static_cast<unsigned long long>(r.net_dfs_bytes),
+                  static_cast<unsigned long long>(r.net_control_bytes));
+    }
     if (!flags.trace_path.empty()) {
       if (!platform.sim().tracer().save_chrome_json(flags.trace_path)) {
         std::fprintf(stderr, "failed to write trace to %s\n",
@@ -209,6 +250,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.stats.intermediate_pairs),
               static_cast<unsigned long long>(r.stats.output_pairs),
               r.output_files.size());
+  if (flags.net_report) {
+    std::printf("net: shuffle=%llu dfs=%llu control=%llu bytes\n",
+                static_cast<unsigned long long>(r.stats.net_shuffle_bytes),
+                static_cast<unsigned long long>(r.stats.net_dfs_bytes),
+                static_cast<unsigned long long>(r.stats.net_control_bytes));
+  }
   if (!flags.trace_path.empty()) {
     if (!platform.sim().tracer().save_chrome_json(flags.trace_path)) {
       std::fprintf(stderr, "failed to write trace to %s\n",

@@ -8,7 +8,13 @@ emits (src/util/trace.cc):
     E name matching the innermost open B;
   * per pid, timestamps are monotone non-decreasing in file order (the ring
     preserves record order per node);
-  * span end >= span begin.
+  * span end >= span begin;
+  * every cat is one of the categories trace.cc emits (stage, phase,
+    kernel, transfer, shuffle, merge, spill, retry, link, mark).
+
+With --expect-links, additionally fail when the trace contains no "link"
+spans (network link occupancy from the fabric; any multi-node run with
+remote traffic emits them).
 
 Exit code 0 when valid; 1 with a description on the first violation.
 Stdlib only — runs anywhere CI has a python3.
@@ -17,6 +23,19 @@ Stdlib only — runs anywhere CI has a python3.
 import json
 import sys
 
+KNOWN_CATEGORIES = {
+    "stage",
+    "phase",
+    "kernel",
+    "transfer",
+    "shuffle",
+    "merge",
+    "spill",
+    "retry",
+    "link",
+    "mark",
+}
+
 
 def fail(msg):
     print(f"validate_trace: FAIL: {msg}")
@@ -24,10 +43,13 @@ def fail(msg):
 
 
 def main():
-    if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} trace.json")
+    args = sys.argv[1:]
+    expect_links = "--expect-links" in args
+    args = [a for a in args if a != "--expect-links"]
+    if len(args) != 1:
+        print(f"usage: {sys.argv[0]} [--expect-links] trace.json")
         sys.exit(2)
-    path = sys.argv[1]
+    path = args[0]
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -43,6 +65,7 @@ def main():
     stacks = {}  # (pid, tid) -> [(name, ts), ...]
     last_ts = {}  # pid -> ts
     counts = {"B": 0, "E": 0, "i": 0, "M": 0}
+    link_spans = 0
     for idx, ev in enumerate(events):
         where = f"event #{idx}"
         for field in ("ph", "pid", "tid", "name"):
@@ -57,6 +80,10 @@ def main():
         for field in ("ts", "cat"):
             if field not in ev:
                 fail(f"{where}: {ph} event missing '{field}'")
+        if ev["cat"] not in KNOWN_CATEGORIES:
+            fail(f"{where}: unknown category '{ev['cat']}'")
+        if ph == "B" and ev["cat"] == "link":
+            link_spans += 1
         ts = ev["ts"]
         if not isinstance(ts, (int, float)) or ts < 0:
             fail(f"{where}: bad ts {ts!r}")
@@ -92,11 +119,13 @@ def main():
         fail(f"{counts['B']} B events vs {counts['E']} E events")
     if counts["B"] + counts["i"] == 0:
         fail("trace has no span or instant events")
+    if expect_links and link_spans == 0:
+        fail("no link spans found (expected network link occupancy)")
 
     print(
         f"validate_trace: OK: {len(events)} events "
         f"({counts['B']} spans, {counts['i']} instants, "
-        f"{len(last_ts)} nodes)"
+        f"{link_spans} link spans, {len(last_ts)} nodes)"
     )
 
 

@@ -154,7 +154,9 @@ sim::Task<> reduce_phase(core::Stage& st, Shared& sh, GpmrResult& result) {
     core::PairList& bin = sh.bins[node][src];
     if (src != node && bin.blob_bytes() > 0) {
       st.instant(trace::Kind::kShuffle, exchange_name, bin.blob_bytes());
-      co_await sh.platform->fabric().transfer(src, node, bin.blob_bytes());
+      co_await sh.platform->transport().transfer(
+          src, node, net::kPortShuffle, net::TrafficClass::kShuffle,
+          bin.blob_bytes());
     }
     mine.append(bin);
     bin.clear();

@@ -238,10 +238,15 @@ sim::Task<> map_slot(core::Stage& st, Shared& sh,
         co_await s.platform->sim().delay(s.cfg->heartbeat_s);
         // Fetch request round trip + data transfer; the map-output server
         // streams segments sequentially from files it just wrote (page
-        // cache), so only bandwidth is charged on the source disk.
-        co_await s.platform->fabric().transfer(dst, src, 64);
+        // cache), so only bandwidth is charged on the source disk. The
+        // request is a control frame on the fetch port; the reply is
+        // shuffle traffic on the reducer's reply port.
+        co_await s.platform->transport().transfer(
+            dst, src, net::kPortHadoopFetch, net::TrafficClass::kControl, 64);
         co_await s.platform->node(src).disk_stream_read(b);
-        co_await s.platform->fabric().transfer(src, dst, b);
+        co_await s.platform->transport().transfer(
+            src, dst, net::kPortHadoopReplyBase + reducer,
+            net::TrafficClass::kShuffle, b);
         co_await s.feeds[reducer]->send(MapSegment(src, std::move(rn)));
       }(sh, node_id, dst_node, r, std::move(run), bytes));
     }
@@ -398,6 +403,15 @@ HadoopResult HadoopRuntime::run(const core::AppKernels& app,
   const double start = sim.now();
   const int num_nodes = platform_.num_nodes();
 
+  // Transport counters are cumulative per platform (input staging counts
+  // too); snapshot so the report covers exactly this job.
+  net::Transport& tp = platform_.transport();
+  const std::uint64_t net_shuffle0 =
+      tp.total_bytes(net::TrafficClass::kShuffle);
+  const std::uint64_t net_dfs0 = tp.total_bytes(net::TrafficClass::kDfs);
+  const std::uint64_t net_control0 =
+      tp.total_bytes(net::TrafficClass::kControl);
+
   Shared sh;
   sh.platform = &platform_;
   sh.fs = &fs_;
@@ -474,6 +488,11 @@ HadoopResult HadoopRuntime::run(const core::AppKernels& app,
   result.input_records = sh.records;
   result.intermediate_pairs = sh.pairs;
   result.shuffle_bytes = sh.shuffle_bytes;
+  result.net_shuffle_bytes =
+      tp.total_bytes(net::TrafficClass::kShuffle) - net_shuffle0;
+  result.net_dfs_bytes = tp.total_bytes(net::TrafficClass::kDfs) - net_dfs0;
+  result.net_control_bytes =
+      tp.total_bytes(net::TrafficClass::kControl) - net_control0;
   std::sort(result.output_files.begin(), result.output_files.end());
   return result;
 }

@@ -70,6 +70,12 @@ struct HadoopResult {
   std::uint64_t intermediate_pairs = 0;
   std::uint64_t shuffle_bytes = 0;
   std::uint64_t output_pairs = 0;
+  // Remote wire traffic split by transport class (net::TrafficClass):
+  // pull-shuffle replies, DFS block traffic, and control frames (fetch
+  // requests).
+  std::uint64_t net_shuffle_bytes = 0;
+  std::uint64_t net_dfs_bytes = 0;
+  std::uint64_t net_control_bytes = 0;
   std::vector<std::string> output_files;
 };
 

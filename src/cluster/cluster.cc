@@ -81,6 +81,7 @@ Platform::Platform(ClusterSpec spec) : spec_(std::move(spec)) {
   GW_CHECK_MSG(!spec_.nodes.empty(), "cluster needs at least one node");
   fabric_ = std::make_unique<net::Fabric>(
       sim_, static_cast<int>(spec_.nodes.size()), spec_.network);
+  transport_ = std::make_unique<net::Transport>(*fabric_);
   for (std::size_t i = 0; i < spec_.nodes.size(); ++i) {
     nodes_.push_back(
         std::make_unique<Node>(sim_, static_cast<int>(i), spec_.nodes[i]));

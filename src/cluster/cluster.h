@@ -14,6 +14,7 @@
 
 #include "sim/sim.h"
 #include "simnet/fabric.h"
+#include "simnet/transport.h"
 
 namespace gw::cluster {
 
@@ -107,6 +108,7 @@ class Platform {
 
   sim::Simulation& sim() { return sim_; }
   net::Fabric& fabric() { return *fabric_; }
+  net::Transport& transport() { return *transport_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   Node& node(int id) { return *nodes_.at(id); }
   const ClusterSpec& spec() const { return spec_; }
@@ -115,6 +117,7 @@ class Platform {
   ClusterSpec spec_;
   sim::Simulation sim_;
   std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -191,6 +191,13 @@ struct JobStats {
   std::uint64_t intermediate_stored = 0;  // after compression
   std::uint64_t output_pairs = 0;
   std::uint64_t shuffle_bytes_remote = 0;
+  // Remote network traffic this job put on the wire, split by transport
+  // class (net::TrafficClass): intermediate-data shuffle, DFS block
+  // traffic (output writes, remote reads, replication), and protocol
+  // control frames (EOS markers).
+  std::uint64_t net_shuffle_bytes = 0;
+  std::uint64_t net_dfs_bytes = 0;
+  std::uint64_t net_control_bytes = 0;
   std::uint64_t spills = 0;
   std::uint64_t merges = 0;
   // Input runs consumed across all intermediate-store merges; divided by

@@ -9,8 +9,6 @@ namespace gw::core {
 
 namespace {
 
-constexpr std::uint32_t kEofMarker = 0xffffffffu;
-
 // Per-node mutable state for one job run.
 struct NodeRun {
   std::unique_ptr<IntermediateStore> store;
@@ -21,18 +19,17 @@ struct NodeRun {
 };
 
 sim::Task<> shuffle_receiver(NodeContext ctx, sim::Event& done) {
-  auto& inbox = ctx.platform->fabric().inbox(ctx.node_id, net::kPortShuffle);
+  // Every node (including self) announces end-of-map with a transport EOS
+  // frame; the receiver resolves once all of them arrived and the inbox
+  // drained, then the port is released for reuse by the next job.
+  net::Transport::Receiver rx = ctx.platform->transport().receiver(
+      ctx.node_id, net::kPortShuffle, ctx.num_nodes);
   const int P = ctx.config->partitions_per_node;
-  int eofs = 0;
-  while (eofs < ctx.num_nodes) {
-    auto msg = co_await inbox.recv();
+  for (;;) {
+    auto msg = co_await rx.recv();
     if (!msg) break;
     util::ByteReader r(msg->payload);
     const std::uint32_t g = r.get_u32();
-    if (g == kEofMarker) {
-      ++eofs;
-      continue;
-    }
     GW_CHECK_MSG(static_cast<int>(g) / P == ctx.node_id,
                  "partition routed to wrong node");
     ctx.store->add_run(static_cast<int>(g) % P, Run::deserialize(r));
@@ -59,10 +56,8 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* reduce_device,
   // Map phase done on this node: tell every node (including self) that no
   // more intermediate data will arrive from here.
   for (int dst = 0; dst < ctx.num_nodes; ++dst) {
-    util::ByteWriter w;
-    w.put_u32(kEofMarker);
-    co_await ctx.platform->fabric().send(ctx.node_id, dst, net::kPortShuffle,
-                                         w.take());
+    co_await ctx.platform->transport().finish(ctx.node_id, dst,
+                                              net::kPortShuffle);
   }
 
   // Merge phase: continues until all remote data arrived and the merger
@@ -153,6 +148,15 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   sim.tracer().clear();  // one job per trace
   const int num_nodes = platform_.num_nodes();
   const double start = sim.now();
+
+  // Transport counters are cumulative per platform (input staging counts
+  // too); snapshot so the report covers exactly this job.
+  net::Transport& tp = platform_.transport();
+  const std::uint64_t net_shuffle0 =
+      tp.total_bytes(net::TrafficClass::kShuffle);
+  const std::uint64_t net_dfs0 = tp.total_bytes(net::TrafficClass::kDfs);
+  const std::uint64_t net_control0 =
+      tp.total_bytes(net::TrafficClass::kControl);
 
   SplitScheduler scheduler(
       SplitScheduler::make_splits(fs_, config.input_paths, config.split_size));
@@ -257,6 +261,12 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   result.map_phase_seconds = map_end - start;
   result.merge_delay_seconds = merge_delay;
   result.reduce_phase_seconds = reduce_elapsed;
+  result.stats.net_shuffle_bytes =
+      tp.total_bytes(net::TrafficClass::kShuffle) - net_shuffle0;
+  result.stats.net_dfs_bytes =
+      tp.total_bytes(net::TrafficClass::kDfs) - net_dfs0;
+  result.stats.net_control_bytes =
+      tp.total_bytes(net::TrafficClass::kControl) - net_control0;
   std::sort(result.output_files.begin(), result.output_files.end());
   return result;
 }

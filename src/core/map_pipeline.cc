@@ -368,8 +368,12 @@ sim::Task<> partition_worker(Stage& st, NodeContext ctx,
         run.serialize(w);
         m.shuffle_bytes_remote += w.size();
         st.instant(trace::Kind::kShuffle, shuffle_name, w.size());
-        sends.spawn(ctx.platform->fabric().send(ctx.node_id, dest,
-                                                net::kPortShuffle, w.take()));
+        // Push shuffle rides the transport: with flow control enabled the
+        // spawned send blocks on the stream's credit window, bounding the
+        // bytes in flight toward any one receiver.
+        sends.spawn(ctx.platform->transport().send(
+            ctx.node_id, dest, net::kPortShuffle,
+            net::TrafficClass::kShuffle, w.take()));
       }
     }
     for (std::uint32_t g : live) buckets[g].clear();

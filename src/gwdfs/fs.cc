@@ -70,8 +70,9 @@ sim::Task<> Dfs::write(int node, const std::string& path, util::Bytes data) {
     sim::TaskGroup group(sim);
     for (std::size_t r = 0; r < replicas.size(); ++r) {
       if (r > 0) {
-        group.spawn(
-            platform_.fabric().transfer(replicas[r - 1], replicas[r], len));
+        group.spawn(platform_.transport().transfer(
+            replicas[r - 1], replicas[r], net::kPortDfs,
+            net::TrafficClass::kDfs, len));
       }
       group.spawn(platform_.node(replicas[r])
                       .disk_stream_write(len, cluster::Node::amortized_seek(len)));
@@ -115,7 +116,9 @@ sim::Task<> Dfs::write_distributed(const std::string& path, util::Bytes data) {
     const auto& locs = meta.replicas[b];
     for (std::size_t r = 0; r < locs.size(); ++r) {
       if (r > 0) {
-        group.spawn(platform_.fabric().transfer(locs[r - 1], locs[r], len));
+        group.spawn(platform_.transport().transfer(
+            locs[r - 1], locs[r], net::kPortDfs, net::TrafficClass::kDfs,
+            len));
       }
       group.spawn(platform_.node(locs[r])
                       .disk_stream_write(len, cluster::Node::amortized_seek(len)));
@@ -156,7 +159,8 @@ sim::Task<util::Bytes> Dfs::read(int node, const std::string& path,
       ++remote_reads_;
       const int remote = replicas.front();
       co_await platform_.node(remote).disk_stream_read(chunk, seek);
-      co_await platform_.fabric().transfer(remote, node, chunk);
+      co_await platform_.transport().transfer(
+          remote, node, net::kPortDfs, net::TrafficClass::kDfs, chunk);
     }
     pos += chunk;
   }

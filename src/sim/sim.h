@@ -423,6 +423,14 @@ class Resource {
         n_ = 0;
       }
     }
+    // Disarms the hold WITHOUT releasing: the held units stay acquired and
+    // must be returned later via Resource::release(n) by another party.
+    // Used for ownership handoff across coroutine frames (e.g. transport
+    // credit windows, where the receiver releases what the sender acquired).
+    void forget() {
+      res_ = nullptr;
+      n_ = 0;
+    }
     bool held() const { return res_ != nullptr; }
 
    private:

@@ -6,16 +6,33 @@
 // message of B bytes propagates after `latency`, then occupies sender TX and
 // receiver RX for overhead + B/bandwidth. Payloads are real bytes, so
 // everything the shuffle moves is byte-accurate.
+//
+// Topology: beyond the NICs, the fabric can model the core switch as a
+// bisection-capacity resource. With `bisection_oversubscription` F > 0, at
+// most max(1, num_nodes / F) wire occupancies may be in flight concurrently
+// cluster-wide, so disjoint node pairs contend once the cluster outgrows the
+// switch backplane — the effect that separates the paper's 1 GbE and
+// QDR-IPoIB scaling curves at 16-64 nodes. The default F = 0 keeps the
+// legacy infinite-bisection model (only NICs serialize), with an event
+// sequence byte-identical to the pre-topology fabric.
+//
+// Chunking: with `max_chunk_bytes` > 0, a message larger than the chunk
+// size occupies its links one chunk at a time, releasing NIC (and switch)
+// capacity between chunks so concurrent flows interleave instead of queueing
+// behind whole multi-megabyte sends. Per-message overhead is charged once;
+// the payload is still delivered whole, byte-identical to an unchunked send.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "sim/sim.h"
 #include "util/bytes.h"
+#include "util/trace.h"
 
 namespace gw::net {
 
@@ -24,6 +41,19 @@ struct NetworkProfile {
   double bandwidth_bytes_per_s;
   double latency_s;              // one-way propagation + switching
   double per_message_overhead_s; // protocol/stack cost per message
+
+  // Core-switch oversubscription factor F: at most max(1, num_nodes / F)
+  // concurrent wire occupancies cluster-wide. 0 = infinite bisection (the
+  // legacy model; no switch resource exists and no extra awaits happen).
+  double bisection_oversubscription = 0;
+  // Split wire occupancy into chunks of at most this many bytes so large
+  // messages interleave on shared links. 0 = unchunked (legacy).
+  std::uint64_t max_chunk_bytes = 0;
+  // Transport-level credit window per (src, dst, port) stream: senders may
+  // have at most this many bytes in flight before the receiver consumes
+  // them. 0 = no flow control (legacy). Interpreted by net::Transport; the
+  // raw fabric ignores it.
+  std::uint64_t credit_bytes = 0;
 
   // 1 Gbit/s Ethernet: ~117 MiB/s effective, 100 us latency.
   static NetworkProfile gigabit_ethernet();
@@ -36,12 +66,14 @@ struct NetworkProfile {
 // payload rule.
 struct Message {
   Message() : src(-1), port(-1) {}
-  Message(int src_in, int port_in, util::Bytes payload_in)
-      : src(src_in), port(port_in), payload(std::move(payload_in)) {}
+  Message(int src_in, int port_in, util::Bytes payload_in, bool eos_in = false)
+      : src(src_in), port(port_in), payload(std::move(payload_in)),
+        eos(eos_in) {}
 
   int src;
   int port;
   util::Bytes payload;
+  bool eos = false;  // end-of-stream marker (net::Transport framing)
 };
 
 // Well-known service ports.
@@ -58,11 +90,17 @@ class Fabric {
 
   int num_nodes() const { return num_nodes_; }
   const NetworkProfile& profile() const { return profile_; }
+  sim::Simulation& sim() { return sim_; }
 
   // Transfers `payload` from src to dst and enqueues it on (dst, port).
   // Completes when the message has been handed to the destination inbox.
   // Local sends (src == dst) are free of NIC cost but still asynchronous.
   sim::Task<> send(int src, int dst, int port, util::Bytes payload);
+
+  // Delivers an end-of-stream marker on (dst, port). Costs one 4-byte
+  // control frame on the wire (the size of the u32 EOF sentinel it
+  // replaces), so timing and byte accounting match the legacy protocol.
+  sim::Task<> send_eos(int src, int dst, int port);
 
   // Charges the network cost of moving `bytes` from src to dst without
   // delivering a payload; used by the DFS replication pipeline and remote
@@ -70,11 +108,30 @@ class Fabric {
   sim::Task<> transfer(int src, int dst, std::uint64_t bytes);
 
   // Inbox channel for (node, port); created on first use. Receivers loop on
-  // recv() until the port is closed.
+  // recv() until the port is closed. A port closed before it was ever
+  // opened materializes already-closed, so a late receiver still observes
+  // end-of-stream.
   sim::Channel<Message>& inbox(int node, int port);
 
-  // Closes an inbox so blocked receivers see end-of-stream.
+  // Closes an inbox so blocked receivers see end-of-stream. Idempotent; on
+  // a never-opened port it records the close without materializing a
+  // channel (see `open_inboxes`).
   void close_port(int node, int port);
+
+  // Drops a fully drained inbox from the fabric, waking any stray blocked
+  // receiver with end-of-stream first. Aborts if undelivered messages would
+  // be lost. A later inbox() on the same (node, port) starts fresh, so
+  // ports are reusable across jobs without the inbox map growing forever.
+  void release_port(int node, int port);
+
+  // Number of materialized inbox channels (lifetime hygiene observability).
+  std::size_t open_inboxes() const { return inboxes_.size(); }
+
+  // Concurrent wire occupancies the core switch admits; 0 when the switch
+  // is not modelled (bisection_oversubscription == 0).
+  std::int64_t core_switch_capacity() const {
+    return core_ ? core_->capacity() : 0;
+  }
 
   std::uint64_t bytes_sent(int node) const { return stats_[node].bytes_tx; }
   std::uint64_t bytes_received(int node) const { return stats_[node].bytes_rx; }
@@ -85,6 +142,8 @@ class Fabric {
   struct NodeState {
     std::unique_ptr<sim::Resource> tx;
     std::unique_ptr<sim::Resource> rx;
+    trace::TrackRef tx_track;
+    trace::TrackRef rx_track;
   };
   struct NodeStats {
     std::uint64_t bytes_tx = 0;
@@ -92,12 +151,29 @@ class Fabric {
     std::uint64_t msgs_tx = 0;
   };
 
+  // Shared body of send/send_eos. The wire model stays inline (no helper
+  // coroutine): resource holds must live until after the inbox handoff so
+  // the release/wakeup order at equal timestamps matches the legacy fabric
+  // exactly — goldens depend on that event order.
+  sim::Task<> send_impl(int src, int dst, int port, util::Bytes payload,
+                        bool eos);
+  // Chunked wire occupancy for one direction; used by both send and
+  // transfer when the message exceeds max_chunk_bytes.
+  sim::Task<> occupy_chunked(int src, int dst, std::uint64_t bytes);
+
   sim::Simulation& sim_;
   int num_nodes_;
   NetworkProfile profile_;
   std::vector<NodeState> nodes_;
   std::vector<NodeStats> stats_;
+  // Core switch as a counted resource; null under the legacy
+  // infinite-bisection model so the default path acquires nothing.
+  std::unique_ptr<sim::Resource> core_;
   std::map<std::pair<int, int>, std::unique_ptr<sim::Channel<Message>>> inboxes_;
+  // Ports closed before first use: consumed when the inbox materializes.
+  std::set<std::pair<int, int>> pre_closed_;
+  std::int32_t link_tx_name_ = -1;  // interned "net.tx" / "net.rx"
+  std::int32_t link_rx_name_ = -1;
 };
 
 }  // namespace gw::net

@@ -1,0 +1,154 @@
+#include "simnet/transport.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace gw::net {
+
+namespace {
+// Wire size of an EOS control frame: the u32 EOF sentinel it replaced.
+constexpr std::uint64_t kEosFrameBytes = 4;
+}  // namespace
+
+const char* traffic_class_name(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kShuffle: return "shuffle";
+    case TrafficClass::kDfs: return "dfs";
+    case TrafficClass::kControl: return "control";
+  }
+  return "?";
+}
+
+Transport::Transport(Fabric& fabric) : fabric_(fabric) {
+  per_node_.resize(static_cast<std::size_t>(fabric_.num_nodes()));
+}
+
+void Transport::account(int src, int dst, int port, TrafficClass tc,
+                        std::uint64_t bytes) {
+  if (src == dst) return;  // local moves are free and uncounted
+  auto& c = per_node_[static_cast<std::size_t>(src)][static_cast<int>(tc)];
+  c.bytes += bytes;
+  c.msgs += 1;
+  auto& p = per_port_[port];
+  p.bytes += bytes;
+  p.msgs += 1;
+}
+
+sim::Resource* Transport::credits(int src, int dst, int port) {
+  const std::uint64_t window = fabric_.profile().credit_bytes;
+  if (window == 0 || src == dst) return nullptr;
+  const auto key = std::make_tuple(src, dst, port);
+  auto it = credits_.find(key);
+  if (it == credits_.end()) {
+    it = credits_
+             .emplace(key, std::make_unique<sim::Resource>(
+                               fabric_.sim(),
+                               static_cast<std::int64_t>(window)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::int64_t Transport::credit_units(std::uint64_t bytes) const {
+  // A message never needs more than the whole window (a send larger than
+  // the window simply serializes the stream).
+  const std::uint64_t window = fabric_.profile().credit_bytes;
+  return static_cast<std::int64_t>(
+      std::max<std::uint64_t>(1, std::min(bytes, window)));
+}
+
+sim::Task<> Transport::send(int src, int dst, int port, TrafficClass tc,
+                            util::Bytes payload) {
+  const std::uint64_t bytes = payload.size();
+  account(src, dst, port, tc, bytes);
+  if (sim::Resource* window = credits(src, dst, port)) {
+    // Acquire window space, then hand ownership to the message: the
+    // Receiver returns these units when it consumes the payload.
+    auto hold = co_await window->acquire(credit_units(bytes));
+    hold.forget();
+  }
+  co_await fabric_.send(src, dst, port, std::move(payload));
+}
+
+sim::Task<> Transport::transfer(int src, int dst, int port, TrafficClass tc,
+                                std::uint64_t bytes) {
+  account(src, dst, port, tc, bytes);
+  if (sim::Resource* window = credits(src, dst, port)) {
+    // No payload reaches a Receiver, so the credit hold self-releases once
+    // the wire occupancy completes.
+    auto hold = co_await window->acquire(credit_units(bytes));
+    co_await fabric_.transfer(src, dst, bytes);
+    co_return;
+  }
+  co_await fabric_.transfer(src, dst, bytes);
+}
+
+sim::Task<> Transport::finish(int src, int dst, int port) {
+  // EOS frames are control traffic and consume no credits: they must be
+  // deliverable even when a stream's window is exhausted.
+  account(src, dst, port, TrafficClass::kControl, kEosFrameBytes);
+  co_await fabric_.send_eos(src, dst, port);
+}
+
+Transport::Receiver::Receiver(Transport& transport, int node, int port,
+                              int expected_eos)
+    : transport_(&transport),
+      node_(node),
+      port_(port),
+      expected_(expected_eos) {
+  GW_CHECK(expected_eos >= 0);
+  // Materialize the inbox up front so messages arriving before the first
+  // recv() land in this receiver's channel.
+  transport_->fabric_.inbox(node_, port_);
+}
+
+sim::Task<std::optional<Message>> Transport::Receiver::recv() {
+  GW_CHECK_MSG(!done_, "transport recv after end-of-stream");
+  sim::Channel<Message>& ch = transport_->fabric_.inbox(node_, port_);
+  for (;;) {
+    auto msg = co_await ch.recv();
+    if (!msg) {  // port was force-closed under us
+      done_ = true;
+      co_return std::nullopt;
+    }
+    if (msg->eos) {
+      if (++eos_ >= expected_) {
+        done_ = true;
+        transport_->fabric_.release_port(node_, port_);
+        co_return std::nullopt;
+      }
+      continue;
+    }
+    if (sim::Resource* window = transport_->credits(msg->src, node_, port_)) {
+      window->release(transport_->credit_units(msg->payload.size()));
+    }
+    co_return std::move(msg);
+  }
+}
+
+std::uint64_t Transport::bytes_sent(int node, TrafficClass tc) const {
+  return per_node_[static_cast<std::size_t>(node)][static_cast<int>(tc)].bytes;
+}
+
+std::uint64_t Transport::messages_sent(int node, TrafficClass tc) const {
+  return per_node_[static_cast<std::size_t>(node)][static_cast<int>(tc)].msgs;
+}
+
+std::uint64_t Transport::total_bytes(TrafficClass tc) const {
+  std::uint64_t total = 0;
+  for (const auto& n : per_node_) total += n[static_cast<int>(tc)].bytes;
+  return total;
+}
+
+std::uint64_t Transport::port_bytes(int port) const {
+  auto it = per_port_.find(port);
+  return it == per_port_.end() ? 0 : it->second.bytes;
+}
+
+std::uint64_t Transport::port_messages(int port) const {
+  auto it = per_port_.find(port);
+  return it == per_port_.end() ? 0 : it->second.msgs;
+}
+
+}  // namespace gw::net

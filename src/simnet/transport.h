@@ -1,0 +1,126 @@
+// Typed streams over the fabric.
+//
+// net::Transport is the one messaging layer every byte that crosses nodes
+// goes through: the Glasswing push shuffle, Hadoop's pull-shuffle
+// fetch/reply protocol and the DFS block pipeline all moved here from
+// hand-rolled framing on the raw Fabric. It adds, on top of Fabric's wire
+// model:
+//
+//   * Traffic classes — every send/transfer is tagged shuffle / DFS /
+//     control, and the transport keeps per-node, per-class and per-port
+//     byte/message accounting of REMOTE traffic (local src == dst moves are
+//     free and uncounted, matching the runtimes' `shuffle_bytes_remote`
+//     semantics). Job reports split their network bytes from these totals.
+//
+//   * End-of-stream framing — `finish(src, dst, port)` delivers an EOS
+//     marker costing one 4-byte control frame (the u32 EOF sentinel it
+//     replaced); a `Receiver` counts one per expected sender, then returns
+//     nullopt and releases the inbox from the fabric map. This subsumes the
+//     ad-hoc close_port/EOF-payload conventions.
+//
+//   * Credit-based flow control — with NetworkProfile::credit_bytes > 0,
+//     each (src, dst, port) stream has a receiver-granted window of that
+//     many bytes; `send` blocks while a full window is unconsumed and the
+//     Receiver returns credits as it consumes messages. This bounds the
+//     bytes in flight from the map partition stage's fire-and-forget sends.
+//     0 (default) disables flow control and adds no awaits whatsoever.
+//
+// Determinism: with all knobs at their defaults, a transport call performs
+// exactly the awaits of the fabric call it wraps — the accounting is
+// synchronous bookkeeping — so event order is byte-identical to the
+// pre-transport runtimes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+
+#include "simnet/fabric.h"
+
+namespace gw::net {
+
+enum class TrafficClass : std::uint8_t {
+  kShuffle = 0,  // intermediate data between map and reduce
+  kDfs = 1,      // DFS block replication, remote reads, output writes
+  kControl = 2,  // protocol frames: EOS markers, fetch requests, heartbeats
+};
+inline constexpr std::size_t kNumTrafficClasses = 3;
+const char* traffic_class_name(TrafficClass c);
+
+class Transport {
+ public:
+  explicit Transport(Fabric& fabric);
+
+  Fabric& fabric() { return fabric_; }
+
+  // Delivers `payload` to (dst, port), accounted under `tc`. Blocks on the
+  // stream's credit window when flow control is enabled.
+  sim::Task<> send(int src, int dst, int port, TrafficClass tc,
+                   util::Bytes payload);
+
+  // Charges the wire cost of `bytes` without delivering a payload (the real
+  // bytes are tracked by a higher layer, e.g. the filesystem). Holds credit
+  // for the duration of the transfer when flow control is enabled.
+  sim::Task<> transfer(int src, int dst, int port, TrafficClass tc,
+                       std::uint64_t bytes);
+
+  // End-of-stream from src on (dst, port): one 4-byte control frame.
+  // Receivers expect exactly one per sender.
+  sim::Task<> finish(int src, int dst, int port);
+
+  // Consumes data messages from (node, port) until `expected_eos` senders
+  // finished. Returns credits to the flow-control window as it consumes.
+  class Receiver {
+   public:
+    Receiver(Transport& transport, int node, int port, int expected_eos);
+
+    // Next data message, or nullopt once every expected sender sent EOS (or
+    // the port was force-closed). At end-of-stream the drained inbox is
+    // released from the fabric, so ports are reusable across jobs. Calling
+    // recv() again after it returned nullopt is a protocol bug and aborts.
+    sim::Task<std::optional<Message>> recv();
+
+    int eos_seen() const { return eos_; }
+    bool done() const { return done_; }
+
+   private:
+    Transport* transport_;
+    int node_;
+    int port_;
+    int expected_;
+    int eos_ = 0;
+    bool done_ = false;
+  };
+  Receiver receiver(int node, int port, int expected_eos) {
+    return Receiver(*this, node, port, expected_eos);
+  }
+
+  // --- accounting (remote traffic only) ---
+  std::uint64_t bytes_sent(int node, TrafficClass tc) const;
+  std::uint64_t messages_sent(int node, TrafficClass tc) const;
+  std::uint64_t total_bytes(TrafficClass tc) const;
+  std::uint64_t port_bytes(int port) const;
+  std::uint64_t port_messages(int port) const;
+
+ private:
+  struct Counter {
+    std::uint64_t bytes = 0;
+    std::uint64_t msgs = 0;
+  };
+
+  void account(int src, int dst, int port, TrafficClass tc,
+               std::uint64_t bytes);
+  // Credit window for one stream; null when flow control is off.
+  sim::Resource* credits(int src, int dst, int port);
+  std::int64_t credit_units(std::uint64_t bytes) const;
+
+  Fabric& fabric_;
+  std::vector<std::array<Counter, kNumTrafficClasses>> per_node_;
+  std::map<int, Counter> per_port_;
+  std::map<std::tuple<int, int, int>, std::unique_ptr<sim::Resource>> credits_;
+};
+
+}  // namespace gw::net

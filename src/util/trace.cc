@@ -56,6 +56,7 @@ const char* kind_name(Kind k) {
     case Kind::kMerge: return "merge";
     case Kind::kSpill: return "spill";
     case Kind::kRetry: return "retry";
+    case Kind::kLink: return "link";
     case Kind::kMark: return "mark";
   }
   return "?";

@@ -38,6 +38,7 @@ enum class Kind : std::uint8_t {
   kMerge,      // intermediate-store merge round (arg = fan-in)
   kSpill,      // cache spill to disk (arg = stored bytes)
   kRetry,      // task re-execution (arg = split index)
+  kLink,       // network link busy interval (arg = bytes on the wire)
   kMark,       // untyped instant
 };
 const char* kind_name(Kind k);
