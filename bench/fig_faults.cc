@@ -1,0 +1,186 @@
+// Fault-injection sweep (§III-E): recovery cost of a node crash.
+//
+// Runs wordcount at several cluster sizes, kills one node at three points
+// of the job (early map, mid job, late/reduce), and compares three modes —
+// failure-free, crash, and crash+speculation — on the simulated clock.
+// Every faulty run must reproduce the failure-free output byte-for-byte;
+// the interesting quantity is the recovery overhead (elapsed vs clean) and
+// the recovery work performed (re-executed splits, reassigned partitions,
+// re-replicated blocks). Emits BENCH_faults.json for PR-over-PR tracking
+// (plain binary, no google-benchmark; all times are simulated seconds).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/wordcount.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+struct RunResult {
+  double sim_seconds = 0;
+  core::JobStats stats;
+  std::map<std::string, util::Bytes> files;  // output path -> bytes
+  double map_end = 0, merge_end = 0;         // phase boundaries (clean runs)
+};
+
+RunResult run_wc(int nodes, const util::Bytes& input,
+                 const std::vector<core::JobConfig::CrashEvent>& crashes,
+                 bool speculate) {
+  cluster::Platform p = bench::make_platform(nodes);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  bench::stage_input(p, fs, "/in/wiki", input);
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/wiki"};
+  cfg.output_path = "/out";
+  cfg.split_size = 64 << 10;
+  cfg.crash_events = crashes;
+  cfg.speculate = speculate;
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  const core::JobResult r = rt.run(apps::wordcount().kernels, cfg);
+
+  RunResult out;
+  out.sim_seconds = r.elapsed_seconds;
+  out.stats = r.stats;
+  out.map_end = r.map_phase_seconds;
+  out.merge_end = r.map_phase_seconds + r.merge_delay_seconds;
+  for (const auto& path : r.output_files) {
+    util::Bytes contents;
+    p.sim().spawn([](dfs::Dfs& f, std::string pa,
+                     util::Bytes* o) -> sim::Task<> {
+      *o = co_await f.read_all(f.block_locations(pa, 0).front(), pa);
+    }(fs, path, &contents));
+    p.sim().run();
+    out.files[path] = std::move(contents);
+  }
+  return out;
+}
+
+struct Point {
+  int nodes = 0;
+  std::string phase;  // crash placement: "map" / "shuffle" / "reduce"
+  std::string mode;   // "none" / "crash" / "crash+spec"
+  double crash_time = -1;
+  double sim_seconds = 0;
+  double overhead = 0;  // elapsed / clean elapsed
+  bool output_ok = true;
+  core::JobStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_faults.json";
+  const util::Bytes input =
+      apps::generate_wiki_text(bench::scaled_bytes(4 << 20), 2014);
+
+  std::vector<Point> points;
+  int bad_outputs = 0;
+  for (const int nodes : {4, 8, 16}) {
+    const RunResult clean = run_wc(nodes, input, {}, false);
+    Point base;
+    base.nodes = nodes;
+    base.phase = "-";
+    base.mode = "none";
+    base.sim_seconds = clean.sim_seconds;
+    base.overhead = 1.0;
+    base.stats = clean.stats;
+    points.push_back(base);
+
+    const std::vector<std::pair<std::string, double>> kills = {
+        {"map", 0.5 * clean.map_end},
+        {"shuffle", clean.map_end + 0.5 * (clean.merge_end - clean.map_end)},
+        {"reduce",
+         clean.merge_end + 0.5 * (clean.sim_seconds - clean.merge_end)},
+    };
+    for (const auto& [phase, when] : kills) {
+      for (const bool spec : {false, true}) {
+        const RunResult faulty =
+            run_wc(nodes, input, {{.node = 2, .time = when}}, spec);
+        Point pt;
+        pt.nodes = nodes;
+        pt.phase = phase;
+        pt.mode = spec ? "crash+spec" : "crash";
+        pt.crash_time = when;
+        pt.sim_seconds = faulty.sim_seconds;
+        pt.overhead = faulty.sim_seconds / clean.sim_seconds;
+        pt.output_ok = faulty.files == clean.files;
+        pt.stats = faulty.stats;
+        if (!pt.output_ok) {
+          std::fprintf(stderr,
+                       "OUTPUT MISMATCH: %d nodes, crash@%s, mode=%s\n",
+                       nodes, phase.c_str(), pt.mode.c_str());
+          ++bad_outputs;
+        }
+        points.push_back(std::move(pt));
+      }
+    }
+  }
+
+  std::printf("\n=== faults: crash recovery cost (wordcount) ===\n");
+  std::printf("%5s %-8s %-11s %10s %9s %7s %9s %7s %7s %6s\n", "nodes",
+              "crash@", "mode", "sim(s)", "overhead", "reexec", "reassign",
+              "rounds", "rerepl", "ok");
+  for (const auto& pt : points) {
+    std::printf(
+        "%5d %-8s %-11s %10.3f %9.2f %7llu %9llu %7llu %7llu %6s\n",
+        pt.nodes, pt.phase.c_str(), pt.mode.c_str(), pt.sim_seconds,
+        pt.overhead,
+        static_cast<unsigned long long>(pt.stats.tasks_reexecuted),
+        static_cast<unsigned long long>(pt.stats.partitions_reassigned),
+        static_cast<unsigned long long>(pt.stats.recovery_rounds),
+        static_cast<unsigned long long>(pt.stats.blocks_rereplicated),
+        pt.output_ok ? "yes" : "NO");
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench_scale\": %g,\n", bench::scale());
+  std::fprintf(f, "  \"outputs_identical\": %s,\n",
+               bad_outputs == 0 ? "true" : "false");
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    const auto& s = pt.stats;
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"nodes\": %d,\n", pt.nodes);
+    std::fprintf(f, "      \"phase\": \"%s\",\n", pt.phase.c_str());
+    std::fprintf(f, "      \"mode\": \"%s\",\n", pt.mode.c_str());
+    std::fprintf(f, "      \"crash_time\": %.17g,\n", pt.crash_time);
+    std::fprintf(f, "      \"sim_seconds\": %.17g,\n", pt.sim_seconds);
+    std::fprintf(f, "      \"overhead\": %.4f,\n", pt.overhead);
+    std::fprintf(f, "      \"output_ok\": %s,\n",
+                 pt.output_ok ? "true" : "false");
+    std::fprintf(
+        f,
+        "      \"stats\": {\"tasks_reexecuted\": %llu, "
+        "\"partitions_reassigned\": %llu, \"recovery_rounds\": %llu, "
+        "\"blocks_rereplicated\": %llu, \"dfs_replicas_lost\": %llu, "
+        "\"duplicate_runs_dropped\": %llu, \"speculative_wins\": %llu, "
+        "\"speculative_losses\": %llu}\n",
+        static_cast<unsigned long long>(s.tasks_reexecuted),
+        static_cast<unsigned long long>(s.partitions_reassigned),
+        static_cast<unsigned long long>(s.recovery_rounds),
+        static_cast<unsigned long long>(s.blocks_rereplicated),
+        static_cast<unsigned long long>(s.dfs_replicas_lost),
+        static_cast<unsigned long long>(s.duplicate_runs_dropped),
+        static_cast<unsigned long long>(s.speculative_wins),
+        static_cast<unsigned long long>(s.speculative_losses));
+    std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  return bad_outputs == 0 ? 0 : 1;
+}

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/blackscholes.h"
 #include "apps/kmeans.h"
@@ -50,6 +52,12 @@ struct Flags {
   std::uint64_t chunk_kb = 0;
   std::uint64_t credit_kb = 0;
   bool net_report = false;
+  // Fault injection: scheduled node crashes/restarts and straggler
+  // speculation. All empty/false by default, so fault-free runs add zero
+  // simulation events and keep golden stdout byte-identical.
+  std::vector<core::JobConfig::CrashEvent> crash_events;
+  std::vector<std::pair<int, double>> restarts;
+  bool speculate = false;
 };
 
 void usage() {
@@ -75,6 +83,12 @@ void usage() {
       "                     (0 = unbounded in-flight data)\n"
       "  --net-report       print the remote-traffic split (shuffle/DFS/\n"
       "                     control bytes) after the job report\n"
+      "  --kill-node=ID@T   crash node ID at simulated time T (suffix ms or\n"
+      "                     s, e.g. 2@50ms); repeatable, glasswing only\n"
+      "  --restart-node=ID@T  revive a killed node (empty disks) at time T;\n"
+      "                     it only rejoins as a DFS re-replication target\n"
+      "  --speculate        clone straggler tasks near the end of the map\n"
+      "                     phase; first finisher wins\n"
       "  --trace=FILE       export the run's simulated timeline as Chrome\n"
       "                     trace_event JSON (open in about:tracing/Perfetto)\n");
 }
@@ -86,6 +100,32 @@ bool parse_flag(const char* arg, const char* name, std::string* out) {
     return true;
   }
   return false;
+}
+
+// Parses "ID@T" where T takes an optional ms/s suffix (no suffix: seconds),
+// e.g. "2@50ms" or "0@0.3s". Exits with a message on malformed input.
+std::pair<int, double> parse_node_at(const std::string& v, const char* flag) {
+  const std::size_t at = v.find('@');
+  char* end = nullptr;
+  if (at != std::string::npos) {
+    const int node = static_cast<int>(std::strtol(v.c_str(), &end, 10));
+    if (end == v.c_str() + at) {
+      const std::string t = v.substr(at + 1);
+      double secs = std::strtod(t.c_str(), &end);
+      if (end != t.c_str()) {
+        const std::string suffix = end;
+        if (suffix == "ms") {
+          secs /= 1000.0;
+        } else if (!suffix.empty() && suffix != "s") {
+          end = nullptr;
+        }
+        if (end != nullptr && secs >= 0) return {node, secs};
+      }
+    }
+  }
+  std::fprintf(stderr, "%s expects ID@TIME (e.g. 2@50ms), got '%s'\n", flag,
+               v.c_str());
+  std::exit(2);
 }
 
 cl::DeviceSpec device_spec(const std::string& name) {
@@ -121,6 +161,14 @@ int main(int argc, char** argv) {
     else if (parse_flag(argv[i], "--oversub", &v)) flags.oversub = std::atof(v.c_str());
     else if (parse_flag(argv[i], "--chunk-kb", &v)) flags.chunk_kb = std::strtoull(v.c_str(), nullptr, 10);
     else if (parse_flag(argv[i], "--credit-kb", &v)) flags.credit_kb = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(argv[i], "--kill-node", &v)) {
+      const auto [node, t] = parse_node_at(v, "--kill-node");
+      flags.crash_events.push_back(core::JobConfig::CrashEvent{node, t, -1});
+    }
+    else if (parse_flag(argv[i], "--restart-node", &v)) {
+      flags.restarts.push_back(parse_node_at(v, "--restart-node"));
+    }
+    else if (std::strcmp(argv[i], "--speculate") == 0) flags.speculate = true;
     else if (std::strcmp(argv[i], "--net-report") == 0) flags.net_report = true;
     else if (std::strcmp(argv[i], "--no-combiner") == 0) flags.combiner = false;
     else if (std::strcmp(argv[i], "--help") == 0) { usage(); return 0; }
@@ -192,14 +240,46 @@ int main(int argc, char** argv) {
               flags.runtime == "hadoop" ? "16 slots/node" : flags.device.c_str(),
               fs.file_size("/in/data") / 1048576.0);
 
+  // Match each --restart-node to its --kill-node by node id.
+  for (const auto& [node, t] : flags.restarts) {
+    bool matched = false;
+    for (auto& e : flags.crash_events) {
+      if (e.node != node) continue;
+      if (t <= e.time) {
+        std::fprintf(stderr, "--restart-node=%d@%g precedes its crash\n",
+                     node, t);
+        return 2;
+      }
+      e.restart_time = t;
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      std::fprintf(stderr, "--restart-node=%d without a --kill-node for it\n",
+                   node);
+      return 2;
+    }
+  }
+  const bool faulty = !flags.crash_events.empty() || flags.speculate;
+
   if (flags.runtime == "hadoop") {
     hadoop::HadoopConfig cfg;
     cfg.input_paths = {"/in/data"};
     cfg.output_path = "/out";
     cfg.split_size = flags.split_kb << 10;
     cfg.use_combiner = flags.combiner;
+    cfg.crash_events = flags.crash_events;
+    cfg.speculate = flags.speculate;
     hadoop::HadoopRuntime rt(platform, fs);
-    const auto r = rt.run(app.kernels, cfg);
+    hadoop::HadoopResult r;
+    // The baseline rejects fault configs with a typed error; surface it as
+    // a clean CLI failure instead of an uncaught exception.
+    try {
+      r = rt.run(app.kernels, cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
     std::printf("elapsed %.3fs  (map %.3fs, shuffle+reduce %.3fs)\n",
                 r.elapsed_seconds, r.map_phase_seconds,
                 r.reduce_phase_seconds);
@@ -234,9 +314,17 @@ int main(int argc, char** argv) {
   cfg.output_mode = flags.collector == "pool" ? core::OutputMode::kSharedPool
                                               : core::OutputMode::kHashTable;
   cfg.use_combiner = flags.combiner;
+  cfg.crash_events = flags.crash_events;
+  cfg.speculate = flags.speculate;
 
   core::GlasswingRuntime rt(platform, fs, device_spec(flags.device));
-  const core::JobResult r = rt.run(app.kernels, cfg);
+  core::JobResult r;
+  try {
+    r = rt.run(app.kernels, cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::printf("elapsed %.3fs  (map %.3fs, merge delay %.3fs, reduce %.3fs)\n",
               r.elapsed_seconds, r.map_phase_seconds, r.merge_delay_seconds,
               r.reduce_phase_seconds);
@@ -250,6 +338,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.stats.intermediate_pairs),
               static_cast<unsigned long long>(r.stats.output_pairs),
               r.output_files.size());
+  if (faulty) {
+    std::printf(
+        "faults: reexec=%llu reassigned=%llu rounds=%llu rereplicated=%llu "
+        "lost_replicas=%llu dup_dropped=%llu spec_wins=%llu spec_losses=%llu\n",
+        static_cast<unsigned long long>(r.stats.tasks_reexecuted),
+        static_cast<unsigned long long>(r.stats.partitions_reassigned),
+        static_cast<unsigned long long>(r.stats.recovery_rounds),
+        static_cast<unsigned long long>(r.stats.blocks_rereplicated),
+        static_cast<unsigned long long>(r.stats.dfs_replicas_lost),
+        static_cast<unsigned long long>(r.stats.duplicate_runs_dropped),
+        static_cast<unsigned long long>(r.stats.speculative_wins),
+        static_cast<unsigned long long>(r.stats.speculative_losses));
+  }
   if (flags.net_report) {
     std::printf("net: shuffle=%llu dfs=%llu control=%llu bytes\n",
                 static_cast<unsigned long long>(r.stats.net_shuffle_bytes),

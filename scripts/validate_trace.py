@@ -10,11 +10,15 @@ emits (src/util/trace.cc):
     preserves record order per node);
   * span end >= span begin;
   * every cat is one of the categories trace.cc emits (stage, phase,
-    kernel, transfer, shuffle, merge, spill, retry, link, mark).
+    kernel, transfer, shuffle, merge, spill, retry, recovery, link, mark);
+  * every "recovery" event (crash-recovery rounds, §III-E) falls inside the
+    job-wide "job" span — recovery work outside a running job is a bug.
 
 With --expect-links, additionally fail when the trace contains no "link"
 spans (network link occupancy from the fabric; any multi-node run with
-remote traffic emits them).
+remote traffic emits them). With --expect-recovery, fail when the trace
+contains no "recovery" spans (a run with an injected crash must record
+its recovery rounds).
 
 Exit code 0 when valid; 1 with a description on the first violation.
 Stdlib only — runs anywhere CI has a python3.
@@ -32,6 +36,7 @@ KNOWN_CATEGORIES = {
     "merge",
     "spill",
     "retry",
+    "recovery",
     "link",
     "mark",
 }
@@ -45,9 +50,10 @@ def fail(msg):
 def main():
     args = sys.argv[1:]
     expect_links = "--expect-links" in args
-    args = [a for a in args if a != "--expect-links"]
+    expect_recovery = "--expect-recovery" in args
+    args = [a for a in args if a not in ("--expect-links", "--expect-recovery")]
     if len(args) != 1:
-        print(f"usage: {sys.argv[0]} [--expect-links] trace.json")
+        print(f"usage: {sys.argv[0]} [--expect-links] [--expect-recovery] trace.json")
         sys.exit(2)
     path = args[0]
     try:
@@ -66,6 +72,8 @@ def main():
     last_ts = {}  # pid -> ts
     counts = {"B": 0, "E": 0, "i": 0, "M": 0}
     link_spans = 0
+    job_begin = job_end = None  # job-wide span interval (ts, ts)
+    recovery_events = []  # (idx, ts) of every recovery-category event
     for idx, ev in enumerate(events):
         where = f"event #{idx}"
         for field in ("ph", "pid", "tid", "name"):
@@ -84,6 +92,13 @@ def main():
             fail(f"{where}: unknown category '{ev['cat']}'")
         if ph == "B" and ev["cat"] == "link":
             link_spans += 1
+        if ev["cat"] == "recovery":
+            recovery_events.append((idx, ev["ts"]))
+        if ev["name"] == "job" and ev["cat"] == "phase":
+            if ph == "B":
+                job_begin = ev["ts"]
+            elif ph == "E":
+                job_end = ev["ts"]
         ts = ev["ts"]
         if not isinstance(ts, (int, float)) or ts < 0:
             fail(f"{where}: bad ts {ts!r}")
@@ -121,11 +136,23 @@ def main():
         fail("trace has no span or instant events")
     if expect_links and link_spans == 0:
         fail("no link spans found (expected network link occupancy)")
+    if recovery_events:
+        if job_begin is None or job_end is None:
+            fail("recovery events present but no complete 'job' span")
+        for idx, ts in recovery_events:
+            if not job_begin <= ts <= job_end:
+                fail(
+                    f"event #{idx}: recovery event at ts {ts} outside the "
+                    f"job span [{job_begin}, {job_end}]"
+                )
+    if expect_recovery and not recovery_events:
+        fail("no recovery events found (expected crash-recovery rounds)")
 
     print(
         f"validate_trace: OK: {len(events)} events "
         f"({counts['B']} spans, {counts['i']} instants, "
-        f"{link_spans} link spans, {len(last_ts)} nodes)"
+        f"{link_spans} link spans, {len(recovery_events)} recovery events, "
+        f"{len(last_ts)} nodes)"
     )
 
 

@@ -388,6 +388,12 @@ HadoopRuntime::HadoopRuntime(cluster::Platform& platform, dfs::FileSystem& fs)
 HadoopResult HadoopRuntime::run(const core::AppKernels& app,
                                 HadoopConfig config) {
   GW_CHECK_MSG(static_cast<bool>(app.map), "job needs a map function");
+  if (config.fault_tolerant()) {
+    util::throw_error(
+        "hadoop baseline does not support node-crash recovery or "
+        "speculation; run fault-injection experiments on the glasswing "
+        "engine");
+  }
   core::AppKernels effective_app = app;
   if (!effective_app.partition) {
     effective_app.partition = core::default_hash_partitioner();

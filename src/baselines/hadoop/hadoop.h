@@ -59,6 +59,13 @@ struct HadoopConfig {
 
   core::HostCosts host;
   int output_replication = 0;
+
+  // Fault injection is a Glasswing-runtime feature; the baseline rejects
+  // fault-tolerant configs with a typed error instead of silently ignoring
+  // scheduled crashes (see HadoopRuntime::run).
+  std::vector<core::JobConfig::CrashEvent> crash_events;
+  bool speculate = false;
+  bool fault_tolerant() const { return !crash_events.empty() || speculate; }
 };
 
 struct HadoopResult {

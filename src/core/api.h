@@ -155,13 +155,49 @@ struct JobConfig {
   // the filesystem default.
   int output_replication = 0;
 
-  // Fault injection for exercising task re-execution (§III-E): when > 0,
-  // the FIRST attempt of every Nth map task fails after its kernel ran; the
-  // partial output is discarded and the input split is rescheduled.
+  // Fault injection for exercising task re-execution (§III-E): when
+  // `every` = fail_every_nth_map_task > 0, the FIRST attempt of every
+  // `every`-th map task — 1-based, i.e. splits with (index + 1) % every ==
+  // 0 — fails after its kernel ran; the partial output is discarded and the
+  // input split is rescheduled. Retried attempts (attempt > 0) never
+  // re-fail, by construction: injection is keyed on attempt == 0.
+  // `every` = 1 therefore fails every task exactly once.
   int fail_every_nth_map_task = 0;
+  // Reduce-side counterpart with identical semantics: the first attempt of
+  // every Nth reduce partition (1-based over global partition ids) fails
+  // after its merge work ran and is retried once, with the same retry
+  // bookkeeping as the map side.
+  int fail_every_nth_reduce_task = 0;
+
+  // --- node-crash fault injection (§III-E) ---
+  // Whole-node crash events on the simulated clock, relative to job start.
+  // A crashed node loses its intermediate store and unsent map output; the
+  // job re-executes its splits on survivors and reassigns its reduce
+  // partitions. restart_time < 0 = no restart (a restarted node comes back
+  // EMPTY and only serves as DFS placement target).
+  struct CrashEvent {
+    int node = -1;
+    double time = 0;          // seconds after job start
+    double restart_time = -1; // seconds after job start; < 0 = none
+  };
+  std::vector<CrashEvent> crash_events;
+  // Straggler speculation: clone the lowest-indexed in-flight split onto an
+  // idle node once no fresh work remains; first finisher commits, the
+  // loser's duplicate output is dropped by the dedup layer.
+  bool speculate = false;
+  // JobTracker-style failure-detection timeout: synthetic EOS frames for a
+  // dead sender are injected this long after the crash, giving the dead
+  // node's in-flight wire traffic time to drain.
+  double crash_detection_delay_s = 20e-3;
+  // Safety valve for pathological crash schedules: maximum number of
+  // recovery rounds before the job aborts.
+  int max_recovery_rounds = 8;
 
   int effective_merger_threads() const {
     return merger_threads > 0 ? merger_threads : partitions_per_node;
+  }
+  bool fault_tolerant() const {
+    return !crash_events.empty() || speculate;
   }
 };
 
@@ -185,6 +221,16 @@ struct StageBreakdown {
 
 struct JobStats {
   std::uint64_t map_task_retries = 0;
+  std::uint64_t reduce_task_retries = 0;
+  // --- node-crash recovery (§III-E) ---
+  std::uint64_t tasks_reexecuted = 0;      // lost splits re-run on survivors
+  std::uint64_t partitions_reassigned = 0; // reduce partitions moved off dead nodes
+  std::uint64_t blocks_rereplicated = 0;   // DFS background copies completed
+  std::uint64_t dfs_replicas_lost = 0;     // block replicas dropped at crashes
+  std::uint64_t recovery_rounds = 0;       // map-recovery rounds executed
+  std::uint64_t duplicate_runs_dropped = 0;  // dedup hits from re-execution
+  std::uint64_t speculative_wins = 0;      // clones that committed first
+  std::uint64_t speculative_losses = 0;    // clones beaten by the original
   std::uint64_t input_records = 0;
   std::uint64_t intermediate_pairs = 0;
   std::uint64_t intermediate_bytes = 0;   // serialized, pre-compression

@@ -11,9 +11,7 @@ IntermediateStore::IntermediateStore(cluster::Node& node, sim::Simulation& sim,
     : node_(node),
       sim_(sim),
       config_(config),
-      local_partitions_(config.partitions_per_node),
-      parts_(config.partitions_per_node),
-      mergers_(sim) {
+      local_partitions_(config.partitions_per_node) {
   work_ = std::make_unique<sim::Channel<int>>(sim_, 4096);
   drained_ = std::make_unique<sim::Event>(sim_);
   merge_name_ = sim_.tracer().intern("store.merge");
@@ -22,10 +20,14 @@ IntermediateStore::IntermediateStore(cluster::Node& node, sim::Simulation& sim,
 
 IntermediateStore::~IntermediateStore() = default;
 
-void IntermediateStore::add_run(int p, Run run) {
-  GW_CHECK(p >= 0 && p < local_partitions_);
+void IntermediateStore::add_run(int g, Run run, std::uint64_t dedup_tag) {
+  GW_CHECK(g >= 0);
   if (run.empty()) return;
-  Part& part = parts_[p];
+  Part& part = parts_[g];
+  if (dedup_tag != 0 && !part.seen_tags.insert(dedup_tag).second) {
+    ++dup_dropped_;  // byte-identical regeneration of a run already taken in
+    return;
+  }
   part.cache_bytes += run.stored_bytes();
   cache_bytes_total_ += run.stored_bytes();
   part.cache.push_back(std::move(run));
@@ -34,26 +36,39 @@ void IntermediateStore::add_run(int p, Run run) {
 
 void IntermediateStore::maybe_trigger_flushes() {
   if (cache_bytes_total_ <= config_.cache_threshold_bytes) return;
-  for (int p = 0; p < local_partitions_; ++p) {
-    if (parts_[p].cache_bytes > 0) enqueue(p);
+  for (auto& [g, part] : parts_) {
+    if (part.cache_bytes > 0) enqueue(g);
   }
 }
 
-void IntermediateStore::enqueue(int p) {
-  Part& part = parts_[p];
+void IntermediateStore::enqueue(int g) {
+  Part& part = parts_[g];
   if (part.queued) return;
   part.queued = true;
   ++jobs_in_flight_;
-  // The channel is far larger than P, so this never blocks; spawn so
-  // enqueue stays synchronous for callers.
-  sim_.spawn(work_->send(p));
+  // The channel is far larger than the partition count, so this never
+  // blocks; spawn so enqueue stays synchronous for callers.
+  sim_.spawn(work_->send(g));
 }
 
 void IntermediateStore::start_mergers() {
+  if (mergers_ == nullptr) mergers_ = std::make_unique<sim::TaskGroup>(sim_);
   for (int i = 0; i < config_.effective_merger_threads(); ++i) {
-    mergers_.spawn(merger_loop(
-        sim_.tracer().track(node_.id(), "store/" + std::to_string(i))));
+    if (static_cast<std::size_t>(i) >= merger_tracks_.size()) {
+      merger_tracks_.push_back(
+          sim_.tracer().track(node_.id(), "store/" + std::to_string(i)));
+    }
+    mergers_->spawn(merger_loop(merger_tracks_[static_cast<std::size_t>(i)]));
   }
+}
+
+void IntermediateStore::reopen() {
+  GW_CHECK_MSG(mergers_ == nullptr, "reopen before drain completed");
+  work_ = std::make_unique<sim::Channel<int>>(sim_, 4096);
+  drained_ = std::make_unique<sim::Event>(sim_);
+  draining_ = false;
+  jobs_in_flight_ = 0;
+  for (auto& [g, part] : parts_) part.queued = false;
 }
 
 double IntermediateStore::host_merge_seconds(std::uint64_t in_stored,
@@ -67,28 +82,28 @@ double IntermediateStore::host_merge_seconds(std::uint64_t in_stored,
 
 sim::Task<> IntermediateStore::merger_loop(trace::TrackRef track) {
   for (;;) {
-    auto p = co_await work_->recv();
-    if (!p) break;
-    co_await service(*p, track);
-    parts_[*p].queued = false;
+    auto g = co_await work_->recv();
+    if (!g) break;
+    co_await service(*g, track);
+    parts_[*g].queued = false;
     // Re-examine: service may leave work (e.g. disk runs still above the
     // limit is impossible here, but cache may have refilled meanwhile).
-    Part& part = parts_[*p];
+    Part& part = parts_[*g];
     const bool more =
         part.disk.size() > static_cast<std::size_t>(config_.max_disk_runs) ||
         (cache_bytes_total_ > config_.cache_threshold_bytes &&
          part.cache_bytes > 0) ||
         (draining_ && part.cache.size() > 1);
-    if (more) enqueue(*p);
+    if (more) enqueue(*g);
     if (--jobs_in_flight_ == 0 && draining_ && work_->size() == 0) {
       drained_->set();
     }
   }
 }
 
-sim::Task<> IntermediateStore::service(int p, trace::TrackRef track) {
+sim::Task<> IntermediateStore::service(int g, trace::TrackRef track) {
   auto& tr = sim_.tracer();
-  Part& part = parts_[p];
+  Part& part = parts_[g];
 
   // Step 1: merge+flush the cached runs to one on-disk run. During the
   // final drain, cached data that already fits in few runs stays in memory
@@ -179,22 +194,27 @@ sim::Task<> IntermediateStore::service(int p, trace::TrackRef track) {
 
 sim::Task<> IntermediateStore::drain() {
   draining_ = true;
-  for (int p = 0; p < local_partitions_; ++p) {
-    Part& part = parts_[p];
+  for (auto& [g, part] : parts_) {
     if (part.cache.size() > 1 ||
         part.disk.size() > static_cast<std::size_t>(config_.max_disk_runs)) {
-      enqueue(p);
+      enqueue(g);
     }
   }
   if (jobs_in_flight_ > 0) co_await drained_->wait();
   work_->close();
-  co_await mergers_.wait();
+  co_await mergers_->wait();
+  mergers_.reset();  // a TaskGroup is single-wait; reopen() re-creates it
 }
 
-std::vector<Run> IntermediateStore::take_partition(int p,
+std::vector<Run> IntermediateStore::take_partition(int g,
                                                    std::uint64_t* disk_bytes) {
-  GW_CHECK(p >= 0 && p < local_partitions_);
-  Part& part = parts_[p];
+  GW_CHECK(g >= 0);
+  auto it = parts_.find(g);
+  if (it == parts_.end()) {
+    if (disk_bytes != nullptr) *disk_bytes = 0;
+    return {};
+  }
+  Part& part = it->second;
   std::uint64_t db = 0;
   std::vector<Run> runs;
   for (Run& r : part.disk) {
@@ -212,7 +232,7 @@ std::vector<Run> IntermediateStore::take_partition(int p,
 
 std::uint64_t IntermediateStore::stored_bytes() const {
   std::uint64_t total = 0;
-  for (const Part& part : parts_) {
+  for (const auto& [g, part] : parts_) {
     for (const Run& r : part.cache) total += r.stored_bytes();
     for (const Run& r : part.disk) total += r.stored_bytes();
   }

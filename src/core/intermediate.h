@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -25,19 +27,31 @@ namespace gw::core {
 
 class IntermediateStore {
  public:
-  // `node` hosts the store; `local_partitions` = P (partitions per node).
+  // `node` hosts the store. Partitions are keyed by GLOBAL partition id, so
+  // a store can absorb partitions reassigned from a crashed node; in a
+  // failure-free job a node only ever sees the P ids it owns.
   IntermediateStore(cluster::Node& node, sim::Simulation& sim,
                     const JobConfig& config);
   ~IntermediateStore();
 
   int local_partitions() const { return local_partitions_; }
 
-  // Adds a run to local partition `p`; called by the partitioner threads
+  // Adds a run to global partition `g`; called by the partitioner threads
   // (local data) and the shuffle receiver (remote data). May trigger cache
   // flushes. Completes immediately (merging is asynchronous).
-  void add_run(int p, Run run);
+  //
+  // `dedup_tag` (nonzero) identifies the producing (split, chunk): task
+  // re-execution and speculative clones regenerate byte-identical runs with
+  // the same tag, and a tag already seen for `g` is dropped. Tags are
+  // remembered for the store's whole lifetime — including across
+  // take_partition — so a run consumed by reduce still shadows late
+  // duplicates. Pure host-side bookkeeping: no simulated cost either way.
+  void add_run(int g, Run run, std::uint64_t dedup_tag = 0);
 
-  // Starts `merger_threads` background workers; they are joined by drain().
+  // Runs dropped as duplicates of an already-seen dedup tag.
+  std::uint64_t duplicate_runs_dropped() const { return dup_dropped_; }
+
+  // Starts merger workers; they are joined by drain().
   void start_mergers();
 
   // Called once map+shuffle input is complete: consolidates every partition
@@ -45,10 +59,15 @@ class IntermediateStore {
   // elapsed time of this call is the merge delay.
   sim::Task<> drain();
 
+  // Re-arms a drained store for a crash-recovery round: fresh work channel
+  // and completion event, so add_run/start_mergers/drain can run again.
+  // Dedup tags and metrics persist.
+  void reopen();
+
   // Hands out a partition's final runs (cache + disk) for the reduce input
   // reader. `disk_bytes` returns how many stored bytes must be read from
-  // disk. Only valid after drain().
-  std::vector<Run> take_partition(int p, std::uint64_t* disk_bytes);
+  // disk. Only valid after drain(). Unknown ids yield an empty vector.
+  std::vector<Run> take_partition(int g, std::uint64_t* disk_bytes);
 
   // Metrics.
   std::uint64_t spills() const { return spills_; }
@@ -65,11 +84,12 @@ class IntermediateStore {
     std::vector<Run> disk;
     std::uint64_t cache_bytes = 0;
     bool queued = false;
+    std::set<std::uint64_t> seen_tags;  // never cleared (see add_run)
   };
 
   sim::Task<> merger_loop(trace::TrackRef track);
-  sim::Task<> service(int p, trace::TrackRef track);
-  void enqueue(int p);
+  sim::Task<> service(int g, trace::TrackRef track);
+  void enqueue(int g);
   void maybe_trigger_flushes();
   double host_merge_seconds(std::uint64_t in_bytes, std::uint64_t raw_bytes,
                             std::uint64_t out_raw) const;
@@ -78,14 +98,16 @@ class IntermediateStore {
   sim::Simulation& sim_;
   const JobConfig& config_;
   int local_partitions_;
-  std::vector<Part> parts_;
+  std::map<int, Part> parts_;  // global partition id -> state (ordered)
   std::uint64_t cache_bytes_total_ = 0;
+  std::uint64_t dup_dropped_ = 0;
 
   std::unique_ptr<sim::Channel<int>> work_;
-  sim::TaskGroup mergers_;
+  std::unique_ptr<sim::TaskGroup> mergers_;
   std::size_t jobs_in_flight_ = 0;
   bool draining_ = false;
   std::unique_ptr<sim::Event> drained_;
+  std::vector<trace::TrackRef> merger_tracks_;  // reused across rounds
 
   std::uint64_t spills_ = 0;
   std::uint64_t merges_ = 0;

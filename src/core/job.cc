@@ -1,13 +1,48 @@
 #include "core/job.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "core/intermediate.h"
+#include "simnet/transport.h"
 #include "util/error.h"
 
 namespace gw::core {
 
 namespace {
+
+// Job-wide fault-tolerance state shared by every node's coroutine and the
+// crash listener. The simulation is single-threaded, so plain members
+// suffice; everything here is host-side bookkeeping that adds no simulated
+// events when no crash is scheduled.
+struct JobShared {
+  std::vector<int> owner;  // global partition -> owning node
+  int crash_epoch = 0;     // bumped once per node death
+  std::set<int> failed;    // nodes that ever crashed (restarts stay out)
+  // Per recovery round (== crash epoch that created it):
+  std::map<int, std::vector<int>> round_participants;  // job-live at creation
+  std::map<int, std::vector<int>> reassigned;          // partitions moved
+  // EOS frames initiated on a round's port, recorded synchronously at
+  // initiation. A node entering a round late uses this to count frames
+  // already on the wire from senders that have died since (a real frame and
+  // a compensated one for the same sender would otherwise double-deliver).
+  std::map<int, std::set<std::pair<int, int>>> eos_sent;  // round -> (src,dst)
+  std::set<int> rounds_entered;
+  std::uint64_t partitions_reassigned = 0;
+
+  // Completion barrier: a finished node parks instead of exiting, because a
+  // later crash (e.g. during another node's reduce) can hand it new work.
+  std::set<int> done_nodes;
+  std::unique_ptr<sim::Event> park;  // replaced on every wake-up
+  bool job_complete = false;
+
+  bool job_live(const sim::Simulation& sim, int n) const {
+    return sim.node_alive(n) && failed.count(n) == 0;
+  }
+};
 
 // Per-node mutable state for one job run.
 struct NodeRun {
@@ -16,37 +51,172 @@ struct NodeRun {
   ReduceMetrics reduce;
   std::unique_ptr<sim::Event> shuffle_done;
   trace::TrackRef phase_track;
+  MapOutputLedger ledger;  // populated only when cfg.fault_tolerant()
+  int handled_epoch = 0;   // recovery rounds this node has executed
+  std::set<int> reduced;   // global partitions this node already reduced
 };
 
-sim::Task<> shuffle_receiver(NodeContext ctx, sim::Event& done) {
-  // Every node (including self) announces end-of-map with a transport EOS
+sim::Task<> shuffle_receiver(NodeContext ctx, int port, int expected,
+                             sim::Event& done) {
+  // Every expected sender announces end-of-stream with a transport EOS
   // frame; the receiver resolves once all of them arrived and the inbox
-  // drained, then the port is released for reuse by the next job.
-  net::Transport::Receiver rx = ctx.platform->transport().receiver(
-      ctx.node_id, net::kPortShuffle, ctx.num_nodes);
-  const int P = ctx.config->partitions_per_node;
+  // drained, then the port is released for reuse.
+  net::Transport::Receiver rx =
+      ctx.platform->transport().receiver(ctx.node_id, port, expected);
   for (;;) {
     auto msg = co_await rx.recv();
     if (!msg) break;
     util::ByteReader r(msg->payload);
-    const std::uint32_t g = r.get_u32();
-    GW_CHECK_MSG(static_cast<int>(g) / P == ctx.node_id,
-                 "partition routed to wrong node");
-    ctx.store->add_run(static_cast<int>(g) % P, Run::deserialize(r));
+    const int g = static_cast<int>(r.get_u32());
+    if (ctx.config->fault_tolerant()) {
+      // Drop zombie/stale deliveries: a dead node's store is never reduced
+      // (and feeding it would initiate new cache-flush work on a dead
+      // machine). A live node always still owns what was routed to it —
+      // ownership only ever moves off dead nodes.
+      if (!ctx.self_live() || ctx.owner_of(g) != ctx.node_id) {
+        continue;
+      }
+    } else {
+      GW_CHECK_MSG(ctx.owner_of(g) == ctx.node_id,
+                   "partition routed to wrong node");
+    }
+    ctx.store->add_run(g, Run::deserialize(r), msg->tag);
   }
   done.set();
 }
 
-sim::Task<> node_main(NodeContext ctx, cl::Device* reduce_device,
-                      SplitScheduler& scheduler, NodeRun& state) {
+// EOS broadcast with crash guards. Dead destinations are skipped (crash
+// compensation stands in for their frames) and a sender that died stops
+// initiating; `sent` (round ports) records each initiation for late round
+// entrants. With every node alive this performs exactly the legacy awaits.
+sim::Task<> broadcast_eos(NodeContext ctx, JobShared& shared, int port,
+                          std::vector<int> dsts,
+                          std::set<std::pair<int, int>>* sent) {
+  auto& sim = ctx.sim();
+  for (int dst : dsts) {
+    if (!ctx.self_live()) break;
+    if (!shared.job_live(sim, dst)) continue;
+    if (sent != nullptr) sent->insert({ctx.node_id, dst});
+    co_await ctx.platform->transport().finish(ctx.node_id, dst, port);
+  }
+}
+
+// Executes every recovery round this node has not handled yet (§III-E).
+// Round r (== the r-th crash) re-runs, on the survivors, the map work whose
+// durable output died with the crashed node, and re-feeds the partitions
+// reassigned off it from the survivors' durable-output ledgers. Each round
+// is a miniature map+shuffle+merge on its own port, so its traffic cannot
+// be confused with the original shuffle or with other rounds.
+sim::Task<> run_recovery_rounds(NodeContext ctx, SplitScheduler& scheduler,
+                                NodeRun& state, JobShared& shared,
+                                cl::Device* map_device) {
   auto& sim = ctx.sim();
   auto& tr = sim.tracer();
+  net::Transport& tp = ctx.platform->transport();
+  const JobConfig& cfg = *ctx.config;
+  const auto rec_name = tr.intern("phase.recovery");
+
+  while (state.handled_epoch < shared.crash_epoch) {
+    if (!ctx.self_live()) co_return;
+    const int round = ++state.handled_epoch;
+    GW_CHECK_MSG(round <= cfg.max_recovery_rounds,
+                 "recovery exceeded max_recovery_rounds");
+    shared.rounds_entered.insert(round);
+    const int port = net::kPortRecoveryBase + round;
+    const std::vector<int>& participants = shared.round_participants[round];
+    auto& sent = shared.eos_sent[round];
+
+    // Expected senders on the round port: peers still in the job (their EOS
+    // will arrive, or compensation injects it if they die — we register
+    // before any of them can crash again), plus now-dead peers whose EOS to
+    // us was already initiated before they died (the frame is on the wire).
+    // Peers that died without initiating one are not expected and never
+    // registered, so compensation cannot double-inject for them.
+    int expected = 0;
+    std::vector<int> registry;
+    for (int p : participants) {
+      if (sent.count({p, ctx.node_id}) > 0) {
+        ++expected;
+      } else if (shared.job_live(sim, p)) {
+        registry.push_back(p);
+        ++expected;
+      }
+    }
+    tp.expect_senders(ctx.node_id, port, registry);
+
+    tr.begin(state.phase_track, trace::Kind::kRecovery, rec_name, sim.now(),
+             static_cast<std::uint64_t>(round));
+    ctx.store->reopen();
+    ctx.store->start_mergers();
+    sim::Event rx_done(sim);
+
+    NodeContext rctx = ctx;
+    rctx.recovery = true;
+    rctx.shuffle_port = port;
+    rctx.device = map_device;
+    sim.spawn(shuffle_receiver(rctx, port, expected, rx_done));
+
+    // Re-execute lost splits: regenerates the dead node's contributions to
+    // every partition (byte-identical runs under the original dedup tags).
+    co_await run_map_phase(rctx, scheduler, state.map);
+
+    // Re-feed the reassigned partitions from the durable-output ledger: our
+    // own past contributions for every partition moved this round, re-read
+    // from local disk and re-sent to the new owner (no map re-execution).
+    std::uint64_t ledger_bytes = 0;
+    std::vector<int> resend;
+    for (int g : shared.reassigned[round]) {
+      auto it = state.ledger.runs.find(g);
+      if (it == state.ledger.runs.end()) continue;
+      for (const auto& [tag, run] : it->second) {
+        ledger_bytes += run.stored_bytes();
+      }
+      resend.push_back(g);
+    }
+    sim::TaskGroup sends(sim);
+    if (ctx.self_live() && ledger_bytes > 0) {
+      co_await ctx.node->disk_stream_read(
+          ledger_bytes, cluster::Node::amortized_seek(ledger_bytes));
+    }
+    for (int g : resend) {
+      if (!ctx.self_live()) break;
+      const int dest = rctx.owner_of(g);
+      for (const auto& [tag, run] : state.ledger.runs[g]) {
+        if (dest == ctx.node_id) {
+          // We are the new owner: our old contributions re-enter locally.
+          ctx.store->add_run(g, run, tag);
+        } else {
+          util::ByteWriter w;
+          w.put_u32(static_cast<std::uint32_t>(g));
+          run.serialize(w);
+          sends.spawn(send_run_dropping(rctx, dest, w.take(), tag));
+        }
+      }
+    }
+    co_await sends.wait();
+
+    co_await broadcast_eos(rctx, shared, port, participants, &sent);
+    co_await rx_done.wait();
+    co_await ctx.store->drain();
+    tr.end(state.phase_track, trace::Kind::kRecovery, rec_name, sim.now(),
+           static_cast<std::uint64_t>(round));
+  }
+}
+
+sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
+                      cl::Device* reduce_device, SplitScheduler& scheduler,
+                      NodeRun& state, JobShared& shared) {
+  auto& sim = ctx.sim();
+  auto& tr = sim.tracer();
+  const JobConfig& cfg = *ctx.config;
+  const bool ft = cfg.fault_tolerant();
   const auto t = state.phase_track;
   const auto map_name = tr.intern("phase.map");
   const auto merge_name = tr.intern("phase.merge");
   const auto reduce_name = tr.intern("phase.reduce");
   ctx.store->start_mergers();
-  sim.spawn(shuffle_receiver(ctx, *state.shuffle_done));
+  sim.spawn(shuffle_receiver(ctx, net::kPortShuffle, ctx.num_nodes,
+                             *state.shuffle_done));
 
   tr.begin(t, trace::Kind::kPhase, map_name, sim.now());
   co_await run_map_phase(ctx, scheduler, state.map);
@@ -55,22 +225,65 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* reduce_device,
 
   // Map phase done on this node: tell every node (including self) that no
   // more intermediate data will arrive from here.
+  std::vector<int> everyone(static_cast<std::size_t>(ctx.num_nodes));
   for (int dst = 0; dst < ctx.num_nodes; ++dst) {
-    co_await ctx.platform->transport().finish(ctx.node_id, dst,
-                                              net::kPortShuffle);
+    everyone[static_cast<std::size_t>(dst)] = dst;
   }
+  co_await broadcast_eos(ctx, shared, net::kPortShuffle, everyone, nullptr);
 
   // Merge phase: continues until all remote data arrived and the merger
   // threads consolidated every partition (§III: "After the merge phase
-  // completes, the reduce phase is started").
+  // completes, the reduce phase is started"). A dead node's receiver is
+  // resolved by crash compensation, so even a zombie drains and exits.
   co_await state.shuffle_done->wait();
   co_await ctx.store->drain();
   tr.end(t, trace::Kind::kPhase, merge_name, sim.now());
 
-  ctx.device = reduce_device;  // per-phase device selection
-  tr.begin(t, trace::Kind::kPhase, reduce_name, sim.now());
-  co_await run_reduce_phase(ctx, state.reduce);
-  tr.end(t, trace::Kind::kPhase, reduce_name, sim.now());
+  // Reduce (and, under fault tolerance, recover-then-reduce until the job
+  // is globally complete). Each pass reduces the owned partitions that have
+  // no output yet; a crash during anyone's reduce re-enters the loop.
+  for (;;) {
+    if (!ctx.self_live()) co_return;
+    if (ft) {
+      co_await run_recovery_rounds(ctx, scheduler, state, shared, map_device);
+      if (!ctx.self_live()) co_return;
+    }
+    std::vector<int> todo;
+    for (int g = 0; g < ctx.total_partitions; ++g) {
+      if (shared.owner[static_cast<std::size_t>(g)] != ctx.node_id) continue;
+      if (state.reduced.count(g) > 0) continue;
+      // A partition whose file was committed before its owner died needs no
+      // re-reduction: DFS output survives crashes via replication.
+      if (ft && ctx.fs->exists(partition_output_path(cfg, g))) continue;
+      todo.push_back(g);
+    }
+    if (!todo.empty()) {
+      ctx.device = reduce_device;
+      tr.begin(t, trace::Kind::kPhase, reduce_name, sim.now());
+      co_await run_reduce_phase(ctx, todo, state.reduce);
+      tr.end(t, trace::Kind::kPhase, reduce_name, sim.now());
+      for (int g : todo) state.reduced.insert(g);
+    }
+    if (!ft) co_return;
+    if (state.handled_epoch < shared.crash_epoch) continue;
+
+    // Done for now — but a later crash can reassign partitions to this
+    // node, so park on the completion barrier instead of exiting. The last
+    // node to finish releases everyone; a crash wakes everyone back up.
+    shared.done_nodes.insert(ctx.node_id);
+    int live = 0;
+    for (int n = 0; n < ctx.num_nodes; ++n) {
+      if (shared.job_live(sim, n)) ++live;
+    }
+    if (static_cast<int>(shared.done_nodes.size()) >= live) {
+      shared.job_complete = true;
+      shared.park->set();
+      co_return;
+    }
+    co_await shared.park->wait();
+    if (shared.job_complete) co_return;
+    shared.done_nodes.erase(ctx.node_id);  // woken by a crash: back to work
+  }
 }
 
 }  // namespace
@@ -147,7 +360,9 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   auto& sim = platform_.sim();
   sim.tracer().clear();  // one job per trace
   const int num_nodes = platform_.num_nodes();
+  const int total_partitions = num_nodes * config.partitions_per_node;
   const double start = sim.now();
+  const bool ft = config.fault_tolerant();
 
   // Transport counters are cumulative per platform (input staging counts
   // too); snapshot so the report covers exactly this job.
@@ -157,14 +372,89 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   const std::uint64_t net_dfs0 = tp.total_bytes(net::TrafficClass::kDfs);
   const std::uint64_t net_control0 =
       tp.total_bytes(net::TrafficClass::kControl);
+  auto* hdfs = dynamic_cast<dfs::Dfs*>(&fs_);
+  const std::uint64_t dfs_lost0 = hdfs ? hdfs->replicas_lost() : 0;
+  const std::uint64_t dfs_rerep0 = hdfs ? hdfs->blocks_rereplicated() : 0;
 
   SplitScheduler scheduler(
       SplitScheduler::make_splits(fs_, config.input_paths, config.split_size));
 
-  std::vector<NodeRun> nodes(num_nodes);
+  JobShared shared;
+  shared.owner.resize(static_cast<std::size_t>(total_partitions));
+  for (int g = 0; g < total_partitions; ++g) {
+    shared.owner[static_cast<std::size_t>(g)] =
+        g / config.partitions_per_node;
+  }
+  shared.park = std::make_unique<sim::Event>(sim);
+
+  int listener_id = -1;
+  if (ft) {
+    // JobTracker bookkeeping: who is expected on every shuffle stream (for
+    // crash compensation), the crash listener that reassigns work, and the
+    // scheduled crash events themselves.
+    std::vector<int> everyone(static_cast<std::size_t>(num_nodes));
+    for (int n = 0; n < num_nodes; ++n) {
+      everyone[static_cast<std::size_t>(n)] = n;
+    }
+    for (int dst = 0; dst < num_nodes; ++dst) {
+      tp.expect_senders(dst, net::kPortShuffle, everyone);
+    }
+    listener_id = sim.add_crash_listener([&sim, &tp, &shared, &scheduler,
+                                          &config, num_nodes,
+                                          total_partitions](int node,
+                                                            bool alive) {
+      if (alive) return;  // a restarted node only serves as a DFS target
+      if (shared.failed.count(node) > 0) return;
+      shared.failed.insert(node);
+      shared.crash_epoch++;
+      const int round = shared.crash_epoch;
+      std::vector<int> participants;
+      for (int n = 0; n < num_nodes; ++n) {
+        if (shared.job_live(sim, n)) participants.push_back(n);
+      }
+      GW_CHECK_MSG(!participants.empty(), "every node crashed; job is lost");
+      // Reassign the dead node's reduce partitions round-robin over the
+      // survivors (ascending ids: deterministic).
+      auto& moved = shared.reassigned[round];
+      std::size_t rr = 0;
+      for (int g = 0; g < total_partitions; ++g) {
+        if (shared.owner[static_cast<std::size_t>(g)] != node) continue;
+        shared.owner[static_cast<std::size_t>(g)] =
+            participants[rr++ % participants.size()];
+        moved.push_back(g);
+      }
+      shared.partitions_reassigned += moved.size();
+      shared.round_participants[round] = std::move(participants);
+      // Splits the dead node ran or had committed go back for re-execution.
+      scheduler.on_crash(node);
+      // Failure detection: inject the dead node's missing EOS frames after
+      // the detection timeout, once its in-flight wire traffic drained.
+      sim.spawn([](sim::Simulation& s, net::Transport& t, int dead,
+                   double delay) -> sim::Task<> {
+        co_await s.delay(delay);
+        co_await t.compensate_crash(dead);
+      }(sim, tp, node, config.crash_detection_delay_s));
+      // Wake parked finishers: the crash may have handed them new work.
+      auto old_park = std::move(shared.park);
+      shared.park = std::make_unique<sim::Event>(sim);
+      old_park->set();  // waiters already rescheduled; safe to destroy
+    });
+    for (const auto& e : config.crash_events) {
+      GW_CHECK_MSG(e.node >= 0 && e.node < num_nodes,
+                   "crash event names an unknown node");
+      sim.schedule_node_crash(e.node, e.time, e.restart_time);
+    }
+  }
+
+  // Job-wide span: the root every recovery event must nest inside.
+  const trace::TrackRef job_track = sim.tracer().track(0, "job");
+  const std::int32_t job_name = sim.tracer().intern("job");
+  sim.tracer().begin(job_track, trace::Kind::kPhase, job_name, sim.now());
+
+  std::vector<NodeRun> nodes(static_cast<std::size_t>(num_nodes));
   sim::TaskGroup all(sim);
   for (int n = 0; n < num_nodes; ++n) {
-    NodeRun& state = nodes[n];
+    NodeRun& state = nodes[static_cast<std::size_t>(n)];
     state.store = std::make_unique<IntermediateStore>(platform_.node(n), sim,
                                                       config);
     state.shuffle_done = std::make_unique<sim::Event>(sim);
@@ -174,19 +464,25 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     ctx.platform = &platform_;
     ctx.node = &platform_.node(n);
     ctx.fs = &fs_;
-    ctx.device = map_devices_[n].get();
+    ctx.device = map_devices_[static_cast<std::size_t>(n)].get();
     ctx.store = state.store.get();
     ctx.config = &config;
     ctx.app = &effective_app;
     ctx.node_id = n;
     ctx.num_nodes = num_nodes;
-    ctx.total_partitions = num_nodes * config.partitions_per_node;
-    all.spawn(node_main(ctx, reduce_devices_[n].get(), scheduler, state));
+    ctx.total_partitions = total_partitions;
+    ctx.partition_owner = &shared.owner;
+    ctx.ledger = ft ? &state.ledger : nullptr;
+    ctx.failed_nodes = &shared.failed;
+    all.spawn(node_main(ctx, map_devices_[static_cast<std::size_t>(n)].get(),
+                        reduce_devices_[static_cast<std::size_t>(n)].get(),
+                        scheduler, state, shared));
   }
 
+  bool completed = false;
   bool failed = false;
   std::string failure;
-  sim.spawn([](sim::TaskGroup& group, bool* failed_out,
+  sim.spawn([](sim::TaskGroup& group, bool* completed_out, bool* failed_out,
                std::string* msg) -> sim::Task<> {
     try {
       co_await group.wait();
@@ -194,9 +490,24 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
       *failed_out = true;
       *msg = e.what();
     }
-  }(all, &failed, &failure));
+    *completed_out = true;
+  }(all, &completed, &failed, &failure));
   sim.run();
+  // The event queue draining without the task group resolving means a node
+  // coroutine is parked forever — a protocol deadlock, not a slow job.
+  GW_CHECK_MSG(completed, "job hung: event queue drained with nodes parked");
+  sim.tracer().end(job_track, trace::Kind::kPhase, job_name, sim.now());
+  if (ft) {
+    // Data in flight to a machine when it died vanishes with it: drop any
+    // stray inbox addressed to a crashed node (a round port it never got to
+    // open), then assert the fabric is otherwise clean.
+    for (int n : shared.failed) platform_.fabric().purge_node(n);
+    sim.run();  // drain anything the purge woke
+    tp.clear_expected();
+  }
+  if (listener_id >= 0) sim.remove_crash_listener(listener_id);
   if (failed) util::throw_error("job failed: " + failure);
+  platform_.fabric().check_quiesced();
 
   JobResult result;
   result.elapsed_seconds = sim.now() - start;
@@ -247,9 +558,11 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     result.stats.intermediate_stored += s.map.intermediate_stored;
     result.stats.shuffle_bytes_remote += s.map.shuffle_bytes_remote;
     result.stats.map_task_retries += s.map.task_failures;
+    result.stats.reduce_task_retries += s.reduce.task_failures;
     result.stats.spills += s.store->spills();
     result.stats.merges += s.store->merges();
     result.stats.merge_fanin_runs += s.store->merge_fanin_runs();
+    result.stats.duplicate_runs_dropped += s.store->duplicate_runs_dropped();
     result.stats.hash_table_probes += s.map.hash_probes;
     result.stats.output_pairs += s.reduce.output_pairs;
     result.stats.map_kernel += s.map.kernel_stats;
@@ -261,6 +574,15 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   result.map_phase_seconds = map_end - start;
   result.merge_delay_seconds = merge_delay;
   result.reduce_phase_seconds = reduce_elapsed;
+  result.stats.tasks_reexecuted = scheduler.reexecutions();
+  result.stats.speculative_wins = scheduler.speculative_wins();
+  result.stats.speculative_losses = scheduler.speculative_losses();
+  result.stats.partitions_reassigned = shared.partitions_reassigned;
+  result.stats.recovery_rounds = shared.rounds_entered.size();
+  result.stats.dfs_replicas_lost =
+      hdfs ? hdfs->replicas_lost() - dfs_lost0 : 0;
+  result.stats.blocks_rereplicated =
+      hdfs ? hdfs->blocks_rereplicated() - dfs_rerep0 : 0;
   result.stats.net_shuffle_bytes =
       tp.total_bytes(net::TrafficClass::kShuffle) - net_shuffle0;
   result.stats.net_dfs_bytes =

@@ -30,11 +30,15 @@ struct StagedChunk {
 };
 
 struct KernelOut {
-  KernelOut(MapChunkOutput out_in, sim::Resource::Hold hold_in)
-      : out(std::move(out_in)), out_hold(std::move(hold_in)) {}
+  KernelOut(MapChunkOutput out_in, InputSplit split_in,
+            sim::Resource::Hold hold_in)
+      : out(std::move(out_in)),
+        split(std::move(split_in)),
+        out_hold(std::move(hold_in)) {}
   KernelOut() = default;
 
   MapChunkOutput out;
+  InputSplit split;  // identity, for commit + dedup tagging
   sim::Resource::Hold out_hold;
 };
 
@@ -126,7 +130,15 @@ sim::Task<> input_stage(Stage& st, NodeContext ctx, SplitScheduler& scheduler,
                         sim::Resource& in_buffers,
                         sim::Channel<StagedChunk>& out, MapMetrics& m) {
   for (;;) {
-    auto split = scheduler.next_for(ctx.node_id);
+    // A crashed node initiates no new work; in-flight chunks drain through
+    // the pipeline (their sends are dropped by the dead-endpoint check).
+    if (!ctx.self_live()) break;
+    auto split = ctx.recovery ? scheduler.next_lost(ctx.node_id)
+                              : scheduler.next_for(ctx.node_id);
+    if (!split && !ctx.recovery && ctx.config->speculate) {
+      // Idle with in-flight work elsewhere: clone a straggler (§III-E).
+      split = scheduler.next_speculative(ctx.node_id);
+    }
     if (!split) break;
     auto hold = co_await in_buffers.acquire();
     util::Bytes data;
@@ -227,17 +239,24 @@ sim::Task<> kernel_stage(Stage& st, NodeContext ctx,
       chunk_out = co_await run_map_kernel(ctx, item->data, item->offsets,
                                           collector, m);
 
-      // Fault injection (§III-E): the first attempt of every Nth task
-      // fails after its kernel ran. Re-execution is bookkeeping: the
-      // partial output is discarded, the input re-fetched and reprocessed
-      // (retries stay on this node, as schedulers prefer anyway).
+      // Fault injection (§III-E): the first attempt of every Nth task —
+      // 1-based, so `every` = 3 fails tasks 2, 5, 8… and split 0 is not
+      // unconditionally doomed — fails after its kernel ran. Re-execution
+      // is bookkeeping: the partial output is discarded, the input
+      // re-fetched and reprocessed (retries stay on this node, as
+      // schedulers prefer anyway). Injection is keyed on attempt == 0, so
+      // a retry can never re-fail by construction.
       const int every = cfg.fail_every_nth_map_task;
       if (every > 0 && item->split.attempt == 0 &&
-          item->split.index % every == 0) {
+          (item->split.index + 1) % every == 0) {
         ++m.task_failures;
         st.instant(trace::Kind::kRetry, retry_name,
                    static_cast<std::uint64_t>(item->split.index));
         chunk_out = MapChunkOutput();  // discard partial output
+        // The failed attempt's kernel emitted into `collector`; the retry
+        // must start from a pristine one so its output is byte-identical
+        // to what a clean first attempt would have produced.
+        collector.reset();
         item->split.attempt++;
         util::Bytes again = co_await read_aligned_split(*ctx.fs, ctx.node_id,
                                                         *ctx.app, item->split);
@@ -253,7 +272,8 @@ sim::Task<> kernel_stage(Stage& st, NodeContext ctx,
       m.hash_probes += chunk_out.hash_probes;
       item->in_hold.release();  // input buffer free once the kernel consumed it
     }
-    co_await out.send(KernelOut(std::move(chunk_out), std::move(out_hold)));
+    co_await out.send(KernelOut(std::move(chunk_out), std::move(item->split),
+                                std::move(out_hold)));
   }
   out.close();
 }
@@ -282,11 +302,11 @@ struct PartitionJobOut {
 };
 
 sim::Task<> partition_worker(Stage& st, NodeContext ctx,
-                             sim::Channel<KernelOut>& in, MapMetrics& m,
+                             sim::Channel<KernelOut>& in,
+                             SplitScheduler& scheduler, MapMetrics& m,
                              sim::TaskGroup& sends) {
   const JobConfig& cfg = *ctx.config;
   const HostCosts& h = cfg.host;
-  const int P = cfg.partitions_per_node;
   const std::int32_t shuffle_name = st.span_name("shuffle");
   // One bucket vector per worker, cleared in place between chunks so the
   // heap capacity stays warm across the whole map phase.
@@ -357,11 +377,31 @@ sim::Task<> partition_worker(Stage& st, NodeContext ctx,
           job_out.disk_bytes, cluster::Node::amortized_seek(job_out.disk_bytes));
     }
 
+    // Dedup tag: re-executions and speculative clones of a split regenerate
+    // byte-identical runs carrying the same tag, which receiving stores
+    // drop. Nonzero by construction (split indices are >= 0).
+    const std::uint64_t tag =
+        static_cast<std::uint64_t>(item->split.index) + 1;
+    if (ctx.ledger != nullptr) {
+      // Durable-output ledger: keep a host-side copy of every run so a
+      // reassigned partition can be re-fed from survivors without
+      // re-running their map tasks.
+      for (const auto& [g, run] : job_out.runs) {
+        ctx.ledger->record(static_cast<int>(g), tag, run);
+      }
+    }
+    const bool self_alive = ctx.self_live();
+    if (self_alive) {
+      // First-finisher-wins: a zombie completion on a dead node never
+      // commits (its splits are already back in the lost pool).
+      scheduler.commit(item->split.index, ctx.node_id);
+    }
     for (auto& [g, run] : job_out.runs) {
-      const int dest = static_cast<int>(g) / P;
-      const int local_index = static_cast<int>(g) % P;
+      const int dest = ctx.owner_of(static_cast<int>(g));
       if (dest == ctx.node_id) {
-        ctx.store->add_run(local_index, std::move(run));
+        if (self_alive) {
+          ctx.store->add_run(static_cast<int>(g), std::move(run), tag);
+        }
       } else {
         util::ByteWriter w;
         w.put_u32(g);
@@ -371,9 +411,7 @@ sim::Task<> partition_worker(Stage& st, NodeContext ctx,
         // Push shuffle rides the transport: with flow control enabled the
         // spawned send blocks on the stream's credit window, bounding the
         // bytes in flight toward any one receiver.
-        sends.spawn(ctx.platform->transport().send(
-            ctx.node_id, dest, net::kPortShuffle,
-            net::TrafficClass::kShuffle, w.take()));
+        sends.spawn(send_run_dropping(ctx, dest, w.take(), tag));
       }
     }
     for (std::uint32_t g : live) buckets[g].clear();
@@ -412,7 +450,7 @@ sim::Task<> run_map_phase(NodeContext ctx, SplitScheduler& scheduler,
     return retrieve_stage(st, ctx, c34, c45);
   });
   g.add_stage("partition", cfg.partitioner_threads, [&, ctx](Stage& st) {
-    return partition_worker(st, ctx, c45, m, sends);
+    return partition_worker(st, ctx, c45, scheduler, m, sends);
   });
   co_await g.run();
   co_await sends.wait();  // all shuffle data delivered

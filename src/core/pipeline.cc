@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simnet/transport.h"
 #include "util/error.h"
 
 namespace gw::core {
@@ -9,6 +10,7 @@ namespace gw::core {
 SplitScheduler::SplitScheduler(std::vector<InputSplit> splits)
     : splits_(std::move(splits)),
       taken_(splits_.size(), false),
+      state_(splits_.size()),
       remaining_(splits_.size()) {}
 
 std::optional<InputSplit> SplitScheduler::next_for(int node) {
@@ -16,6 +18,7 @@ std::optional<InputSplit> SplitScheduler::next_for(int node) {
     InputSplit s = std::move(requeued_.back());
     requeued_.pop_back();
     --remaining_;
+    if (s.index >= 0) state_[static_cast<std::size_t>(s.index)].runner = node;
     return s;
   }
   if (remaining_ == 0) return std::nullopt;
@@ -27,6 +30,7 @@ std::optional<InputSplit> SplitScheduler::next_for(int node) {
       taken_[i] = true;
       --remaining_;
       ++local_grabs_;
+      state_[i].runner = node;
       return splits_[i];
     }
   }
@@ -36,6 +40,7 @@ std::optional<InputSplit> SplitScheduler::next_for(int node) {
       taken_[i] = true;
       --remaining_;
       ++remote_grabs_;
+      state_[i].runner = node;
       return splits_[i];
     }
   }
@@ -47,6 +52,82 @@ void SplitScheduler::requeue(InputSplit split) {
   ++retries_;
   ++remaining_;
   requeued_.push_back(std::move(split));
+}
+
+bool SplitScheduler::commit(int index, int node) {
+  GW_CHECK(index >= 0 && static_cast<std::size_t>(index) < splits_.size());
+  TaskState& ts = state_[static_cast<std::size_t>(index)];
+  if (ts.committed_by >= 0) return false;  // a duplicate (speculative loser)
+  ts.committed_by = node;
+  if (ts.clone >= 0) {
+    // First finisher wins: count the race from the clone's point of view.
+    if (node == ts.clone) {
+      ++spec_wins_;
+    } else {
+      ++spec_losses_;
+    }
+  }
+  return true;
+}
+
+void SplitScheduler::on_crash(int node) {
+  for (std::size_t i = 0; i < splits_.size(); ++i) {
+    TaskState& ts = state_[i];
+    if (ts.clone == node) ts.clone = -1;
+    if (ts.committed_by == node) {
+      // The durable output died with the node: back to the lost pool.
+      ts.committed_by = -1;
+      ts.runner = -1;
+      lost_.push_back(static_cast<int>(i));
+    } else if (ts.committed_by < 0 && ts.runner == node) {
+      if (ts.clone >= 0) {
+        ts.runner = ts.clone;  // the live clone carries the split
+        ts.clone = -1;
+      } else {
+        ts.runner = -1;
+        lost_.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  std::sort(lost_.begin(), lost_.end());
+}
+
+std::optional<InputSplit> SplitScheduler::next_lost(int node) {
+  if (lost_.empty()) return std::nullopt;
+  const int i = lost_.front();
+  lost_.erase(lost_.begin());
+  ++reexecutions_;
+  TaskState& ts = state_[static_cast<std::size_t>(i)];
+  ts.runner = node;
+  InputSplit s = splits_[static_cast<std::size_t>(i)];
+  s.attempt = ++ts.attempts;
+  return s;
+}
+
+std::optional<InputSplit> SplitScheduler::next_speculative(int node) {
+  for (std::size_t i = 0; i < splits_.size(); ++i) {
+    TaskState& ts = state_[i];
+    if (!taken_[i] || ts.committed_by >= 0 || ts.clone >= 0) continue;
+    if (ts.runner < 0 || ts.runner == node) continue;
+    ts.clone = node;
+    ++clones_;
+    InputSplit s = splits_[i];
+    s.attempt = ++ts.attempts;
+    return s;
+  }
+  return std::nullopt;
+}
+
+sim::Task<> send_run_dropping(NodeContext ctx, int dst, util::Bytes wire,
+                              std::uint64_t tag) {
+  try {
+    co_await ctx.platform->transport().send(ctx.node_id, dst, ctx.shuffle_port,
+                                            net::TrafficClass::kShuffle,
+                                            std::move(wire), tag);
+  } catch (const net::NodeDownError&) {
+    // A crash raced the send (either endpoint): drop it. If the data
+    // mattered, the recovery round regenerates or re-sends it.
+  }
 }
 
 std::vector<InputSplit> SplitScheduler::make_splits(

@@ -12,8 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -42,6 +45,12 @@ struct InputSplit {
 // Locality-aware dynamic split dispenser (the Glasswing job coordinator
 // "considers file affinity in its job allocation", §IV-A). Single shared
 // instance; nodes pull splits one at a time, preferring local blocks.
+//
+// For fault tolerance (§III-E) the scheduler also tracks per-split execution
+// state: which node is running a split, which node committed its durable
+// map output first, and which splits were lost to a node crash and await
+// re-execution. Commit is first-finisher-wins, so speculative clones and
+// zombie completions never double-count.
 class SplitScheduler {
  public:
   explicit SplitScheduler(std::vector<InputSplit> splits);
@@ -57,19 +66,68 @@ class SplitScheduler {
   std::uint64_t local_grabs() const { return local_grabs_; }
   std::uint64_t remote_grabs() const { return remote_grabs_; }
 
+  // --- node-crash recovery & straggler speculation (§III-E) ---
+  // Records that `node` made split `index`'s map output durable. The first
+  // committer wins; returns false for any later finisher (a speculative
+  // loser). Zombie completions on crashed nodes must not commit.
+  bool commit(int index, int node);
+  // A node died: splits it was running or had committed return to the lost
+  // pool for re-execution (their durable output died with it). A split
+  // whose live speculative clone is still running is promoted, not lost.
+  void on_crash(int node);
+  bool has_lost() const { return !lost_.empty(); }
+  // Recovery-round handout of a lost split, lowest index first (locality is
+  // moot for regenerated work). Bumps the attempt counter.
+  std::optional<InputSplit> next_lost(int node);
+  // Straggler speculation: clones the lowest-indexed in-flight split that
+  // has no clone yet and is not running on `node`. Only meaningful once
+  // next_for is exhausted (the caller's idle condition).
+  std::optional<InputSplit> next_speculative(int node);
+  std::uint64_t reexecutions() const { return reexecutions_; }
+  std::uint64_t speculative_clones() const { return clones_; }
+  std::uint64_t speculative_wins() const { return spec_wins_; }
+  std::uint64_t speculative_losses() const { return spec_losses_; }
+
   // Enumerates block-aligned, record-aligned-later splits of the inputs.
   static std::vector<InputSplit> make_splits(const dfs::FileSystem& fs,
                                              const std::vector<std::string>& paths,
                                              std::uint64_t split_size);
 
  private:
+  // Per-split execution record; indices match splits_.
+  struct TaskState {
+    int runner = -1;        // node of the latest primary handout
+    int clone = -1;         // speculative runner, -1 = none
+    int committed_by = -1;  // first committer, -1 = not durable yet
+    int attempts = 0;       // handouts beyond the first
+  };
+
   std::vector<InputSplit> splits_;
   std::vector<bool> taken_;
   std::vector<InputSplit> requeued_;
+  std::vector<TaskState> state_;
+  std::vector<int> lost_;  // split indices awaiting re-execution (sorted)
   std::size_t remaining_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t local_grabs_ = 0;
   std::uint64_t remote_grabs_ = 0;
+  std::uint64_t reexecutions_ = 0;
+  std::uint64_t clones_ = 0;
+  std::uint64_t spec_wins_ = 0;
+  std::uint64_t spec_losses_ = 0;
+};
+
+// Host-side record of the map runs a node made durable, kept only when
+// JobConfig::fault_tolerant(): for every produced run, a copy keyed by
+// global partition and dedup tag. When a reduce partition is reassigned off
+// a crashed node, survivors re-send their recorded runs for it from local
+// disk instead of re-running the map tasks that produced them.
+struct MapOutputLedger {
+  std::map<int, std::vector<std::pair<std::uint64_t, Run>>> runs;
+
+  void record(int g, std::uint64_t tag, const Run& run) {
+    runs[g].emplace_back(tag, run);
+  }
 };
 
 // Everything a per-node pipeline needs.
@@ -85,8 +143,39 @@ struct NodeContext {
   int num_nodes = 1;
   int total_partitions = 1;
 
+  // --- fault tolerance (§III-E); the defaults reproduce the failure-free
+  // data path exactly ---
+  // Global partition -> owning node; reassigned away from crashed nodes.
+  // Null means the static g / partitions_per_node mapping.
+  const std::vector<int>* partition_owner = nullptr;
+  int shuffle_port = net::kPortShuffle;
+  bool recovery = false;  // map pipeline re-executes lost splits this round
+  MapOutputLedger* ledger = nullptr;  // non-null when cfg.fault_tolerant()
+  // Nodes that ever crashed, even if later restarted. A restarted node is
+  // alive again for the Simulation/transport but never rejoins the job, so
+  // every "should I keep doing job work / may I commit" check must consult
+  // this set and not just Simulation::node_alive (which flips back to true
+  // at restart and would resurrect zombie pipelines).
+  const std::set<int>* failed_nodes = nullptr;
+
+  int owner_of(int g) const {
+    return partition_owner != nullptr ? (*partition_owner)[static_cast<std::size_t>(g)]
+                                      : g / config->partitions_per_node;
+  }
+
+  bool self_live() const {
+    return sim().node_alive(node_id) &&
+           (failed_nodes == nullptr || failed_nodes->count(node_id) == 0);
+  }
+
   sim::Simulation& sim() const { return platform->sim(); }
 };
+
+// Spawnable shuffle send that tolerates a node crash racing the transfer:
+// a NodeDownError is swallowed — recovery regenerates the data. The wire
+// payload is the u32 global partition id followed by the serialized run.
+sim::Task<> send_run_dropping(NodeContext ctx, int dst, util::Bytes wire,
+                              std::uint64_t tag);
 
 // Counters only; stage busy times and phase boundaries live in the trace
 // (sim.tracer()), reduced via trace::Tracer::occupancy.
@@ -111,14 +200,21 @@ sim::Task<> run_map_phase(NodeContext ctx, SplitScheduler& scheduler,
                           MapMetrics& metrics);
 
 struct ReduceMetrics {
+  std::uint64_t task_failures = 0;  // injected reduce-task failures
   cl::KernelStats kernel_stats;
   std::uint64_t output_pairs = 0;
   std::vector<std::string> output_files;
 };
 
-// Runs the reduce pipeline over this node's partitions (drained store).
-// Jobs without a reduce function (TeraSort) merge and write directly.
-sim::Task<> run_reduce_phase(NodeContext ctx, ReduceMetrics& metrics);
+// Output file for global partition `g` under the job's output path.
+std::string partition_output_path(const JobConfig& config, int g);
+
+// Runs the reduce pipeline over the given global partitions (drained
+// store). Jobs without a reduce function (TeraSort) merge and write
+// directly. In a failure-free job the list is the node's statically owned
+// ids; after a crash it is whatever the (reassigned) owner map says.
+sim::Task<> run_reduce_phase(NodeContext ctx, std::vector<int> partitions,
+                             ReduceMetrics& metrics);
 
 // Output files are uncompressed Runs wrapped with Run::serialize; helper to
 // read one back as pairs (used by tests, benches and examples).

@@ -4,12 +4,14 @@
 // and oversized value lists are sliced across kernel invocations with
 // scratch state carried between calls.
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "core/pipeline.h"
 #include "core/stage.h"
+#include "simnet/transport.h"
 #include "util/error.h"
 
 namespace gw::core {
@@ -75,10 +77,15 @@ class GroupPairEmitter : public ReduceEmitter {
   cl::KernelCounters* c_;
 };
 
-sim::Task<> input_stage(Stage& st, NodeContext ctx, sim::Resource& in_buffers,
-                        sim::Channel<ReduceChunk>& out) {
+sim::Task<> input_stage(Stage& st, NodeContext ctx, std::vector<int> partitions,
+                        sim::Resource& in_buffers,
+                        sim::Channel<ReduceChunk>& out, ReduceMetrics& m) {
   const JobConfig& cfg = *ctx.config;
-  for (int p = 0; p < cfg.partitions_per_node; ++p) {
+  const std::int32_t retry_name = st.span_name("retry");
+  for (int p : partitions) {
+    // A crashed node initiates no further reduce tasks; the partition in
+    // flight completes (in-flight work finishes, §III-E crash semantics).
+    if (!ctx.self_live()) break;
     std::uint64_t disk_bytes = 0;
     std::vector<Run> runs = ctx.store->take_partition(p, &disk_bytes);
     if (runs.empty()) continue;
@@ -112,6 +119,27 @@ sim::Task<> input_stage(Stage& st, NodeContext ctx, sim::Resource& in_buffers,
         merged = std::move(runs.front());
       } else {
         merged = co_await ctx.sim().join(std::move(merging));
+      }
+
+      // Fault injection (§III-E), reduce side: the first attempt of every
+      // Nth reduce partition — 1-based over global ids, mirroring the map
+      // side — fails after its final merge ran. The stored runs were
+      // already consumed and the merge is deterministic, so re-execution
+      // re-charges the same disk and cpu time and reuses the identical
+      // merged bytes. There is no attempt loop: one injection per
+      // partition, so a retry can never re-fail by construction.
+      const int every = cfg.fail_every_nth_reduce_task;
+      if (every > 0 && (p + 1) % every == 0) {
+        ++m.task_failures;
+        st.instant(trace::Kind::kRetry, retry_name,
+                   static_cast<std::uint64_t>(p));
+        if (disk_bytes > 0) {
+          co_await ctx.node->disk_stream_read(
+              disk_bytes, cluster::Node::amortized_seek(disk_bytes));
+        }
+        co_await ctx.node->cpu_work(
+            static_cast<double>(in_stored) / h.decompress_bytes_per_s +
+            static_cast<double>(in_raw) / h.merge_bytes_per_s);
       }
       backing = std::make_shared<Run>(std::move(merged));
     }
@@ -307,20 +335,18 @@ sim::Task<> retrieve_stage(Stage& st, NodeContext ctx,
   out.close();
 }
 
-std::string partition_output_path(const NodeContext& ctx, int local_p) {
-  const int global = ctx.node_id * ctx.config->partitions_per_node + local_p;
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "/part-%05d", global);
-  return ctx.config->output_path + buf;
-}
-
-sim::Task<> write_output(Stage& st, NodeContext ctx, int local_p,
+sim::Task<> write_output(Stage& st, NodeContext ctx, int g,
                          RunBuilder&& builder, ReduceMetrics& m) {
+  // Zombies never commit: a node that crashed mid-reduce drops its output
+  // instead of initiating a DFS write, and a crash racing the write itself
+  // abandons the file. Either way no output file exists for `g`, which is
+  // precisely what makes the recovery pass re-reduce it on the new owner.
+  if (!ctx.self_live()) co_return;
   Stage::Span scope(st, trace::Kind::kStage, st.span_name("output"));
   const std::uint64_t raw = builder.raw_bytes();
-  m.output_pairs += builder.pairs();
   // Finalizing + wire-framing the output run is size-charged: overlap the
   // real work with the serialize charge.
+  const std::uint64_t pairs = builder.pairs();
   auto work = ctx.sim().offload([b = std::move(builder)]() mutable {
     Run run = b.finish(false);
     util::ByteWriter w;
@@ -330,8 +356,27 @@ sim::Task<> write_output(Stage& st, NodeContext ctx, int local_p,
   co_await ctx.node->cpu_work(static_cast<double>(raw) /
                               ctx.config->host.serialize_bytes_per_s);
   util::Bytes wire = co_await ctx.sim().join(std::move(work));
-  const std::string path = partition_output_path(ctx, local_p);
-  co_await ctx.fs->write(ctx.node_id, path, std::move(wire));
+  const std::string path = partition_output_path(*ctx.config, g);
+  if (!ctx.config->fault_tolerant()) {
+    co_await ctx.fs->write(ctx.node_id, path, std::move(wire));
+  } else {
+    // HDFS-style pipeline recovery: a replica dying mid-write fails the
+    // attempt with NodeDownError; a live writer re-streams the file (crash
+    // pruning already dropped the dead node from placement, so the retry
+    // picks survivors). Only a writer that itself died abandons the output
+    // — and then the missing file is precisely what makes the recovery
+    // pass re-reduce `g` on its new owner.
+    for (;;) {
+      if (!ctx.self_live()) co_return;
+      try {
+        co_await ctx.fs->write(ctx.node_id, path, util::Bytes(wire));
+      } catch (const net::NodeDownError&) {
+        continue;
+      }
+      break;
+    }
+  }
+  m.output_pairs += pairs;
   m.output_files.push_back(path);
 }
 
@@ -355,9 +400,12 @@ sim::Task<> output_stage(Stage& st, NodeContext ctx,
 
 // TeraSort-style jobs: no reduce function; the merged partitions are the
 // final output (§IV-A1).
-sim::Task<> merge_only_reduce(Stage& st, NodeContext ctx, ReduceMetrics& m) {
+sim::Task<> merge_only_reduce(Stage& st, NodeContext ctx,
+                              std::vector<int> partitions, ReduceMetrics& m) {
   const JobConfig& cfg = *ctx.config;
-  for (int p = 0; p < cfg.partitions_per_node; ++p) {
+  const std::int32_t retry_name = st.span_name("retry");
+  for (int p : partitions) {
+    if (!ctx.self_live()) break;  // as in input_stage
     std::uint64_t disk_bytes = 0;
     std::vector<Run> runs = ctx.store->take_partition(p, &disk_bytes);
     if (runs.empty()) continue;
@@ -382,6 +430,21 @@ sim::Task<> merge_only_reduce(Stage& st, NodeContext ctx, ReduceMetrics& m) {
           static_cast<double>(in_stored) / h.decompress_bytes_per_s +
           static_cast<double>(in_raw) / h.merge_bytes_per_s);
       Run merged = co_await ctx.sim().join(std::move(merging));
+      // Reduce-side fault injection: identical semantics to input_stage
+      // (first attempt of every Nth global partition re-charges its merge).
+      const int every = cfg.fail_every_nth_reduce_task;
+      if (every > 0 && (p + 1) % every == 0) {
+        ++m.task_failures;
+        st.instant(trace::Kind::kRetry, retry_name,
+                   static_cast<std::uint64_t>(p));
+        if (disk_bytes > 0) {
+          co_await ctx.node->disk_stream_read(
+              disk_bytes, cluster::Node::amortized_seek(disk_bytes));
+        }
+        co_await ctx.node->cpu_work(
+            static_cast<double>(in_stored) / h.decompress_bytes_per_s +
+            static_cast<double>(in_raw) / h.merge_bytes_per_s);
+      }
       // The merged run is uncompressed and shares our pair framing: its
       // payload can be appended to the output builder wholesale.
       builder.add_encoded(
@@ -396,7 +459,14 @@ sim::Task<> merge_only_reduce(Stage& st, NodeContext ctx, ReduceMetrics& m) {
 
 }  // namespace
 
-sim::Task<> run_reduce_phase(NodeContext ctx, ReduceMetrics& metrics) {
+std::string partition_output_path(const JobConfig& config, int g) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/part-%05d", g);
+  return config.output_path + buf;
+}
+
+sim::Task<> run_reduce_phase(NodeContext ctx, std::vector<int> partitions,
+                             ReduceMetrics& metrics) {
   auto& sim = ctx.sim();
   const JobConfig& cfg = *ctx.config;
 
@@ -406,7 +476,7 @@ sim::Task<> run_reduce_phase(NodeContext ctx, ReduceMetrics& metrics) {
     // Must stay inline-awaited: spawning would reorder the final Dfs
     // writes relative to other nodes' events.
     Stage& st = g.inline_stage("input");
-    co_await merge_only_reduce(st, ctx, metrics);
+    co_await merge_only_reduce(st, ctx, std::move(partitions), metrics);
     co_return;
   }
 
@@ -418,8 +488,8 @@ sim::Task<> run_reduce_phase(NodeContext ctx, ReduceMetrics& metrics) {
   auto& c45 = g.channel<ReducedChunk>(8);
 
   ReduceMetrics& m = metrics;
-  g.add_stage("input", 1, [&, ctx](Stage& st) {
-    return input_stage(st, ctx, in_buffers, c12);
+  g.add_stage("input", 1, [&, ctx, partitions](Stage& st) {
+    return input_stage(st, ctx, partitions, in_buffers, c12, m);
   });
   g.add_stage("stage", 1,
               [&, ctx](Stage& st) { return stage_stage(st, ctx, c12, c23); });

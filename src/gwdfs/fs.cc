@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simnet/transport.h"
 #include "util/error.h"
 #include "util/hash.h"
 
@@ -11,6 +12,17 @@ Dfs::Dfs(cluster::Platform& platform, DfsConfig config)
     : platform_(platform), config_(config) {
   GW_CHECK(config_.block_size > 0);
   GW_CHECK(config_.replication >= 1);
+  rerep_name_ = platform_.sim().tracer().intern("dfs.rereplicate");
+  crash_listener_id_ = platform_.sim().add_crash_listener(
+      [this](int node, bool alive) {
+        if (!alive) on_crash(node);
+        // A restart revives the node EMPTY: lost replicas do not come back;
+        // the node only becomes a placement target again.
+      });
+}
+
+Dfs::~Dfs() {
+  platform_.sim().remove_crash_listener(crash_listener_id_);
 }
 
 void Dfs::set_replication(int replication) {
@@ -25,16 +37,24 @@ std::uint64_t Dfs::num_blocks(const FileMeta& meta) const {
 std::vector<int> Dfs::place_block(int writer, const std::string& path,
                                   std::uint64_t index) const {
   // First replica on the writer (HDFS policy); the rest rotate from a
-  // per-block deterministic offset so data spreads evenly.
+  // per-block deterministic offset so data spreads evenly. Dead nodes are
+  // never placement targets (with no crash scheduled every node is alive
+  // and the rotation is unchanged).
   const int n = platform_.num_nodes();
-  const int replicas = std::min(config_.replication, n);
+  int live = 0;
+  for (int i = 0; i < n; ++i) {
+    if (alive(i)) ++live;
+  }
+  const int replicas = std::min(config_.replication, std::max(1, live));
   std::vector<int> out;
   out.reserve(replicas);
   out.push_back(writer);
   const std::uint64_t h = util::fnv1a(path) ^ util::mix64(index);
   int next = static_cast<int>(h % static_cast<std::uint64_t>(n));
-  while (static_cast<int>(out.size()) < replicas) {
-    if (std::find(out.begin(), out.end(), next) == out.end()) {
+  for (int scanned = 0;
+       static_cast<int>(out.size()) < replicas && scanned < n; ++scanned) {
+    if (alive(next) &&
+        std::find(out.begin(), out.end(), next) == out.end()) {
       out.push_back(next);
     }
     next = (next + 1) % n;
@@ -94,16 +114,20 @@ sim::Task<> Dfs::write_distributed(const std::string& path, util::Bytes data) {
   const std::uint64_t blocks = std::max<std::uint64_t>(
       1, (size + config_.block_size - 1) / config_.block_size);
   for (std::uint64_t b = 0; b < blocks; ++b) {
-    // Rotating placement: no node hosts a disproportionate share.
+    // Rotating placement: no node hosts a disproportionate share. Dead
+    // nodes are skipped (identical rotation when every node is alive).
     std::vector<int> locs;
     const std::uint64_t h = util::fnv1a(path) ^ util::mix64(b * 2654435761ull);
     int next = static_cast<int>(h % static_cast<std::uint64_t>(n));
-    while (static_cast<int>(locs.size()) < replicas) {
-      if (std::find(locs.begin(), locs.end(), next) == locs.end()) {
+    for (int scanned = 0;
+         static_cast<int>(locs.size()) < replicas && scanned < n; ++scanned) {
+      if (alive(next) &&
+          std::find(locs.begin(), locs.end(), next) == locs.end()) {
         locs.push_back(next);
       }
       next = (next + 1) % n;
     }
+    GW_CHECK_MSG(!locs.empty(), "dfs write: no live node to place block");
     meta.replicas.push_back(std::move(locs));
   }
 
@@ -156,11 +180,39 @@ sim::Task<util::Bytes> Dfs::read(int node, const std::string& path,
       ++local_reads_;
       co_await platform_.node(node).disk_stream_read(chunk, seek);
     } else {
-      ++remote_reads_;
-      const int remote = replicas.front();
-      co_await platform_.node(remote).disk_stream_read(chunk, seek);
-      co_await platform_.transport().transfer(
-          remote, node, net::kPortDfs, net::TrafficClass::kDfs, chunk);
+      // First LIVE replica serves the block; crashed holders are useless
+      // even if a racing write left them listed. A source that dies between
+      // the disk read and the wire leg fails the fetch over to the next
+      // live replica (re-reading there), so a crash mid-fetch costs the
+      // client a retry, never the block.
+      for (;;) {
+        int remote = -1;
+        for (int r : replicas) {
+          if (alive(r)) {
+            remote = r;
+            break;
+          }
+        }
+        if (remote < 0) {
+          throw DataLossError("dfs read: every replica of block " +
+                              std::to_string(b) + " of " + path +
+                              " was lost to crashes");
+        }
+        ++remote_reads_;
+        co_await platform_.node(remote).disk_stream_read(chunk, seek);
+        if (!alive(node)) break;
+        // A dead client gets no wire leg: the fetch it initiated before the
+        // crash just evaporates; its zombie computation is discarded anyway.
+        try {
+          co_await platform_.transport().transfer(
+              remote, node, net::kPortDfs, net::TrafficClass::kDfs, chunk);
+        } catch (const net::NodeDownError&) {
+          if (!alive(node)) break;  // the client itself died mid-fetch
+          continue;  // the source died under us: crash pruning already
+                     // dropped it from `replicas`; try the next survivor
+        }
+        break;
+      }
     }
     pos += chunk;
   }
@@ -168,6 +220,94 @@ sim::Task<util::Bytes> Dfs::read(int node, const std::string& path,
   util::Bytes out(meta.data.begin() + static_cast<std::ptrdiff_t>(offset),
                   meta.data.begin() + static_cast<std::ptrdiff_t>(offset + len));
   co_return out;
+}
+
+void Dfs::on_crash(int node) {
+  // Drop the dead node from every block's replica list at the crash
+  // instant (reads fall over to survivors immediately), then re-replicate
+  // each under-replicated block in the background. files_ is an ordered
+  // map, so the (path, block) scan — and with it the whole recovery event
+  // sequence — is deterministic.
+  auto& sim = platform_.sim();
+  const int n = platform_.num_nodes();
+  for (auto& [path, meta] : files_) {
+    for (std::uint64_t b = 0; b < meta.replicas.size(); ++b) {
+      auto& replicas = meta.replicas[b];
+      auto it = std::find(replicas.begin(), replicas.end(), node);
+      if (it == replicas.end()) continue;
+      replicas.erase(it);
+      ++replicas_lost_;
+      if (replicas.empty()) continue;  // data lost; reads throw DataLossError
+      // Pick a copy source (first live survivor) and a target via the same
+      // deterministic rotation as initial placement, skipping holders and
+      // dead nodes.
+      int src = -1;
+      for (int r : replicas) {
+        if (alive(r)) {
+          src = r;
+          break;
+        }
+      }
+      if (src < 0) continue;
+      const std::uint64_t h = util::fnv1a(path) ^ util::mix64(b);
+      int next = static_cast<int>(h % static_cast<std::uint64_t>(n));
+      int dst = -1;
+      for (int scanned = 0; scanned < n; ++scanned) {
+        if (alive(next) &&
+            std::find(replicas.begin(), replicas.end(), next) ==
+                replicas.end()) {
+          dst = next;
+          break;
+        }
+        next = (next + 1) % n;
+      }
+      if (dst < 0) continue;  // no live node without a copy
+      const std::uint64_t size = meta.data.size();
+      const std::uint64_t lo = b * config_.block_size;
+      const std::uint64_t len =
+          std::min(config_.block_size, size > lo ? size - lo : 0);
+      if (len == 0) continue;
+      sim.spawn(rereplicate(path, b, src, dst, len));
+    }
+  }
+}
+
+sim::Task<> Dfs::rereplicate(std::string path, std::uint64_t block, int src,
+                             int dst, std::uint64_t len) {
+  trace::Tracer& tr = platform_.sim().tracer();
+  auto track_it = rerep_tracks_.find(dst);
+  if (track_it == rerep_tracks_.end()) {
+    track_it =
+        rerep_tracks_.emplace(dst, tr.track(dst, "dfs.rereplicate")).first;
+  }
+  const trace::TrackRef track = track_it->second;
+  bool copied = false;
+  try {
+    co_await platform_.node(src).disk_stream_read(
+        len, cluster::Node::amortized_seek(len));
+    // Backoff-aware: the target may itself crash while the copy is queued.
+    co_await platform_.transport().retry_transfer(
+        src, dst, net::kPortDfs, net::TrafficClass::kDfs, len);
+    co_await platform_.node(dst).disk_stream_write(
+        len, cluster::Node::amortized_seek(len));
+    copied = true;
+  } catch (const net::NodeDownError&) {
+    // Source or target died mid-copy; a later crash listener pass will
+    // handle the new failure. This copy is abandoned.
+  }
+  // Instant, not a span: copies to one destination overlap freely, and a
+  // track admits only one open span at a time.
+  tr.instant(track, trace::Kind::kRecovery, rerep_name_,
+             platform_.sim().now(), len);
+  if (!copied) co_return;
+  auto it = files_.find(path);
+  if (it == files_.end()) co_return;  // file deleted meanwhile
+  auto& replicas = it->second.replicas.at(block);
+  if (std::find(replicas.begin(), replicas.end(), dst) == replicas.end() &&
+      alive(dst)) {
+    replicas.push_back(dst);
+    ++blocks_rereplicated_;
+  }
 }
 
 bool Dfs::exists(const std::string& path) const {

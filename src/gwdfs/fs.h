@@ -25,6 +25,14 @@
 
 namespace gw::dfs {
 
+// Thrown when every replica of a block was lost to node crashes: the data
+// is unrecoverable and the caller must fail the read (or regenerate the
+// file from upstream state, as the job layer does for map output).
+class DataLossError : public util::Error {
+ public:
+  explicit DataLossError(std::string what) : util::Error(std::move(what)) {}
+};
+
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
@@ -67,7 +75,13 @@ struct DfsConfig {
 
 class Dfs : public FileSystem {
  public:
+  // Registers a crash listener with the platform's simulation: when a node
+  // dies, its replicas are dropped from every block at the crash instant
+  // (reads fall over to survivors immediately) and under-replicated blocks
+  // are re-replicated in the background onto live nodes, charging real disk
+  // and wire time. With no crash scheduled none of this runs.
   Dfs(cluster::Platform& platform, DfsConfig config);
+  ~Dfs() override;
 
   sim::Task<> write(int node, const std::string& path,
                     util::Bytes data) override;
@@ -95,6 +109,12 @@ class Dfs : public FileSystem {
   std::uint64_t local_reads() const { return local_reads_; }
   std::uint64_t remote_reads() const { return remote_reads_; }
 
+  // --- fault-tolerance observability ---
+  // Block replicas dropped because their node crashed.
+  std::uint64_t replicas_lost() const { return replicas_lost_; }
+  // Background copies completed to restore replication after a crash.
+  std::uint64_t blocks_rereplicated() const { return blocks_rereplicated_; }
+
  private:
   struct FileMeta {
     util::Bytes data;
@@ -104,12 +124,21 @@ class Dfs : public FileSystem {
   std::uint64_t num_blocks(const FileMeta& meta) const;
   std::vector<int> place_block(int writer, const std::string& path,
                                std::uint64_t index) const;
+  bool alive(int node) const { return platform_.sim().node_alive(node); }
+  void on_crash(int node);
+  sim::Task<> rereplicate(std::string path, std::uint64_t block, int src,
+                          int dst, std::uint64_t len);
 
   cluster::Platform& platform_;
   DfsConfig config_;
   std::map<std::string, FileMeta> files_;
   std::uint64_t local_reads_ = 0;
   std::uint64_t remote_reads_ = 0;
+  std::uint64_t replicas_lost_ = 0;
+  std::uint64_t blocks_rereplicated_ = 0;
+  int crash_listener_id_ = -1;
+  std::map<int, trace::TrackRef> rerep_tracks_;  // per destination node
+  std::int32_t rerep_name_ = -1;
 };
 
 struct LocalFsConfig {

@@ -286,6 +286,70 @@ class Simulation {
 
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // --- node failure injection ---
+  //
+  // Crash semantics (documented in DESIGN.md §III-E): a node crash is a
+  // deterministic scheduled event. When it fires, node_alive(n) flips to
+  // false and every registered listener runs synchronously, in registration
+  // order, at the crash instant. Operations initiated before the crash
+  // complete (the simulated hardware finishes in-flight DMA/disk work);
+  // components consult node_alive() before STARTING new work. A restart
+  // revives the node empty — lost state does not come back. When no crash is
+  // scheduled, none of this adds events or changes behaviour.
+
+  // True unless a crash event for `node` has fired (and no restart since).
+  bool node_alive(int node) const {
+    if (node < 0 || node >= static_cast<int>(alive_.size())) return true;
+    return alive_[static_cast<std::size_t>(node)] != 0;
+  }
+
+  // Listener invoked at crash (`alive == false`) or restart (`alive ==
+  // true`) time, on the sim thread, at an unchanged now(). Listeners may
+  // spawn recovery processes. Returns an id for remove_crash_listener.
+  using CrashListener = std::function<void(int node, bool alive)>;
+
+  int add_crash_listener(CrashListener fn) {
+    const int id = next_listener_id_++;
+    crash_listeners_.emplace_back(id, std::move(fn));
+    return id;
+  }
+
+  void remove_crash_listener(int id) {
+    for (auto it = crash_listeners_.begin(); it != crash_listeners_.end();
+         ++it) {
+      if (it->first == id) {
+        crash_listeners_.erase(it);
+        return;
+      }
+    }
+  }
+
+  // Schedules `node` to crash `delay_s` simulated seconds from now, and —
+  // when `restart_delay_s >= 0` (measured from now, must exceed `delay_s`)
+  // — to restart empty at that later instant.
+  void schedule_node_crash(int node, double delay_s,
+                           double restart_delay_s = -1.0) {
+    GW_CHECK(node >= 0);
+    GW_CHECK_MSG(delay_s >= 0, "crash scheduled in the past");
+    GW_CHECK_MSG(restart_delay_s < 0 || restart_delay_s > delay_s,
+                 "restart must follow the crash");
+    spawn(crash_process(node, delay_s, restart_delay_s));
+  }
+
+  // Flips liveness immediately and fires listeners. Exposed for tests; the
+  // scheduled path above goes through here too.
+  void set_node_alive(int node, bool alive) {
+    GW_CHECK(node >= 0);
+    if (static_cast<int>(alive_.size()) <= node) {
+      alive_.resize(static_cast<std::size_t>(node) + 1, 1);
+    }
+    if ((alive_[static_cast<std::size_t>(node)] != 0) == alive) return;
+    alive_[static_cast<std::size_t>(node)] = alive ? 1 : 0;
+    // Iterate over a copy: listeners may register/unregister more listeners.
+    const auto listeners = crash_listeners_;
+    for (const auto& [id, fn] : listeners) fn(node, alive);
+  }
+
   // Simulated-timeline tracer. Recording is a pure observer of the event
   // loop; callers stamp events with now(). Sim thread only.
   trace::Tracer& tracer() { return tracer_; }
@@ -319,6 +383,15 @@ class Simulation {
     std::coroutine_handle<> handle;
   };
 
+  Task<> crash_process(int node, double delay_s, double restart_delay_s) {
+    co_await delay(delay_s);
+    set_node_alive(node, false);
+    if (restart_delay_s >= 0) {
+      co_await delay(restart_delay_s - delay_s);
+      set_node_alive(node, true);
+    }
+  }
+
   void step() {
     Entry e = queue_.top();
     queue_.pop();
@@ -350,6 +423,9 @@ class Simulation {
   std::uint64_t join_block_nanos_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
   std::deque<PendingJoin> pending_joins_;
+  std::vector<char> alive_;  // lazily sized; absent == alive
+  std::vector<std::pair<int, CrashListener>> crash_listeners_;
+  int next_listener_id_ = 0;
   trace::Tracer tracer_;
 };
 

@@ -37,8 +37,9 @@ Fabric::Fabric(sim::Simulation& sim, int num_nodes, NetworkProfile profile)
   }
 }
 
-sim::Task<> Fabric::send(int src, int dst, int port, util::Bytes payload) {
-  return send_impl(src, dst, port, std::move(payload), false);
+sim::Task<> Fabric::send(int src, int dst, int port, util::Bytes payload,
+                         std::uint64_t tag) {
+  return send_impl(src, dst, port, std::move(payload), false, tag);
 }
 
 sim::Task<> Fabric::send_eos(int src, int dst, int port) {
@@ -48,7 +49,7 @@ sim::Task<> Fabric::send_eos(int src, int dst, int port) {
 }
 
 sim::Task<> Fabric::send_impl(int src, int dst, int port, util::Bytes payload,
-                              bool eos) {
+                              bool eos, std::uint64_t tag) {
   GW_CHECK(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
   const std::size_t bytes = payload.size();
   auto& st = stats_[src];
@@ -59,7 +60,7 @@ sim::Task<> Fabric::send_impl(int src, int dst, int port, util::Bytes payload,
     if (profile_.max_chunk_bytes > 0 && bytes > profile_.max_chunk_bytes) {
       co_await occupy_chunked(src, dst, bytes);
       co_await inbox(dst, port).send(Message(src, port, std::move(payload),
-                                             eos));
+                                             eos, tag));
       co_return;
     }
     // Propagation, then cut-through occupancy of sender TX and receiver RX.
@@ -83,7 +84,8 @@ sim::Task<> Fabric::send_impl(int src, int dst, int port, util::Bytes payload,
   // NIC/switch holds (when remote) stay live across the inbox handoff, so a
   // queued sender wakes only after the receiver was scheduled — the same
   // release order the fabric has always had.
-  co_await inbox(dst, port).send(Message(src, port, std::move(payload), eos));
+  co_await inbox(dst, port).send(
+      Message(src, port, std::move(payload), eos, tag));
 }
 
 sim::Task<> Fabric::transfer(int src, int dst, std::uint64_t bytes) {
@@ -179,6 +181,32 @@ void Fabric::release_port(int node, int port) {
                "release_port would drop undelivered messages");
   it->second->close();  // stray blocked receivers see end-of-stream
   inboxes_.erase(it);
+}
+
+std::size_t Fabric::purge_node(int node) {
+  for (auto it = pre_closed_.begin(); it != pre_closed_.end();) {
+    it = it->first == node ? pre_closed_.erase(it) : std::next(it);
+  }
+  std::size_t dropped = 0;
+  for (auto it = inboxes_.begin(); it != inboxes_.end();) {
+    if (it->first.first != node) {
+      ++it;
+      continue;
+    }
+    dropped += it->second->size();
+    it->second->close();
+    it = inboxes_.erase(it);
+  }
+  return dropped;
+}
+
+void Fabric::check_quiesced() const {
+  GW_CHECK_MSG(pre_closed_.empty(),
+               "fabric pre_closed_ did not drain: a port was closed before "
+               "open and never opened or released");
+  for (const auto& [key, ch] : inboxes_) {
+    GW_CHECK_MSG(ch->size() == 0, "fabric inbox holds undelivered messages");
+  }
 }
 
 std::uint64_t Fabric::total_bytes_sent() const {

@@ -66,14 +66,19 @@ struct NetworkProfile {
 // payload rule.
 struct Message {
   Message() : src(-1), port(-1) {}
-  Message(int src_in, int port_in, util::Bytes payload_in, bool eos_in = false)
+  Message(int src_in, int port_in, util::Bytes payload_in, bool eos_in = false,
+          std::uint64_t tag_in = 0)
       : src(src_in), port(port_in), payload(std::move(payload_in)),
-        eos(eos_in) {}
+        eos(eos_in), tag(tag_in) {}
 
   int src;
   int port;
   util::Bytes payload;
   bool eos = false;  // end-of-stream marker (net::Transport framing)
+  // Out-of-band sender metadata (e.g. a dedup key for re-executed task
+  // output). Carried in the struct, NOT in the payload: contributes zero
+  // wire bytes, so tagged and untagged sends have identical timing.
+  std::uint64_t tag = 0;
 };
 
 // Well-known service ports.
@@ -82,6 +87,7 @@ enum Port : int {
   kPortDfs = 2,           // DFS block pipeline
   kPortHadoopFetch = 3,   // Hadoop pull-shuffle requests
   kPortHadoopReplyBase = 1000,  // + reducer id for fetch replies
+  kPortRecoveryBase = 2000,     // + recovery round for crash re-shuffle
 };
 
 class Fabric {
@@ -95,7 +101,8 @@ class Fabric {
   // Transfers `payload` from src to dst and enqueues it on (dst, port).
   // Completes when the message has been handed to the destination inbox.
   // Local sends (src == dst) are free of NIC cost but still asynchronous.
-  sim::Task<> send(int src, int dst, int port, util::Bytes payload);
+  sim::Task<> send(int src, int dst, int port, util::Bytes payload,
+                   std::uint64_t tag = 0);
 
   // Delivers an end-of-stream marker on (dst, port). Costs one 4-byte
   // control frame on the wire (the size of the u32 EOF sentinel it
@@ -127,6 +134,25 @@ class Fabric {
   // Number of materialized inbox channels (lifetime hygiene observability).
   std::size_t open_inboxes() const { return inboxes_.size(); }
 
+  // End-of-run teardown for a crashed node: drops every inbox and
+  // close-before-open record addressed to it, discarding undelivered
+  // messages (data in flight to a dead machine vanishes with it). Returns
+  // the number of messages dropped. Only call after the event loop drained;
+  // any receiver the node ever ran must have terminated by then (crash
+  // compensation guarantees this for the job protocols).
+  std::size_t purge_node(int node);
+
+  // Close-before-open records still outstanding. Entries are pruned when
+  // the matching inbox() materializes or release_port() arrives; a value
+  // that keeps growing across jobs on a reused simulation is a port-hygiene
+  // bug (see check_quiesced).
+  std::size_t pre_closed_count() const { return pre_closed_.size(); }
+
+  // End-of-run invariant: no undelivered messages in any inbox and no
+  // stale close-before-open records. Runtimes call this once the event
+  // queue drained; aborts with a description on violation.
+  void check_quiesced() const;
+
   // Concurrent wire occupancies the core switch admits; 0 when the switch
   // is not modelled (bisection_oversubscription == 0).
   std::int64_t core_switch_capacity() const {
@@ -156,7 +182,7 @@ class Fabric {
   // the release/wakeup order at equal timestamps matches the legacy fabric
   // exactly — goldens depend on that event order.
   sim::Task<> send_impl(int src, int dst, int port, util::Bytes payload,
-                        bool eos);
+                        bool eos, std::uint64_t tag = 0);
   // Chunked wire occupancy for one direction; used by both send and
   // transfer when the message exceeds max_chunk_bytes.
   sim::Task<> occupy_chunked(int src, int dst, std::uint64_t bytes);

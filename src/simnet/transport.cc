@@ -58,8 +58,15 @@ std::int64_t Transport::credit_units(std::uint64_t bytes) const {
       std::max<std::uint64_t>(1, std::min(bytes, window)));
 }
 
+void Transport::check_alive(int src, int dst) const {
+  const sim::Simulation& sim = fabric_.sim();
+  if (!sim.node_alive(src)) throw NodeDownError(src);
+  if (!sim.node_alive(dst)) throw NodeDownError(dst);
+}
+
 sim::Task<> Transport::send(int src, int dst, int port, TrafficClass tc,
-                            util::Bytes payload) {
+                            util::Bytes payload, std::uint64_t tag) {
+  check_alive(src, dst);
   const std::uint64_t bytes = payload.size();
   account(src, dst, port, tc, bytes);
   if (sim::Resource* window = credits(src, dst, port)) {
@@ -68,11 +75,12 @@ sim::Task<> Transport::send(int src, int dst, int port, TrafficClass tc,
     auto hold = co_await window->acquire(credit_units(bytes));
     hold.forget();
   }
-  co_await fabric_.send(src, dst, port, std::move(payload));
+  co_await fabric_.send(src, dst, port, std::move(payload), tag);
 }
 
 sim::Task<> Transport::transfer(int src, int dst, int port, TrafficClass tc,
                                 std::uint64_t bytes) {
+  check_alive(src, dst);
   account(src, dst, port, tc, bytes);
   if (sim::Resource* window = credits(src, dst, port)) {
     // No payload reaches a Receiver, so the credit hold self-releases once
@@ -84,12 +92,79 @@ sim::Task<> Transport::transfer(int src, int dst, int port, TrafficClass tc,
   co_await fabric_.transfer(src, dst, bytes);
 }
 
+sim::Task<> Transport::retry_transfer(int src, int dst, int port,
+                                      TrafficClass tc, std::uint64_t bytes,
+                                      RetryPolicy policy) {
+  GW_CHECK(policy.attempts >= 1);
+  double backoff = policy.backoff_s;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      co_await transfer(src, dst, port, tc, bytes);
+      co_return;
+    } catch (const NodeDownError&) {
+      if (attempt + 1 >= policy.attempts) throw;
+    }
+    co_await fabric_.sim().delay(backoff);
+    backoff *= policy.multiplier;
+  }
+}
+
 sim::Task<> Transport::finish(int src, int dst, int port) {
+  check_alive(src, dst);
   // EOS frames are control traffic and consume no credits: they must be
   // deliverable even when a stream's window is exhausted.
   account(src, dst, port, TrafficClass::kControl, kEosFrameBytes);
+  auto it = expected_.find(std::make_pair(dst, port));
+  if (it != expected_.end()) {
+    it->second.erase(src);
+    if (it->second.empty()) expected_.erase(it);
+  }
   co_await fabric_.send_eos(src, dst, port);
 }
+
+void Transport::expect_senders(int dst, int port,
+                               const std::vector<int>& senders) {
+  auto& set = expected_[std::make_pair(dst, port)];
+  for (int s : senders) set.insert(s);
+  if (set.empty()) expected_.erase(std::make_pair(dst, port));
+}
+
+sim::Task<> Transport::compensate_crash(int dead) {
+  // Collect first, then await: the awaits must not race registry mutation.
+  // Two compensations happen per crash:
+  //   * streams a live node receives: one EOS on the dead sender's behalf;
+  //   * streams the DEAD node receives: EOS for every outstanding sender,
+  //     so the orphaned receiver drains, terminates and releases its port
+  //     (survivors skip real sends to dead destinations).
+  std::vector<std::tuple<int, int, int>> inject;  // (dst, port, count)
+  for (auto it = expected_.begin(); it != expected_.end();) {
+    const auto [dst, port] = it->first;
+    if (dst == dead) {
+      inject.emplace_back(dst, port, static_cast<int>(it->second.size()));
+      it = expected_.erase(it);
+      continue;
+    }
+    if (it->second.count(dead) > 0) {
+      inject.emplace_back(dst, port, 1);
+      it->second.erase(dead);
+      if (it->second.empty()) {
+        it = expected_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  for (const auto& [dst, port, count] : inject) {
+    for (int i = 0; i < count; ++i) {
+      // Metadata injection: delivered straight to the inbox, no wire time
+      // and no accounting — the frame never crossed the network.
+      co_await fabric_.inbox(dst, port).send(
+          Message(dead, port, util::Bytes(), true));
+    }
+  }
+}
+
+void Transport::clear_expected() { expected_.clear(); }
 
 Transport::Receiver::Receiver(Transport& transport, int node, int port,
                               int expected_eos)

@@ -36,9 +36,13 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "simnet/fabric.h"
+#include "util/error.h"
 
 namespace gw::net {
 
@@ -50,6 +54,32 @@ enum class TrafficClass : std::uint8_t {
 inline constexpr std::size_t kNumTrafficClasses = 3;
 const char* traffic_class_name(TrafficClass c);
 
+// Typed failure for traffic touching a crashed node: thrown by transport
+// calls whose source or destination is dead at initiation time. Callers
+// choose a policy — retry with backoff (transient-failure protocols, DFS
+// pipelines), drop (shuffle output to a partition being reassigned), or
+// propagate (protocol bugs).
+class NodeDownError : public util::Error {
+ public:
+  explicit NodeDownError(int node)
+      : util::Error("node " + std::to_string(node) + " is down"),
+        node_(node) {}
+  int node() const { return node_; }
+
+ private:
+  int node_;
+};
+
+// Timeout/backoff schedule for retry_send/retry_transfer: `attempts` total
+// tries, sleeping backoff_s, backoff_s*multiplier, ... between them. The
+// happy path performs no extra awaits; backoff delays only materialize
+// after a typed failure.
+struct RetryPolicy {
+  int attempts = 3;
+  double backoff_s = 1e-3;
+  double multiplier = 2.0;
+};
+
 class Transport {
  public:
   explicit Transport(Fabric& fabric);
@@ -57,19 +87,52 @@ class Transport {
   Fabric& fabric() { return fabric_; }
 
   // Delivers `payload` to (dst, port), accounted under `tc`. Blocks on the
-  // stream's credit window when flow control is enabled.
+  // stream's credit window when flow control is enabled. Throws
+  // NodeDownError when src or dst is dead at initiation (operations already
+  // in flight at a crash complete; new ones fail). `tag` rides out-of-band
+  // on the delivered Message (zero wire bytes).
   sim::Task<> send(int src, int dst, int port, TrafficClass tc,
-                   util::Bytes payload);
+                   util::Bytes payload, std::uint64_t tag = 0);
 
   // Charges the wire cost of `bytes` without delivering a payload (the real
   // bytes are tracked by a higher layer, e.g. the filesystem). Holds credit
-  // for the duration of the transfer when flow control is enabled.
+  // for the duration of the transfer when flow control is enabled. Throws
+  // NodeDownError like send().
   sim::Task<> transfer(int src, int dst, int port, TrafficClass tc,
                        std::uint64_t bytes);
 
+  // transfer() with timeout/backoff retry: NodeDownError is swallowed and
+  // retried per `policy`; the last failure is rethrown. Used by protocols
+  // that may race a crash with a restart (DFS re-replication pipelines).
+  sim::Task<> retry_transfer(int src, int dst, int port, TrafficClass tc,
+                             std::uint64_t bytes, RetryPolicy policy = {});
+
   // End-of-stream from src on (dst, port): one 4-byte control frame.
-  // Receivers expect exactly one per sender.
+  // Receivers expect exactly one per sender. Also clears `src` from the
+  // stream's expected-sender registry (see expect_senders).
   sim::Task<> finish(int src, int dst, int port);
+
+  // --- crash compensation (JobTracker-style death detection) ---
+  //
+  // A Receiver blocks until every expected sender delivered EOS; a sender
+  // that crashes mid-stream would therefore hang its receivers. The job
+  // layer registers who is expected on each stream, and on a crash asks the
+  // transport to inject the missing EOS frames on the dead node's behalf —
+  // the simulated analogue of a JobTracker timing out the TaskTracker and
+  // telling reducers to stop waiting. Injected frames are metadata: they
+  // cost no wire time and are not accounted (nothing crossed the network).
+
+  // Declares that `senders` will each deliver one EOS on (dst, port).
+  void expect_senders(int dst, int port, const std::vector<int>& senders);
+
+  // Injects EOS on behalf of `dead` into every registered stream still
+  // expecting it (skipping streams whose receiver node is dead too).
+  // Callers delay this behind a detection timeout so the dead node's
+  // in-flight data drains first, as a real failure detector would.
+  sim::Task<> compensate_crash(int dead);
+
+  // Drops all expected-sender records (end of job).
+  void clear_expected();
 
   // Consumes data messages from (node, port) until `expected_eos` senders
   // finished. Returns credits to the flow-control window as it consumes.
@@ -117,10 +180,15 @@ class Transport {
   sim::Resource* credits(int src, int dst, int port);
   std::int64_t credit_units(std::uint64_t bytes) const;
 
+  void check_alive(int src, int dst) const;
+
   Fabric& fabric_;
   std::vector<std::array<Counter, kNumTrafficClasses>> per_node_;
   std::map<int, Counter> per_port_;
   std::map<std::tuple<int, int, int>, std::unique_ptr<sim::Resource>> credits_;
+  // (dst, port) -> senders whose EOS is still outstanding. Ordered map so
+  // crash compensation walks streams deterministically.
+  std::map<std::pair<int, int>, std::set<int>> expected_;
 };
 
 }  // namespace gw::net

@@ -57,6 +57,7 @@ const char* kind_name(Kind k) {
     case Kind::kSpill: return "spill";
     case Kind::kRetry: return "retry";
     case Kind::kLink: return "link";
+    case Kind::kRecovery: return "recovery";
     case Kind::kMark: return "mark";
   }
   return "?";

@@ -39,6 +39,7 @@ enum class Kind : std::uint8_t {
   kSpill,      // cache spill to disk (arg = stored bytes)
   kRetry,      // task re-execution (arg = split index)
   kLink,       // network link busy interval (arg = bytes on the wire)
+  kRecovery,   // node-crash recovery activity (arg = node / round)
   kMark,       // untyped instant
 };
 const char* kind_name(Kind k);
