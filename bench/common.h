@@ -191,7 +191,9 @@ inline void print_stage_breakdown(const std::vector<const char*>& columns,
 }
 
 // One-line host-path summary for a finished job: intermediate-store merge
-// activity (count, average fan-in, spills) and collector hash-probe work.
+// activity (count, average fan-in, spills), the memory-governor columns
+// (spilled bytes, merge-tree depth, peak budget occupancy, stall time — all
+// zero on ungoverned runs), and collector hash-probe work.
 inline void print_host_path_summary(const char* label,
                                     const core::JobResult& r) {
   const double fanin =
@@ -200,9 +202,14 @@ inline void print_host_path_summary(const char* label,
                          : 0.0;
   std::printf(
       "host-path[%s]: merges=%llu avg-fanin=%.1f spills=%llu "
+      "spill-mb=%.1f merge-levels=%llu peak-mem-mb=%.1f mem-stall=%.3fs "
       "hash-probes=%llu\n",
       label, static_cast<unsigned long long>(r.stats.merges), fanin,
       static_cast<unsigned long long>(r.stats.spills),
+      static_cast<double>(r.stats.spill_bytes) / 1048576.0,
+      static_cast<unsigned long long>(r.stats.merge_levels),
+      static_cast<double>(r.stats.peak_mem_bytes) / 1048576.0,
+      r.stats.mem_stall_seconds,
       static_cast<unsigned long long>(r.stats.hash_table_probes));
 }
 

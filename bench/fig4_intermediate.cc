@@ -7,6 +7,14 @@
 //      -> parallel merging -> sharply lower merge delay; more partitioner
 //      threads -> slightly higher merge delay (mergers starved of cores
 //      during the map phase).
+//  (external) Memory-governed external operation: intermediate volume r×
+//      the node budget for r up to 8. Outputs must stay byte-identical to
+//      the unlimited-memory run at every ratio, peak occupancy must stay
+//      under the budget, and the slowdown must grow sub-quadratically in r
+//      (the multi-level merge costs O(r log r) extra i/o, not O(r^2)).
+//      Emits BENCH_fig4_external.json for PR-over-PR tracking.
+#include <cmath>
+
 #include "apps/wordcount.h"
 #include "bench/common.h"
 
@@ -15,6 +23,7 @@ namespace {
 using namespace gw;
 
 const std::uint64_t kInputBytes = bench::scaled_bytes(24ull << 20);
+const std::uint64_t kExternalInputBytes = bench::scaled_bytes(8ull << 20);
 
 core::JobResult run_config(const util::Bytes& input, int n_threads, int p) {
   core::JobConfig cfg;
@@ -37,6 +46,54 @@ core::JobResult run_config(const util::Bytes& input, int n_threads, int p) {
                        &result);
   return result;
 }
+
+// One governed run for the external sweep: WC, shared pool, no combiner
+// (partitioning-heavy, large intermediate volume), one Type-1 node, local
+// FS. Returns the job result plus every output file's bytes so the
+// byte-identity property can be checked against the unlimited run.
+struct ExternalRun {
+  core::JobResult result;
+  std::map<std::string, util::Bytes> files;
+};
+
+ExternalRun run_external(const util::Bytes& input,
+                         std::uint64_t node_memory_bytes) {
+  cluster::Platform p = bench::make_platform(1);
+  dfs::LocalFs fs(p);
+  bench::stage_input(p, fs, "/in/wiki", input);
+  core::JobConfig cfg;
+  cfg.input_paths = {"/in/wiki"};
+  cfg.output_path = "/out";
+  cfg.split_size = 512 << 10;
+  cfg.output_mode = core::OutputMode::kSharedPool;
+  cfg.use_combiner = false;
+  cfg.partitioner_threads = 4;
+  cfg.partitions_per_node = 8;
+  cfg.node_memory_bytes = node_memory_bytes;
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  ExternalRun out;
+  out.result = rt.run(apps::wordcount().kernels, cfg);
+  for (const auto& path : out.result.output_files) {
+    util::Bytes contents;
+    p.sim().spawn([](dfs::FileSystem& f, std::string pa,
+                     util::Bytes* o) -> sim::Task<> {
+      *o = co_await f.read_all(0, pa);
+    }(fs, path, &contents));
+    p.sim().run();
+    out.files[path] = std::move(contents);
+  }
+  return out;
+}
+
+struct ExternalPoint {
+  double ratio = 0;  // intermediate volume / node budget
+  std::uint64_t budget = 0;
+  double sim_seconds = 0;
+  double slowdown = 1.0;
+  bool output_ok = true;
+  bool peak_ok = true;
+  core::JobStats stats;
+};
 
 }  // namespace
 
@@ -83,6 +140,116 @@ int main(int argc, char** argv) {
   for (int p : {1, 8, 32}) {
     const double t = table.at("merge-delay(N=4)", p);
     bench::register_point("Fig4/merge-delay/P:" + std::to_string(p),
+                          [t](benchmark::State&) { return t; });
+  }
+
+  // --- external: memory-governed operation at volume r× the budget ---
+  const util::Bytes ext_input =
+      apps::generate_wiki_text(kExternalInputBytes, 2014);
+  const ExternalRun clean = run_external(ext_input, 0);
+  const std::uint64_t volume = clean.result.stats.intermediate_stored;
+
+  std::vector<ExternalPoint> ext_points;
+  ExternalPoint base;
+  base.ratio = 0;
+  base.sim_seconds = clean.result.elapsed_seconds;
+  base.stats = clean.result.stats;
+  ext_points.push_back(base);
+  int ext_bad = 0;
+  core::JobResult deepest_result = clean.result;
+  for (const double r : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const std::uint64_t budget =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       static_cast<double>(volume) / r));
+    const ExternalRun run = run_external(ext_input, budget);
+    ExternalPoint pt;
+    pt.ratio = r;
+    pt.budget = budget;
+    pt.sim_seconds = run.result.elapsed_seconds;
+    pt.slowdown = run.result.elapsed_seconds / clean.result.elapsed_seconds;
+    pt.output_ok = run.files == clean.files;
+    pt.peak_ok = run.result.stats.peak_mem_bytes <= budget;
+    pt.stats = run.result.stats;
+    if (!pt.output_ok || !pt.peak_ok) ++ext_bad;
+    ext_points.push_back(std::move(pt));
+    deepest_result = run.result;
+  }
+
+  std::printf("\n=== Figure 4(external): WC with intermediate volume r x "
+              "the node memory budget ===\n");
+  std::printf("%-6s %12s %10s %9s %7s %9s %7s %11s %9s %4s\n", "r",
+              "budget(KiB)", "sim(s)", "slowdown", "spills", "spill-KiB",
+              "levels", "peak(KiB)", "stall(s)", "ok");
+  for (const auto& pt : ext_points) {
+    std::printf(
+        "%-6g %12llu %10.3f %9.2f %7llu %9llu %7llu %11llu %9.3f %4s\n",
+        pt.ratio, static_cast<unsigned long long>(pt.budget >> 10),
+        pt.sim_seconds, pt.slowdown,
+        static_cast<unsigned long long>(pt.stats.spills),
+        static_cast<unsigned long long>(pt.stats.spill_bytes >> 10),
+        static_cast<unsigned long long>(pt.stats.merge_levels),
+        static_cast<unsigned long long>(pt.stats.peak_mem_bytes >> 10),
+        pt.stats.mem_stall_seconds,
+        pt.output_ok && pt.peak_ok ? "yes" : "NO");
+  }
+  const ExternalPoint& deepest = ext_points.back();
+  const bool subquadratic =
+      deepest.slowdown < deepest.ratio * deepest.ratio;
+  std::printf("Shape check: outputs byte-identical at every budget (%s); "
+              "slowdown at r=%g is %.2fx, sub-quadratic (%s)\n",
+              ext_bad == 0 ? "OK" : "MISMATCH", deepest.ratio,
+              deepest.slowdown, subquadratic ? "OK" : "MISMATCH");
+
+  const char* ext_path = "BENCH_fig4_external.json";
+  if (std::FILE* f = std::fopen(ext_path, "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench_scale\": %g,\n", bench::scale());
+    std::fprintf(f, "  \"intermediate_volume_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(volume));
+    std::fprintf(f, "  \"outputs_identical\": %s,\n",
+                 ext_bad == 0 ? "true" : "false");
+    std::fprintf(f, "  \"subquadratic\": %s,\n",
+                 subquadratic ? "true" : "false");
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < ext_points.size(); ++i) {
+      const auto& pt = ext_points[i];
+      const auto& s = pt.stats;
+      std::fprintf(f, "    {\n");
+      std::fprintf(f, "      \"ratio\": %g,\n", pt.ratio);
+      std::fprintf(f, "      \"budget_bytes\": %llu,\n",
+                   static_cast<unsigned long long>(pt.budget));
+      std::fprintf(f, "      \"sim_seconds\": %.17g,\n", pt.sim_seconds);
+      std::fprintf(f, "      \"slowdown\": %.4f,\n", pt.slowdown);
+      std::fprintf(f, "      \"output_ok\": %s,\n",
+                   pt.output_ok ? "true" : "false");
+      std::fprintf(f, "      \"peak_ok\": %s,\n",
+                   pt.peak_ok ? "true" : "false");
+      std::fprintf(
+          f,
+          "      \"stats\": {\"spills\": %llu, \"spill_bytes\": %llu, "
+          "\"merges\": %llu, \"merge_levels\": %llu, \"peak_mem_bytes\": "
+          "%llu, \"mem_stall_seconds\": %.17g}\n",
+          static_cast<unsigned long long>(s.spills),
+          static_cast<unsigned long long>(s.spill_bytes),
+          static_cast<unsigned long long>(s.merges),
+          static_cast<unsigned long long>(s.merge_levels),
+          static_cast<unsigned long long>(s.peak_mem_bytes),
+          s.mem_stall_seconds);
+      std::fprintf(f, "    }%s\n", i + 1 < ext_points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", ext_path);
+  } else {
+    std::fprintf(stderr, "cannot open %s\n", ext_path);
+  }
+  bench::print_host_path_summary("external,r=8", deepest_result);
+
+  for (const auto& pt : ext_points) {
+    if (pt.ratio <= 0) continue;
+    const double t = pt.sim_seconds;
+    bench::register_point("Fig4/external/r:" + std::to_string(pt.ratio),
                           [t](benchmark::State&) { return t; });
   }
   benchmark::Initialize(&argc, argv);

@@ -83,6 +83,13 @@ int main(int argc, char** argv) {
       gi.elapsed_seconds, gii.elapsed_seconds, giii.elapsed_seconds);
 
   std::printf("\n");
+  bench::print_host_path_summary("cpu/hash+comb", ci);
+  bench::print_host_path_summary("cpu/hash", cii);
+  bench::print_host_path_summary("cpu/simple", ciii);
+  bench::print_host_path_summary("gpu/hash+comb", gi);
+  bench::print_host_path_summary("gpu/hash", gii);
+  bench::print_host_path_summary("gpu/simple", giii);
+
   bench::print_traffic_split("cpu/hash+comb", ci);
   bench::print_traffic_split("cpu/hash", cii);
   bench::print_traffic_split("cpu/simple", ciii);

@@ -58,6 +58,11 @@ struct Flags {
   std::vector<core::JobConfig::CrashEvent> crash_events;
   std::vector<std::pair<int, double>> restarts;
   bool speculate = false;
+  // Memory governor: 0 = ungoverned (legacy unbounded buffers), so default
+  // runs stay byte-identical. --mem-mb arms budgeted spills + the
+  // multi-level external merge; --spill-bw overrides spill disk bandwidth.
+  std::uint64_t mem_mb = 0;
+  double spill_bw_mb = 0;
 };
 
 void usage() {
@@ -89,6 +94,11 @@ void usage() {
       "                     it only rejoins as a DFS re-replication target\n"
       "  --speculate        clone straggler tasks near the end of the map\n"
       "                     phase; first finisher wins\n"
+      "  --mem-mb=N         per-node memory budget in MiB (0 = unlimited);\n"
+      "                     arms the memory governor: budgeted spills and\n"
+      "                     the multi-level external merge\n"
+      "  --spill-bw=MBps    disk bandwidth override for spill/merge i/o\n"
+      "                     (0 = the node's disk spec)\n"
       "  --trace=FILE       export the run's simulated timeline as Chrome\n"
       "                     trace_event JSON (open in about:tracing/Perfetto)\n");
 }
@@ -161,6 +171,8 @@ int main(int argc, char** argv) {
     else if (parse_flag(argv[i], "--oversub", &v)) flags.oversub = std::atof(v.c_str());
     else if (parse_flag(argv[i], "--chunk-kb", &v)) flags.chunk_kb = std::strtoull(v.c_str(), nullptr, 10);
     else if (parse_flag(argv[i], "--credit-kb", &v)) flags.credit_kb = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(argv[i], "--mem-mb", &v)) flags.mem_mb = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(argv[i], "--spill-bw", &v)) flags.spill_bw_mb = std::atof(v.c_str());
     else if (parse_flag(argv[i], "--kill-node", &v)) {
       const auto [node, t] = parse_node_at(v, "--kill-node");
       flags.crash_events.push_back(core::JobConfig::CrashEvent{node, t, -1});
@@ -316,6 +328,8 @@ int main(int argc, char** argv) {
   cfg.use_combiner = flags.combiner;
   cfg.crash_events = flags.crash_events;
   cfg.speculate = flags.speculate;
+  cfg.node_memory_bytes = flags.mem_mb << 20;
+  cfg.spill_bandwidth_bytes_per_s = flags.spill_bw_mb * 1e6;
 
   core::GlasswingRuntime rt(platform, fs, device_spec(flags.device));
   core::JobResult r;
@@ -350,6 +364,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.stats.duplicate_runs_dropped),
         static_cast<unsigned long long>(r.stats.speculative_wins),
         static_cast<unsigned long long>(r.stats.speculative_losses));
+  }
+  if (cfg.governed()) {
+    std::printf(
+        "mem: budget=%lluMiB peak=%.1fMiB spill=%.1fMiB spills=%llu "
+        "merge_levels=%llu stalls=%.3fs\n",
+        static_cast<unsigned long long>(cfg.node_memory_bytes >> 20),
+        static_cast<double>(r.stats.peak_mem_bytes) / 1048576.0,
+        static_cast<double>(r.stats.spill_bytes) / 1048576.0,
+        static_cast<unsigned long long>(r.stats.spills),
+        static_cast<unsigned long long>(r.stats.merge_levels),
+        r.stats.mem_stall_seconds);
   }
   if (flags.net_report) {
     std::printf("net: shuffle=%llu dfs=%llu control=%llu bytes\n",

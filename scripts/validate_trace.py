@@ -18,7 +18,11 @@ With --expect-links, additionally fail when the trace contains no "link"
 spans (network link occupancy from the fabric; any multi-node run with
 remote traffic emits them). With --expect-recovery, fail when the trace
 contains no "recovery" spans (a run with an injected crash must record
-its recovery rounds).
+its recovery rounds). With --expect-spills, fail when the trace contains
+no "spill" spans or no "merge" spans (a memory-governed run over budget
+must spill sorted runs and consolidate them), or when it lacks the
+"mem.budget"/"mem.peak" marks. Whenever both marks are present for a
+node, the recorded peak occupancy must respect the budget.
 
 Exit code 0 when valid; 1 with a description on the first violation.
 Stdlib only — runs anywhere CI has a python3.
@@ -51,9 +55,14 @@ def main():
     args = sys.argv[1:]
     expect_links = "--expect-links" in args
     expect_recovery = "--expect-recovery" in args
-    args = [a for a in args if a not in ("--expect-links", "--expect-recovery")]
+    expect_spills = "--expect-spills" in args
+    flags = ("--expect-links", "--expect-recovery", "--expect-spills")
+    args = [a for a in args if a not in flags]
     if len(args) != 1:
-        print(f"usage: {sys.argv[0]} [--expect-links] [--expect-recovery] trace.json")
+        print(
+            f"usage: {sys.argv[0]} [--expect-links] [--expect-recovery] "
+            "[--expect-spills] trace.json"
+        )
         sys.exit(2)
     path = args[0]
     try:
@@ -72,6 +81,10 @@ def main():
     last_ts = {}  # pid -> ts
     counts = {"B": 0, "E": 0, "i": 0, "M": 0}
     link_spans = 0
+    spill_spans = 0
+    merge_spans = 0
+    mem_budget = {}  # pid -> budget bytes (mem.budget mark)
+    mem_peak = {}  # pid -> peak bytes (mem.peak mark)
     job_begin = job_end = None  # job-wide span interval (ts, ts)
     recovery_events = []  # (idx, ts) of every recovery-category event
     for idx, ev in enumerate(events):
@@ -92,6 +105,16 @@ def main():
             fail(f"{where}: unknown category '{ev['cat']}'")
         if ph == "B" and ev["cat"] == "link":
             link_spans += 1
+        if ph == "B" and ev["cat"] == "spill":
+            spill_spans += 1
+        if ph == "B" and ev["cat"] == "merge":
+            merge_spans += 1
+        if ev["cat"] == "mark" and ev["name"] in ("mem.budget", "mem.peak"):
+            arg = ev.get("args", {}).get("arg")
+            if not isinstance(arg, (int, float)) or arg < 0:
+                fail(f"{where}: {ev['name']} mark with bad arg {arg!r}")
+            dest = mem_budget if ev["name"] == "mem.budget" else mem_peak
+            dest[ev["pid"]] = arg
         if ev["cat"] == "recovery":
             recovery_events.append((idx, ev["ts"]))
         if ev["name"] == "job" and ev["cat"] == "phase":
@@ -147,11 +170,25 @@ def main():
                 )
     if expect_recovery and not recovery_events:
         fail("no recovery events found (expected crash-recovery rounds)")
+    for pid, peak in mem_peak.items():
+        if pid in mem_budget and peak > mem_budget[pid]:
+            fail(
+                f"pid {pid}: mem.peak {peak} exceeds mem.budget "
+                f"{mem_budget[pid]}"
+            )
+    if expect_spills:
+        if spill_spans == 0:
+            fail("no spill spans found (expected budgeted external spills)")
+        if merge_spans == 0:
+            fail("no merge spans found (expected multi-level run merges)")
+        if not mem_budget or not mem_peak:
+            fail("no mem.budget/mem.peak marks (expected a governed run)")
 
     print(
         f"validate_trace: OK: {len(events)} events "
         f"({counts['B']} spans, {counts['i']} instants, "
         f"{link_spans} link spans, {len(recovery_events)} recovery events, "
+        f"{spill_spans} spill spans, {merge_spans} merge spans, "
         f"{len(last_ts)} nodes)"
     )
 

@@ -66,6 +66,28 @@ sim::Task<> Node::disk_stream_write(std::uint64_t bytes, double seek_fraction) {
                           spec_.disk.write_bw_bytes_per_s);
 }
 
+sim::Task<> Node::disk_stream_read_bw(std::uint64_t bytes,
+                                      double seek_fraction,
+                                      double bw_bytes_per_s) {
+  const double bw =
+      bw_bytes_per_s > 0 ? bw_bytes_per_s : spec_.disk.read_bw_bytes_per_s;
+  disk_bytes_read_ += bytes;
+  auto hold = co_await disk_->acquire();
+  co_await sim_.delay(seek_fraction * spec_.disk.seek_latency_s +
+                      static_cast<double>(bytes) / bw);
+}
+
+sim::Task<> Node::disk_stream_write_bw(std::uint64_t bytes,
+                                       double seek_fraction,
+                                       double bw_bytes_per_s) {
+  const double bw =
+      bw_bytes_per_s > 0 ? bw_bytes_per_s : spec_.disk.write_bw_bytes_per_s;
+  disk_bytes_written_ += bytes;
+  auto hold = co_await disk_->acquire();
+  co_await sim_.delay(seek_fraction * spec_.disk.seek_latency_s +
+                      static_cast<double>(bytes) / bw);
+}
+
 sim::Task<> Node::cpu_work(double seconds, double quantum) {
   GW_CHECK(seconds >= 0 && quantum > 0);
   double remaining = seconds;

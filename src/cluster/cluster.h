@@ -79,6 +79,13 @@ class Node {
   sim::Task<> disk_stream_read(std::uint64_t bytes, double seek_fraction = 0);
   sim::Task<> disk_stream_write(std::uint64_t bytes, double seek_fraction = 0);
 
+  // Bandwidth-override variants for spill traffic: `bw_bytes_per_s` <= 0
+  // falls back to the disk spec (making them identical to the defaults).
+  sim::Task<> disk_stream_read_bw(std::uint64_t bytes, double seek_fraction,
+                                  double bw_bytes_per_s);
+  sim::Task<> disk_stream_write_bw(std::uint64_t bytes, double seek_fraction,
+                                   double bw_bytes_per_s);
+
   static double amortized_seek(std::uint64_t bytes) {
     const double f = static_cast<double>(bytes) / (8 << 20);
     return f < 1.0 ? f : 1.0;

@@ -139,6 +139,25 @@ struct JobConfig {
   std::uint64_t cache_threshold_bytes = 24ull << 20;
   int max_disk_runs = 8;
 
+  // --- memory governor / external shuffle-sort ---
+  // Per-node memory budget for pipeline buffers, the intermediate-store run
+  // cache and merge scratch. 0 = ungoverned: the legacy unbounded-memory
+  // data path, byte-identical to previous releases. Nonzero budgets make
+  // every buffer-holding component acquire bytes from per-stage pools
+  // (core::MemoryGovernor), blocking deterministically under pressure; the
+  // store spills sorted runs to disk and consolidates them with a
+  // multi-level merge whose fan-in derives from the merge pool budget:
+  //   fan_in = max(2, merge_pool_bytes / merge_io_buffer_bytes - 1)
+  // (one i/o buffer per input run plus one for the merged output).
+  std::uint64_t node_memory_bytes = 0;
+  // Streaming i/o buffer granularity for budget-governed merges.
+  std::uint64_t merge_io_buffer_bytes = 256ull << 10;
+  // Disk bandwidth override for spill writes and spill-merge i/o
+  // (bytes/s, applied to both directions); 0 = the node's disk spec.
+  double spill_bandwidth_bytes_per_s = 0;
+
+  bool governed() const { return node_memory_bytes > 0; }
+
   // Reduce pipeline (§III-C, §IV-B4).
   int concurrent_keys = 4096;
   int keys_per_thread = 8;
@@ -246,6 +265,11 @@ struct JobStats {
   std::uint64_t net_control_bytes = 0;
   std::uint64_t spills = 0;
   std::uint64_t merges = 0;
+  // --- memory governor (external shuffle/sort) ---
+  std::uint64_t spill_bytes = 0;       // stored bytes written by spills
+  std::uint64_t merge_levels = 0;      // deepest multi-level merge tree
+  std::uint64_t peak_mem_bytes = 0;    // max governed occupancy on any node
+  double mem_stall_seconds = 0;        // time blocked on memory pools (sum)
   // Input runs consumed across all intermediate-store merges; divided by
   // `merges` this gives the average merge fan-in.
   std::uint64_t merge_fanin_runs = 0;

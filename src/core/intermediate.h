@@ -7,6 +7,16 @@
 // so the number of intermediate files stays below a configurable count.
 // All runs are serialized and compressed.
 //
+// With a MemoryGovernor attached (JobConfig::node_memory_bytes > 0) the
+// store becomes a budgeted external sorter: producers block on the store
+// pool before caching a run, pressure spills always go to disk, and the
+// on-disk runs are consolidated by a multi-level merge tree whose fan-in is
+// computed from the merge-pool budget (fan_in = merge_pool /
+// merge_io_buffer_bytes - 1, floor 2). Each disk run carries its merge
+// level; the deepest level produced is the merge_levels metric. Without a
+// governor every path below reduces to the legacy unbounded-memory
+// behavior, byte-identically.
+//
 // The store also measures the paper's *merge delay* metric: the time spent
 // finishing merges after the map phase completes and before reduction can
 // start (§III-B, Fig 4(b)).
@@ -21,6 +31,7 @@
 #include "cluster/cluster.h"
 #include "core/api.h"
 #include "core/kv.h"
+#include "core/memory.h"
 #include "sim/sim.h"
 
 namespace gw::core {
@@ -29,16 +40,19 @@ class IntermediateStore {
  public:
   // `node` hosts the store. Partitions are keyed by GLOBAL partition id, so
   // a store can absorb partitions reassigned from a crashed node; in a
-  // failure-free job a node only ever sees the P ids it owns.
+  // failure-free job a node only ever sees the P ids it owns. `mem` may be
+  // null (ungoverned legacy mode).
   IntermediateStore(cluster::Node& node, sim::Simulation& sim,
-                    const JobConfig& config);
+                    const JobConfig& config, MemoryGovernor* mem = nullptr);
   ~IntermediateStore();
 
   int local_partitions() const { return local_partitions_; }
 
   // Adds a run to global partition `g`; called by the partitioner threads
   // (local data) and the shuffle receiver (remote data). May trigger cache
-  // flushes. Completes immediately (merging is asynchronous).
+  // flushes. Ungoverned, this completes without suspending (merging is
+  // asynchronous); governed, it blocks on the store pool until the run's
+  // bytes fit — the producer-side backpressure of the external sort.
   //
   // `dedup_tag` (nonzero) identifies the producing (split, chunk): task
   // re-execution and speculative clones regenerate byte-identical runs with
@@ -46,7 +60,7 @@ class IntermediateStore {
   // remembered for the store's whole lifetime — including across
   // take_partition — so a run consumed by reduce still shadows late
   // duplicates. Pure host-side bookkeeping: no simulated cost either way.
-  void add_run(int g, Run run, std::uint64_t dedup_tag = 0);
+  sim::Task<> add_run(int g, Run run, std::uint64_t dedup_tag = 0);
 
   // Runs dropped as duplicates of an already-seen dedup tag.
   std::uint64_t duplicate_runs_dropped() const { return dup_dropped_; }
@@ -55,19 +69,25 @@ class IntermediateStore {
   void start_mergers();
 
   // Called once map+shuffle input is complete: consolidates every partition
-  // to at most `max_disk_runs` runs, then stops the merger threads. The
-  // elapsed time of this call is the merge delay.
+  // to at most max_disk_runs (governed: also at most the budget fan-in)
+  // runs, then stops the merger threads. The elapsed time of this call is
+  // the merge delay.
   sim::Task<> drain();
 
   // Re-arms a drained store for a crash-recovery round: fresh work channel
-  // and completion event, so add_run/start_mergers/drain can run again.
-  // Dedup tags and metrics persist.
+  // and completion event, quiesced-merger checks, and cache accounting
+  // recomputed from the runs actually held (the retry path reuses the store
+  // across rounds). Dedup tags and metrics persist.
   void reopen();
 
   // Hands out a partition's final runs (cache + disk) for the reduce input
-  // reader. `disk_bytes` returns how many stored bytes must be read from
-  // disk. Only valid after drain(). Unknown ids yield an empty vector.
+  // reader, releasing any store-pool holds on the cached part. `disk_bytes`
+  // returns how many stored bytes must be read from disk. Only valid after
+  // drain(). Unknown ids yield an empty vector.
   std::vector<Run> take_partition(int g, std::uint64_t* disk_bytes);
+
+  // Budget-derived fan-in cap for disk merges (SIZE_MAX when ungoverned).
+  std::size_t fanin_limit() const;
 
   // Metrics.
   std::uint64_t spills() const { return spills_; }
@@ -75,13 +95,20 @@ class IntermediateStore {
   // Total input runs consumed across all merges; merge_fanin_runs()/merges()
   // is the average merge fan-in.
   std::uint64_t merge_fanin_runs() const { return merge_fanin_runs_; }
+  std::uint64_t spill_bytes() const { return spill_bytes_; }
+  // Deepest merge level produced: spilled runs are level 1, a merge of
+  // level-L (max) inputs produces level L+1.
+  std::uint64_t merge_levels() const { return merge_levels_; }
   std::uint64_t cache_bytes() const { return cache_bytes_total_; }
   std::uint64_t stored_bytes() const;
 
  private:
   struct Part {
     std::vector<Run> cache;
+    // Governed: store-pool hold per cached run (parallel to `cache`).
+    std::vector<sim::Resource::Hold> cache_holds;
     std::vector<Run> disk;
+    std::vector<int> disk_levels;  // merge level per disk run (parallel)
     std::uint64_t cache_bytes = 0;
     bool queued = false;
     std::set<std::uint64_t> seen_tags;  // never cleared (see add_run)
@@ -90,13 +117,17 @@ class IntermediateStore {
   sim::Task<> merger_loop(trace::TrackRef track);
   sim::Task<> service(int g, trace::TrackRef track);
   void enqueue(int g);
-  void maybe_trigger_flushes();
+  void maybe_trigger_flushes(bool force);
+  bool under_pressure() const;
+  std::uint64_t effective_cache_threshold() const;
+  std::size_t effective_max_disk_runs() const;
   double host_merge_seconds(std::uint64_t in_bytes, std::uint64_t raw_bytes,
                             std::uint64_t out_raw) const;
 
   cluster::Node& node_;
   sim::Simulation& sim_;
   const JobConfig& config_;
+  MemoryGovernor* mem_;  // null = ungoverned legacy mode
   int local_partitions_;
   std::map<int, Part> parts_;  // global partition id -> state (ordered)
   std::uint64_t cache_bytes_total_ = 0;
@@ -112,6 +143,8 @@ class IntermediateStore {
   std::uint64_t spills_ = 0;
   std::uint64_t merges_ = 0;
   std::uint64_t merge_fanin_runs_ = 0;
+  std::uint64_t spill_bytes_ = 0;
+  std::uint64_t merge_levels_ = 0;
   std::int32_t merge_name_ = -1;
   std::int32_t spill_name_ = -1;
 };

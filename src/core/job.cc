@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/intermediate.h"
+#include "core/memory.h"
 #include "simnet/transport.h"
 #include "util/error.h"
 
@@ -46,6 +47,7 @@ struct JobShared {
 
 // Per-node mutable state for one job run.
 struct NodeRun {
+  std::unique_ptr<MemoryGovernor> governor;  // null = ungoverned
   std::unique_ptr<IntermediateStore> store;
   MapMetrics map;
   ReduceMetrics reduce;
@@ -80,7 +82,7 @@ sim::Task<> shuffle_receiver(NodeContext ctx, int port, int expected,
       GW_CHECK_MSG(ctx.owner_of(g) == ctx.node_id,
                    "partition routed to wrong node");
     }
-    ctx.store->add_run(g, Run::deserialize(r), msg->tag);
+    co_await ctx.store->add_run(g, Run::deserialize(r), msg->tag);
   }
   done.set();
 }
@@ -184,7 +186,7 @@ sim::Task<> run_recovery_rounds(NodeContext ctx, SplitScheduler& scheduler,
       for (const auto& [tag, run] : state.ledger.runs[g]) {
         if (dest == ctx.node_id) {
           // We are the new owner: our old contributions re-enter locally.
-          ctx.store->add_run(g, run, tag);
+          co_await ctx.store->add_run(g, run, tag);
         } else {
           util::ByteWriter w;
           w.put_u32(static_cast<std::uint32_t>(g));
@@ -455,8 +457,12 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   sim::TaskGroup all(sim);
   for (int n = 0; n < num_nodes; ++n) {
     NodeRun& state = nodes[static_cast<std::size_t>(n)];
-    state.store = std::make_unique<IntermediateStore>(platform_.node(n), sim,
-                                                      config);
+    if (config.governed()) {
+      state.governor =
+          std::make_unique<MemoryGovernor>(sim, config.node_memory_bytes);
+    }
+    state.store = std::make_unique<IntermediateStore>(
+        platform_.node(n), sim, config, state.governor.get());
     state.shuffle_done = std::make_unique<sim::Event>(sim);
     state.phase_track = sim.tracer().track(n, "phase");
 
@@ -466,6 +472,7 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     ctx.fs = &fs_;
     ctx.device = map_devices_[static_cast<std::size_t>(n)].get();
     ctx.store = state.store.get();
+    ctx.mem = state.governor.get();
     ctx.config = &config;
     ctx.app = &effective_app;
     ctx.node_id = n;
@@ -496,6 +503,21 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   // The event queue draining without the task group resolving means a node
   // coroutine is parked forever — a protocol deadlock, not a slow job.
   GW_CHECK_MSG(completed, "job hung: event queue drained with nodes parked");
+  if (config.governed()) {
+    // Per-node budget/peak instants (arg = bytes) inside the job span, so
+    // trace validators can check budget-respecting peak occupancy. Emitted
+    // only for governed runs: default traces stay byte-identical.
+    const std::int32_t budget_name = sim.tracer().intern("mem.budget");
+    const std::int32_t peak_name = sim.tracer().intern("mem.peak");
+    for (int n = 0; n < num_nodes; ++n) {
+      const NodeRun& s = nodes[static_cast<std::size_t>(n)];
+      if (s.governor == nullptr) continue;
+      sim.tracer().instant(s.phase_track, trace::Kind::kMark, budget_name,
+                           sim.now(), s.governor->budget_bytes());
+      sim.tracer().instant(s.phase_track, trace::Kind::kMark, peak_name,
+                           sim.now(), s.governor->peak_bytes());
+    }
+  }
   sim.tracer().end(job_track, trace::Kind::kPhase, job_name, sim.now());
   if (ft) {
     // Data in flight to a machine when it died vanishes with it: drop any
@@ -562,6 +584,14 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     result.stats.spills += s.store->spills();
     result.stats.merges += s.store->merges();
     result.stats.merge_fanin_runs += s.store->merge_fanin_runs();
+    result.stats.spill_bytes += s.store->spill_bytes();
+    result.stats.merge_levels =
+        std::max(result.stats.merge_levels, s.store->merge_levels());
+    if (s.governor != nullptr) {
+      result.stats.peak_mem_bytes =
+          std::max(result.stats.peak_mem_bytes, s.governor->peak_bytes());
+      result.stats.mem_stall_seconds += s.governor->stall_seconds();
+    }
     result.stats.duplicate_runs_dropped += s.store->duplicate_runs_dropped();
     result.stats.hash_table_probes += s.map.hash_probes;
     result.stats.output_pairs += s.reduce.output_pairs;

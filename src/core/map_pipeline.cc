@@ -16,30 +16,35 @@ constexpr double kRecordSplitBytesPerSec = 1.5e9;  // host-side framing scan
 // sim.h channel payload rule.
 struct StagedChunk {
   StagedChunk(util::Bytes data_in, std::vector<std::uint64_t> offsets_in,
-              InputSplit split_in, sim::Resource::Hold hold_in)
+              InputSplit split_in, sim::Resource::Hold hold_in,
+              sim::Resource::Hold mem_hold_in)
       : data(std::move(data_in)),
         offsets(std::move(offsets_in)),
         split(std::move(split_in)),
-        in_hold(std::move(hold_in)) {}
+        in_hold(std::move(hold_in)),
+        mem_hold(std::move(mem_hold_in)) {}
   StagedChunk() = default;
 
   util::Bytes data;
   std::vector<std::uint64_t> offsets;  // record start offsets
   InputSplit split;                    // identity, for re-execution
   sim::Resource::Hold in_hold;
+  sim::Resource::Hold mem_hold;  // governed: map-pool bytes for `data`
 };
 
 struct KernelOut {
   KernelOut(MapChunkOutput out_in, InputSplit split_in,
-            sim::Resource::Hold hold_in)
+            sim::Resource::Hold hold_in, sim::Resource::Hold mem_hold_in)
       : out(std::move(out_in)),
         split(std::move(split_in)),
-        out_hold(std::move(hold_in)) {}
+        out_hold(std::move(hold_in)),
+        mem_hold(std::move(mem_hold_in)) {}
   KernelOut() = default;
 
   MapChunkOutput out;
   InputSplit split;  // identity, for commit + dedup tagging
   sim::Resource::Hold out_hold;
+  sim::Resource::Hold mem_hold;  // governed: map-pool bytes for `out`
 };
 
 // Bridges MapContext emits into the group's collector slot.
@@ -141,6 +146,13 @@ sim::Task<> input_stage(Stage& st, NodeContext ctx, SplitScheduler& scheduler,
     }
     if (!split) break;
     auto hold = co_await in_buffers.acquire();
+    sim::Resource::Hold mem_hold;
+    if (ctx.mem != nullptr) {
+      // Admit the staged chunk's bytes against the map-input pool before
+      // reading.
+      mem_hold =
+          co_await ctx.mem->acquire(MemoryGovernor::Pool::kMapIn, split->len);
+    }
     util::Bytes data;
     std::vector<std::uint64_t> offsets;
     {
@@ -160,7 +172,8 @@ sim::Task<> input_stage(Stage& st, NodeContext ctx, SplitScheduler& scheduler,
     if (offsets.empty()) continue;  // hold released by destructor
     m.records += offsets.size();
     co_await out.send(StagedChunk(std::move(data), std::move(offsets),
-                                  *split, std::move(hold)));
+                                  *split, std::move(hold),
+                                  std::move(mem_hold)));
   }
   out.close();
 }
@@ -271,9 +284,20 @@ sim::Task<> kernel_stage(Stage& st, NodeContext ctx,
       m.distinct_keys += chunk_out.distinct_keys;
       m.hash_probes += chunk_out.hash_probes;
       item->in_hold.release();  // input buffer free once the kernel consumed it
+      item->mem_hold.release();
+    }
+    sim::Resource::Hold mem_hold;
+    if (ctx.mem != nullptr && chunk_out.pairs.blob_bytes() > 0) {
+      // Collector output bytes live until the partition worker serialized
+      // them into runs; charge them to the map-output pool for that window.
+      // This pool is distinct from the input pool on purpose: an acquire
+      // here must never queue behind the input stage admitting the next
+      // split, or a tiny budget would wedge the pipeline against itself.
+      mem_hold = co_await ctx.mem->acquire(MemoryGovernor::Pool::kMapOut,
+                                           chunk_out.pairs.blob_bytes());
     }
     co_await out.send(KernelOut(std::move(chunk_out), std::move(item->split),
-                                std::move(out_hold)));
+                                std::move(out_hold), std::move(mem_hold)));
   }
   out.close();
 }
@@ -400,7 +424,8 @@ sim::Task<> partition_worker(Stage& st, NodeContext ctx,
       const int dest = ctx.owner_of(static_cast<int>(g));
       if (dest == ctx.node_id) {
         if (self_alive) {
-          ctx.store->add_run(static_cast<int>(g), std::move(run), tag);
+          co_await ctx.store->add_run(static_cast<int>(g), std::move(run),
+                                      tag);
         }
       } else {
         util::ByteWriter w;
@@ -416,6 +441,7 @@ sim::Task<> partition_worker(Stage& st, NodeContext ctx,
     }
     for (std::uint32_t g : live) buckets[g].clear();
     item->out_hold.release();
+    item->mem_hold.release();
   }
 }
 

@@ -1,0 +1,76 @@
+#include "core/memory.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace gw::core {
+
+MemoryGovernor::MemoryGovernor(sim::Simulation& sim,
+                               std::uint64_t node_memory_bytes)
+    : sim_(sim), budget_(node_memory_bytes) {
+  GW_CHECK_MSG(node_memory_bytes > 0, "governor needs a nonzero budget");
+  // 20% map-input, 20% map-output, 40% store, the remainder (~20%) merge;
+  // every pool gets at least one byte so a degenerate budget still admits
+  // work serially.
+  const std::uint64_t in_share = std::max<std::uint64_t>(1, budget_ / 5);
+  const std::uint64_t out_share = std::max<std::uint64_t>(1, budget_ / 5);
+  const std::uint64_t store_share = std::max<std::uint64_t>(1, budget_ * 2 / 5);
+  const std::uint64_t merge_share = std::max<std::uint64_t>(
+      1, budget_ - std::min(budget_ - 1, in_share + out_share + store_share));
+  pools_[0] = std::make_unique<sim::Resource>(
+      sim_, static_cast<std::int64_t>(in_share));
+  pools_[1] = std::make_unique<sim::Resource>(
+      sim_, static_cast<std::int64_t>(out_share));
+  pools_[2] = std::make_unique<sim::Resource>(
+      sim_, static_cast<std::int64_t>(store_share));
+  pools_[3] = std::make_unique<sim::Resource>(
+      sim_, static_cast<std::int64_t>(merge_share));
+}
+
+std::uint64_t MemoryGovernor::pool_budget(Pool p) const {
+  return static_cast<std::uint64_t>(
+      pools_[static_cast<std::size_t>(p)]->capacity());
+}
+
+std::uint64_t MemoryGovernor::pool_in_use(Pool p) const {
+  return static_cast<std::uint64_t>(
+      pools_[static_cast<std::size_t>(p)]->in_use());
+}
+
+std::int64_t MemoryGovernor::clamp(Pool p, std::uint64_t bytes) const {
+  const std::int64_t cap = pools_[static_cast<std::size_t>(p)]->capacity();
+  if (bytes == 0) return 1;
+  if (bytes > static_cast<std::uint64_t>(cap)) return cap;
+  return static_cast<std::int64_t>(bytes);
+}
+
+bool MemoryGovernor::fits(Pool p, std::uint64_t bytes) const {
+  const sim::Resource& r = *pools_[static_cast<std::size_t>(p)];
+  return r.queue_length() == 0 && r.available() >= clamp(p, bytes);
+}
+
+bool MemoryGovernor::contended(Pool p) const {
+  return pools_[static_cast<std::size_t>(p)]->queue_length() > 0;
+}
+
+sim::Task<sim::Resource::Hold> MemoryGovernor::acquire(Pool p,
+                                                       std::uint64_t bytes) {
+  sim::Resource& pool = *pools_[static_cast<std::size_t>(p)];
+  const std::int64_t n = clamp(p, bytes);
+  const double t0 = sim_.now();
+  sim::Resource::Hold hold = co_await pool.acquire(n);
+  stall_seconds_ += sim_.now() - t0;
+  note_occupancy();
+  co_return hold;
+}
+
+void MemoryGovernor::note_occupancy() {
+  std::uint64_t total = 0;
+  for (const auto& pool : pools_) {
+    total += static_cast<std::uint64_t>(pool->in_use());
+  }
+  peak_ = std::max(peak_, total);
+}
+
+}  // namespace gw::core

@@ -1,0 +1,76 @@
+// Per-node memory governor for the external shuffle/sort path.
+//
+// Every buffer-holding component of the map/merge/reduce pipelines acquires
+// its bytes from one of four per-stage budget pools carved out of
+// JobConfig::node_memory_bytes: the map-input pool (staged input chunks),
+// the map-output pool (framed collector output awaiting partitioning), the
+// store pool (the intermediate store's run cache) and the merge pool (merge
+// i/o buffers, decompression scratch and reduce-side merge inputs). Each
+// pipeline stage draws from exactly one pool and no two stages of one
+// pipeline ever queue on the same pool, so a stage blocked on its acquire
+// can always be unblocked by a downstream stage releasing — the pool graph
+// is acyclic and tiny budgets degrade to serial execution instead of
+// deadlocking. Acquires block deterministically on the
+// simulated clock under pressure — pool waiting is a FIFO sim::Resource, so
+// results stay bit-identical across host thread counts — and the governor
+// accounts the time spent blocked (mem_stall_seconds) plus the peak total
+// occupancy (peak_mem_bytes, never above the budget by construction).
+//
+// Oversized single requests are clamped to the owning pool's full budget:
+// an allocation larger than the pool is admitted alone, at full-pool
+// occupancy, rather than deadlocking. This models "one buffer can always be
+// processed, but nothing else runs beside it".
+//
+// A null governor (node_memory_bytes == 0) disables all of this; callers
+// skip their acquires and the legacy unbounded-memory data path runs
+// byte-identically to previous releases.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "sim/sim.h"
+
+namespace gw::core {
+
+class MemoryGovernor {
+ public:
+  // Budget pools. Shares of node_memory_bytes: map-input 20%, map-output
+  // 20%, store 40%, merge 20% (documented in DESIGN.md; the merge share
+  // bounds the multi-level merge fan-in).
+  enum class Pool : int { kMapIn = 0, kMapOut = 1, kStore = 2, kMerge = 3 };
+  static constexpr int kNumPools = 4;
+
+  MemoryGovernor(sim::Simulation& sim, std::uint64_t node_memory_bytes);
+
+  std::uint64_t budget_bytes() const { return budget_; }
+  std::uint64_t pool_budget(Pool p) const;
+  std::uint64_t pool_in_use(Pool p) const;
+
+  // Clamps `bytes` to [1, pool_budget(p)] and acquires that many units,
+  // blocking on the simulated clock while the pool is exhausted. The
+  // returned Hold releases on destruction (or explicitly via release()).
+  sim::Task<sim::Resource::Hold> acquire(Pool p, std::uint64_t bytes);
+
+  // Whether an acquire(p, bytes) would complete without blocking.
+  bool fits(Pool p, std::uint64_t bytes) const;
+  // Whether any coroutine is currently blocked on pool `p`.
+  bool contended(Pool p) const;
+
+  // Metrics.
+  std::uint64_t peak_bytes() const { return peak_; }
+  double stall_seconds() const { return stall_seconds_; }
+
+ private:
+  std::int64_t clamp(Pool p, std::uint64_t bytes) const;
+  void note_occupancy();
+
+  sim::Simulation& sim_;
+  std::uint64_t budget_;
+  std::array<std::unique_ptr<sim::Resource>, kNumPools> pools_;
+  std::uint64_t peak_ = 0;
+  double stall_seconds_ = 0;
+};
+
+}  // namespace gw::core

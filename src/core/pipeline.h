@@ -137,6 +137,8 @@ struct NodeContext {
   dfs::FileSystem* fs = nullptr;
   cl::Device* device = nullptr;
   IntermediateStore* store = nullptr;
+  // Per-node memory governor; null = ungoverned (legacy unbounded buffers).
+  MemoryGovernor* mem = nullptr;
   const JobConfig* config = nullptr;
   const AppKernels* app = nullptr;
   int node_id = 0;

@@ -50,6 +50,15 @@ struct ReducedChunk {
   sim::Resource::Hold out_hold;
 };
 
+// Governed reduce input: the merged partition plus the merge-pool hold that
+// accounts for it, kept alive exactly as long as chunks still view the run.
+struct BackingRun {
+  BackingRun(Run run_in, sim::Resource::Hold hold_in)
+      : run(std::move(run_in)), hold(std::move(hold_in)) {}
+  Run run;
+  sim::Resource::Hold hold;
+};
+
 class ScratchEmitter : public ReduceEmitter {
  public:
   explicit ScratchEmitter(std::string* slot) : slot_(slot) {}
@@ -98,6 +107,14 @@ sim::Task<> input_stage(Stage& st, NodeContext ctx, std::vector<int> partitions,
         in_stored += r.stored_bytes();
         in_raw += r.raw_bytes;
       }
+      // Governed: the merge inputs, decompression scratch and merged output
+      // are charged to the merge pool until the last chunk viewing the
+      // merged run is reduced (the hold rides the backing shared_ptr).
+      sim::Resource::Hold mem_hold;
+      if (ctx.mem != nullptr) {
+        mem_hold = co_await ctx.mem->acquire(MemoryGovernor::Pool::kMerge,
+                                             in_stored + in_raw);
+      }
       // The decompress+merge charge depends only on the input run sizes, so
       // the real merge overlaps the simulated disk + cpu charges on the
       // host pool.
@@ -141,7 +158,13 @@ sim::Task<> input_stage(Stage& st, NodeContext ctx, std::vector<int> partitions,
             static_cast<double>(in_stored) / h.decompress_bytes_per_s +
             static_cast<double>(in_raw) / h.merge_bytes_per_s);
       }
-      backing = std::make_shared<Run>(std::move(merged));
+      if (ctx.mem != nullptr) {
+        auto owner = std::make_shared<BackingRun>(std::move(merged),
+                                                  std::move(mem_hold));
+        backing = std::shared_ptr<Run>(owner, &owner->run);
+      } else {
+        backing = std::make_shared<Run>(std::move(merged));
+      }
     }
 
     // Group consecutive equal keys and slice into chunks.
@@ -416,6 +439,13 @@ sim::Task<> merge_only_reduce(Stage& st, NodeContext ctx,
       for (const Run& r : runs) {
         in_stored += r.stored_bytes();
         in_raw += r.raw_bytes;
+      }
+      // Governed: merge inputs + scratch + output against the merge pool
+      // for the duration of this partition's merge-and-append.
+      sim::Resource::Hold mem_hold;
+      if (ctx.mem != nullptr) {
+        mem_hold = co_await ctx.mem->acquire(MemoryGovernor::Pool::kMerge,
+                                             in_stored + in_raw);
       }
       // As in input_stage: the merge charge is size-determined, so the real
       // merge overlaps the simulated disk + cpu charges.

@@ -165,7 +165,7 @@ TEST(IntermediateStore, RoundTripsAllData) {
   IntermediateStore store(p.node(0), p.sim(), cfg);
   store.start_mergers();
   for (int r = 0; r < 20; ++r) {
-    store.add_run(r % 4, make_run("a" + std::to_string(r) + "-", 50));
+    p.sim().spawn(store.add_run(r % 4, make_run("a" + std::to_string(r) + "-", 50)));
   }
   p.sim().spawn([](IntermediateStore& s) -> sim::Task<> {
     co_await s.drain();
@@ -189,7 +189,7 @@ TEST(IntermediateStore, DrainConsolidatesRunCount) {
   cfg.cache_threshold_bytes = 1 << 30;  // never spill
   IntermediateStore store(p.node(0), p.sim(), cfg);
   store.start_mergers();
-  for (int r = 0; r < 32; ++r) store.add_run(0, make_run("x", 10));
+  for (int r = 0; r < 32; ++r) p.sim().spawn(store.add_run(0, make_run("x", 10)));
   p.sim().spawn([](IntermediateStore& s) -> sim::Task<> {
     co_await s.drain();
   }(store));
@@ -217,7 +217,7 @@ TEST(IntermediateStore, MergedRunsStaySorted) {
     std::sort(keys.begin(), keys.end());
     for (auto& k : keys) rb.add(k, "v");
     expected += 100;
-    store.add_run(1, rb.finish(true));
+    p.sim().spawn(store.add_run(1, rb.finish(true)));
   }
   p.sim().spawn([](IntermediateStore& s) -> sim::Task<> {
     co_await s.drain();
