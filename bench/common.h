@@ -22,6 +22,7 @@
 #include "baselines/hadoop/hadoop.h"
 #include "cluster/cluster.h"
 #include "core/job.h"
+#include "core/report.h"
 #include "gwdfs/fs.h"
 
 namespace gw::bench {
@@ -214,13 +215,14 @@ inline void print_host_path_summary(const char* label,
 }
 
 // One-line remote-traffic split for a finished job: what the transport put
-// on the wire per class (shuffle vs DFS block traffic vs control frames).
+// on the wire per class (shuffle vs DFS block traffic vs control frames,
+// plus rack_agg when hierarchical combining moved bytes). Format shared
+// with gwrun via core/report.h.
 inline void print_traffic_split(const char* label, const core::JobResult& r) {
-  std::printf("net-split[%s]: shuffle=%llu dfs=%llu control=%llu bytes\n",
-              label,
-              static_cast<unsigned long long>(r.stats.net_shuffle_bytes),
-              static_cast<unsigned long long>(r.stats.net_dfs_bytes),
-              static_cast<unsigned long long>(r.stats.net_control_bytes));
+  std::string head = "net-split[";
+  head += label;
+  head += ']';
+  core::print_traffic_split_line(head.c_str(), r.stats);
 }
 
 // --- one-shot job runners (fresh platform + filesystem per point) ---

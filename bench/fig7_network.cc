@@ -30,6 +30,11 @@ struct NetPoint {
   std::uint64_t shuffle_bytes = 0;
   std::uint64_t dfs_bytes = 0;
   std::uint64_t control_bytes = 0;
+  std::uint64_t rack_agg_bytes = 0;  // member->aggregator class (rack mode)
+  std::uint64_t core_bytes = 0;      // wire bytes that crossed the core switch
+  std::uint64_t combine_in = 0;
+  std::uint64_t combine_out = 0;
+  std::uint64_t output_pairs = 0;
   double tx_busy_min = 0;  // per-node "net.tx" busy spread
   double tx_busy_max = 0;
 };
@@ -47,7 +52,8 @@ net::NetworkProfile make_profile(bool gbe, double oversub) {
 }
 
 NetPoint run_point(int nodes, const net::NetworkProfile& profile,
-                   const util::Bytes& input) {
+                   const util::Bytes& input,
+                   core::CombineMode mode = core::CombineMode::kOff) {
   // Built inline (not via run_glasswing) so the platform outlives the job
   // and its tracer/transport can be inspected afterwards. LocalFs with
   // fully replicated input keeps DFS traffic off the wire: what remains is
@@ -60,7 +66,9 @@ NetPoint run_point(int nodes, const net::NetworkProfile& profile,
   cfg.output_path = "/out";
   cfg.split_size = kSplit;
   cfg.use_combiner = false;
+  cfg.combine_mode = mode;
   bench::stage_input(p, fs, cfg.input_paths[0], input);
+  const std::uint64_t core0 = p.fabric().core_bytes();
   core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
   const core::JobResult r = rt.run(apps::wordcount().kernels, cfg);
 
@@ -69,6 +77,11 @@ NetPoint run_point(int nodes, const net::NetworkProfile& profile,
   out.shuffle_bytes = r.stats.net_shuffle_bytes;
   out.dfs_bytes = r.stats.net_dfs_bytes;
   out.control_bytes = r.stats.net_control_bytes;
+  out.rack_agg_bytes = r.stats.net_rack_agg_bytes;
+  out.core_bytes = p.fabric().core_bytes() - core0;
+  out.combine_in = r.stats.combine_in_bytes;
+  out.combine_out = r.stats.combine_out_bytes;
+  out.output_pairs = r.stats.output_pairs;
   const trace::Tracer& tr = p.sim().tracer();
   for (int n = 0; n < nodes; ++n) {
     const double busy = tr.occupancy(n, "net.tx").busy;
@@ -139,10 +152,132 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(gbe_o4.dfs_bytes),
       gbe_o4.shuffle_bytes > gbe_o4.dfs_bytes ? "OK" : "MISMATCH");
 
+  // --- Combine series: hierarchical combining vs the push shuffle ---
+  // Same shuffle-heavy WordCount, GbE only (the bandwidth-starved fabric the
+  // rack tier is for), at the largest node count, rack_size = nodes/2 so the
+  // cluster has two racks. All three modes run on the SAME rack-aware
+  // profile, so the only variable is where (and whether) duplicate keys are
+  // folded before crossing the core switch.
+  const std::vector<std::pair<const char*, core::CombineMode>> modes = {
+      {"off", core::CombineMode::kOff},
+      {"node", core::CombineMode::kNode},
+      {"rack", core::CombineMode::kRack},
+  };
+  const std::vector<double> oversubs = {0, 4};
+  std::map<std::pair<std::string, double>, NetPoint> cpoints;
+  bench::SeriesTable ctable("oversub");
+  for (double oversub : oversubs) {
+    net::NetworkProfile profile = make_profile(true, oversub);
+    profile.rack_size = big / 2;
+    profile.name += "-r" + std::to_string(big / 2);
+    for (const auto& [mode_name, mode] : modes) {
+      NetPoint pt;
+      ctable.add_timed(mode_name, oversub, [&] {
+        pt = run_point(big, profile, input, mode);
+        return pt.seconds;
+      });
+      cpoints[{mode_name, oversub}] = pt;
+    }
+  }
+  ctable.print(("Figure 7b: WC combine modes at " + std::to_string(big) +
+                " nodes, GbE, rack_size=" + std::to_string(big / 2))
+                   .c_str());
+
+  const NetPoint& c_off = cpoints.at({"off", 4});
+  const NetPoint& c_node = cpoints.at({"node", 4});
+  const NetPoint& c_rack = cpoints.at({"rack", 4});
+  std::printf("\nCore-switch bytes at %d nodes (GbE-o4, rack_size=%d):\n", big,
+              big / 2);
+  for (const auto& [mode_name, mode] : modes) {
+    const NetPoint& pt = cpoints.at({mode_name, 4});
+    std::printf(
+        "  %-5s core=%llu shuffle=%llu rack_agg=%llu combine_in=%llu "
+        "combine_out=%llu pairs=%llu\n",
+        mode_name, static_cast<unsigned long long>(pt.core_bytes),
+        static_cast<unsigned long long>(pt.shuffle_bytes),
+        static_cast<unsigned long long>(pt.rack_agg_bytes),
+        static_cast<unsigned long long>(pt.combine_in),
+        static_cast<unsigned long long>(pt.combine_out),
+        static_cast<unsigned long long>(pt.output_pairs));
+  }
+
+  const double off_degrade = ctable.at("off", 4) / ctable.at("off", 0);
+  const double rack_degrade = ctable.at("rack", 4) / ctable.at("rack", 0);
+  const bool core_drop_ok =
+      static_cast<double>(c_rack.core_bytes) <=
+      0.7 * static_cast<double>(c_off.core_bytes);
+  std::printf(
+      "\nCombine shape checks:\n"
+      "  node combining shrinks net shuffle: %llu vs %llu (%s)\n"
+      "  rack tier shrinks core-switch bytes >=30%% vs off: %llu vs %llu "
+      "(%s)\n"
+      "  rack combining softens GbE oversubscription: %.3fx vs %.3fx (%s)\n"
+      "  outputs identical across modes: %llu/%llu/%llu pairs (%s)\n",
+      static_cast<unsigned long long>(c_node.shuffle_bytes),
+      static_cast<unsigned long long>(c_off.shuffle_bytes),
+      c_node.shuffle_bytes < c_off.shuffle_bytes ? "OK" : "MISMATCH",
+      static_cast<unsigned long long>(c_rack.core_bytes),
+      static_cast<unsigned long long>(c_off.core_bytes),
+      core_drop_ok ? "OK" : "MISMATCH", rack_degrade, off_degrade,
+      rack_degrade < off_degrade ? "OK" : "MISMATCH",
+      static_cast<unsigned long long>(c_off.output_pairs),
+      static_cast<unsigned long long>(c_node.output_pairs),
+      static_cast<unsigned long long>(c_rack.output_pairs),
+      c_off.output_pairs == c_node.output_pairs &&
+              c_off.output_pairs == c_rack.output_pairs
+          ? "OK"
+          : "MISMATCH");
+
+  const char* combine_path = "BENCH_fig7_combine.json";
+  if (std::FILE* f = std::fopen(combine_path, "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench_scale\": %g,\n", bench::scale());
+    std::fprintf(f, "  \"nodes\": %d,\n", big);
+    std::fprintf(f, "  \"rack_size\": %d,\n", big / 2);
+    std::fprintf(f, "  \"core_drop_ok\": %s,\n",
+                 core_drop_ok ? "true" : "false");
+    std::fprintf(f, "  \"outputs_identical\": %s,\n",
+                 c_off.output_pairs == c_node.output_pairs &&
+                         c_off.output_pairs == c_rack.output_pairs
+                     ? "true"
+                     : "false");
+    std::fprintf(f, "  \"points\": [\n");
+    bool first = true;
+    for (double oversub : oversubs) {
+      for (const auto& [mode_name, mode] : modes) {
+        const NetPoint& pt = cpoints.at({mode_name, oversub});
+        std::fprintf(
+            f,
+            "%s    {\"mode\": \"%s\", \"oversub\": %g, \"seconds\": %.6f, "
+            "\"shuffle_bytes\": %llu, \"rack_agg_bytes\": %llu, "
+            "\"core_bytes\": %llu, \"combine_in\": %llu, "
+            "\"combine_out\": %llu, \"output_pairs\": %llu}",
+            first ? "" : ",\n", mode_name, oversub, pt.seconds,
+            static_cast<unsigned long long>(pt.shuffle_bytes),
+            static_cast<unsigned long long>(pt.rack_agg_bytes),
+            static_cast<unsigned long long>(pt.core_bytes),
+            static_cast<unsigned long long>(pt.combine_in),
+            static_cast<unsigned long long>(pt.combine_out),
+            static_cast<unsigned long long>(pt.output_pairs));
+        first = false;
+      }
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", combine_path);
+  }
+
   for (const auto& [name, profile] : configs) {
     const double t = table.at(name, big);
     bench::register_point("Fig7/WC/" + name + "/nodes:" + std::to_string(big),
                           [t](benchmark::State&) { return t; });
+  }
+  for (const auto& [mode_name, mode] : modes) {
+    const double t = ctable.at(mode_name, 4);
+    bench::register_point(
+        "Fig7/WC/combine-" + std::string(mode_name) + "/nodes:" +
+            std::to_string(big),
+        [t](benchmark::State&) { return t; });
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -24,6 +24,7 @@
 #include "apps/wordcount.h"
 #include "baselines/hadoop/hadoop.h"
 #include "core/job.h"
+#include "core/report.h"
 
 using namespace gw;
 
@@ -51,7 +52,12 @@ struct Flags {
   double oversub = 0;
   std::uint64_t chunk_kb = 0;
   std::uint64_t credit_kb = 0;
+  int rack_size = 0;
   bool net_report = false;
+  // Hierarchical combining: off (legacy, byte-identical event order), node
+  // (per-node combiner ahead of the wire), rack (plus per-rack aggregation;
+  // needs --rack-size to describe the topology).
+  std::string combine = "off";
   // Fault injection: scheduled node crashes/restarts and straggler
   // speculation. All empty/false by default, so fault-free runs add zero
   // simulation events and keep golden stdout byte-identical.
@@ -86,8 +92,15 @@ void usage() {
       "                     (0 = unchunked)\n"
       "  --credit-kb=K      per-peer shuffle credit window in KiB\n"
       "                     (0 = unbounded in-flight data)\n"
+      "  --rack-size=N      nodes per rack: intra-rack traffic bypasses the\n"
+      "                     core switch (0 = flat topology)\n"
+      "  --combine=off|node|rack  hierarchical combining: node-level\n"
+      "                     combiner and/or rack-level aggregation ahead of\n"
+      "                     the core switch (rack needs --rack-size; default\n"
+      "                     off = legacy push shuffle)\n"
       "  --net-report       print the remote-traffic split (shuffle/DFS/\n"
-      "                     control bytes) after the job report\n"
+      "                     control bytes, plus rack_agg when combining)\n"
+      "                     after the job report\n"
       "  --kill-node=ID@T   crash node ID at simulated time T (suffix ms or\n"
       "                     s, e.g. 2@50ms); repeatable, glasswing only\n"
       "  --restart-node=ID@T  revive a killed node (empty disks) at time T;\n"
@@ -171,6 +184,8 @@ int main(int argc, char** argv) {
     else if (parse_flag(argv[i], "--oversub", &v)) flags.oversub = std::atof(v.c_str());
     else if (parse_flag(argv[i], "--chunk-kb", &v)) flags.chunk_kb = std::strtoull(v.c_str(), nullptr, 10);
     else if (parse_flag(argv[i], "--credit-kb", &v)) flags.credit_kb = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(argv[i], "--rack-size", &v)) flags.rack_size = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--combine", &v)) flags.combine = v;
     else if (parse_flag(argv[i], "--mem-mb", &v)) flags.mem_mb = std::strtoull(v.c_str(), nullptr, 10);
     else if (parse_flag(argv[i], "--spill-bw", &v)) flags.spill_bw_mb = std::atof(v.c_str());
     else if (parse_flag(argv[i], "--kill-node", &v)) {
@@ -229,6 +244,17 @@ int main(int argc, char** argv) {
   network.bisection_oversubscription = flags.oversub;
   network.max_chunk_bytes = flags.chunk_kb << 10;
   network.credit_bytes = flags.credit_kb << 10;
+  network.rack_size = flags.rack_size;
+
+  core::CombineMode combine_mode = core::CombineMode::kOff;
+  if (flags.combine == "node") {
+    combine_mode = core::CombineMode::kNode;
+  } else if (flags.combine == "rack") {
+    combine_mode = core::CombineMode::kRack;
+  } else if (flags.combine != "off") {
+    std::fprintf(stderr, "unknown combine mode '%s'\n", flags.combine.c_str());
+    return 2;
+  }
 
   cluster::Platform platform(cluster::ClusterSpec::homogeneous(
       flags.nodes, cluster::NodeSpec::das4_type1(), std::move(network)));
@@ -326,6 +352,7 @@ int main(int argc, char** argv) {
   cfg.output_mode = flags.collector == "pool" ? core::OutputMode::kSharedPool
                                               : core::OutputMode::kHashTable;
   cfg.use_combiner = flags.combiner;
+  cfg.combine_mode = combine_mode;
   cfg.crash_events = flags.crash_events;
   cfg.speculate = flags.speculate;
   cfg.node_memory_bytes = flags.mem_mb << 20;
@@ -366,21 +393,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.stats.speculative_losses));
   }
   if (cfg.governed()) {
-    std::printf(
-        "mem: budget=%lluMiB peak=%.1fMiB spill=%.1fMiB spills=%llu "
-        "merge_levels=%llu stalls=%.3fs\n",
-        static_cast<unsigned long long>(cfg.node_memory_bytes >> 20),
-        static_cast<double>(r.stats.peak_mem_bytes) / 1048576.0,
-        static_cast<double>(r.stats.spill_bytes) / 1048576.0,
-        static_cast<unsigned long long>(r.stats.spills),
-        static_cast<unsigned long long>(r.stats.merge_levels),
-        r.stats.mem_stall_seconds);
+    core::print_mem_line(cfg.node_memory_bytes, r.stats);
+  }
+  if (combine_mode != core::CombineMode::kOff) {
+    core::print_combine_line(r.stats);
   }
   if (flags.net_report) {
-    std::printf("net: shuffle=%llu dfs=%llu control=%llu bytes\n",
-                static_cast<unsigned long long>(r.stats.net_shuffle_bytes),
-                static_cast<unsigned long long>(r.stats.net_dfs_bytes),
-                static_cast<unsigned long long>(r.stats.net_control_bytes));
+    core::print_traffic_split_line("net", r.stats);
   }
   if (!flags.trace_path.empty()) {
     if (!platform.sim().tracer().save_chrome_json(flags.trace_path)) {

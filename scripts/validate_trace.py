@@ -22,7 +22,11 @@ its recovery rounds). With --expect-spills, fail when the trace contains
 no "spill" spans or no "merge" spans (a memory-governed run over budget
 must spill sorted runs and consolidate them), or when it lacks the
 "mem.budget"/"mem.peak" marks. Whenever both marks are present for a
-node, the recorded peak occupancy must respect the budget.
+node, the recorded peak occupancy must respect the budget. With
+--expect-combine, fail when the trace contains no "combine" spans
+(hierarchical combining must record its combine passes) or no
+"combine.in"/"combine.out" marks; whenever both marks are present for a
+node, the combined output volume must not exceed the input volume.
 
 Exit code 0 when valid; 1 with a description on the first violation.
 Stdlib only — runs anywhere CI has a python3.
@@ -39,6 +43,7 @@ KNOWN_CATEGORIES = {
     "shuffle",
     "merge",
     "spill",
+    "combine",
     "retry",
     "recovery",
     "link",
@@ -56,12 +61,18 @@ def main():
     expect_links = "--expect-links" in args
     expect_recovery = "--expect-recovery" in args
     expect_spills = "--expect-spills" in args
-    flags = ("--expect-links", "--expect-recovery", "--expect-spills")
+    expect_combine = "--expect-combine" in args
+    flags = (
+        "--expect-links",
+        "--expect-recovery",
+        "--expect-spills",
+        "--expect-combine",
+    )
     args = [a for a in args if a not in flags]
     if len(args) != 1:
         print(
             f"usage: {sys.argv[0]} [--expect-links] [--expect-recovery] "
-            "[--expect-spills] trace.json"
+            "[--expect-spills] [--expect-combine] trace.json"
         )
         sys.exit(2)
     path = args[0]
@@ -83,8 +94,11 @@ def main():
     link_spans = 0
     spill_spans = 0
     merge_spans = 0
+    combine_spans = 0
     mem_budget = {}  # pid -> budget bytes (mem.budget mark)
     mem_peak = {}  # pid -> peak bytes (mem.peak mark)
+    combine_in = {}  # pid -> bytes entering combine passes (combine.in mark)
+    combine_out = {}  # pid -> bytes leaving combine passes (combine.out mark)
     job_begin = job_end = None  # job-wide span interval (ts, ts)
     recovery_events = []  # (idx, ts) of every recovery-category event
     for idx, ev in enumerate(events):
@@ -109,11 +123,19 @@ def main():
             spill_spans += 1
         if ph == "B" and ev["cat"] == "merge":
             merge_spans += 1
+        if ph == "B" and ev["cat"] == "combine":
+            combine_spans += 1
         if ev["cat"] == "mark" and ev["name"] in ("mem.budget", "mem.peak"):
             arg = ev.get("args", {}).get("arg")
             if not isinstance(arg, (int, float)) or arg < 0:
                 fail(f"{where}: {ev['name']} mark with bad arg {arg!r}")
             dest = mem_budget if ev["name"] == "mem.budget" else mem_peak
+            dest[ev["pid"]] = arg
+        if ev["cat"] == "mark" and ev["name"] in ("combine.in", "combine.out"):
+            arg = ev.get("args", {}).get("arg")
+            if not isinstance(arg, (int, float)) or arg < 0:
+                fail(f"{where}: {ev['name']} mark with bad arg {arg!r}")
+            dest = combine_in if ev["name"] == "combine.in" else combine_out
             dest[ev["pid"]] = arg
         if ev["cat"] == "recovery":
             recovery_events.append((idx, ev["ts"]))
@@ -183,13 +205,26 @@ def main():
             fail("no merge spans found (expected multi-level run merges)")
         if not mem_budget or not mem_peak:
             fail("no mem.budget/mem.peak marks (expected a governed run)")
+    for pid, out_bytes in combine_out.items():
+        if pid in combine_in and out_bytes > combine_in[pid]:
+            fail(
+                f"pid {pid}: combine.out {out_bytes} exceeds combine.in "
+                f"{combine_in[pid]}"
+            )
+    if expect_combine:
+        if combine_spans == 0:
+            fail("no combine spans found (expected hierarchical combining)")
+        if not combine_in or not combine_out:
+            fail(
+                "no combine.in/combine.out marks (expected a combining run)"
+            )
 
     print(
         f"validate_trace: OK: {len(events)} events "
         f"({counts['B']} spans, {counts['i']} instants, "
         f"{link_spans} link spans, {len(recovery_events)} recovery events, "
         f"{spill_spans} spill spans, {merge_spans} merge spans, "
-        f"{len(last_ts)} nodes)"
+        f"{combine_spans} combine spans, {len(last_ts)} nodes)"
     )
 
 

@@ -89,6 +89,10 @@ AppSpec kmeans(KmeansConfig config, std::vector<float> centers) {
     ctx.charge_ops(static_cast<std::uint64_t>(values.size()) * (d + 1));
     ctx.emit(key, encode_partial(sums, d, static_cast<std::uint32_t>(count)));
   };
+  // Float accumulation is order-sensitive; hierarchical combining regroups
+  // partials, so byte-identical output across modes is NOT guaranteed.
+  // Left unset: combine_mode degrades to kOff for this app.
+  spec.kernels.combine_associative = false;
 
   spec.kernels.reduce = [d, aggregate](
                             std::string_view key,

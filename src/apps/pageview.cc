@@ -41,6 +41,8 @@ AppSpec pageview_count() {
   spec.kernels.name = "pageview-count";
   spec.kernels.map = pvc_map;
   spec.kernels.combine = pvc_sum;
+  // Integer addition: safe to re-combine partials under any grouping.
+  spec.kernels.combine_associative = true;
   spec.kernels.reduce = pvc_sum;
   return spec;
 }

@@ -55,6 +55,9 @@ AppSpec wordcount() {
   spec.kernels.name = "wordcount";
   spec.kernels.map = wc_map;
   spec.kernels.combine = wc_sum;
+  // Integer addition: reducing combined partials is byte-identical to
+  // reducing the raw counts under any grouping.
+  spec.kernels.combine_associative = true;
   spec.kernels.reduce = wc_sum;
   spec.cpu_launch.threads = 0;   // all hardware lanes
   spec.gpu_launch.threads = 0;

@@ -100,12 +100,30 @@ struct AppKernels {
   // newline-delimited text. Drives split alignment so no record straddles
   // two splits.
   std::uint64_t fixed_record_size = 0;
+  // Associativity/commutativity contract for `combine`: true declares that
+  // applying the combiner over any grouping/ordering of a key's values
+  // (then reducing) yields byte-identical output to reducing the raw
+  // values. Required for the hierarchical (node/rack) combining tiers,
+  // which re-combine already-combined partials across map tasks and nodes.
+  bool combine_associative = false;
 };
 
 enum class OutputMode {
   kSharedPool,  // bump-allocated output buffer: one atomic per emit
   kHashTable,   // per-key chains: probes + per-value atomic; enables combiner
 };
+
+// Hierarchical combining tiers (beyond the per-chunk combiner):
+//   kOff  — legacy push shuffle, byte-identical event order.
+//   kNode — a per-node combiner merges duplicate keys across ALL map tasks
+//           on the node before runs leave for remote partitions.
+//   kRack — node combining plus a rack-level aggregation hop: one
+//           designated node per rack re-combines the rack's extra-rack
+//           shuffle streams and forwards a single deduplicated stream
+//           across the core switch.
+// Requires an app combine function declared combine_associative; the
+// runtime silently degrades the mode otherwise (see GlasswingRuntime::run).
+enum class CombineMode { kOff = 0, kNode = 1, kRack = 2 };
 
 // Host-side processing rates (bytes/s per thread and fixed per-item costs)
 // for pipeline work executed by host threads rather than the compute device.
@@ -157,6 +175,16 @@ struct JobConfig {
   double spill_bandwidth_bytes_per_s = 0;
 
   bool governed() const { return node_memory_bytes > 0; }
+
+  // --- hierarchical combining (node / rack tiers) ---
+  // Default off: the push shuffle keeps its legacy byte-identical event
+  // order. kNode/kRack require an associative app combiner (and kRack a
+  // NetworkProfile rack_size); the runtime normalizes impossible requests
+  // down (kRack -> kNode -> kOff) instead of failing.
+  CombineMode combine_mode = CombineMode::kOff;
+  // Ungoverned runs: buffered pre-combine bytes per node before a combine
+  // flush. Governed runs use the governor's combine pool instead.
+  std::uint64_t combine_buffer_bytes = 4ull << 20;
 
   // Reduce pipeline (§III-C, §IV-B4).
   int concurrent_keys = 4096;
@@ -263,6 +291,12 @@ struct JobStats {
   std::uint64_t net_shuffle_bytes = 0;
   std::uint64_t net_dfs_bytes = 0;
   std::uint64_t net_control_bytes = 0;
+  // Intra-rack bytes feeding rack aggregators (TrafficClass::kRackAgg);
+  // never crosses the core switch.
+  std::uint64_t net_rack_agg_bytes = 0;
+  // --- hierarchical combining ---
+  std::uint64_t combine_in_bytes = 0;   // stored bytes entering combine passes
+  std::uint64_t combine_out_bytes = 0;  // stored bytes leaving combine passes
   std::uint64_t spills = 0;
   std::uint64_t merges = 0;
   // --- memory governor (external shuffle/sort) ---

@@ -32,6 +32,31 @@ sim::Task<> IntermediateStore::add_run(int g, Run run,
     ++dup_dropped_;  // byte-identical regeneration of a run already taken in
     co_return;
   }
+  co_await admit(part, std::move(run));
+}
+
+sim::Task<> IntermediateStore::add_combined_run(
+    int g, Run run, std::vector<std::uint64_t> tags) {
+  GW_CHECK(g >= 0);
+  if (run.empty()) co_return;
+  Part& part = parts_[g];
+  std::size_t seen = 0;
+  for (std::uint64_t t : tags) {
+    if (t != 0 && part.seen_tags.count(t) > 0) ++seen;
+  }
+  if (!tags.empty() && seen == tags.size()) {
+    ++dup_dropped_;  // a regrouped duplicate of runs already taken in
+    co_return;
+  }
+  GW_CHECK_MSG(seen == 0,
+               "combined run partially overlaps already-seen dedup tags");
+  for (std::uint64_t t : tags) {
+    if (t != 0) part.seen_tags.insert(t);
+  }
+  co_await admit(part, std::move(run));
+}
+
+sim::Task<> IntermediateStore::admit(Part& part, Run run) {
   const std::uint64_t bytes = run.stored_bytes();
   sim::Resource::Hold hold;
   if (mem_ != nullptr) {

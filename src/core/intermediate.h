@@ -62,6 +62,17 @@ class IntermediateStore {
   // duplicates. Pure host-side bookkeeping: no simulated cost either way.
   sim::Task<> add_run(int g, Run run, std::uint64_t dedup_tag = 0);
 
+  // Adds a run produced by a hierarchical combine pass over several
+  // producers' runs; `tags` is the union of the constituents' dedup tags.
+  // Dedup is all-or-nothing: every tag already seen drops the run as a
+  // duplicate, none seen records them all and admits it. A partial overlap
+  // would mean two different groupings of the same producer's output
+  // reached this store, which the shuffle protocol cannot produce (combined
+  // runs travel only on the main shuffle port, whose runs are all stored
+  // before any recovery-port re-feed) — it aborts.
+  sim::Task<> add_combined_run(int g, Run run,
+                               std::vector<std::uint64_t> tags);
+
   // Runs dropped as duplicates of an already-seen dedup tag.
   std::uint64_t duplicate_runs_dropped() const { return dup_dropped_; }
 
@@ -114,6 +125,9 @@ class IntermediateStore {
     std::set<std::uint64_t> seen_tags;  // never cleared (see add_run)
   };
 
+  // Shared admission tail of add_run/add_combined_run: governed
+  // backpressure, cache accounting and flush triggering.
+  sim::Task<> admit(Part& part, Run run);
   sim::Task<> merger_loop(trace::TrackRef track);
   sim::Task<> service(int g, trace::TrackRef track);
   void enqueue(int g);

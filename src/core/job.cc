@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/combine.h"
 #include "core/intermediate.h"
 #include "core/memory.h"
 #include "simnet/transport.h"
@@ -31,6 +32,9 @@ struct JobShared {
   // already on the wire from senders that have died since (a real frame and
   // a compensated one for the same sender would otherwise double-deliver).
   std::map<int, std::set<std::pair<int, int>>> eos_sent;  // round -> (src,dst)
+  // Which node's death created each round (rack-mode recovery needs to know
+  // whether a rack lost its aggregator).
+  std::map<int, int> crashed_node;
   std::set<int> rounds_entered;
   std::uint64_t partitions_reassigned = 0;
 
@@ -53,6 +57,10 @@ struct NodeRun {
   ReduceMetrics reduce;
   std::unique_ptr<sim::Event> shuffle_done;
   trace::TrackRef phase_track;
+  // Hierarchical combining (combine_mode != kOff): the map-tier combiner,
+  // and on rack-aggregator nodes the rack-tier one.
+  std::unique_ptr<NodeCombiner> combiner;
+  std::unique_ptr<NodeCombiner> rack_combiner;
   MapOutputLedger ledger;  // populated only when cfg.fault_tolerant()
   int handled_epoch = 0;   // recovery rounds this node has executed
   std::set<int> reduced;   // global partitions this node already reduced
@@ -70,6 +78,16 @@ sim::Task<> shuffle_receiver(NodeContext ctx, int port, int expected,
     if (!msg) break;
     util::ByteReader r(msg->payload);
     const int g = static_cast<int>(r.get_u32());
+    // With a combine mode active, everything on the MAIN shuffle port is
+    // combined-framed (u32 g | u32 ntags | tags | run) — recovery ports
+    // keep the legacy framing, replayed provenance stays uncombined.
+    const bool combined = ctx.config->combine_mode != CombineMode::kOff &&
+                          port == net::kPortShuffle;
+    std::vector<std::uint64_t> tags;
+    if (combined) {
+      tags.resize(r.get_u32());
+      for (auto& t : tags) t = r.get_u64();
+    }
     if (ctx.config->fault_tolerant()) {
       // Drop zombie/stale deliveries: a dead node's store is never reduced
       // (and feeding it would initiate new cache-flush work on a dead
@@ -82,9 +100,51 @@ sim::Task<> shuffle_receiver(NodeContext ctx, int port, int expected,
       GW_CHECK_MSG(ctx.owner_of(g) == ctx.node_id,
                    "partition routed to wrong node");
     }
-    co_await ctx.store->add_run(g, Run::deserialize(r), msg->tag);
+    if (combined) {
+      co_await ctx.store->add_combined_run(g, Run::deserialize(r),
+                                           std::move(tags));
+    } else {
+      co_await ctx.store->add_run(g, Run::deserialize(r), msg->tag);
+    }
   }
   done.set();
+}
+
+sim::Task<> broadcast_eos(NodeContext ctx, JobShared& shared, int port,
+                          std::vector<int> dsts,
+                          std::set<std::pair<int, int>>* sent);
+
+// Rack-tier aggregation (CombineMode::kRack, aggregator nodes only):
+// consumes the rack members' combined streams on kPortRackAgg, re-combines
+// per partition, and forwards one consolidated stream to the partition
+// owners across the core switch. Closes the aggregated stream toward every
+// extra-rack node when done (members' streams were closed by their own
+// member EOS; a dead aggregator's closures are crash-compensated instead).
+sim::Task<> rack_aggregator(NodeContext ctx, JobShared& shared,
+                            NodeCombiner& agg, RackTopology topo) {
+  net::Transport::Receiver rx = ctx.platform->transport().receiver(
+      ctx.node_id, net::kPortRackAgg,
+      topo.members_of(topo.rack_of(ctx.node_id)));
+  for (;;) {
+    auto msg = co_await rx.recv();
+    if (!msg) break;
+    util::ByteReader r(msg->payload);
+    const int g = static_cast<int>(r.get_u32());
+    std::vector<std::uint64_t> tags(r.get_u32());
+    for (auto& t : tags) t = r.get_u64();
+    if (!ctx.self_live()) continue;  // zombie: drain the stream only
+    co_await agg.add(g, std::move(tags), Run::deserialize(r));
+  }
+  if (ctx.self_live()) {
+    co_await agg.drain();
+  } else {
+    agg.discard();  // a dead aggregator's staged data died with it
+  }
+  std::vector<int> extra;
+  for (int n = 0; n < ctx.num_nodes; ++n) {
+    if (!topo.same_rack(n, ctx.node_id)) extra.push_back(n);
+  }
+  co_await broadcast_eos(ctx, shared, net::kPortShuffle, extra, nullptr);
 }
 
 // EOS broadcast with crash guards. Dead destinations are skipped (crash
@@ -156,6 +216,10 @@ sim::Task<> run_recovery_rounds(NodeContext ctx, SplitScheduler& scheduler,
     rctx.recovery = true;
     rctx.shuffle_port = port;
     rctx.device = map_device;
+    // Recovery traffic is never combined: replayed runs travel individually
+    // under their original dedup tags so the destinations' tag sets decide
+    // exactly which constituents already arrived inside combined runs.
+    rctx.combiner = nullptr;
     sim.spawn(shuffle_receiver(rctx, port, expected, rx_done));
 
     // Re-execute lost splits: regenerates the dead node's contributions to
@@ -195,6 +259,47 @@ sim::Task<> run_recovery_rounds(NodeContext ctx, SplitScheduler& scheduler,
         }
       }
     }
+
+    // Rack mode: if this round's crash took our rack's aggregator, any of
+    // our extra-rack contributions still staged in (or in flight to) it
+    // died too. Re-send our ledger runs for every partition currently owned
+    // outside the rack, individually on the round port — per-tag dedup at
+    // the destinations drops whatever the aggregator already forwarded.
+    // Partitions reassigned this round were already re-fed above.
+    if (cfg.combine_mode == CombineMode::kRack) {
+      RackTopology topo{ctx.platform->fabric().profile().rack_size,
+                        ctx.num_nodes};
+      const int my_rack = topo.rack_of(ctx.node_id);
+      const auto dead_it = shared.crashed_node.find(round);
+      if (dead_it != shared.crashed_node.end() &&
+          dead_it->second == topo.aggregator_of(my_rack)) {
+        const std::vector<int>& moved = shared.reassigned[round];
+        std::uint64_t agg_bytes = 0;
+        std::vector<int> agg_resend;
+        for (const auto& [g, entries] : state.ledger.runs) {
+          if (topo.same_rack(rctx.owner_of(g), ctx.node_id)) continue;
+          if (std::binary_search(moved.begin(), moved.end(), g)) continue;
+          for (const auto& [tag, run] : entries) {
+            agg_bytes += run.stored_bytes();
+          }
+          agg_resend.push_back(g);
+        }
+        if (ctx.self_live() && agg_bytes > 0) {
+          co_await ctx.node->disk_stream_read(
+              agg_bytes, cluster::Node::amortized_seek(agg_bytes));
+        }
+        for (int g : agg_resend) {
+          if (!ctx.self_live()) break;
+          const int dest = rctx.owner_of(g);
+          for (const auto& [tag, run] : state.ledger.runs[g]) {
+            util::ByteWriter w;
+            w.put_u32(static_cast<std::uint32_t>(g));
+            run.serialize(w);
+            sends.spawn(send_run_dropping(rctx, dest, w.take(), tag));
+          }
+        }
+      }
+    }
     co_await sends.wait();
 
     co_await broadcast_eos(rctx, shared, port, participants, &sent);
@@ -217,21 +322,54 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
   const auto merge_name = tr.intern("phase.merge");
   const auto reduce_name = tr.intern("phase.reduce");
   ctx.store->start_mergers();
-  sim.spawn(shuffle_receiver(ctx, net::kPortShuffle, ctx.num_nodes,
+
+  // Rack mode reshapes the main-port streams: a node hears from its own
+  // rack's members plus the other racks' aggregators (one consolidated
+  // stream per foreign rack) instead of from everyone.
+  const bool rack_mode = cfg.combine_mode == CombineMode::kRack;
+  RackTopology topo;
+  if (rack_mode) {
+    topo.rack_size = ctx.platform->fabric().profile().rack_size;
+    topo.num_nodes = ctx.num_nodes;
+  }
+  int expected = ctx.num_nodes;
+  if (rack_mode) {
+    expected = topo.members_of(topo.rack_of(ctx.node_id)) + topo.num_racks() - 1;
+  }
+  sim.spawn(shuffle_receiver(ctx, net::kPortShuffle, expected,
                              *state.shuffle_done));
+  if (state.rack_combiner != nullptr) {
+    sim.spawn(rack_aggregator(ctx, shared, *state.rack_combiner, topo));
+  }
 
   tr.begin(t, trace::Kind::kPhase, map_name, sim.now());
+  ctx.combiner = state.combiner.get();
   co_await run_map_phase(ctx, scheduler, state.map);
+  ctx.combiner = nullptr;
   tr.end(t, trace::Kind::kPhase, map_name, sim.now());
   tr.begin(t, trace::Kind::kPhase, merge_name, sim.now());
 
-  // Map phase done on this node: tell every node (including self) that no
-  // more intermediate data will arrive from here.
-  std::vector<int> everyone(static_cast<std::size_t>(ctx.num_nodes));
-  for (int dst = 0; dst < ctx.num_nodes; ++dst) {
-    everyone[static_cast<std::size_t>(dst)] = dst;
+  // Map phase done on this node: tell every destination we stream to
+  // directly that no more intermediate data will arrive from here. Flat
+  // modes stream to everyone; rack mode streams to the own-rack members on
+  // the main port plus the own-rack aggregator on the rack-agg port (the
+  // aggregator closes the extra-rack streams itself once all member EOS
+  // arrived and its consolidated output is flushed).
+  std::vector<int> dsts;
+  if (rack_mode) {
+    const int rack = topo.rack_of(ctx.node_id);
+    for (int i = 0; i < topo.members_of(rack); ++i) {
+      dsts.push_back(topo.aggregator_of(rack) + i);
+    }
+  } else {
+    for (int dst = 0; dst < ctx.num_nodes; ++dst) dsts.push_back(dst);
   }
-  co_await broadcast_eos(ctx, shared, net::kPortShuffle, everyone, nullptr);
+  co_await broadcast_eos(ctx, shared, net::kPortShuffle, dsts, nullptr);
+  if (rack_mode) {
+    const std::vector<int> agg(
+        1, topo.aggregator_of(topo.rack_of(ctx.node_id)));
+    co_await broadcast_eos(ctx, shared, net::kPortRackAgg, agg, nullptr);
+  }
 
   // Merge phase: continues until all remote data arrived and the merger
   // threads consolidated every partition (§III: "After the merge phase
@@ -352,6 +490,23 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
       !effective_app.combine.has_value()) {
     config.use_combiner = false;
   }
+  // Hierarchical combining needs an app combiner with the declared
+  // associativity contract. Speculation is incompatible: a straggler clone
+  // regenerates a tagged run on a different node, whose combiner may group
+  // it with different partners — the destination would see a partial
+  // overlap with an already-stored combined run.
+  if (config.combine_mode != CombineMode::kOff &&
+      (!effective_app.combine.has_value() ||
+       !effective_app.combine_associative || config.speculate)) {
+    config.combine_mode = CombineMode::kOff;
+  }
+  // Rack aggregation needs rack structure to exploit; otherwise degrade to
+  // the node tier, which is the same data path minus the aggregator hop.
+  const int rack_size = platform_.fabric().profile().rack_size;
+  if (config.combine_mode == CombineMode::kRack &&
+      (rack_size <= 0 || platform_.num_nodes() <= rack_size)) {
+    config.combine_mode = CombineMode::kNode;
+  }
 
   if (config.output_replication > 0) {
     if (auto* hdfs = dynamic_cast<dfs::Dfs*>(&fs_)) {
@@ -374,6 +529,8 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   const std::uint64_t net_dfs0 = tp.total_bytes(net::TrafficClass::kDfs);
   const std::uint64_t net_control0 =
       tp.total_bytes(net::TrafficClass::kControl);
+  const std::uint64_t net_rack_agg0 =
+      tp.total_bytes(net::TrafficClass::kRackAgg);
   auto* hdfs = dynamic_cast<dfs::Dfs*>(&fs_);
   const std::uint64_t dfs_lost0 = hdfs ? hdfs->replicas_lost() : 0;
   const std::uint64_t dfs_rerep0 = hdfs ? hdfs->blocks_rereplicated() : 0;
@@ -394,12 +551,37 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     // JobTracker bookkeeping: who is expected on every shuffle stream (for
     // crash compensation), the crash listener that reassigns work, and the
     // scheduled crash events themselves.
-    std::vector<int> everyone(static_cast<std::size_t>(num_nodes));
-    for (int n = 0; n < num_nodes; ++n) {
-      everyone[static_cast<std::size_t>(n)] = n;
-    }
-    for (int dst = 0; dst < num_nodes; ++dst) {
-      tp.expect_senders(dst, net::kPortShuffle, everyone);
+    if (config.combine_mode == CombineMode::kRack) {
+      // Rack mode reshapes the main-port streams: a node hears from its own
+      // rack's members plus the other racks' aggregators, and an aggregator
+      // additionally hears its members on the rack-agg port.
+      const RackTopology topo{rack_size, num_nodes};
+      for (int dst = 0; dst < num_nodes; ++dst) {
+        const int rack = topo.rack_of(dst);
+        std::vector<int> senders;
+        for (int i = 0; i < topo.members_of(rack); ++i) {
+          senders.push_back(topo.aggregator_of(rack) + i);
+        }
+        for (int r = 0; r < topo.num_racks(); ++r) {
+          if (r != rack) senders.push_back(topo.aggregator_of(r));
+        }
+        tp.expect_senders(dst, net::kPortShuffle, senders);
+      }
+      for (int r = 0; r < topo.num_racks(); ++r) {
+        std::vector<int> members;
+        for (int i = 0; i < topo.members_of(r); ++i) {
+          members.push_back(topo.aggregator_of(r) + i);
+        }
+        tp.expect_senders(topo.aggregator_of(r), net::kPortRackAgg, members);
+      }
+    } else {
+      std::vector<int> everyone(static_cast<std::size_t>(num_nodes));
+      for (int n = 0; n < num_nodes; ++n) {
+        everyone[static_cast<std::size_t>(n)] = n;
+      }
+      for (int dst = 0; dst < num_nodes; ++dst) {
+        tp.expect_senders(dst, net::kPortShuffle, everyone);
+      }
     }
     listener_id = sim.add_crash_listener([&sim, &tp, &shared, &scheduler,
                                           &config, num_nodes,
@@ -427,6 +609,7 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
       }
       shared.partitions_reassigned += moved.size();
       shared.round_participants[round] = std::move(participants);
+      shared.crashed_node[round] = node;
       // Splits the dead node ran or had committed go back for re-execution.
       scheduler.on_crash(node);
       // Failure detection: inject the dead node's missing EOS frames after
@@ -458,8 +641,9 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
   for (int n = 0; n < num_nodes; ++n) {
     NodeRun& state = nodes[static_cast<std::size_t>(n)];
     if (config.governed()) {
-      state.governor =
-          std::make_unique<MemoryGovernor>(sim, config.node_memory_bytes);
+      state.governor = std::make_unique<MemoryGovernor>(
+          sim, config.node_memory_bytes,
+          /*with_combine_pool=*/config.combine_mode != CombineMode::kOff);
     }
     state.store = std::make_unique<IntermediateStore>(
         platform_.node(n), sim, config, state.governor.get());
@@ -481,6 +665,19 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     ctx.partition_owner = &shared.owner;
     ctx.ledger = ft ? &state.ledger : nullptr;
     ctx.failed_nodes = &shared.failed;
+    if (config.combine_mode != CombineMode::kOff) {
+      RackTopology topo;  // rack_size 0 = route straight to the owner
+      if (config.combine_mode == CombineMode::kRack) {
+        topo = RackTopology{rack_size, num_nodes};
+      }
+      state.combiner = std::make_unique<NodeCombiner>(
+          ctx, NodeCombiner::Tier::kMap, topo);
+      if (config.combine_mode == CombineMode::kRack &&
+          topo.is_aggregator(n)) {
+        state.rack_combiner = std::make_unique<NodeCombiner>(
+            ctx, NodeCombiner::Tier::kRackAgg, topo);
+      }
+    }
     all.spawn(node_main(ctx, map_devices_[static_cast<std::size_t>(n)].get(),
                         reduce_devices_[static_cast<std::size_t>(n)].get(),
                         scheduler, state, shared));
@@ -516,6 +713,27 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
                            sim.now(), s.governor->budget_bytes());
       sim.tracer().instant(s.phase_track, trace::Kind::kMark, peak_name,
                            sim.now(), s.governor->peak_bytes());
+    }
+  }
+  if (config.combine_mode != CombineMode::kOff) {
+    // Per-node combine-volume instants (arg = bytes) inside the job span,
+    // mirroring the governed mem.* marks, so trace validators can check the
+    // tiers actually reduced traffic (combine.out <= combine.in).
+    const std::int32_t in_name = sim.tracer().intern("combine.in");
+    const std::int32_t out_name = sim.tracer().intern("combine.out");
+    for (int n = 0; n < num_nodes; ++n) {
+      const NodeRun& s = nodes[static_cast<std::size_t>(n)];
+      if (s.combiner == nullptr) continue;
+      std::uint64_t in = s.combiner->metrics().in_bytes;
+      std::uint64_t out = s.combiner->metrics().out_bytes;
+      if (s.rack_combiner != nullptr) {
+        in += s.rack_combiner->metrics().in_bytes;
+        out += s.rack_combiner->metrics().out_bytes;
+      }
+      sim.tracer().instant(s.phase_track, trace::Kind::kMark, in_name,
+                           sim.now(), in);
+      sim.tracer().instant(s.phase_track, trace::Kind::kMark, out_name,
+                           sim.now(), out);
     }
   }
   sim.tracer().end(job_track, trace::Kind::kPhase, job_name, sim.now());
@@ -593,6 +811,17 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
       result.stats.mem_stall_seconds += s.governor->stall_seconds();
     }
     result.stats.duplicate_runs_dropped += s.store->duplicate_runs_dropped();
+    if (s.combiner != nullptr) {
+      // With combining active the map-tier combiner owns the remote sends,
+      // so its framed wire bytes are the node's remote shuffle volume.
+      result.stats.shuffle_bytes_remote += s.combiner->metrics().wire_bytes;
+      result.stats.combine_in_bytes += s.combiner->metrics().in_bytes;
+      result.stats.combine_out_bytes += s.combiner->metrics().out_bytes;
+    }
+    if (s.rack_combiner != nullptr) {
+      result.stats.combine_in_bytes += s.rack_combiner->metrics().in_bytes;
+      result.stats.combine_out_bytes += s.rack_combiner->metrics().out_bytes;
+    }
     result.stats.hash_table_probes += s.map.hash_probes;
     result.stats.output_pairs += s.reduce.output_pairs;
     result.stats.map_kernel += s.map.kernel_stats;
@@ -619,6 +848,8 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
       tp.total_bytes(net::TrafficClass::kDfs) - net_dfs0;
   result.stats.net_control_bytes =
       tp.total_bytes(net::TrafficClass::kControl) - net_control0;
+  result.stats.net_rack_agg_bytes =
+      tp.total_bytes(net::TrafficClass::kRackAgg) - net_rack_agg0;
   std::sort(result.output_files.begin(), result.output_files.end());
   return result;
 }

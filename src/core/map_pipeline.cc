@@ -2,6 +2,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/combine.h"
 #include "core/pipeline.h"
 #include "core/stage.h"
 #include "util/error.h"
@@ -427,6 +428,13 @@ sim::Task<> partition_worker(Stage& st, NodeContext ctx,
           co_await ctx.store->add_run(static_cast<int>(g), std::move(run),
                                       tag);
         }
+      } else if (ctx.combiner != nullptr) {
+        // Hierarchical combining: remote-destined runs stage in the node
+        // combiner, which merge-combines duplicates across every map task
+        // on this node before anything leaves for the network.
+        co_await ctx.combiner->add(static_cast<int>(g),
+                                   std::vector<std::uint64_t>(1, tag),
+                                   std::move(run));
       } else {
         util::ByteWriter w;
         w.put_u32(g);
@@ -479,6 +487,11 @@ sim::Task<> run_map_phase(NodeContext ctx, SplitScheduler& scheduler,
     return partition_worker(st, ctx, c45, scheduler, m, sends);
   });
   co_await g.run();
+  if (ctx.combiner != nullptr) {
+    // Final combine flush: everything still staged is combined and pushed
+    // before the phase (and thus before this node's EOS) completes.
+    co_await ctx.combiner->drain();
+  }
   co_await sends.wait();  // all shuffle data delivered
 }
 

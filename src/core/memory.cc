@@ -7,17 +7,27 @@
 namespace gw::core {
 
 MemoryGovernor::MemoryGovernor(sim::Simulation& sim,
-                               std::uint64_t node_memory_bytes)
+                               std::uint64_t node_memory_bytes,
+                               bool with_combine_pool)
     : sim_(sim), budget_(node_memory_bytes) {
   GW_CHECK_MSG(node_memory_bytes > 0, "governor needs a nonzero budget");
   // 20% map-input, 20% map-output, 40% store, the remainder (~20%) merge;
   // every pool gets at least one byte so a degenerate budget still admits
-  // work serially.
+  // work serially. When the combine pool is enabled it takes 10% out of
+  // the store share (store drops to 30%); the four legacy shares are
+  // untouched otherwise, so non-combining governed jobs keep their exact
+  // pool capacities (and event order).
   const std::uint64_t in_share = std::max<std::uint64_t>(1, budget_ / 5);
   const std::uint64_t out_share = std::max<std::uint64_t>(1, budget_ / 5);
-  const std::uint64_t store_share = std::max<std::uint64_t>(1, budget_ * 2 / 5);
+  const std::uint64_t store_share = std::max<std::uint64_t>(
+      1, with_combine_pool ? budget_ * 3 / 10 : budget_ * 2 / 5);
+  const std::uint64_t combine_share =
+      with_combine_pool ? std::max<std::uint64_t>(1, budget_ / 10) : 1;
+  const std::uint64_t claimed =
+      in_share + out_share + store_share +
+      (with_combine_pool ? combine_share : 0);
   const std::uint64_t merge_share = std::max<std::uint64_t>(
-      1, budget_ - std::min(budget_ - 1, in_share + out_share + store_share));
+      1, budget_ - std::min(budget_ - 1, claimed));
   pools_[0] = std::make_unique<sim::Resource>(
       sim_, static_cast<std::int64_t>(in_share));
   pools_[1] = std::make_unique<sim::Resource>(
@@ -26,6 +36,8 @@ MemoryGovernor::MemoryGovernor(sim::Simulation& sim,
       sim_, static_cast<std::int64_t>(store_share));
   pools_[3] = std::make_unique<sim::Resource>(
       sim_, static_cast<std::int64_t>(merge_share));
+  pools_[4] = std::make_unique<sim::Resource>(
+      sim_, static_cast<std::int64_t>(combine_share));
 }
 
 std::uint64_t MemoryGovernor::pool_budget(Pool p) const {

@@ -38,11 +38,21 @@ class MemoryGovernor {
  public:
   // Budget pools. Shares of node_memory_bytes: map-input 20%, map-output
   // 20%, store 40%, merge 20% (documented in DESIGN.md; the merge share
-  // bounds the multi-level merge fan-in).
-  enum class Pool : int { kMapIn = 0, kMapOut = 1, kStore = 2, kMerge = 3 };
-  static constexpr int kNumPools = 4;
+  // bounds the multi-level merge fan-in). With the combine pool enabled
+  // (hierarchical combining active), the store share drops to 30% and the
+  // combiner's staging buffers draw from a 10% combine pool — jobs without
+  // combining keep the legacy four-pool split byte-identically.
+  enum class Pool : int {
+    kMapIn = 0,
+    kMapOut = 1,
+    kStore = 2,
+    kMerge = 3,
+    kCombine = 4,
+  };
+  static constexpr int kNumPools = 5;
 
-  MemoryGovernor(sim::Simulation& sim, std::uint64_t node_memory_bytes);
+  MemoryGovernor(sim::Simulation& sim, std::uint64_t node_memory_bytes,
+                 bool with_combine_pool = false);
 
   std::uint64_t budget_bytes() const { return budget_; }
   std::uint64_t pool_budget(Pool p) const;

@@ -130,6 +130,8 @@ struct MapOutputLedger {
   }
 };
 
+class NodeCombiner;  // hierarchical combining (combine.h)
+
 // Everything a per-node pipeline needs.
 struct NodeContext {
   cluster::Platform* platform = nullptr;
@@ -144,6 +146,11 @@ struct NodeContext {
   int node_id = 0;
   int num_nodes = 1;
   int total_partitions = 1;
+  // Map-tier hierarchical combiner; null = legacy direct push shuffle.
+  // Remote-destined partition runs route through it instead of being sent
+  // individually (local runs still go straight to the store). Always null
+  // during recovery rounds: replayed provenance stays uncombined.
+  NodeCombiner* combiner = nullptr;
 
   // --- fault tolerance (§III-E); the defaults reproduce the failure-free
   // data path exactly ---

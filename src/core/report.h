@@ -1,0 +1,58 @@
+// Shared human-readable report lines for finished jobs, used by the gwrun
+// CLI and the bench drivers so every front-end prints the same
+// grep-stable formats. The exact strings are load-bearing: CI jobs grep
+// the "mem:" line for merge depth and the traffic split for byte counts.
+#pragma once
+
+#include <cstdio>
+
+#include "core/api.h"
+
+namespace gw::core {
+
+// Memory-governor summary; callers print it only for governed runs.
+inline void print_mem_line(std::uint64_t budget_bytes, const JobStats& s) {
+  std::printf(
+      "mem: budget=%lluMiB peak=%.1fMiB spill=%.1fMiB spills=%llu "
+      "merge_levels=%llu stalls=%.3fs\n",
+      static_cast<unsigned long long>(budget_bytes >> 20),
+      static_cast<double>(s.peak_mem_bytes) / 1048576.0,
+      static_cast<double>(s.spill_bytes) / 1048576.0,
+      static_cast<unsigned long long>(s.spills),
+      static_cast<unsigned long long>(s.merge_levels),
+      s.mem_stall_seconds);
+}
+
+// Remote-traffic split per transport class. `head` is the line prefix
+// ("net" for gwrun, "net-split[label]" for benches). The rack_agg column
+// appears only when the rack tier actually moved bytes, so every
+// non-combining run keeps its legacy byte-identical output.
+inline void print_traffic_split_line(const char* head, const JobStats& s) {
+  std::printf("%s: shuffle=%llu dfs=%llu control=%llu", head,
+              static_cast<unsigned long long>(s.net_shuffle_bytes),
+              static_cast<unsigned long long>(s.net_dfs_bytes),
+              static_cast<unsigned long long>(s.net_control_bytes));
+  if (s.net_rack_agg_bytes > 0) {
+    std::printf(" rack_agg=%llu",
+                static_cast<unsigned long long>(s.net_rack_agg_bytes));
+  }
+  std::printf(" bytes\n");
+}
+
+// Hierarchical-combining summary; callers print it when a combine mode was
+// requested. in/out are the bytes entering/leaving the combine passes
+// across both tiers; the ratio is the traffic the tiers eliminated.
+inline void print_combine_line(const JobStats& s) {
+  const double ratio =
+      s.combine_in_bytes > 0
+          ? 1.0 - static_cast<double>(s.combine_out_bytes) /
+                      static_cast<double>(s.combine_in_bytes)
+          : 0.0;
+  std::printf("combine: in=%.1fMiB out=%.1fMiB saved=%.1f%% rack_agg=%.1fMiB\n",
+              static_cast<double>(s.combine_in_bytes) / 1048576.0,
+              static_cast<double>(s.combine_out_bytes) / 1048576.0,
+              100.0 * ratio,
+              static_cast<double>(s.net_rack_agg_bytes) / 1048576.0);
+}
+
+}  // namespace gw::core

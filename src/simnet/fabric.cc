@@ -18,6 +18,7 @@ Fabric::Fabric(sim::Simulation& sim, int num_nodes, NetworkProfile profile)
     : sim_(sim), num_nodes_(num_nodes), profile_(std::move(profile)) {
   GW_CHECK(num_nodes > 0);
   GW_CHECK(profile_.bisection_oversubscription >= 0);
+  GW_CHECK(profile_.rack_size >= 0);
   nodes_.resize(num_nodes);
   stats_.resize(num_nodes);
   trace::Tracer& tr = sim_.tracer();
@@ -57,6 +58,7 @@ sim::Task<> Fabric::send_impl(int src, int dst, int port, util::Bytes payload,
   st.bytes_tx += bytes;
   if (src != dst) {
     stats_[dst].bytes_rx += bytes;
+    if (crosses_core(src, dst)) core_bytes_ += bytes;
     if (profile_.max_chunk_bytes > 0 && bytes > profile_.max_chunk_bytes) {
       co_await occupy_chunked(src, dst, bytes);
       co_await inbox(dst, port).send(Message(src, port, std::move(payload),
@@ -68,7 +70,7 @@ sim::Task<> Fabric::send_impl(int src, int dst, int port, util::Bytes payload,
     auto tx_hold = co_await nodes_[src].tx->acquire();
     auto rx_hold = co_await nodes_[dst].rx->acquire();
     sim::Resource::Hold core_hold;
-    if (core_) core_hold = co_await core_->acquire();
+    if (core_ && crosses_core(src, dst)) core_hold = co_await core_->acquire();
     const double wire_time = profile_.per_message_overhead_s +
                              static_cast<double>(bytes) /
                                  profile_.bandwidth_bytes_per_s;
@@ -94,6 +96,7 @@ sim::Task<> Fabric::transfer(int src, int dst, std::uint64_t bytes) {
   stats_[src].msgs_tx++;
   stats_[src].bytes_tx += bytes;
   stats_[dst].bytes_rx += bytes;
+  if (crosses_core(src, dst)) core_bytes_ += bytes;
   if (profile_.max_chunk_bytes > 0 && bytes > profile_.max_chunk_bytes) {
     co_await occupy_chunked(src, dst, bytes);
     co_return;
@@ -102,7 +105,7 @@ sim::Task<> Fabric::transfer(int src, int dst, std::uint64_t bytes) {
   auto tx_hold = co_await nodes_[src].tx->acquire();
   auto rx_hold = co_await nodes_[dst].rx->acquire();
   sim::Resource::Hold core_hold;
-  if (core_) core_hold = co_await core_->acquire();
+  if (core_ && crosses_core(src, dst)) core_hold = co_await core_->acquire();
   const double wire_time = profile_.per_message_overhead_s +
                            static_cast<double>(bytes) /
                                profile_.bandwidth_bytes_per_s;
@@ -130,7 +133,7 @@ sim::Task<> Fabric::occupy_chunked(int src, int dst, std::uint64_t bytes) {
     auto tx_hold = co_await nodes_[src].tx->acquire();
     auto rx_hold = co_await nodes_[dst].rx->acquire();
     sim::Resource::Hold core_hold;
-    if (core_) core_hold = co_await core_->acquire();
+    if (core_ && crosses_core(src, dst)) core_hold = co_await core_->acquire();
     const double wire_time =
         (first ? profile_.per_message_overhead_s : 0.0) +
         static_cast<double>(chunk) / profile_.bandwidth_bytes_per_s;

@@ -54,6 +54,12 @@ struct NetworkProfile {
   // them. 0 = no flow control (legacy). Interpreted by net::Transport; the
   // raw fabric ignores it.
   std::uint64_t credit_bytes = 0;
+  // Rack topology: nodes [r*rack_size, (r+1)*rack_size) share top-of-rack
+  // switch r. Intra-rack traffic bypasses the core-switch bisection
+  // resource (only NICs serialize it); traffic between racks pays the
+  // oversubscription toll. 0 = flat topology (legacy: every remote wire
+  // occupancy contends for the core switch when one is modelled).
+  int rack_size = 0;
 
   // 1 Gbit/s Ethernet: ~117 MiB/s effective, 100 us latency.
   static NetworkProfile gigabit_ethernet();
@@ -86,6 +92,7 @@ enum Port : int {
   kPortShuffle = 1,       // Glasswing push shuffle
   kPortDfs = 2,           // DFS block pipeline
   kPortHadoopFetch = 3,   // Hadoop pull-shuffle requests
+  kPortRackAgg = 4,       // intra-rack streams to the rack aggregator
   kPortHadoopReplyBase = 1000,  // + reducer id for fetch replies
   kPortRecoveryBase = 2000,     // + recovery round for crash re-shuffle
 };
@@ -159,6 +166,12 @@ class Fabric {
     return core_ ? core_->capacity() : 0;
   }
 
+  // Bytes whose wire occupancy traversed the core switch (inter-rack under
+  // a rack topology; all remote bytes when flat). Counted regardless of
+  // whether the switch resource is modelled, so flat and rack runs can be
+  // compared on the same metric.
+  std::uint64_t core_bytes() const { return core_bytes_; }
+
   std::uint64_t bytes_sent(int node) const { return stats_[node].bytes_tx; }
   std::uint64_t bytes_received(int node) const { return stats_[node].bytes_rx; }
   std::uint64_t messages_sent(int node) const { return stats_[node].msgs_tx; }
@@ -187,6 +200,14 @@ class Fabric {
   // transfer when the message exceeds max_chunk_bytes.
   sim::Task<> occupy_chunked(int src, int dst, std::uint64_t bytes);
 
+  // Whether a (src, dst) wire occupancy traverses the core switch: true
+  // under a flat topology, false for intra-rack traffic when rack_size > 0
+  // (it stays inside the top-of-rack switch).
+  bool crosses_core(int src, int dst) const {
+    return profile_.rack_size <= 0 ||
+           src / profile_.rack_size != dst / profile_.rack_size;
+  }
+
   sim::Simulation& sim_;
   int num_nodes_;
   NetworkProfile profile_;
@@ -195,6 +216,7 @@ class Fabric {
   // Core switch as a counted resource; null under the legacy
   // infinite-bisection model so the default path acquires nothing.
   std::unique_ptr<sim::Resource> core_;
+  std::uint64_t core_bytes_ = 0;  // remote bytes that crossed the core
   std::map<std::pair<int, int>, std::unique_ptr<sim::Channel<Message>>> inboxes_;
   // Ports closed before first use: consumed when the inbox materializes.
   std::set<std::pair<int, int>> pre_closed_;

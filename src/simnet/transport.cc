@@ -16,6 +16,7 @@ const char* traffic_class_name(TrafficClass c) {
     case TrafficClass::kShuffle: return "shuffle";
     case TrafficClass::kDfs: return "dfs";
     case TrafficClass::kControl: return "control";
+    case TrafficClass::kRackAgg: return "rack-agg";
   }
   return "?";
 }

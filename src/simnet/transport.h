@@ -50,8 +50,9 @@ enum class TrafficClass : std::uint8_t {
   kShuffle = 0,  // intermediate data between map and reduce
   kDfs = 1,      // DFS block replication, remote reads, output writes
   kControl = 2,  // protocol frames: EOS markers, fetch requests, heartbeats
+  kRackAgg = 3,  // intra-rack streams feeding a rack-level aggregator
 };
-inline constexpr std::size_t kNumTrafficClasses = 3;
+inline constexpr std::size_t kNumTrafficClasses = 4;
 const char* traffic_class_name(TrafficClass c);
 
 // Typed failure for traffic touching a crashed node: thrown by transport

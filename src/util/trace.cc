@@ -58,6 +58,7 @@ const char* kind_name(Kind k) {
     case Kind::kRetry: return "retry";
     case Kind::kLink: return "link";
     case Kind::kRecovery: return "recovery";
+    case Kind::kCombine: return "combine";
     case Kind::kMark: return "mark";
   }
   return "?";

@@ -40,6 +40,7 @@ enum class Kind : std::uint8_t {
   kRetry,      // task re-execution (arg = split index)
   kLink,       // network link busy interval (arg = bytes on the wire)
   kRecovery,   // node-crash recovery activity (arg = node / round)
+  kCombine,    // hierarchical combine pass (arg = input bytes)
   kMark,       // untyped instant
 };
 const char* kind_name(Kind k);

@@ -75,15 +75,43 @@ void expect_same_output(const JobOutcome& got, const JobOutcome& base) {
 }
 
 TEST(MemoryGovernor, PoolBudgetsPartitionTheNodeBudget) {
+  // Legacy (no combine pool): the four original pools partition the budget
+  // exactly and the combine slot is a 1-byte inert placeholder, so the
+  // legacy pool capacities (and event order) are untouched.
   sim::Simulation sim;
   core::MemoryGovernor gov(sim, 100 << 20);
+  std::uint64_t total = 0;
+  for (int i = 0; i < core::MemoryGovernor::kNumPools; ++i) {
+    const auto p = static_cast<core::MemoryGovernor::Pool>(i);
+    if (p == core::MemoryGovernor::Pool::kCombine) {
+      EXPECT_EQ(gov.pool_budget(p), 1u);
+      continue;
+    }
+    total += gov.pool_budget(p);
+  }
+  EXPECT_EQ(total, gov.budget_bytes());
+  EXPECT_EQ(gov.peak_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(gov.stall_seconds(), 0.0);
+}
+
+TEST(MemoryGovernor, CombinePoolCarvedOutOfStoreShare) {
+  // With the combine pool enabled all five pools partition the budget; the
+  // carve-out comes from the store share, so map-side pools are unchanged.
+  sim::Simulation sim;
+  core::MemoryGovernor legacy(sim, 100 << 20);
+  core::MemoryGovernor gov(sim, 100 << 20, /*with_combine_pool=*/true);
   std::uint64_t total = 0;
   for (int i = 0; i < core::MemoryGovernor::kNumPools; ++i) {
     total += gov.pool_budget(static_cast<core::MemoryGovernor::Pool>(i));
   }
   EXPECT_EQ(total, gov.budget_bytes());
-  EXPECT_EQ(gov.peak_bytes(), 0u);
-  EXPECT_DOUBLE_EQ(gov.stall_seconds(), 0.0);
+  EXPECT_GT(gov.pool_budget(core::MemoryGovernor::Pool::kCombine), 1u);
+  EXPECT_LT(gov.pool_budget(core::MemoryGovernor::Pool::kStore),
+            legacy.pool_budget(core::MemoryGovernor::Pool::kStore));
+  EXPECT_EQ(gov.pool_budget(core::MemoryGovernor::Pool::kMapIn),
+            legacy.pool_budget(core::MemoryGovernor::Pool::kMapIn));
+  EXPECT_EQ(gov.pool_budget(core::MemoryGovernor::Pool::kMapOut),
+            legacy.pool_budget(core::MemoryGovernor::Pool::kMapOut));
 }
 
 TEST(MemoryGovernor, OversizeRequestClampsToPoolCapacity) {
