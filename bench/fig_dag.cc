@@ -1,0 +1,181 @@
+// Multi-round DAG sweep: pinned vs DFS-materialized intermediates.
+//
+// Runs k-means as a 5-iteration fixed-point DAG at two cluster sizes, once
+// with checkpoint edges (every iteration's center file replicated through
+// gwdfs, points re-read from the DFS each round) and once with pinned
+// edges plus the pinned input cache (centers live in node memory, the
+// point splits are read from the DFS once). The interesting quantities are
+// the per-round makespan and the DFS bytes pinning removes from the wire
+// each iteration. Pinning shifts simulated read timing, so float-summing
+// reduces may differ in the last bits — the sweep checks the centers agree
+// to a tight tolerance and that both modes account every point. Emits
+// BENCH_dag.json for PR-over-PR tracking (plain binary, simulated time).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/kmeans.h"
+#include "bench/common.h"
+
+namespace {
+
+using namespace gw;
+
+constexpr int kIterations = 5;
+
+struct ModeRun {
+  apps::KmeansDagResult result;
+  std::vector<double> round_elapsed;
+  std::vector<std::uint64_t> round_dfs;
+  std::uint64_t total_dfs = 0;
+};
+
+ModeRun run_km(int nodes, const apps::KmeansConfig& km,
+               const std::vector<float>& centers, const util::Bytes& points,
+               bool pinned) {
+  cluster::Platform p = bench::make_platform(nodes);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  bench::stage_input(p, fs, "/in/points", points);
+  core::JobConfig cfg;
+  cfg.split_size = 256 << 10;
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  ModeRun out;
+  out.result = apps::kmeans_dag(
+      rt, p, fs, km, centers, "/in/points", "/out/km", kIterations, cfg,
+      pinned ? core::EdgeKind::kPinned : core::EdgeKind::kCheckpoint,
+      /*pin_inputs=*/pinned);
+  for (const auto& r : out.result.dag.rounds) {
+    out.round_elapsed.push_back(r.job.elapsed_seconds);
+    out.round_dfs.push_back(r.job.stats.net_dfs_bytes);
+    out.total_dfs += r.job.stats.net_dfs_bytes;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_dag.json";
+  const apps::KmeansConfig km{.k = 64, .dims = 4};
+  const auto centers = apps::generate_centers(km, 11);
+  const std::uint64_t records =
+      static_cast<std::uint64_t>(100000 * bench::scale());
+  const util::Bytes points = apps::generate_points(km, records, 12);
+
+  struct Row {
+    int nodes = 0;
+    const char* mode = nullptr;
+    const ModeRun* run = nullptr;
+  };
+  std::vector<std::pair<int, std::pair<ModeRun, ModeRun>>> sweeps;
+  double max_center_delta = 0;
+  bool counts_ok = true;
+  for (const int nodes : {4, 8}) {
+    ModeRun dfs_run = run_km(nodes, km, centers, points, /*pinned=*/false);
+    ModeRun pin_run = run_km(nodes, km, centers, points, /*pinned=*/true);
+    for (std::size_t i = 0; i < dfs_run.result.iterations.centers.size();
+         ++i) {
+      const double delta =
+          std::fabs(static_cast<double>(dfs_run.result.iterations.centers[i]) -
+                    static_cast<double>(pin_run.result.iterations.centers[i]));
+      if (delta > max_center_delta) max_center_delta = delta;
+    }
+    std::uint64_t dfs_points = 0, pin_points = 0;
+    for (auto c : dfs_run.result.iterations.counts) dfs_points += c;
+    for (auto c : pin_run.result.iterations.counts) pin_points += c;
+    counts_ok = counts_ok && dfs_points == records && pin_points == records;
+    sweeps.push_back({nodes, {std::move(dfs_run), std::move(pin_run)}});
+  }
+  // Timing-shifted float summation: last-bit wobble is expected, cluster
+  // reassignment is not.
+  const bool centers_ok = max_center_delta < 0.5;
+
+  std::printf("\n=== dag: kmeans %d iterations, pinned vs gwdfs edges ===\n",
+              kIterations);
+  std::printf("%5s %-7s %6s %12s %14s\n", "nodes", "mode", "round",
+              "makespan(s)", "dfs_bytes");
+  for (const auto& [nodes, runs] : sweeps) {
+    for (const auto* mr : {&runs.first, &runs.second}) {
+      const char* mode = mr == &runs.first ? "dfs" : "pinned";
+      for (std::size_t r = 0; r < mr->round_elapsed.size(); ++r) {
+        std::printf("%5d %-7s %6zu %12.3f %14llu\n", nodes, mode, r,
+                    mr->round_elapsed[r],
+                    static_cast<unsigned long long>(mr->round_dfs[r]));
+      }
+    }
+    const std::uint64_t saved = runs.first.total_dfs - runs.second.total_dfs;
+    std::printf(
+        "%5d pinned saves %llu dfs bytes (%.1f%%, %.1f KiB/iteration), "
+        "pinned_peak=%.1fMiB cache_hits=%.1fMiB\n",
+        nodes, static_cast<unsigned long long>(saved),
+        100.0 * static_cast<double>(saved) /
+            static_cast<double>(runs.first.total_dfs),
+        static_cast<double>(saved) / kIterations / 1024.0,
+        static_cast<double>(runs.second.result.dag.pinned_peak_bytes) /
+            1048576.0,
+        static_cast<double>(runs.second.result.dag.cache_hit_bytes) /
+            1048576.0);
+  }
+  std::printf("centers max |delta| = %.3g (%s), counts %s\n",
+              max_center_delta, centers_ok ? "ok" : "MISMATCH",
+              counts_ok ? "ok" : "MISMATCH");
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench_scale\": %g,\n", bench::scale());
+  std::fprintf(f, "  \"iterations\": %d,\n", kIterations);
+  std::fprintf(f, "  \"records\": %llu,\n",
+               static_cast<unsigned long long>(records));
+  std::fprintf(f, "  \"centers_max_delta\": %.17g,\n", max_center_delta);
+  std::fprintf(f, "  \"centers_ok\": %s,\n", centers_ok ? "true" : "false");
+  std::fprintf(f, "  \"counts_ok\": %s,\n", counts_ok ? "true" : "false");
+  std::fprintf(f, "  \"points\": [\n");
+  bool first = true;
+  for (const auto& [nodes, runs] : sweeps) {
+    for (const auto* mr : {&runs.first, &runs.second}) {
+      const char* mode = mr == &runs.first ? "dfs" : "pinned";
+      for (std::size_t r = 0; r < mr->round_elapsed.size(); ++r) {
+        std::fprintf(f,
+                     "%s    {\"nodes\": %d, \"mode\": \"%s\", \"round\": %zu, "
+                     "\"makespan_s\": %.17g, \"net_dfs_bytes\": %llu}",
+                     first ? "" : ",\n", nodes, mode, r, mr->round_elapsed[r],
+                     static_cast<unsigned long long>(mr->round_dfs[r]));
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"summary\": [\n");
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    const auto& [nodes, runs] = sweeps[s];
+    const std::uint64_t saved = runs.first.total_dfs - runs.second.total_dfs;
+    std::fprintf(
+        f,
+        "    {\"nodes\": %d, \"dfs_total_bytes\": %llu, "
+        "\"pinned_total_bytes\": %llu, \"saved_bytes\": %llu, "
+        "\"saved_bytes_per_iteration\": %llu, \"pinned_peak_bytes\": %llu, "
+        "\"cache_hit_bytes\": %llu, \"pin_spills\": %llu}%s\n",
+        nodes, static_cast<unsigned long long>(runs.first.total_dfs),
+        static_cast<unsigned long long>(runs.second.total_dfs),
+        static_cast<unsigned long long>(saved),
+        static_cast<unsigned long long>(saved / kIterations),
+        static_cast<unsigned long long>(
+            runs.second.result.dag.pinned_peak_bytes),
+        static_cast<unsigned long long>(
+            runs.second.result.dag.cache_hit_bytes),
+        static_cast<unsigned long long>(runs.second.result.dag.pin_spills),
+        s + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  return centers_ok && counts_ok ? 0 : 1;
+}

@@ -20,6 +20,7 @@
 #include "apps/kmeans.h"
 #include "apps/matmul.h"
 #include "apps/pageview.h"
+#include "apps/prefixsum.h"
 #include "apps/terasort.h"
 #include "apps/wordcount.h"
 #include "baselines/hadoop/hadoop.h"
@@ -69,12 +70,20 @@ struct Flags {
   // multi-level external merge; --spill-bw overrides spill disk bandwidth.
   std::uint64_t mem_mb = 0;
   double spill_bw_mb = 0;
+  // Multi-round DAG mode: --rounds chains jobs through core::JobDag
+  // (kmeans: N fixed-point iterations; terasort: the 2-round sample sort;
+  // prefixsum always runs its 3-round chain). --pin-intermediates keeps
+  // inter-round data in node memory instead of gwdfs; --kill-round=R
+  // scopes --kill-node events to logical round R.
+  int rounds = 0;
+  bool pin_intermediates = false;
+  int kill_round = -1;
 };
 
 void usage() {
   std::printf(
       "gwrun — run a Glasswing job on a simulated cluster\n\n"
-      "  --app=wc|pvc|terasort|kmeans|matmul|blackscholes\n"
+      "  --app=wc|pvc|terasort|kmeans|matmul|blackscholes|prefixsum\n"
       "  --runtime=glasswing|hadoop      comparison baseline\n"
       "  --device=cpu|gtx480|gtx680|k20m|phi   (glasswing only)\n"
       "  --nodes=N          cluster size (default 4)\n"
@@ -112,6 +121,14 @@ void usage() {
       "                     the multi-level external merge\n"
       "  --spill-bw=MBps    disk bandwidth override for spill/merge i/o\n"
       "                     (0 = the node's disk spec)\n"
+      "  --rounds=N         multi-round DAG mode (core::JobDag): kmeans runs\n"
+      "                     N fixed-point iterations, terasort its 2-round\n"
+      "                     sample sort, prefixsum its 3-round chain\n"
+      "  --pin-intermediates  keep inter-round data pinned in node memory\n"
+      "                     (and cache re-read inputs) instead of writing it\n"
+      "                     back to gwdfs between rounds\n"
+      "  --kill-round=R     scope --kill-node crashes to logical round R\n"
+      "                     (times relative to that round's start)\n"
       "  --trace=FILE       export the run's simulated timeline as Chrome\n"
       "                     trace_event JSON (open in about:tracing/Perfetto)\n");
 }
@@ -188,6 +205,9 @@ int main(int argc, char** argv) {
     else if (parse_flag(argv[i], "--combine", &v)) flags.combine = v;
     else if (parse_flag(argv[i], "--mem-mb", &v)) flags.mem_mb = std::strtoull(v.c_str(), nullptr, 10);
     else if (parse_flag(argv[i], "--spill-bw", &v)) flags.spill_bw_mb = std::atof(v.c_str());
+    else if (parse_flag(argv[i], "--rounds", &v)) flags.rounds = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--kill-round", &v)) flags.kill_round = std::atoi(v.c_str());
+    else if (std::strcmp(argv[i], "--pin-intermediates") == 0) flags.pin_intermediates = true;
     else if (parse_flag(argv[i], "--kill-node", &v)) {
       const auto [node, t] = parse_node_at(v, "--kill-node");
       flags.crash_events.push_back(core::JobConfig::CrashEvent{node, t, -1});
@@ -226,6 +246,9 @@ int main(int argc, char** argv) {
   } else if (flags.app == "blackscholes") {
     app = apps::black_scholes();
     input = apps::generate_options(flags.records, flags.seed);
+  } else if (flags.app == "prefixsum") {
+    // DAG-only workload; the kernels are built per round by the driver.
+    input = apps::generate_prefix_input(flags.records, flags.seed);
   } else {
     std::fprintf(stderr, "unknown app '%s'\n\n", flags.app.c_str());
     usage();
@@ -264,7 +287,8 @@ int main(int argc, char** argv) {
   }(fs, std::move(input)));
   platform.sim().run();
 
-  if (flags.app == "terasort") {
+  const bool dag_mode = flags.rounds > 0 || flags.app == "prefixsum";
+  if (flags.app == "terasort" && !dag_mode) {
     platform.sim().spawn([](dfs::Dfs& f, core::PartitionFn* out) -> sim::Task<> {
       std::vector<std::string> paths = {"/in/data"};
       *out = co_await apps::sample_range_partitioner(f, 0, std::move(paths),
@@ -299,6 +323,19 @@ int main(int argc, char** argv) {
     }
   }
   const bool faulty = !flags.crash_events.empty() || flags.speculate;
+
+  if (dag_mode && flags.runtime == "hadoop") {
+    std::fprintf(stderr, "--rounds/--app=prefixsum need the glasswing runtime\n");
+    return 2;
+  }
+  if (dag_mode && !flags.crash_events.empty() && flags.kill_round < 0) {
+    std::fprintf(stderr, "--kill-node in DAG mode needs --kill-round=R\n");
+    return 2;
+  }
+  if (flags.kill_round >= 0 && (!dag_mode || flags.crash_events.empty())) {
+    std::fprintf(stderr, "--kill-round needs DAG mode and a --kill-node\n");
+    return 2;
+  }
 
   if (flags.runtime == "hadoop") {
     hadoop::HadoopConfig cfg;
@@ -353,12 +390,82 @@ int main(int argc, char** argv) {
                                               : core::OutputMode::kHashTable;
   cfg.use_combiner = flags.combiner;
   cfg.combine_mode = combine_mode;
-  cfg.crash_events = flags.crash_events;
+  if (!dag_mode) cfg.crash_events = flags.crash_events;
   cfg.speculate = flags.speculate;
   cfg.node_memory_bytes = flags.mem_mb << 20;
   cfg.spill_bandwidth_bytes_per_s = flags.spill_bw_mb * 1e6;
 
   core::GlasswingRuntime rt(platform, fs, device_spec(flags.device));
+
+  if (dag_mode) {
+    const core::EdgeKind edge = flags.pin_intermediates
+                                    ? core::EdgeKind::kPinned
+                                    : core::EdgeKind::kCheckpoint;
+    core::DagConfig dc;
+    dc.input_paths = {"/in/data"};
+    dc.output_root = "/out";
+    dc.base = cfg;
+    dc.pin_inputs = flags.pin_intermediates;
+    for (const auto& e : flags.crash_events) {
+      dc.round_crashes.push_back({flags.kill_round, e});
+    }
+    core::DagResult dr;
+    try {
+      if (flags.app == "kmeans") {
+        if (!dc.round_crashes.empty()) {
+          std::fprintf(stderr, "--kill-round is not supported for kmeans\n");
+          return 2;
+        }
+        apps::KmeansConfig km;
+        dr = apps::kmeans_dag(rt, platform, fs, km,
+                              apps::generate_centers(km, flags.seed),
+                              "/in/data", "/out", flags.rounds, cfg, edge,
+                              flags.pin_intermediates)
+                 .dag;
+      } else if (flags.app == "terasort") {
+        dr = apps::terasort_dag(rt, platform, fs, std::move(dc), edge);
+      } else if (flags.app == "prefixsum") {
+        dr = apps::prefix_sums_dag(rt, platform, fs, std::move(dc),
+                                   apps::PrefixSumConfig{}, edge, edge);
+      } else {
+        std::fprintf(stderr, "--rounds: app '%s' has no multi-round form\n",
+                     flags.app.c_str());
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("elapsed %.3fs over %zu rounds\n", dr.elapsed_seconds,
+                dr.rounds.size());
+    for (const auto& rr : dr.rounds) {
+      std::printf("round %d [%s]: elapsed %.3fs  %llu output pairs in %zu "
+                  "files\n",
+                  rr.round, rr.name.c_str(), rr.job.elapsed_seconds,
+                  static_cast<unsigned long long>(rr.job.stats.output_pairs),
+                  rr.outputs.size());
+    }
+    core::print_dag_line(dr);
+    if (flags.net_report) {
+      core::JobStats agg;
+      for (const auto& rr : dr.rounds) {
+        agg.net_shuffle_bytes += rr.job.stats.net_shuffle_bytes;
+        agg.net_dfs_bytes += rr.job.stats.net_dfs_bytes;
+        agg.net_control_bytes += rr.job.stats.net_control_bytes;
+        agg.net_rack_agg_bytes += rr.job.stats.net_rack_agg_bytes;
+      }
+      core::print_traffic_split_line("net", agg);
+    }
+    if (!flags.trace_path.empty()) {
+      if (!platform.sim().tracer().save_chrome_json(flags.trace_path)) {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     flags.trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace written to %s\n", flags.trace_path.c_str());
+    }
+    return 0;
+  }
   core::JobResult r;
   try {
     r = rt.run(app.kernels, cfg);

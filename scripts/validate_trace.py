@@ -26,7 +26,11 @@ node, the recorded peak occupancy must respect the budget. With
 --expect-combine, fail when the trace contains no "combine" spans
 (hierarchical combining must record its combine passes) or no
 "combine.in"/"combine.out" marks; whenever both marks are present for a
-node, the combined output volume must not exceed the input volume.
+node, the combined output volume must not exceed the input volume. With
+--expect-rounds N, fail unless the trace contains exactly N "round"
+spans (one per executed DAG round), each nested inside one of the "job"
+spans — a multi-round trace carries one job span per round, and every
+round span must sit inside its job.
 
 Exit code 0 when valid; 1 with a description on the first violation.
 Stdlib only — runs anywhere CI has a python3.
@@ -46,6 +50,7 @@ KNOWN_CATEGORIES = {
     "combine",
     "retry",
     "recovery",
+    "round",
     "link",
     "mark",
 }
@@ -69,10 +74,19 @@ def main():
         "--expect-combine",
     )
     args = [a for a in args if a not in flags]
+    expect_rounds = None
+    if "--expect-rounds" in args:
+        i = args.index("--expect-rounds")
+        if i + 1 >= len(args) or not args[i + 1].isdigit():
+            print("--expect-rounds needs an integer count")
+            sys.exit(2)
+        expect_rounds = int(args[i + 1])
+        del args[i : i + 2]
     if len(args) != 1:
         print(
             f"usage: {sys.argv[0]} [--expect-links] [--expect-recovery] "
-            "[--expect-spills] [--expect-combine] trace.json"
+            "[--expect-spills] [--expect-combine] [--expect-rounds N] "
+            "trace.json"
         )
         sys.exit(2)
     path = args[0]
@@ -99,7 +113,10 @@ def main():
     mem_peak = {}  # pid -> peak bytes (mem.peak mark)
     combine_in = {}  # pid -> bytes entering combine passes (combine.in mark)
     combine_out = {}  # pid -> bytes leaving combine passes (combine.out mark)
-    job_begin = job_end = None  # job-wide span interval (ts, ts)
+    job_intervals = []  # completed "job" spans as (begin_ts, end_ts)
+    job_open = None  # begin ts of the currently open "job" span
+    round_spans = []  # completed "round" spans as (idx, begin_ts, end_ts)
+    round_open = None  # (idx, begin_ts) of the currently open round span
     recovery_events = []  # (idx, ts) of every recovery-category event
     for idx, ev in enumerate(events):
         where = f"event #{idx}"
@@ -141,9 +158,16 @@ def main():
             recovery_events.append((idx, ev["ts"]))
         if ev["name"] == "job" and ev["cat"] == "phase":
             if ph == "B":
-                job_begin = ev["ts"]
-            elif ph == "E":
-                job_end = ev["ts"]
+                job_open = ev["ts"]
+            elif ph == "E" and job_open is not None:
+                job_intervals.append((job_open, ev["ts"]))
+                job_open = None
+        if ev["cat"] == "round":
+            if ph == "B":
+                round_open = (idx, ev["ts"])
+            elif ph == "E" and round_open is not None:
+                round_spans.append((round_open[0], round_open[1], ev["ts"]))
+                round_open = None
         ts = ev["ts"]
         if not isinstance(ts, (int, float)) or ts < 0:
             fail(f"{where}: bad ts {ts!r}")
@@ -182,13 +206,13 @@ def main():
     if expect_links and link_spans == 0:
         fail("no link spans found (expected network link occupancy)")
     if recovery_events:
-        if job_begin is None or job_end is None:
+        if not job_intervals:
             fail("recovery events present but no complete 'job' span")
         for idx, ts in recovery_events:
-            if not job_begin <= ts <= job_end:
+            if not any(b <= ts <= e for b, e in job_intervals):
                 fail(
-                    f"event #{idx}: recovery event at ts {ts} outside the "
-                    f"job span [{job_begin}, {job_end}]"
+                    f"event #{idx}: recovery event at ts {ts} outside every "
+                    f"job span interval"
                 )
     if expect_recovery and not recovery_events:
         fail("no recovery events found (expected crash-recovery rounds)")
@@ -218,13 +242,24 @@ def main():
             fail(
                 "no combine.in/combine.out marks (expected a combining run)"
             )
+    for idx, begin_ts, end_ts in round_spans:
+        if not any(b <= begin_ts and end_ts <= e for b, e in job_intervals):
+            fail(
+                f"event #{idx}: round span [{begin_ts}, {end_ts}] not "
+                f"nested inside any job span"
+            )
+    if expect_rounds is not None and len(round_spans) != expect_rounds:
+        fail(
+            f"expected {expect_rounds} round spans, found {len(round_spans)}"
+        )
 
     print(
         f"validate_trace: OK: {len(events)} events "
         f"({counts['B']} spans, {counts['i']} instants, "
         f"{link_spans} link spans, {len(recovery_events)} recovery events, "
         f"{spill_spans} spill spans, {merge_spans} merge spans, "
-        f"{combine_spans} combine spans, {len(last_ts)} nodes)"
+        f"{combine_spans} combine spans, {len(round_spans)} round spans, "
+        f"{len(last_ts)} nodes)"
     )
 
 

@@ -29,6 +29,20 @@ inline std::uint32_t get_be32(std::string_view s) {
          static_cast<std::uint32_t>(static_cast<unsigned char>(s[3]));
 }
 
+inline void put_be64(std::string& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>(v >> shift));
+  }
+}
+
+inline std::uint64_t get_be64(std::string_view s) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(s[static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
 // Decimal counters (WordCount/PageviewCount values).
 inline std::uint64_t parse_u64(std::string_view v) {
   std::uint64_t n = 0;

@@ -170,6 +170,110 @@ KmeansReference kmeans_reference(const KmeansConfig& config,
   return ref;
 }
 
+util::Bytes encode_kmeans_state(const std::vector<float>& centers,
+                                const std::vector<std::uint64_t>& counts) {
+  std::string out;
+  out.reserve(centers.size() * 4 + counts.size() * 8);
+  for (float c : centers) append_f32(out, c);
+  for (std::uint64_t n : counts) put_be64(out, n);
+  return util::Bytes(out.begin(), out.end());
+}
+
+void decode_kmeans_state(const KmeansConfig& config, const util::Bytes& state,
+                         std::vector<float>* centers,
+                         std::vector<std::uint64_t>* counts) {
+  const std::size_t k = static_cast<std::size_t>(config.k);
+  const std::size_t kd = k * static_cast<std::size_t>(config.dims);
+  GW_CHECK_MSG(state.size() == kd * 4 + k * 8, "bad kmeans broadcast payload");
+  const std::string_view view(reinterpret_cast<const char*>(state.data()),
+                              state.size());
+  centers->resize(kd);
+  for (std::size_t i = 0; i < kd; ++i) {
+    (*centers)[i] = read_f32(view.data() + i * 4);
+  }
+  counts->resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    (*counts)[c] = get_be64(view.substr(kd * 4 + c * 8));
+  }
+}
+
+KmeansDagResult kmeans_dag(core::GlasswingRuntime& runtime,
+                           cluster::Platform& platform, dfs::FileSystem& fs,
+                           KmeansConfig config,
+                           std::vector<float> initial_centers,
+                           const std::string& points_path,
+                           const std::string& output_prefix, int iterations,
+                           core::JobConfig base, core::EdgeKind edge,
+                           bool pin_inputs, std::uint64_t pin_budget_bytes) {
+  GW_CHECK(iterations >= 1);
+  const int k = config.k;
+  const int d = config.dims;
+
+  core::DagConfig dc;
+  dc.input_paths = {points_path};
+  dc.output_root = output_prefix;
+  dc.base = std::move(base);
+  dc.pin_inputs = pin_inputs;
+  dc.pin_budget_bytes = pin_budget_bytes;
+  dc.initial_broadcast = encode_kmeans_state(
+      initial_centers, std::vector<std::uint64_t>(static_cast<std::size_t>(k)));
+
+  core::JobDag dag(runtime, platform, fs, dc);
+  core::RoundSpec round;
+  round.name = "kmeans";
+  round.edge = edge;
+  round.app = [config](const core::DagRoundState& st) {
+    std::vector<float> centers;
+    std::vector<std::uint64_t> counts;
+    decode_kmeans_state(config, st.broadcast, &centers, &counts);
+    return kmeans(config, std::move(centers)).kernels;
+  };
+  // Every iteration re-reads the full point set (the pinned input cache, if
+  // enabled, absorbs the repeats).
+  round.inputs = [points_path](const core::DagRoundState&) {
+    return std::vector<std::string>{points_path};
+  };
+  round.tune = [output_prefix](core::JobConfig& cfg,
+                               const core::DagRoundState& st) {
+    cfg.output_path = output_prefix + "/iter-" + std::to_string(st.round);
+  };
+  // The re-broadcast step: fold the round's (center-id -> means, count)
+  // pairs into the carried state. Centers with no members keep their old
+  // position, exactly like the legacy hand-rolled loop.
+  round.broadcast = [config, k, d](const core::DagRoundState& st,
+                                   const core::RoundPairs& pairs) {
+    std::vector<float> centers;
+    std::vector<std::uint64_t> counts;
+    decode_kmeans_state(config, st.broadcast, &centers, &counts);
+    counts.assign(static_cast<std::size_t>(k), 0);
+    for (const auto& [key, value] : pairs) {
+      const std::uint32_t cid = get_be32(key);
+      GW_CHECK(cid < static_cast<std::uint32_t>(k));
+      counts[cid] = get_be32(
+          std::string_view(value).substr(static_cast<std::size_t>(d) * 4));
+      if (counts[cid] > 0) {
+        for (int j = 0; j < d; ++j) {
+          centers[static_cast<std::size_t>(cid) * d + j] =
+              read_f32(value.data() + 4 * j);
+        }
+      }
+    }
+    return encode_kmeans_state(centers, counts);
+  };
+  dag.add_round(std::move(round));
+  dag.until(nullptr, iterations);
+
+  KmeansDagResult out;
+  out.dag = dag.run();
+  decode_kmeans_state(config, out.dag.final_broadcast,
+                      &out.iterations.centers, &out.iterations.counts);
+  out.iterations.iterations = out.dag.iterations;
+  for (const auto& r : out.dag.rounds) {
+    out.iterations.total_elapsed_seconds += r.job.elapsed_seconds;
+  }
+  return out;
+}
+
 KmeansIterations kmeans_iterate(core::GlasswingRuntime& runtime,
                                 cluster::Platform& platform,
                                 dfs::FileSystem& fs, KmeansConfig config,
@@ -177,45 +281,9 @@ KmeansIterations kmeans_iterate(core::GlasswingRuntime& runtime,
                                 const std::string& points_path,
                                 const std::string& output_prefix,
                                 int iterations, core::JobConfig base) {
-  GW_CHECK(iterations >= 1);
-  KmeansIterations out;
-  out.centers = std::move(initial_centers);
-  const int k = config.k;
-  const int d = config.dims;
-
-  for (int iter = 0; iter < iterations; ++iter) {
-    core::JobConfig cfg = base;
-    cfg.input_paths = {points_path};
-    cfg.output_path = output_prefix + "/iter-" + std::to_string(iter);
-    const AppSpec app = kmeans(config, out.centers);
-    const core::JobResult result = runtime.run(app.kernels, cfg);
-    out.total_elapsed_seconds += result.elapsed_seconds;
-    ++out.iterations;
-
-    // Read the new centers back (the re-broadcast step).
-    out.counts.assign(static_cast<std::size_t>(k), 0);
-    for (const auto& path : result.output_files) {
-      util::Bytes contents;
-      platform.sim().spawn([](dfs::FileSystem& f, std::string pa,
-                              util::Bytes* o) -> sim::Task<> {
-        *o = co_await f.read_all(f.block_locations(pa, 0).front(), pa);
-      }(fs, path, &contents));
-      platform.sim().run();
-      for (auto& [key, value] : core::read_output_file(contents)) {
-        const std::uint32_t cid = get_be32(key);
-        GW_CHECK(cid < static_cast<std::uint32_t>(k));
-        out.counts[cid] = get_be32(
-            std::string_view(value).substr(static_cast<std::size_t>(d) * 4));
-        if (out.counts[cid] > 0) {
-          for (int j = 0; j < d; ++j) {
-            out.centers[static_cast<std::size_t>(cid) * d + j] =
-                read_f32(value.data() + 4 * j);
-          }
-        }
-      }
-    }
-  }
-  return out;
+  return kmeans_dag(runtime, platform, fs, config, std::move(initial_centers),
+                    points_path, output_prefix, iterations, std::move(base))
+      .iterations;
 }
 
 }  // namespace gw::apps

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/common.h"
+#include "core/dag.h"
 #include "core/job.h"
 #include "util/bytes.h"
 
@@ -44,6 +45,37 @@ struct KmeansIterations {
   int iterations = 0;
 };
 
+// Broadcast payload codec for the per-round driver state: k*d f32 centers
+// followed by k be64 membership counts.
+util::Bytes encode_kmeans_state(const std::vector<float>& centers,
+                                const std::vector<std::uint64_t>& counts);
+void decode_kmeans_state(const KmeansConfig& config, const util::Bytes& state,
+                         std::vector<float>* centers,
+                         std::vector<std::uint64_t>* counts);
+
+struct KmeansDagResult {
+  KmeansIterations iterations;
+  core::DagResult dag;
+};
+
+// K-means as a fixed-point DAG loop: one looping round whose map bakes in
+// the broadcast centers, with the updated centers extracted from the round
+// output and re-broadcast. `edge` picks where each iteration's (tiny)
+// center file lives; `pin_inputs` caches the re-read point splits in pinned
+// memory so iterations 1..n-1 skip the DFS read path.
+KmeansDagResult kmeans_dag(core::GlasswingRuntime& runtime,
+                           cluster::Platform& platform, dfs::FileSystem& fs,
+                           KmeansConfig config,
+                           std::vector<float> initial_centers,
+                           const std::string& points_path,
+                           const std::string& output_prefix, int iterations,
+                           core::JobConfig base,
+                           core::EdgeKind edge = core::EdgeKind::kCheckpoint,
+                           bool pin_inputs = false,
+                           std::uint64_t pin_budget_bytes = 0);
+
+// Legacy entry point; now a thin wrapper over kmeans_dag with checkpoint
+// edges and no input pinning (byte-identical outputs and elapsed time).
 KmeansIterations kmeans_iterate(core::GlasswingRuntime& runtime,
                                 cluster::Platform& platform,
                                 dfs::FileSystem& fs, KmeansConfig config,

@@ -1,0 +1,210 @@
+#include "apps/prefixsum.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace gw::apps {
+
+namespace {
+
+std::string be64_key(std::uint64_t v) {
+  std::string out;
+  put_be64(out, v);
+  return out;
+}
+
+core::AppKernels blocksum_kernels(std::uint64_t block_records) {
+  core::AppKernels k;
+  k.name = "prefix-blocksum";
+  k.fixed_record_size = kPrefixRecordSize;
+  k.map = [block_records](std::string_view record, core::MapContext& ctx) {
+    GW_CHECK(record.size() == kPrefixRecordSize);
+    const std::uint64_t index = get_be64(record);
+    ctx.charge_ops(10);
+    ctx.emit(be64_key(index / block_records), record.substr(8));
+  };
+  auto sum_values = [](std::string_view key,
+                       const std::vector<std::string_view>& values,
+                       core::ReduceContext& ctx) {
+    std::uint64_t sum = 0;
+    for (auto v : values) sum += get_be64(v);
+    ctx.charge_ops(values.size() * 2);
+    ctx.emit(key, be64_key(sum));
+  };
+  k.combine = sum_values;
+  // u64 addition regroups exactly: hierarchical combining stays byte-safe.
+  k.combine_associative = true;
+  k.reduce = sum_values;
+  return k;
+}
+
+core::AppKernels scan_kernels() {
+  core::AppKernels k;
+  k.name = "prefix-scan";
+  k.split_records = core::run_output_record_splitter();
+  k.map = [](std::string_view record, core::MapContext& ctx) {
+    const auto [block, sum] = core::decode_pair_record(record);
+    GW_CHECK(block.size() == 8 && sum.size() == 8);
+    std::string gathered(block);
+    gathered.append(sum);
+    ctx.charge_ops(8);
+    ctx.emit("scan", gathered);
+  };
+  // Single gather partition: the scan is inherently sequential.
+  k.partition = [](std::string_view, std::uint32_t) { return std::uint32_t{0}; };
+  k.reduce = [](std::string_view, const std::vector<std::string_view>& values,
+                core::ReduceContext& ctx) {
+    // (block, sum) records in arbitrary shuffle order; the 8-byte be64
+    // block prefix makes a plain lexicographic sort numeric.
+    std::vector<std::string> entries(values.begin(), values.end());
+    std::sort(entries.begin(), entries.end());
+    ctx.charge_ops(entries.size() * 8);
+    std::uint64_t running = 0;
+    for (const auto& e : entries) {
+      ctx.emit(std::string_view(e).substr(0, 8), be64_key(running));
+      running += get_be64(std::string_view(e).substr(8));
+    }
+  };
+  return k;
+}
+
+core::AppKernels apply_kernels(std::uint64_t block_records,
+                               const util::Bytes& offsets_payload) {
+  // Broadcast payload: per block, be64 block id + be64 exclusive offset,
+  // in block order.
+  GW_CHECK_MSG(offsets_payload.size() % 16 == 0 && !offsets_payload.empty(),
+               "bad prefix offsets broadcast payload");
+  const std::uint64_t num_blocks = offsets_payload.size() / 16;
+  auto offsets = std::make_shared<std::vector<std::uint64_t>>();
+  offsets->resize(num_blocks);
+  const std::string_view view(
+      reinterpret_cast<const char*>(offsets_payload.data()),
+      offsets_payload.size());
+  for (std::uint64_t b = 0; b < num_blocks; ++b) {
+    GW_CHECK(get_be64(view.substr(b * 16)) == b);
+    (*offsets)[b] = get_be64(view.substr(b * 16 + 8));
+  }
+
+  core::AppKernels k;
+  k.name = "prefix-apply";
+  k.fixed_record_size = kPrefixRecordSize;
+  k.map = [block_records](std::string_view record, core::MapContext& ctx) {
+    GW_CHECK(record.size() == kPrefixRecordSize);
+    const std::uint64_t index = get_be64(record);
+    ctx.charge_ops(10);
+    ctx.emit(be64_key(index / block_records), record);
+  };
+  // Contiguous block ranges per partition: partition files concatenated in
+  // index order stay globally sorted by record index.
+  k.partition = [num_blocks](std::string_view key,
+                             std::uint32_t total) -> std::uint32_t {
+    const std::uint64_t block = get_be64(key);
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(block * total / num_blocks, total - 1));
+  };
+  k.reduce = [offsets](std::string_view key,
+                       const std::vector<std::string_view>& values,
+                       core::ReduceContext& ctx) {
+    const std::uint64_t block = get_be64(key);
+    GW_CHECK(block < offsets->size());
+    // Replay the block's records in index order from the scanned offset.
+    std::vector<std::string> entries(values.begin(), values.end());
+    std::sort(entries.begin(), entries.end());
+    ctx.charge_ops(entries.size() * 8);
+    std::uint64_t running = (*offsets)[block];
+    for (const auto& e : entries) {
+      running += get_be64(std::string_view(e).substr(8));
+      ctx.emit(std::string_view(e).substr(0, 8), be64_key(running));
+    }
+  };
+  return k;
+}
+
+}  // namespace
+
+util::Bytes generate_prefix_input(std::uint64_t records, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string out;
+  out.reserve(records * kPrefixRecordSize);
+  for (std::uint64_t r = 0; r < records; ++r) {
+    put_be64(out, r);
+    put_be64(out, rng.below(1u << 20));
+  }
+  return util::Bytes(out.begin(), out.end());
+}
+
+util::Bytes prefix_reference(const util::Bytes& input) {
+  GW_CHECK(input.size() % kPrefixRecordSize == 0);
+  const std::string_view view(reinterpret_cast<const char*>(input.data()),
+                              input.size());
+  std::string out;
+  out.reserve(input.size());
+  std::uint64_t running = 0;
+  for (std::size_t off = 0; off < view.size(); off += kPrefixRecordSize) {
+    running += get_be64(view.substr(off + 8));
+    put_be64(out, get_be64(view.substr(off)));
+    put_be64(out, running);
+  }
+  return util::Bytes(out.begin(), out.end());
+}
+
+core::DagResult prefix_sums_dag(core::GlasswingRuntime& runtime,
+                                cluster::Platform& platform,
+                                dfs::FileSystem& fs, core::DagConfig dag,
+                                PrefixSumConfig config,
+                                core::EdgeKind sums_edge,
+                                core::EdgeKind offsets_edge) {
+  GW_CHECK(config.block_records > 0);
+  const std::uint64_t block_records = config.block_records;
+  const std::vector<std::string> input_paths = dag.input_paths;
+
+  core::JobDag jd(runtime, platform, fs, std::move(dag));
+
+  core::RoundSpec blocksum;
+  blocksum.name = "blocksum";
+  blocksum.edge = sums_edge;
+  blocksum.app = [block_records](const core::DagRoundState&) {
+    return blocksum_kernels(block_records);
+  };
+  jd.add_round(std::move(blocksum));
+
+  core::RoundSpec scan;
+  scan.name = "scan";
+  scan.edge = offsets_edge;
+  scan.app = [](const core::DagRoundState&) { return scan_kernels(); };
+  // Round 0's reduce output feeds this round's map directly (the data
+  // edge); each run file must be one whole-file split for the re-framing
+  // splitter, so the split size covers any output file.
+  scan.tune = [](core::JobConfig& cfg, const core::DagRoundState&) {
+    cfg.split_size = 1ull << 30;
+  };
+  scan.broadcast = [](const core::DagRoundState&,
+                      const core::RoundPairs& pairs) {
+    std::string payload;
+    payload.reserve(pairs.size() * 16);
+    for (const auto& [block, offset] : pairs) {
+      payload.append(block);
+      payload.append(offset);
+    }
+    return util::Bytes(payload.begin(), payload.end());
+  };
+  jd.add_round(std::move(scan));
+
+  core::RoundSpec apply;
+  apply.name = "apply";
+  apply.app = [block_records](const core::DagRoundState& st) {
+    return apply_kernels(block_records, st.broadcast);
+  };
+  apply.inputs = [input_paths](const core::DagRoundState&) {
+    return input_paths;
+  };
+  jd.add_round(std::move(apply));
+
+  return jd.run();
+}
+
+}  // namespace gw::apps

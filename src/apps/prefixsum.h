@@ -1,0 +1,50 @@
+// Multi-round parallel prefix sums (the canonical Goodrich-style MRC
+// algorithm: O(1) rounds of block aggregation, a logarithmic-work scan of
+// the block sums, and a broadcast apply pass).
+//
+// Input records are 16 bytes: be64 index, be64 value. The DAG computes the
+// INCLUSIVE prefix sum out[i] = v[0] + ... + v[i] in three rounds:
+//   0 "blocksum": map groups records into blocks of block_records, the
+//     (associative) combiner/reducer sum each block -> (block, sum).
+//   1 "scan": a single gather partition collects every block sum — the
+//     round's input is round 0's reduce output re-framed with
+//     run_output_record_splitter (the DAG data edge under test) — and one
+//     reduce emits each block's exclusive offset.
+//   2 "apply": re-reads the original records; the broadcast carries the
+//     block offsets, the reduce of each block replays its records in index
+//     order starting from the block offset. Concatenating the partition
+//     files in index order yields the globally index-sorted result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/common.h"
+#include "core/dag.h"
+
+namespace gw::apps {
+
+constexpr std::uint64_t kPrefixRecordSize = 16;
+
+struct PrefixSumConfig {
+  std::uint64_t block_records = 4096;  // records aggregated per block
+};
+
+// `records` sequential indexes with deterministic values below 2^20.
+util::Bytes generate_prefix_input(std::uint64_t records, std::uint64_t seed);
+
+// Single-threaded inclusive prefix sum over the generated input; returns
+// the expected output records (be64 index, be64 inclusive sum).
+util::Bytes prefix_reference(const util::Bytes& input);
+
+// Runs the three-round chain. `dag` must carry input_paths (one file of
+// prefix records), output_root and the base JobConfig; crash-injection
+// fields pass through. `sums_edge` types the round-0 -> round-1 data edge,
+// `offsets_edge` the round-1 -> round-2 edge.
+core::DagResult prefix_sums_dag(
+    core::GlasswingRuntime& runtime, cluster::Platform& platform,
+    dfs::FileSystem& fs, core::DagConfig dag, PrefixSumConfig config,
+    core::EdgeKind sums_edge = core::EdgeKind::kPinned,
+    core::EdgeKind offsets_edge = core::EdgeKind::kCheckpoint);
+
+}  // namespace gw::apps

@@ -66,6 +66,114 @@ sim::Task<core::PartitionFn> sample_range_partitioner(
       });
 }
 
+util::Bytes encode_splitters(const std::vector<std::string>& splitters) {
+  std::string out;
+  put_be32(out, static_cast<std::uint32_t>(splitters.size()));
+  for (const auto& s : splitters) {
+    put_be32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+  }
+  return util::Bytes(out.begin(), out.end());
+}
+
+std::vector<std::string> decode_splitters(const util::Bytes& payload) {
+  const std::string_view view(reinterpret_cast<const char*>(payload.data()),
+                              payload.size());
+  GW_CHECK(view.size() >= 4);
+  const std::uint32_t count = get_be32(view);
+  std::vector<std::string> splitters;
+  splitters.reserve(count);
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = get_be32(view.substr(off));
+    off += 4;
+    splitters.emplace_back(view.substr(off, len));
+    off += len;
+  }
+  GW_CHECK(off == view.size());
+  return splitters;
+}
+
+core::PartitionFn splitter_range_partitioner(
+    std::vector<std::string> splitters) {
+  auto shared = std::make_shared<std::vector<std::string>>(std::move(splitters));
+  return [shared](std::string_view key, std::uint32_t total) -> std::uint32_t {
+    const auto it = std::upper_bound(
+        shared->begin(), shared->end(), key,
+        [](std::string_view k, const std::string& s) {
+          return k < std::string_view(s);
+        });
+    const auto bucket = static_cast<std::uint64_t>(it - shared->begin());
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(bucket, total - 1));
+  };
+}
+
+core::DagResult terasort_dag(core::GlasswingRuntime& runtime,
+                             cluster::Platform& platform, dfs::FileSystem& fs,
+                             core::DagConfig dag, core::EdgeKind sample_edge,
+                             std::uint32_t sample_every) {
+  GW_CHECK(sample_every > 0);
+  const std::uint32_t total_partitions =
+      static_cast<std::uint32_t>(platform.num_nodes()) *
+      static_cast<std::uint32_t>(dag.base.partitions_per_node);
+  const std::vector<std::string> input_paths = dag.input_paths;
+
+  core::JobDag jd(runtime, platform, fs, std::move(dag));
+
+  core::RoundSpec sample;
+  sample.name = "sample";
+  sample.edge = sample_edge;
+  sample.app = [sample_every](const core::DagRoundState&) {
+    AppSpec spec;
+    spec.kernels.name = "terasort-sample";
+    spec.kernels.fixed_record_size = kTeraRecordSize;
+    spec.kernels.map = [sample_every](std::string_view record,
+                                      core::MapContext& ctx) {
+      ctx.charge_ops(12);
+      const std::string_view key = record.substr(0, kTeraKeySize);
+      if (util::fnv1a(key.data(), key.size()) % sample_every == 0) {
+        ctx.emit(key, {});
+      }
+    };
+    // Everything into one merge-sorted sample partition; no reduce.
+    spec.kernels.partition = [](std::string_view, std::uint32_t) {
+      return std::uint32_t{0};
+    };
+    return spec.kernels;
+  };
+  sample.broadcast = [total_partitions](const core::DagRoundState&,
+                                        const core::RoundPairs& pairs) {
+    // Equal-frequency quantiles over the merge-sorted samples.
+    std::vector<std::string> splitters;
+    if (!pairs.empty()) {
+      for (std::uint32_t b = 1; b < total_partitions; ++b) {
+        const std::size_t rank = static_cast<std::size_t>(
+            static_cast<std::uint64_t>(b) * pairs.size() / total_partitions);
+        splitters.push_back(pairs[rank].first);
+      }
+    }
+    return encode_splitters(splitters);
+  };
+  jd.add_round(std::move(sample));
+
+  core::RoundSpec sort;
+  sort.name = "sort";
+  sort.app = [](const core::DagRoundState& st) {
+    AppSpec spec = terasort();
+    spec.kernels.partition =
+        splitter_range_partitioner(decode_splitters(st.broadcast));
+    return spec.kernels;
+  };
+  // The sort round re-reads the original records, not the sample file.
+  sort.inputs = [input_paths](const core::DagRoundState&) {
+    return input_paths;
+  };
+  jd.add_round(std::move(sort));
+
+  return jd.run();
+}
+
 util::Bytes generate_terasort(std::uint64_t records, std::uint64_t seed) {
   util::Rng rng(seed);
   util::Bytes data;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/common.h"
+#include "core/dag.h"
 #include "gwdfs/fs.h"
 #include "sim/sim.h"
 #include "util/bytes.h"
@@ -31,6 +32,31 @@ AppSpec terasort();
 sim::Task<core::PartitionFn> sample_range_partitioner(
     dfs::FileSystem& fs, int node, std::vector<std::string> paths,
     std::size_t samples_per_file);
+
+// TeraSort as a two-round sample-sort DAG (the classic distribution sort):
+// round 0 maps over the full input emitting every sample_every-th key
+// (deterministic fnv1a selection) into one merge-sorted sample partition;
+// the driver distills P-1 equal-frequency splitters from it and broadcasts
+// them; round 1 re-reads the original input and range-partitions with the
+// broadcast splitters. Replaces the client-side sampling pre-pass with a
+// proper MapReduce round, as Hadoop's TeraSort does. The concatenation of
+// round 1's partition files in index order is globally sorted.
+//
+// `sample_edge` picks where the (tiny) sample file lives between rounds;
+// dag.input_paths / dag.output_root / dag.base must be filled by the caller
+// (crash injection fields pass through).
+core::DagResult terasort_dag(core::GlasswingRuntime& runtime,
+                             cluster::Platform& platform, dfs::FileSystem& fs,
+                             core::DagConfig dag,
+                             core::EdgeKind sample_edge =
+                                 core::EdgeKind::kPinned,
+                             std::uint32_t sample_every = 64);
+
+// Decodes splitters and returns the monotone range partitioner used by
+// terasort_dag's sort round (exposed for tests).
+util::Bytes encode_splitters(const std::vector<std::string>& splitters);
+std::vector<std::string> decode_splitters(const util::Bytes& payload);
+core::PartitionFn splitter_range_partitioner(std::vector<std::string> splitters);
 
 // Generates `records` gensort-like records.
 util::Bytes generate_terasort(std::uint64_t records, std::uint64_t seed);

@@ -239,6 +239,14 @@ struct JobConfig {
   // Safety valve for pathological crash schedules: maximum number of
   // recovery rounds before the job aborts.
   int max_recovery_rounds = 8;
+  // Set by core::JobDag (>= 0 = this job is round N of a multi-round DAG):
+  // the tracer is not cleared between rounds (the trace covers the whole
+  // DAG, with one kRound span per executed job), nodes dead at job start
+  // are tolerated, and input data loss is survivable — lost splits are
+  // skipped and counted in JobStats::input_splits_lost so the DAG driver
+  // can rewind to the last round whose inputs still exist. Single jobs
+  // (-1) keep the legacy behavior: data loss is fatal.
+  int dag_round = -1;
 
   int effective_merger_threads() const {
     return merger_threads > 0 ? merger_threads : partitions_per_node;
@@ -278,6 +286,10 @@ struct JobStats {
   std::uint64_t duplicate_runs_dropped = 0;  // dedup hits from re-execution
   std::uint64_t speculative_wins = 0;      // clones that committed first
   std::uint64_t speculative_losses = 0;    // clones beaten by the original
+  // Input splits whose data vanished mid-job (every replica / pinned host
+  // dead). Only possible in DAG rounds (JobConfig::dag_round >= 0), where
+  // the driver reacts by rewinding; always 0 for single jobs.
+  std::uint64_t input_splits_lost = 0;
   std::uint64_t input_records = 0;
   std::uint64_t intermediate_pairs = 0;
   std::uint64_t intermediate_bytes = 0;   // serialized, pre-compression

@@ -1,0 +1,285 @@
+#include "core/dag.h"
+
+#include <utility>
+
+#include "simnet/transport.h"
+#include "util/error.h"
+
+namespace gw::core {
+
+namespace {
+
+sim::Task<> read_file_task(dfs::FileSystem& fs, std::string path,
+                           util::Bytes* out) {
+  // Driver readback from the first block holder (a pinned file reads
+  // locally on its host for free; a checkpointed file pays the DFS path).
+  *out = co_await fs.read_all(fs.block_locations(path, 0).front(), path);
+}
+
+sim::Task<> broadcast_task(cluster::Platform& platform, int src,
+                           std::uint64_t bytes) {
+  for (int dst = 0; dst < platform.num_nodes(); ++dst) {
+    if (dst == src || !platform.sim().node_alive(dst)) continue;
+    try {
+      co_await platform.transport().transfer(src, dst, net::kPortBroadcast,
+                                             net::TrafficClass::kControl,
+                                             bytes);
+    } catch (const net::NodeDownError&) {
+      // A crash raced the broadcast; the dead node never joins the next
+      // round, so its missing copy is moot.
+    }
+  }
+}
+
+}  // namespace
+
+JobDag::JobDag(GlasswingRuntime& runtime, cluster::Platform& platform,
+               dfs::FileSystem& fs, DagConfig config)
+    : runtime_(runtime), platform_(platform), config_(std::move(config)) {
+  std::uint64_t budget = config_.pin_budget_bytes;
+  if (budget == 0 && config_.base.governed()) {
+    // Mirror the memory governor's store share: pinned intermediates live
+    // where the intermediate store's run cache would.
+    budget = config_.base.node_memory_bytes * 2 / 5;
+  }
+  pinned_ = std::make_unique<dfs::PinnedFs>(platform_, fs, budget);
+  pinned_->set_cache_reads(config_.pin_inputs);
+}
+
+void JobDag::add_round(RoundSpec spec) {
+  GW_CHECK_MSG(!loop_, "add_round after until()");
+  GW_CHECK_MSG(spec.app != nullptr, "DAG round needs an app factory");
+  specs_.push_back(std::move(spec));
+}
+
+void JobDag::until(ConvergedFn converged, int max_iterations) {
+  GW_CHECK_MSG(!specs_.empty(), "until() needs a round to repeat");
+  GW_CHECK_MSG(max_iterations > 0, "until() needs a positive iteration cap");
+  loop_ = true;
+  converged_ = std::move(converged);
+  max_iterations_ = max_iterations;
+}
+
+bool JobDag::inputs_available(const std::vector<std::string>& paths) const {
+  for (const auto& p : paths) {
+    if (pinned_->lost(p)) return false;
+    if (pinned_->pinned(p)) continue;
+    if (!pinned_->exists(p)) return false;
+    // A base-fs file can exist in metadata with dead replicas: require a
+    // live holder for every block.
+    const std::uint64_t size = pinned_->file_size(p);
+    const std::uint64_t bs = pinned_->block_size();
+    for (std::uint64_t off = 0; off < size; off += bs) {
+      if (pinned_->block_locations(p, off / bs).empty()) return false;
+    }
+  }
+  return true;
+}
+
+RoundPairs JobDag::read_pairs(const std::vector<std::string>& files) {
+  RoundPairs all;
+  auto& sim = platform_.sim();
+  for (const auto& path : files) {
+    util::Bytes contents;
+    sim.spawn(read_file_task(*pinned_, path, &contents));
+    sim.run();
+    auto pairs = read_output_file(contents);
+    all.insert(all.end(), std::make_move_iterator(pairs.begin()),
+               std::make_move_iterator(pairs.end()));
+  }
+  return all;
+}
+
+void JobDag::broadcast_payload(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  auto& sim = platform_.sim();
+  int src = -1;
+  for (int n = 0; n < platform_.num_nodes(); ++n) {
+    if (sim.node_alive(n)) {
+      src = n;
+      break;
+    }
+  }
+  if (src < 0) return;
+  sim.spawn(broadcast_task(platform_, src, bytes));
+  sim.run();
+}
+
+void JobDag::fire_edge_crashes(int round, std::vector<bool>& used) {
+  auto& sim = platform_.sim();
+  bool any = false;
+  for (std::size_t i = 0; i < config_.edge_crashes.size(); ++i) {
+    if (used[i]) continue;
+    const DagConfig::EdgeCrash& ec = config_.edge_crashes[i];
+    if (ec.after_round != round) continue;
+    used[i] = true;
+    GW_CHECK_MSG(ec.node >= 0 && ec.node < platform_.num_nodes(),
+                 "edge crash on a node outside the platform");
+    if (!sim.node_alive(ec.node)) continue;
+    sim.schedule_node_crash(ec.node, 0.0, ec.restart_after_s);
+    any = true;
+  }
+  // Land the crash (and the DFS replica pruning its listeners do) before
+  // the next round plans its splits.
+  if (any) sim.run();
+}
+
+void JobDag::rewind(std::vector<Done>& done, DagResult& out, DagRoundState& st,
+                    int& spec_i, int& iter,
+                    const std::vector<std::string>& failed_inputs,
+                    const std::vector<std::string>& failed_outputs) {
+  ++out.replays;
+  GW_CHECK_MSG(out.replays <= config_.max_replays,
+               "DAG replay limit exceeded: pinned inputs keep vanishing");
+  // The failed round's committed partitions were produced without the lost
+  // splits: delete the garbage before the replay re-writes the paths.
+  for (const auto& f : failed_outputs) pinned_->remove(f);
+  // Back to the newest round whose inputs all still exist; the failed
+  // round itself (index done.size()) qualifies when the loss was confined
+  // to its outputs.
+  int target = static_cast<int>(done.size());
+  if (!inputs_available(failed_inputs)) {
+    target = static_cast<int>(done.size()) - 1;
+    while (target >= 0 && !inputs_available(done[static_cast<std::size_t>(
+                              target)].inputs)) {
+      --target;
+    }
+    GW_CHECK_MSG(target >= 0, "DAG unrecoverable: round-0 inputs lost");
+  }
+  while (static_cast<int>(done.size()) > target) {
+    Done d = std::move(done.back());
+    done.pop_back();
+    out.rounds.pop_back();
+    for (const auto& f : d.outputs) pinned_->remove(f);
+    st = std::move(d.entry);
+    spec_i = d.spec;
+    iter = d.iteration;
+  }
+}
+
+DagResult JobDag::run() {
+  GW_CHECK_MSG(!specs_.empty(), "DAG has no rounds");
+  auto& sim = platform_.sim();
+  // One trace per DAG; rounds keep appending (job.cc resets occupancy, not
+  // the span ring, when config.dag_round >= 0).
+  sim.tracer().clear();
+  const double t0 = sim.now();
+
+  DagResult out;
+  std::vector<Done> done;
+  std::vector<bool> round_used(config_.round_crashes.size(), false);
+  std::vector<bool> edge_used(config_.edge_crashes.size(), false);
+  DagRoundState st;
+  st.broadcast = config_.initial_broadcast;
+  int spec_i = 0;
+  int iter = 0;
+
+  for (;;) {
+    const RoundSpec& spec = specs_[static_cast<std::size_t>(spec_i)];
+    st.round = static_cast<int>(done.size());
+    st.iteration = iter;
+
+    std::vector<std::string> inputs =
+        spec.inputs ? spec.inputs(st)
+                    : (st.round == 0 ? config_.input_paths : st.prev_outputs);
+    GW_CHECK_MSG(!inputs.empty(), "DAG round has no inputs");
+    if (!inputs_available(inputs)) {
+      // An inter-round crash took pinned inputs before the round started.
+      rewind(done, out, st, spec_i, iter, inputs, {});
+      continue;
+    }
+
+    JobConfig cfg = config_.base;
+    cfg.input_paths = inputs;
+    cfg.output_path = config_.output_root + "/" +
+                      (spec.name.empty() ? "round" : spec.name) + "-" +
+                      std::to_string(st.round);
+    cfg.dag_round = st.round;
+    cfg.crash_events.clear();
+    for (std::size_t c = 0; c < config_.round_crashes.size(); ++c) {
+      if (round_used[c] || config_.round_crashes[c].round != st.round) {
+        continue;
+      }
+      cfg.crash_events.push_back(config_.round_crashes[c].event);
+      round_used[c] = true;
+    }
+    if (spec.tune) spec.tune(cfg, st);
+
+    AppKernels app = spec.app(st);
+    pinned_->set_pin_writes(spec.edge == EdgeKind::kPinned);
+    JobResult jr = runtime_.run(app, cfg, pinned_.get());
+    ++out.rounds_executed;
+
+    if (jr.stats.input_splits_lost > 0) {
+      // Pinned inputs died mid-round: the round completed degraded over the
+      // surviving splits, so its output is garbage — regenerate the lost
+      // edge and replay.
+      rewind(done, out, st, spec_i, iter, inputs, jr.output_files);
+      continue;
+    }
+
+    const bool is_last = spec_i + 1 == static_cast<int>(specs_.size());
+    const bool looping = loop_ && is_last;
+    RoundPairs pairs;
+    if (spec.broadcast || (looping && converged_)) {
+      pairs = read_pairs(jr.output_files);
+    }
+    util::Bytes payload = st.broadcast;
+    if (spec.broadcast) {
+      payload = spec.broadcast(st, pairs);
+      broadcast_payload(payload.size());
+    }
+
+    Done d;
+    d.spec = spec_i;
+    d.iteration = iter;
+    d.entry = st;
+    d.inputs = inputs;
+    d.outputs = jr.output_files;
+    done.push_back(std::move(d));
+    DagRoundResult rr;
+    rr.name = spec.name;
+    rr.round = st.round;
+    rr.iteration = iter;
+    rr.edge = spec.edge;
+    rr.job = jr;
+    rr.outputs = jr.output_files;
+    out.rounds.push_back(std::move(rr));
+
+    fire_edge_crashes(st.round, edge_used);
+
+    DagRoundState next;
+    next.round = st.round + 1;
+    next.broadcast = payload;
+    next.prev_outputs = jr.output_files;
+    bool finished = false;
+    if (looping) {
+      const int iters_done = iter + 1;
+      out.iterations = iters_done;
+      const bool conv = converged_ && converged_(iters_done, payload, pairs);
+      if (conv || iters_done >= max_iterations_) {
+        finished = true;
+      } else {
+        next.iteration = iter + 1;
+        ++iter;
+      }
+    } else if (is_last) {
+      finished = true;
+    } else {
+      ++spec_i;
+      iter = 0;
+    }
+    st = std::move(next);
+    if (finished) break;
+  }
+
+  out.final_outputs = done.back().outputs;
+  out.final_broadcast = st.broadcast;
+  out.pinned_peak_bytes = pinned_->peak_pinned_bytes();
+  out.pin_spills = pinned_->pin_spills();
+  out.cache_hit_bytes = pinned_->cache_hit_bytes();
+  out.elapsed_seconds = sim.now() - t0;
+  return out;
+}
+
+}  // namespace gw::core

@@ -9,6 +9,7 @@
 #include "core/combine.h"
 #include "core/intermediate.h"
 #include "core/memory.h"
+#include "gwdfs/pinned.h"
 #include "simnet/transport.h"
 #include "util/error.h"
 
@@ -332,7 +333,13 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
     topo.rack_size = ctx.platform->fabric().profile().rack_size;
     topo.num_nodes = ctx.num_nodes;
   }
-  int expected = ctx.num_nodes;
+  // Expect one EOS per node alive at job start (all of them, normally; a
+  // DAG round after an unrecovered inter-round crash runs degraded and the
+  // dead nodes never open a stream).
+  int expected = 0;
+  for (int n = 0; n < ctx.num_nodes; ++n) {
+    if (shared.job_live(sim, n)) ++expected;
+  }
   if (rack_mode) {
     expected = topo.members_of(topo.rack_of(ctx.node_id)) + topo.num_racks() - 1;
   }
@@ -476,7 +483,9 @@ GlasswingRuntime::GlasswingRuntime(cluster::Platform& platform,
   }
 }
 
-JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
+JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config,
+                                dfs::FileSystem* fs_override) {
+  dfs::FileSystem& fs = fs_override != nullptr ? *fs_override : fs_;
   GW_CHECK_MSG(static_cast<bool>(app.map), "job needs a map function");
   GW_CHECK_MSG(!config.input_paths.empty(), "job needs input paths");
   GW_CHECK_MSG(!config.output_path.empty(), "job needs an output path");
@@ -508,18 +517,49 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     config.combine_mode = CombineMode::kNode;
   }
 
+  // Governed/replication controls reach through the PinnedFs overlay to
+  // the real DFS underneath; stats deltas are measured there too.
+  dfs::FileSystem* base_fs = &fs;
+  if (auto* pf = dynamic_cast<dfs::PinnedFs*>(base_fs)) {
+    base_fs = &pf->base();
+  }
   if (config.output_replication > 0) {
-    if (auto* hdfs = dynamic_cast<dfs::Dfs*>(&fs_)) {
-      hdfs->set_replication(config.output_replication);
+    if (auto* dfs_base = dynamic_cast<dfs::Dfs*>(base_fs)) {
+      dfs_base->set_replication(config.output_replication);
     }
   }
 
   auto& sim = platform_.sim();
-  sim.tracer().clear();  // one job per trace
+  if (config.dag_round < 0) {
+    sim.tracer().clear();  // one job per trace
+  } else {
+    // DAG round: the trace spans the whole DAG, but per-round stage
+    // breakdowns must not accumulate across rounds.
+    sim.tracer().reset_occupancy();
+  }
   const int num_nodes = platform_.num_nodes();
   const int total_partitions = num_nodes * config.partitions_per_node;
   const double start = sim.now();
   const bool ft = config.fault_tolerant();
+
+  // Nodes already dead when the job starts (possible only between DAG
+  // rounds: an inter-round crash outlives the job that saw it) take no
+  // part: their partitions move to the survivors up front, no pipelines
+  // are spawned for them, and shuffle streams expect only live senders.
+  // With every node alive this block changes nothing.
+  std::vector<int> start_live;
+  for (int n = 0; n < num_nodes; ++n) {
+    if (sim.node_alive(n)) start_live.push_back(n);
+  }
+  GW_CHECK_MSG(!start_live.empty(), "every node is dead at job start");
+  const bool degraded = static_cast<int>(start_live.size()) < num_nodes;
+  if (degraded) {
+    GW_CHECK_MSG(config.dag_round >= 0,
+                 "node dead at job start outside a DAG round");
+    // The combine tiers assume full-mesh membership; a shrunken cluster
+    // falls back to the plain shuffle path.
+    config.combine_mode = CombineMode::kOff;
+  }
 
   // Transport counters are cumulative per platform (input staging counts
   // too); snapshot so the report covers exactly this job.
@@ -531,18 +571,32 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
       tp.total_bytes(net::TrafficClass::kControl);
   const std::uint64_t net_rack_agg0 =
       tp.total_bytes(net::TrafficClass::kRackAgg);
-  auto* hdfs = dynamic_cast<dfs::Dfs*>(&fs_);
+  auto* hdfs = dynamic_cast<dfs::Dfs*>(base_fs);
   const std::uint64_t dfs_lost0 = hdfs ? hdfs->replicas_lost() : 0;
   const std::uint64_t dfs_rerep0 = hdfs ? hdfs->blocks_rereplicated() : 0;
 
   SplitScheduler scheduler(
-      SplitScheduler::make_splits(fs_, config.input_paths, config.split_size));
+      SplitScheduler::make_splits(fs, config.input_paths, config.split_size));
 
   JobShared shared;
   shared.owner.resize(static_cast<std::size_t>(total_partitions));
   for (int g = 0; g < total_partitions; ++g) {
     shared.owner[static_cast<std::size_t>(g)] =
         g / config.partitions_per_node;
+  }
+  if (degraded) {
+    // Start-dead nodes never produce or reduce; round-robin their
+    // partitions over the live nodes (ascending ids: deterministic), the
+    // same policy the crash listener applies mid-job.
+    std::size_t rr = 0;
+    for (int g = 0; g < total_partitions; ++g) {
+      int& owner = shared.owner[static_cast<std::size_t>(g)];
+      if (sim.node_alive(owner)) continue;
+      owner = start_live[rr++ % start_live.size()];
+    }
+    for (int n = 0; n < num_nodes; ++n) {
+      if (!sim.node_alive(n)) shared.failed.insert(n);
+    }
   }
   shared.park = std::make_unique<sim::Event>(sim);
 
@@ -575,12 +629,11 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
         tp.expect_senders(topo.aggregator_of(r), net::kPortRackAgg, members);
       }
     } else {
-      std::vector<int> everyone(static_cast<std::size_t>(num_nodes));
-      for (int n = 0; n < num_nodes; ++n) {
-        everyone[static_cast<std::size_t>(n)] = n;
-      }
-      for (int dst = 0; dst < num_nodes; ++dst) {
-        tp.expect_senders(dst, net::kPortShuffle, everyone);
+      // Only nodes alive at job start ever open a stream; dead-at-start
+      // nodes are neither senders nor receivers. All-alive this is the
+      // legacy everyone-to-everyone registration.
+      for (int dst : start_live) {
+        tp.expect_senders(dst, net::kPortShuffle, start_live);
       }
     }
     listener_id = sim.add_crash_listener([&sim, &tp, &shared, &scheduler,
@@ -631,10 +684,17 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     }
   }
 
-  // Job-wide span: the root every recovery event must nest inside.
+  // Job-wide span: the root every recovery event must nest inside. DAG
+  // rounds additionally open a kRound span just inside it, so a DAG trace
+  // shows one round span per executed job, each nested in its job span.
   const trace::TrackRef job_track = sim.tracer().track(0, "job");
   const std::int32_t job_name = sim.tracer().intern("job");
+  const std::int32_t round_name = sim.tracer().intern("round");
   sim.tracer().begin(job_track, trace::Kind::kPhase, job_name, sim.now());
+  if (config.dag_round >= 0) {
+    sim.tracer().begin(job_track, trace::Kind::kRound, round_name, sim.now(),
+                       static_cast<std::uint64_t>(config.dag_round));
+  }
 
   std::vector<NodeRun> nodes(static_cast<std::size_t>(num_nodes));
   sim::TaskGroup all(sim);
@@ -650,10 +710,14 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
     state.shuffle_done = std::make_unique<sim::Event>(sim);
     state.phase_track = sim.tracer().track(n, "phase");
 
+    // Dead-at-start nodes get their bookkeeping state (the stats loop
+    // below walks every node) but no pipelines.
+    if (!sim.node_alive(n)) continue;
+
     NodeContext ctx;
     ctx.platform = &platform_;
     ctx.node = &platform_.node(n);
-    ctx.fs = &fs_;
+    ctx.fs = &fs;
     ctx.device = map_devices_[static_cast<std::size_t>(n)].get();
     ctx.store = state.store.get();
     ctx.mem = state.governor.get();
@@ -735,6 +799,10 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
       sim.tracer().instant(s.phase_track, trace::Kind::kMark, out_name,
                            sim.now(), out);
     }
+  }
+  if (config.dag_round >= 0) {
+    sim.tracer().end(job_track, trace::Kind::kRound, round_name, sim.now(),
+                     static_cast<std::uint64_t>(config.dag_round));
   }
   sim.tracer().end(job_track, trace::Kind::kPhase, job_name, sim.now());
   if (ft) {
@@ -823,6 +891,7 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config) {
       result.stats.combine_out_bytes += s.rack_combiner->metrics().out_bytes;
     }
     result.stats.hash_table_probes += s.map.hash_probes;
+    result.stats.input_splits_lost += s.map.input_splits_lost;
     result.stats.output_pairs += s.reduce.output_pairs;
     result.stats.map_kernel += s.map.kernel_stats;
     result.stats.reduce_kernel += s.reduce.kernel_stats;

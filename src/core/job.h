@@ -43,7 +43,12 @@ class GlasswingRuntime {
   // Runs the job to completion on the platform's simulation and returns the
   // measured result. Output correctness: files under config.output_path,
   // one per non-empty partition, readable with read_output_file().
-  JobResult run(const AppKernels& app, JobConfig config);
+  //
+  // `fs_override` replaces the bound filesystem for this job only; the DAG
+  // runtime passes its PinnedFs overlay so rounds read and write through
+  // the pinned intermediate store. Null = the constructor-bound fs.
+  JobResult run(const AppKernels& app, JobConfig config,
+                dfs::FileSystem* fs_override = nullptr);
 
   cl::Device& device(int node) { return *map_devices_.at(node); }
   cl::Device& reduce_device(int node) { return *reduce_devices_.at(node); }

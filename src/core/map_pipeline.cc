@@ -156,19 +156,33 @@ sim::Task<> input_stage(Stage& st, NodeContext ctx, SplitScheduler& scheduler,
     }
     util::Bytes data;
     std::vector<std::uint64_t> offsets;
+    bool split_lost = false;
     {
       Stage::BusyScope scope(st);
-      data = co_await read_aligned_split(*ctx.fs, ctx.node_id, *ctx.app, *split);
-      // The framing scan's simulated charge depends only on the byte count,
-      // so the real scan runs on the host pool while the charge elapses.
-      auto framing = ctx.sim().offload([&app = *ctx.app, &data] {
-        return frame_records(app, std::string_view(
-                                      reinterpret_cast<const char*>(data.data()),
-                                      data.size()));
-      });
-      co_await ctx.node->cpu_work(static_cast<double>(data.size()) /
-                                  kRecordSplitBytesPerSec);
-      offsets = co_await ctx.sim().join(std::move(framing));
+      try {
+        data =
+            co_await read_aligned_split(*ctx.fs, ctx.node_id, *ctx.app, *split);
+      } catch (const dfs::DataLossError&) {
+        // Every copy of the split's data is gone. In a DAG round the
+        // driver rewinds to regenerate it; mid-single-job loss is fatal.
+        if (ctx.config->dag_round < 0) throw;
+        ++m.input_splits_lost;
+        split_lost = true;
+      }
+      if (!split_lost) {
+        // The framing scan's simulated charge depends only on the byte
+        // count, so the real scan runs on the host pool while the charge
+        // elapses.
+        auto framing = ctx.sim().offload([&app = *ctx.app, &data] {
+          return frame_records(
+              app, std::string_view(
+                       reinterpret_cast<const char*>(data.data()),
+                       data.size()));
+        });
+        co_await ctx.node->cpu_work(static_cast<double>(data.size()) /
+                                    kRecordSplitBytesPerSec);
+        offsets = co_await ctx.sim().join(std::move(framing));
+      }
     }
     if (offsets.empty()) continue;  // hold released by destructor
     m.records += offsets.size();
@@ -272,13 +286,19 @@ sim::Task<> kernel_stage(Stage& st, NodeContext ctx,
         // to what a clean first attempt would have produced.
         collector.reset();
         item->split.attempt++;
-        util::Bytes again = co_await read_aligned_split(*ctx.fs, ctx.node_id,
-                                                        *ctx.app, item->split);
-        const std::vector<std::uint64_t> offsets = frame_records(
-            *ctx.app, std::string_view(
-                          reinterpret_cast<const char*>(again.data()),
-                          again.size()));
-        chunk_out = co_await run_map_kernel(ctx, again, offsets, collector, m);
+        try {
+          util::Bytes again = co_await read_aligned_split(
+              *ctx.fs, ctx.node_id, *ctx.app, item->split);
+          const std::vector<std::uint64_t> offsets = frame_records(
+              *ctx.app, std::string_view(
+                            reinterpret_cast<const char*>(again.data()),
+                            again.size()));
+          chunk_out =
+              co_await run_map_kernel(ctx, again, offsets, collector, m);
+        } catch (const dfs::DataLossError&) {
+          if (ctx.config->dag_round < 0) throw;
+          ++m.input_splits_lost;
+        }
       }
 
       m.pairs += chunk_out.pairs.size();

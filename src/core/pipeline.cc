@@ -148,6 +148,38 @@ std::vector<InputSplit> SplitScheduler::make_splits(
   return splits;
 }
 
+RecordSplitFn run_output_record_splitter() {
+  return [](std::string_view chunk) {
+    std::vector<std::uint64_t> offsets;
+    if (chunk.empty()) return offsets;
+    util::ByteReader r(chunk);
+    const bool compressed = r.get_u8() != 0;
+    GW_CHECK_MSG(!compressed,
+                 "run splitter: compressed output cannot be re-framed");
+    r.get_varint();  // raw_bytes
+    const std::uint64_t pairs = r.get_varint();
+    r.get_varint();  // payload length; the payload runs to chunk end
+    offsets.reserve(pairs);
+    for (std::uint64_t i = 0; i < pairs; ++i) {
+      offsets.push_back(r.position());
+      const std::uint64_t klen = r.get_varint();
+      const std::uint64_t vlen = r.get_varint();
+      r.skip(klen + vlen);
+    }
+    GW_CHECK_MSG(r.done(), "run splitter: trailing bytes after last pair");
+    return offsets;
+  };
+}
+
+std::pair<std::string_view, std::string_view> decode_pair_record(
+    std::string_view record) {
+  util::ByteReader r(record);
+  const std::uint64_t klen = r.get_varint();
+  const std::uint64_t vlen = r.get_varint();
+  const char* base = record.data() + r.position();
+  return {std::string_view(base, klen), std::string_view(base + klen, vlen)};
+}
+
 std::vector<std::pair<std::string, std::string>> read_output_file(
     const util::Bytes& file_contents) {
   util::ByteReader r(file_contents);

@@ -199,6 +199,8 @@ struct MapMetrics {
   std::uint64_t distinct_keys = 0;
   // Hash-table collector probe count (0 in shared-pool mode).
   std::uint64_t hash_probes = 0;
+  // Splits skipped because their data vanished (DAG rounds only).
+  std::uint64_t input_splits_lost = 0;
 };
 
 // Runs the complete map pipeline on one node, feeding the local store and
@@ -229,6 +231,17 @@ sim::Task<> run_reduce_phase(NodeContext ctx, std::vector<int> partitions,
 // read one back as pairs (used by tests, benches and examples).
 std::vector<std::pair<std::string, std::string>> read_output_file(
     const util::Bytes& file_contents);
+
+// Record splitter framing a serialized reduce-output Run into one record
+// per encoded pair, so a round's output files can feed the next round's
+// map input directly (DAG data edges). Each record is a complete framed
+// pair (varint klen, varint vlen, key, value) decodable with
+// decode_pair_record. Only valid when every input file is a single split
+// — the Run header sits at offset 0 — so rounds consuming reduce output
+// must set split_size >= the largest input file.
+RecordSplitFn run_output_record_splitter();
+std::pair<std::string_view, std::string_view> decode_pair_record(
+    std::string_view record);
 
 // Split input helpers shared with the baseline runtimes (identical record
 // framing keeps the comparisons apples-to-apples).

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/api.h"
+#include "core/dag.h"
 
 namespace gw::core {
 
@@ -53,6 +54,18 @@ inline void print_combine_line(const JobStats& s) {
               static_cast<double>(s.combine_out_bytes) / 1048576.0,
               100.0 * ratio,
               static_cast<double>(s.net_rack_agg_bytes) / 1048576.0);
+}
+
+// Multi-round DAG summary: executed/replayed round counts and what the
+// pinned intermediate store held and saved. CI greps this line.
+inline void print_dag_line(const DagResult& r) {
+  std::printf(
+      "dag: rounds=%zu executed=%d replays=%d pinned_peak=%.1fMiB "
+      "pin_spills=%llu cache_hits=%.1fMiB elapsed=%.3fs\n",
+      r.rounds.size(), r.rounds_executed, r.replays,
+      static_cast<double>(r.pinned_peak_bytes) / 1048576.0,
+      static_cast<unsigned long long>(r.pin_spills),
+      static_cast<double>(r.cache_hit_bytes) / 1048576.0, r.elapsed_seconds);
 }
 
 }  // namespace gw::core

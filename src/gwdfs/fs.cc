@@ -328,6 +328,8 @@ std::vector<std::string> Dfs::list(const std::string& prefix) const {
   return out;
 }
 
+void Dfs::remove(const std::string& path) { files_.erase(path); }
+
 std::vector<int> Dfs::block_locations(const std::string& path,
                                       std::uint64_t index) const {
   auto it = files_.find(path);
@@ -396,6 +398,8 @@ std::vector<std::string> LocalFs::list(const std::string& prefix) const {
   }
   return out;
 }
+
+void LocalFs::remove(const std::string& path) { files_.erase(path); }
 
 std::vector<int> LocalFs::block_locations(const std::string& path,
                                           std::uint64_t /*index*/) const {

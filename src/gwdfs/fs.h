@@ -54,6 +54,10 @@ class FileSystem {
   virtual bool exists(const std::string& path) const = 0;
   virtual std::uint64_t file_size(const std::string& path) const = 0;
   virtual std::vector<std::string> list(const std::string& prefix) const = 0;
+  // Unlinks `path` if present (no error when absent). The DAG runtime
+  // deletes a replayed round's outputs before re-executing it; write()
+  // refuses to overwrite, so stale results must be removed first.
+  virtual void remove(const std::string& path) { (void)path; }
 
   // Nodes holding a replica of byte-range block `index` of `path`.
   virtual std::vector<int> block_locations(const std::string& path,
@@ -91,6 +95,7 @@ class Dfs : public FileSystem {
   bool exists(const std::string& path) const override;
   std::uint64_t file_size(const std::string& path) const override;
   std::vector<std::string> list(const std::string& prefix) const override;
+  void remove(const std::string& path) override;
   std::vector<int> block_locations(const std::string& path,
                                    std::uint64_t index) const override;
   std::uint64_t block_size() const override { return config_.block_size; }
@@ -159,6 +164,7 @@ class LocalFs : public FileSystem {
   bool exists(const std::string& path) const override;
   std::uint64_t file_size(const std::string& path) const override;
   std::vector<std::string> list(const std::string& prefix) const override;
+  void remove(const std::string& path) override;
   std::vector<int> block_locations(const std::string& path,
                                    std::uint64_t index) const override;
   std::uint64_t block_size() const override;

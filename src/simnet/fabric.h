@@ -93,6 +93,7 @@ enum Port : int {
   kPortDfs = 2,           // DFS block pipeline
   kPortHadoopFetch = 3,   // Hadoop pull-shuffle requests
   kPortRackAgg = 4,       // intra-rack streams to the rack aggregator
+  kPortBroadcast = 5,     // DAG driver broadcast of per-round state
   kPortHadoopReplyBase = 1000,  // + reducer id for fetch replies
   kPortRecoveryBase = 2000,     // + recovery round for crash re-shuffle
 };

@@ -59,6 +59,7 @@ const char* kind_name(Kind k) {
     case Kind::kLink: return "link";
     case Kind::kRecovery: return "recovery";
     case Kind::kCombine: return "combine";
+    case Kind::kRound: return "round";
     case Kind::kMark: return "mark";
   }
   return "?";
@@ -169,6 +170,13 @@ void Tracer::clear() {
   for (NodeState& ns : nodes_) {
     ns.ring.clear();
     ns.count = 0;
+    ns.accs.clear();
+    ns.order.clear();
+  }
+}
+
+void Tracer::reset_occupancy() {
+  for (NodeState& ns : nodes_) {
     ns.accs.clear();
     ns.order.clear();
   }

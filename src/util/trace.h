@@ -41,6 +41,7 @@ enum class Kind : std::uint8_t {
   kLink,       // network link busy interval (arg = bytes on the wire)
   kRecovery,   // node-crash recovery activity (arg = node / round)
   kCombine,    // hierarchical combine pass (arg = input bytes)
+  kRound,      // one executed DAG round (arg = round index)
   kMark,       // untyped instant
 };
 const char* kind_name(Kind k);
@@ -106,6 +107,11 @@ class Tracer {
   // and must survive across jobs on the same platform). Runtimes call this
   // at job start so a trace covers exactly one job.
   void clear();
+
+  // Drops only the occupancy accumulators, keeping the event ring. DAG
+  // rounds call this between jobs so per-round stage breakdowns are not
+  // cumulative while the exported trace still covers the whole DAG.
+  void reset_occupancy();
 
   // --- reduction ---
   // Occupancy of span `name` on `node`; zero-initialized if never seen.

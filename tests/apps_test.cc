@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -254,6 +255,106 @@ TEST(KMeans, GpuJobMatchesCpuJob) {
   };
   EXPECT_EQ(run_with(cl::DeviceSpec::cpu_dual_e5620()),
             run_with(cl::DeviceSpec::gtx480()));
+}
+
+// The DAG fixed-point driver replaced the hand-rolled `for (iter)` loop;
+// this replica of the deleted loop pins down that the DAG path is
+// byte-identical: same per-iteration output files, same final centers and
+// counts, bit for bit.
+TEST(KMeans, DagMatchesHandRolledLoop) {
+  KmeansConfig km{.k = 16, .dims = 4};
+  constexpr int kIterations = 3;
+  const auto initial = generate_centers(km, 5);
+  const util::Bytes points = generate_points(km, 20000, 7);
+
+  core::JobConfig base;
+  base.split_size = 64 << 10;
+
+  // Legacy driver: run one job per iteration, fold the (center -> means,
+  // count) pairs back into the carried state in concatenated file order.
+  std::vector<float> centers = initial;
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(km.k), 0);
+  std::vector<util::Bytes> hand_raw;
+  {
+    Platform p = make_platform(2);
+    dfs::Dfs fs(p, dfs::DfsConfig{});
+    write_file(p, fs, "/in/points", points);
+    core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+    for (int i = 0; i < kIterations; ++i) {
+      core::JobConfig cfg = base;
+      cfg.input_paths = {"/in/points"};
+      cfg.output_path = "/out/hand/iter-" + std::to_string(i);
+      auto result = rt.run(kmeans(km, centers).kernels, cfg);
+      util::Bytes raw;
+      counts.assign(static_cast<std::size_t>(km.k), 0);
+      for (const auto& path : result.output_files) {
+        const util::Bytes bytes = read_file(p, fs, path);
+        raw.insert(raw.end(), bytes.begin(), bytes.end());
+        for (const auto& [key, value] : core::read_output_file(bytes)) {
+          const std::uint32_t cid = get_be32(key);
+          ASSERT_LT(cid, static_cast<std::uint32_t>(km.k));
+          counts[cid] = get_be32(std::string_view(value).substr(
+              static_cast<std::size_t>(km.dims) * 4));
+          if (counts[cid] == 0) continue;
+          for (int j = 0; j < km.dims; ++j) {
+            centers[static_cast<std::size_t>(cid) * km.dims + j] =
+                read_f32(value.data() + 4 * j);
+          }
+        }
+      }
+      hand_raw.push_back(std::move(raw));
+    }
+  }
+
+  // DAG driver with checkpoint edges on a fresh identical cluster.
+  auto run_dag = [&](core::EdgeKind edge, bool pin_inputs) {
+    Platform p = make_platform(2);
+    dfs::Dfs fs(p, dfs::DfsConfig{});
+    write_file(p, fs, "/in/points", points);
+    core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+    KmeansDagResult dr =
+        kmeans_dag(rt, p, fs, km, initial, "/in/points", "/out/km",
+                   kIterations, base, edge, pin_inputs);
+    std::vector<util::Bytes> raws;
+    std::uint64_t dfs_bytes = 0;
+    for (const auto& r : dr.dag.rounds) {
+      // Pinned center files live only in the DAG's in-memory overlay; the
+      // base fs can read back checkpointed rounds only.
+      if (edge == core::EdgeKind::kCheckpoint) {
+        util::Bytes raw;
+        for (const auto& path : r.outputs) {
+          const util::Bytes bytes = read_file(p, fs, path);
+          raw.insert(raw.end(), bytes.begin(), bytes.end());
+        }
+        raws.push_back(std::move(raw));
+      }
+      dfs_bytes += r.job.stats.net_dfs_bytes;
+    }
+    return std::tuple(std::move(dr), std::move(raws), dfs_bytes);
+  };
+
+  const auto [ck, ck_raw, ck_dfs] =
+      run_dag(core::EdgeKind::kCheckpoint, false);
+  EXPECT_EQ(ck.iterations.iterations, kIterations);
+  EXPECT_EQ(ck.dag.rounds.size(), static_cast<std::size_t>(kIterations));
+  EXPECT_EQ(ck.iterations.centers, centers);
+  EXPECT_EQ(ck.iterations.counts, counts);
+  ASSERT_EQ(ck_raw.size(), hand_raw.size());
+  for (std::size_t i = 0; i < hand_raw.size(); ++i) {
+    EXPECT_EQ(ck_raw[i], hand_raw[i]) << "iteration " << i;
+  }
+
+  // Pinning the tiny center files must not change a single byte of the
+  // result, only cut the DFS traffic. (Input caching is kept off here: a
+  // cache hit shifts simulated read timing and thus shuffle arrival order,
+  // and the kmeans reduce sums floats in arrival order — bitwise equality
+  // only holds for timing-neutral pinning. The order-insensitive prefix
+  // sums DAG covers byte identity WITH input caching in dag_test.)
+  const auto [pin, pin_raw, pin_dfs] = run_dag(core::EdgeKind::kPinned, false);
+  EXPECT_EQ(pin.iterations.centers, centers);
+  EXPECT_EQ(pin.iterations.counts, counts);
+  EXPECT_TRUE(pin_raw.empty());  // nothing materialized to the base fs
+  EXPECT_LT(pin_dfs, ck_dfs);
 }
 
 // ---------- Matrix Multiply ----------
