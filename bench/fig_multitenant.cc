@@ -1,0 +1,210 @@
+// Multi-tenant scheduler sweep: job latency quantiles vs offered load.
+//
+// A shared 8-node cluster takes a seeded open-loop stream of mixed jobs
+// (wordcount / pageview-count / terasort; tenant 0 submits large inputs,
+// tenant 1 small ones) at three Poisson arrival rates, under FIFO and
+// fair-share admission. Reported per (load, policy) point: throughput and
+// the p50/p99/p999 job sojourn time, plus the small-job p99 — the number
+// fair-share queueing exists to protect. Shape checks (exit code):
+//   * p999 latency is monotone non-decreasing in offered load per policy
+//     (more load never shortens the tail);
+//   * at the highest load, fair-share beats FIFO on small-job p99 (small
+//     jobs no longer queue behind the heavy tenant's backlog).
+// Emits BENCH_multitenant.json for PR-over-PR tracking (plain binary,
+// simulated time).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/workload.h"
+#include "bench/common.h"
+#include "core/sched.h"
+
+namespace {
+
+using namespace gw;
+
+constexpr int kNodes = 8;
+constexpr int kMaxResident = 2;
+
+struct Point {
+  double load = 0;  // offered jobs/s
+  core::SchedPolicy policy = core::SchedPolicy::kFifo;
+  int jobs = 0;
+  double makespan_s = 0;
+  double throughput = 0;  // finished jobs/s
+  double p50 = 0, p99 = 0, p999 = 0;
+  double small_p99 = 0;
+  double small_mean_wait = 0;
+  int resident_peak = 0;
+};
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+Point run_point(double load, core::SchedPolicy policy, int jobs) {
+  cluster::Platform p = bench::make_platform(kNodes);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+
+  apps::WorkloadConfig wl;
+  wl.jobs = jobs;
+  wl.tenants = 2;
+  wl.arrival_rate_jobs_per_s = load;
+  wl.seed = 17;
+  wl.small_bytes = 1ull << 20;
+  wl.large_bytes = 8ull << 20;
+  wl.small_split_bytes = 128ull << 10;
+  wl.large_split_bytes = 512ull << 10;
+  auto requests = apps::make_mixed_workload(p, fs, wl);
+
+  core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  core::SchedulerConfig sc;
+  sc.policy = policy;
+  sc.max_resident_jobs = kMaxResident;
+  core::Scheduler sched(rt, p, fs, sc);
+  for (auto& req : requests) sched.submit(std::move(req));
+  const double t0 = p.sim().now();
+  sched.run_all();
+
+  Point out;
+  out.load = load;
+  out.policy = policy;
+  out.jobs = jobs;
+  out.makespan_s = p.sim().now() - t0;
+  out.resident_peak = sched.resident_peak();
+  std::vector<double> lat, small_lat;
+  double small_wait = 0;
+  int small_n = 0;
+  for (const auto& j : sched.results()) {
+    if (j.rejected || j.failed) continue;
+    lat.push_back(j.latency_s);
+    if (j.name.size() >= 6 &&
+        j.name.compare(j.name.size() - 6, 6, "-small") == 0) {
+      small_lat.push_back(j.latency_s);
+      small_wait += j.queue_wait_s;
+      ++small_n;
+    }
+  }
+  out.throughput =
+      out.makespan_s > 0 ? static_cast<double>(lat.size()) / out.makespan_s : 0;
+  out.p50 = quantile(lat, 0.50);
+  out.p99 = quantile(lat, 0.99);
+  out.p999 = quantile(lat, 0.999);
+  out.small_p99 = quantile(small_lat, 0.99);
+  out.small_mean_wait = small_n > 0 ? small_wait / small_n : 0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_multitenant.json";
+  const int jobs = std::max(8, static_cast<int>(40 * bench::scale()));
+  const std::vector<double> loads = {4, 16, 64};
+  const std::vector<core::SchedPolicy> policies = {core::SchedPolicy::kFifo,
+                                                   core::SchedPolicy::kFair};
+
+  std::vector<Point> points;
+  for (core::SchedPolicy policy : policies) {
+    for (double load : loads) {
+      points.push_back(run_point(load, policy, jobs));
+    }
+  }
+
+  std::printf("\n=== multitenant: %d mixed jobs on %d nodes, "
+              "max_resident=%d ===\n",
+              jobs, kNodes, kMaxResident);
+  std::printf("%8s %9s %12s %10s %8s %8s %8s %10s\n", "policy", "load/s",
+              "makespan(s)", "thru/s", "p50(s)", "p99(s)", "p999(s)",
+              "small_p99");
+  for (const auto& pt : points) {
+    std::printf("%8s %9.1f %12.3f %10.3f %8.3f %8.3f %8.3f %10.3f\n",
+                core::sched_policy_name(pt.policy), pt.load, pt.makespan_s,
+                pt.throughput, pt.p50, pt.p99, pt.p999, pt.small_p99);
+  }
+
+  // Shape checks.
+  bool tail_monotone = true;
+  for (core::SchedPolicy policy : policies) {
+    double prev = -1;
+    for (const auto& pt : points) {
+      if (pt.policy != policy) continue;
+      if (pt.p999 < prev) tail_monotone = false;
+      prev = pt.p999;
+    }
+  }
+  const Point* fifo_hi = nullptr;
+  const Point* fair_hi = nullptr;
+  for (const auto& pt : points) {
+    if (pt.load != loads.back()) continue;
+    if (pt.policy == core::SchedPolicy::kFifo) fifo_hi = &pt;
+    if (pt.policy == core::SchedPolicy::kFair) fair_hi = &pt;
+  }
+  const bool fair_wins_small =
+      fifo_hi != nullptr && fair_hi != nullptr &&
+      fair_hi->small_p99 < fifo_hi->small_p99;
+  std::printf("p999 monotone in load: %s\n", tail_monotone ? "ok" : "VIOLATED");
+  if (fifo_hi != nullptr && fair_hi != nullptr) {
+    std::printf("small-job p99 at %.0f jobs/s: fair=%.3fs fifo=%.3fs (%s)\n",
+                loads.back(), fair_hi->small_p99, fifo_hi->small_p99,
+                fair_wins_small ? "fair wins" : "FIFO WINS");
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench_scale\": %g,\n", bench::scale());
+  std::fprintf(f, "  \"nodes\": %d,\n", kNodes);
+  std::fprintf(f, "  \"jobs_per_point\": %d,\n", jobs);
+  std::fprintf(f, "  \"max_resident\": %d,\n", kMaxResident);
+  std::fprintf(f, "  \"tail_monotone\": %s,\n", tail_monotone ? "true" : "false");
+  std::fprintf(f, "  \"fair_beats_fifo_small_p99\": %s,\n",
+               fair_wins_small ? "true" : "false");
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    std::fprintf(
+        f,
+        "    {\"policy\": \"%s\", \"offered_load_jobs_per_s\": %.17g, "
+        "\"jobs\": %d, \"makespan_s\": %.17g, \"throughput_jobs_per_s\": "
+        "%.17g, \"p50_s\": %.17g, \"p99_s\": %.17g, \"p999_s\": %.17g, "
+        "\"small_p99_s\": %.17g, \"small_mean_wait_s\": %.17g, "
+        "\"resident_peak\": %d}%s\n",
+        core::sched_policy_name(pt.policy), pt.load, pt.jobs, pt.makespan_s,
+        pt.throughput, pt.p50, pt.p99, pt.p999, pt.small_p99,
+        pt.small_mean_wait, pt.resident_peak,
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"summary\": [\n");
+  for (std::size_t s = 0; s < policies.size(); ++s) {
+    double hi_p99 = 0, hi_small = 0;
+    for (const auto& pt : points) {
+      if (pt.policy == policies[s] && pt.load == loads.back()) {
+        hi_p99 = pt.p99;
+        hi_small = pt.small_p99;
+      }
+    }
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"high_load_p99_s\": %.17g, "
+                 "\"high_load_small_p99_s\": %.17g}%s\n",
+                 core::sched_policy_name(policies[s]), hi_p99, hi_small,
+                 s + 1 < policies.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  return tail_monotone && fair_wins_small ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 #include "apps/prefixsum.h"
 #include "apps/terasort.h"
 #include "apps/wordcount.h"
+#include "apps/workload.h"
 #include "baselines/hadoop/hadoop.h"
 #include "core/job.h"
 #include "core/report.h"
@@ -78,6 +79,15 @@ struct Flags {
   int rounds = 0;
   bool pin_intermediates = false;
   int kill_round = -1;
+  // Multi-tenant mode (core::Scheduler): --tenants > 0 replaces the single
+  // job with a seeded mixed workload (wc/pvc/terasort, small and large)
+  // arriving open-loop at --arrival-rate and queued under --sched. --app
+  // and the input-size flags are ignored in this mode.
+  int tenants = 0;
+  int jobs = 8;
+  double arrival_rate = 0.5;  // jobs/s offered load
+  std::string sched = "fifo";
+  int max_resident = 4;
 };
 
 void usage() {
@@ -129,6 +139,15 @@ void usage() {
       "                     back to gwdfs between rounds\n"
       "  --kill-round=R     scope --kill-node crashes to logical round R\n"
       "                     (times relative to that round's start)\n"
+      "  --tenants=N        multi-tenant mode: N tenants submit a seeded\n"
+      "                     mixed workload (wc/pvc/terasort) of --jobs jobs\n"
+      "                     to one shared cluster (core::Scheduler)\n"
+      "  --jobs=N           jobs in the multi-tenant workload (default 8)\n"
+      "  --arrival-rate=R   offered load in jobs/s, Poisson arrivals\n"
+      "                     (default 0.5)\n"
+      "  --sched=fifo|fair|priority  admission policy (default fifo)\n"
+      "  --max-resident=N   concurrent-job cap (default 4); --mem-mb gives\n"
+      "                     residents a SHARED per-node memory budget\n"
       "  --trace=FILE       export the run's simulated timeline as Chrome\n"
       "                     trace_event JSON (open in about:tracing/Perfetto)\n");
 }
@@ -206,6 +225,11 @@ int main(int argc, char** argv) {
     else if (parse_flag(argv[i], "--mem-mb", &v)) flags.mem_mb = std::strtoull(v.c_str(), nullptr, 10);
     else if (parse_flag(argv[i], "--spill-bw", &v)) flags.spill_bw_mb = std::atof(v.c_str());
     else if (parse_flag(argv[i], "--rounds", &v)) flags.rounds = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--tenants", &v)) flags.tenants = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--jobs", &v)) flags.jobs = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--arrival-rate", &v)) flags.arrival_rate = std::atof(v.c_str());
+    else if (parse_flag(argv[i], "--sched", &v)) flags.sched = v;
+    else if (parse_flag(argv[i], "--max-resident", &v)) flags.max_resident = std::atoi(v.c_str());
     else if (parse_flag(argv[i], "--kill-round", &v)) flags.kill_round = std::atoi(v.c_str());
     else if (std::strcmp(argv[i], "--pin-intermediates") == 0) flags.pin_intermediates = true;
     else if (parse_flag(argv[i], "--kill-node", &v)) {
@@ -282,6 +306,68 @@ int main(int argc, char** argv) {
   cluster::Platform platform(cluster::ClusterSpec::homogeneous(
       flags.nodes, cluster::NodeSpec::das4_type1(), std::move(network)));
   dfs::Dfs fs(platform, dfs::DfsConfig{});
+
+  if (flags.tenants > 0) {
+    if (flags.runtime == "hadoop") {
+      std::fprintf(stderr, "--tenants needs the glasswing runtime\n");
+      return 2;
+    }
+    if (flags.sched != "fifo" && flags.sched != "fair" &&
+        flags.sched != "priority") {
+      std::fprintf(stderr, "unknown policy '%s' (fifo|fair|priority)\n",
+                   flags.sched.c_str());
+      return 2;
+    }
+    apps::WorkloadConfig wl;
+    wl.jobs = flags.jobs;
+    wl.tenants = flags.tenants;
+    wl.arrival_rate_jobs_per_s = flags.arrival_rate;
+    wl.seed = flags.seed;
+    std::vector<core::JobRequest> requests =
+        apps::make_mixed_workload(platform, fs, wl);
+
+    core::GlasswingRuntime rt(platform, fs, device_spec(flags.device));
+    core::SchedulerConfig sc;
+    sc.policy = core::parse_sched_policy(flags.sched);
+    sc.max_resident_jobs = flags.max_resident;
+    sc.node_memory_bytes = flags.mem_mb << 20;
+    core::Scheduler sched(rt, platform, fs, sc);
+    for (auto& req : requests) sched.submit(std::move(req));
+    const double t0 = platform.sim().now();
+    sched.run_all();
+    const double makespan = platform.sim().now() - t0;
+
+    std::printf("%d tenants, %d jobs on %d nodes (%s), policy %s, "
+                "%.2f jobs/s offered\n",
+                flags.tenants, flags.jobs, flags.nodes, flags.device.c_str(),
+                flags.sched.c_str(), flags.arrival_rate);
+    for (const auto& j : sched.results()) {
+      if (j.rejected) {
+        std::printf("job %d [%s] tenant=%d REJECTED at %.3fs\n", j.job_id,
+                    j.name.c_str(), j.tenant, j.arrival_s);
+        continue;
+      }
+      std::printf("job %d [%s] tenant=%d arrive=%.3fs wait=%.3fs "
+                  "latency=%.3fs%s\n",
+                  j.job_id, j.name.c_str(), j.tenant, j.arrival_s,
+                  j.queue_wait_s, j.latency_s, j.failed ? " FAILED" : "");
+    }
+    for (const auto& t : sched.tenant_stats()) {
+      std::printf("tenant %d: jobs=%d service=%.3fs wait=%.3fs\n", t.tenant,
+                  t.jobs_finished, t.service_s, t.wait_s);
+    }
+    core::print_sched_line(sched, sc.policy, makespan);
+    if (!flags.trace_path.empty()) {
+      if (!platform.sim().tracer().save_chrome_json(flags.trace_path)) {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     flags.trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace written to %s\n", flags.trace_path.c_str());
+    }
+    return sched.jobs_failed() == 0 ? 0 : 1;
+  }
+
   platform.sim().spawn([](dfs::Dfs& f, util::Bytes data) -> sim::Task<> {
     co_await f.write_distributed("/in/data", std::move(data));
   }(fs, std::move(input)));

@@ -30,7 +30,15 @@ node, the combined output volume must not exceed the input volume. With
 --expect-rounds N, fail unless the trace contains exactly N "round"
 spans (one per executed DAG round), each nested inside one of the "job"
 spans — a multi-round trace carries one job span per round, and every
-round span must sit inside its job.
+round span must sit inside its job. With --expect-jobs N, fail unless the
+trace contains exactly N complete "job" spans; when N > 1 (a multi-tenant
+trace) every job span must additionally live on its own distinctly-labeled
+track (the scheduler scopes each job's span track as "j<id>.job"), so
+concurrent jobs stay distinguishable in the timeline.
+
+Job spans are tracked per (pid, tid): concurrent jobs from different
+tenants overlap in time on different tracks, and each track's B/E pairing
+is independent.
 
 Exit code 0 when valid; 1 with a description on the first violation.
 Stdlib only — runs anywhere CI has a python3.
@@ -82,11 +90,19 @@ def main():
             sys.exit(2)
         expect_rounds = int(args[i + 1])
         del args[i : i + 2]
+    expect_jobs = None
+    if "--expect-jobs" in args:
+        i = args.index("--expect-jobs")
+        if i + 1 >= len(args) or not args[i + 1].isdigit():
+            print("--expect-jobs needs an integer count")
+            sys.exit(2)
+        expect_jobs = int(args[i + 1])
+        del args[i : i + 2]
     if len(args) != 1:
         print(
             f"usage: {sys.argv[0]} [--expect-links] [--expect-recovery] "
             "[--expect-spills] [--expect-combine] [--expect-rounds N] "
-            "trace.json"
+            "[--expect-jobs N] trace.json"
         )
         sys.exit(2)
     path = args[0]
@@ -114,7 +130,9 @@ def main():
     combine_in = {}  # pid -> bytes entering combine passes (combine.in mark)
     combine_out = {}  # pid -> bytes leaving combine passes (combine.out mark)
     job_intervals = []  # completed "job" spans as (begin_ts, end_ts)
-    job_open = None  # begin ts of the currently open "job" span
+    job_tracks = []  # (pid, tid) of each completed "job" span, same order
+    job_open = {}  # (pid, tid) -> begin ts of that track's open "job" span
+    track_labels = {}  # (pid, tid) -> thread_name metadata label
     round_spans = []  # completed "round" spans as (idx, begin_ts, end_ts)
     round_open = None  # (idx, begin_ts) of the currently open round span
     recovery_events = []  # (idx, ts) of every recovery-category event
@@ -128,6 +146,10 @@ def main():
             fail(f"{where}: unknown phase '{ph}'")
         counts[ph] += 1
         if ph == "M":
+            if ev["name"] == "thread_name":
+                label = ev.get("args", {}).get("name")
+                if isinstance(label, str):
+                    track_labels[(ev["pid"], ev["tid"])] = label
             continue
         for field in ("ts", "cat"):
             if field not in ev:
@@ -157,11 +179,12 @@ def main():
         if ev["cat"] == "recovery":
             recovery_events.append((idx, ev["ts"]))
         if ev["name"] == "job" and ev["cat"] == "phase":
+            track = (ev["pid"], ev["tid"])
             if ph == "B":
-                job_open = ev["ts"]
-            elif ph == "E" and job_open is not None:
-                job_intervals.append((job_open, ev["ts"]))
-                job_open = None
+                job_open[track] = ev["ts"]
+            elif ph == "E" and track in job_open:
+                job_intervals.append((job_open.pop(track), ev["ts"]))
+                job_tracks.append(track)
         if ev["cat"] == "round":
             if ph == "B":
                 round_open = (idx, ev["ts"])
@@ -252,6 +275,28 @@ def main():
         fail(
             f"expected {expect_rounds} round spans, found {len(round_spans)}"
         )
+    if expect_jobs is not None:
+        if len(job_intervals) != expect_jobs:
+            fail(
+                f"expected {expect_jobs} job spans, found "
+                f"{len(job_intervals)}"
+            )
+        if expect_jobs > 1:
+            # Concurrent jobs must each own a distinctly-labeled track
+            # ("j<id>.job" from the scheduler's trace scope) so the
+            # timeline keeps them apart.
+            labels = [track_labels.get(t) for t in job_tracks]
+            for track, label in zip(job_tracks, labels):
+                if label is None:
+                    fail(
+                        f"job span on (pid, tid) {track} has no "
+                        f"thread_name label"
+                    )
+            if len(set(labels)) != len(labels):
+                fail(
+                    f"job-span track labels are not pairwise distinct: "
+                    f"{sorted(labels)}"
+                )
 
     print(
         f"validate_trace: OK: {len(events)} events "
@@ -259,7 +304,7 @@ def main():
         f"{link_spans} link spans, {len(recovery_events)} recovery events, "
         f"{spill_spans} spill spans, {merge_spans} merge spans, "
         f"{combine_spans} combine spans, {len(round_spans)} round spans, "
-        f"{len(last_ts)} nodes)"
+        f"{len(job_intervals)} job spans, {len(last_ts)} nodes)"
     )
 
 

@@ -1,0 +1,117 @@
+#include "apps/workload.h"
+
+#include <string>
+#include <utility>
+
+#include "apps/pageview.h"
+#include "apps/terasort.h"
+#include "apps/wordcount.h"
+#include "util/error.h"
+
+namespace gw::apps {
+namespace {
+
+void stage(cluster::Platform& platform, dfs::Dfs& fs, const std::string& path,
+           util::Bytes data) {
+  platform.sim().spawn([](dfs::Dfs& f, std::string p,
+                          util::Bytes d) -> sim::Task<> {
+    co_await f.write_distributed(p, std::move(d));
+  }(fs, path, std::move(data)));
+  platform.sim().run();
+}
+
+core::PartitionFn sample_partitioner(cluster::Platform& platform, dfs::Dfs& fs,
+                                     const std::string& path) {
+  core::PartitionFn fn;
+  platform.sim().spawn([](dfs::Dfs& f, std::string p,
+                          core::PartitionFn* out) -> sim::Task<> {
+    std::vector<std::string> paths;
+    paths.push_back(std::move(p));
+    *out = co_await sample_range_partitioner(f, 0, std::move(paths), 2000);
+  }(fs, path, &fn));
+  platform.sim().run();
+  return fn;
+}
+
+}  // namespace
+
+std::vector<core::JobRequest> make_mixed_workload(cluster::Platform& platform,
+                                                  dfs::Dfs& fs,
+                                                  const WorkloadConfig& cfg) {
+  GW_CHECK(cfg.jobs > 0);
+  GW_CHECK(cfg.tenants > 0);
+
+  // Stage one input per (app, size); jobs share them read-only.
+  const std::uint64_t tera_small = cfg.small_bytes / kTeraRecordSize;
+  const std::uint64_t tera_large = cfg.large_bytes / kTeraRecordSize;
+  stage(platform, fs, "/mt/in/wiki_small",
+        generate_wiki_text(cfg.small_bytes, cfg.seed));
+  stage(platform, fs, "/mt/in/wiki_large",
+        generate_wiki_text(cfg.large_bytes, cfg.seed + 1));
+  stage(platform, fs, "/mt/in/weblog_small",
+        generate_weblog(cfg.small_bytes, cfg.seed + 2));
+  stage(platform, fs, "/mt/in/weblog_large",
+        generate_weblog(cfg.large_bytes, cfg.seed + 3));
+  AppSpec wc = wordcount();
+  AppSpec pvc = pageview_count();
+  AppSpec tera = terasort();
+  AppSpec tera_large_spec;
+  if (cfg.include_terasort) {
+    stage(platform, fs, "/mt/in/tera_small",
+          generate_terasort(tera_small, cfg.seed + 4));
+    stage(platform, fs, "/mt/in/tera_large",
+          generate_terasort(tera_large, cfg.seed + 5));
+    // TeraSort's client-side sampling pre-pass, once per input; every job
+    // on that input reuses the sampled range partitioner.
+    tera_large_spec = tera;
+    tera.kernels.partition =
+        sample_partitioner(platform, fs, "/mt/in/tera_small");
+    tera_large_spec.kernels.partition =
+        sample_partitioner(platform, fs, "/mt/in/tera_large");
+  }
+
+  core::TrafficGen gen(cfg.seed, cfg.arrival_rate_jobs_per_s);
+  const int kinds = cfg.include_terasort ? 3 : 2;
+
+  std::vector<core::JobRequest> out;
+  out.reserve(static_cast<std::size_t>(cfg.jobs));
+  for (int i = 0; i < cfg.jobs; ++i) {
+    const int tenant = i % cfg.tenants;
+    const bool large = tenant == 0;  // tenant 0 is the heavy tenant
+    const int kind = static_cast<int>(gen.pick(static_cast<std::uint64_t>(kinds)));
+
+    core::JobRequest req;
+    req.tenant = tenant;
+    req.arrival_s = gen.next_arrival_s();
+    req.config.output_path = "/mt/out/j" + std::to_string(i);
+    req.config.split_size = large ? cfg.large_split_bytes : cfg.small_split_bytes;
+    switch (kind) {
+      case 0:
+        req.name = large ? "wc-large" : "wc-small";
+        req.app = wc.kernels;
+        req.config.input_paths = {large ? "/mt/in/wiki_large"
+                                        : "/mt/in/wiki_small"};
+        break;
+      case 1:
+        req.name = large ? "pvc-large" : "pvc-small";
+        req.app = pvc.kernels;
+        req.config.input_paths = {large ? "/mt/in/weblog_large"
+                                        : "/mt/in/weblog_small"};
+        break;
+      default:
+        req.name = large ? "tera-large" : "tera-small";
+        req.app = large ? tera_large_spec.kernels : tera.kernels;
+        req.config.input_paths = {large ? "/mt/in/tera_large"
+                                        : "/mt/in/tera_small"};
+        req.config.output_replication = 1;  // as in the paper's TeraSort
+        break;
+    }
+    // Priority mirrors job size for SchedPolicy::kPriority runs: small
+    // interactive jobs (class 0) preempt queued large batch jobs (class 1).
+    req.priority = large ? 1 : 0;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace gw::apps

@@ -1,0 +1,45 @@
+// Deterministic mixed multi-tenant workloads for core::Scheduler.
+//
+// Builds a reproducible stream of JobRequests — a blend of the paper's
+// evaluation applications (WordCount, PageviewCount, TeraSort) in small and
+// large sizes, spread across tenants, with Poisson (open-loop) arrivals from
+// a seeded TrafficGen. Inputs are staged into the DFS once per distinct
+// (app, size) pair and shared read-only by every job on them; outputs land
+// under /mt/out/j<id>. Same WorkloadConfig => bit-identical requests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/sched.h"
+#include "gwdfs/fs.h"
+
+namespace gw::apps {
+
+struct WorkloadConfig {
+  int jobs = 8;
+  int tenants = 2;
+  double arrival_rate_jobs_per_s = 0.5;  // offered load
+  std::uint64_t seed = 1;
+  // Input sizing. Tenant 0 is the "heavy" tenant (large inputs); every
+  // other tenant submits small jobs — the shape that separates fair from
+  // FIFO queueing (small jobs stuck behind large ones).
+  std::uint64_t small_bytes = 2ull << 20;
+  std::uint64_t large_bytes = 12ull << 20;
+  std::uint64_t small_split_bytes = 256ull << 10;
+  std::uint64_t large_split_bytes = 1ull << 20;
+  bool include_terasort = true;  // blend in terasort (wc/pvc always)
+};
+
+// Stages the distinct inputs into `fs` (drives platform.sim().run() to
+// completion, including TeraSort's sampling pre-pass) and returns
+// cfg.jobs requests: job i goes to tenant i % tenants, its app is a
+// seeded-uniform pick over the blend, and arrivals are exponential at
+// arrival_rate_jobs_per_s. Submit them in order to a Scheduler — job id i
+// then matches request i and output path "/mt/out/j<i>".
+std::vector<core::JobRequest> make_mixed_workload(cluster::Platform& platform,
+                                                  dfs::Dfs& fs,
+                                                  const WorkloadConfig& cfg);
+
+}  // namespace gw::apps

@@ -16,12 +16,12 @@ sim::Task<> read_file_task(dfs::FileSystem& fs, std::string path,
   *out = co_await fs.read_all(fs.block_locations(path, 0).front(), path);
 }
 
-sim::Task<> broadcast_task(cluster::Platform& platform, int src,
+sim::Task<> broadcast_task(cluster::Platform& platform, int src, int port,
                            std::uint64_t bytes) {
   for (int dst = 0; dst < platform.num_nodes(); ++dst) {
     if (dst == src || !platform.sim().node_alive(dst)) continue;
     try {
-      co_await platform.transport().transfer(src, dst, net::kPortBroadcast,
+      co_await platform.transport().transfer(src, dst, port,
                                              net::TrafficClass::kControl,
                                              bytes);
     } catch (const net::NodeDownError&) {
@@ -101,7 +101,12 @@ void JobDag::broadcast_payload(std::uint64_t bytes) {
     }
   }
   if (src < 0) return;
-  sim.spawn(broadcast_task(platform_, src, bytes));
+  // Splitter/centroid broadcasts live inside the DAG's port namespace when
+  // the base config is scheduled (port_base > 0); legacy DAGs keep the
+  // shared kPortBroadcast.
+  sim.spawn(broadcast_task(platform_, src,
+                           config_.base.port_base + net::kPortBroadcast,
+                           bytes));
   sim.run();
 }
 

@@ -82,8 +82,9 @@ sim::Task<> shuffle_receiver(NodeContext ctx, int port, int expected,
     // With a combine mode active, everything on the MAIN shuffle port is
     // combined-framed (u32 g | u32 ntags | tags | run) — recovery ports
     // keep the legacy framing, replayed provenance stays uncombined.
-    const bool combined = ctx.config->combine_mode != CombineMode::kOff &&
-                          port == net::kPortShuffle;
+    const bool combined =
+        ctx.config->combine_mode != CombineMode::kOff &&
+        port == ctx.config->port_base + net::kPortShuffle;
     std::vector<std::uint64_t> tags;
     if (combined) {
       tags.resize(r.get_u32());
@@ -124,7 +125,7 @@ sim::Task<> broadcast_eos(NodeContext ctx, JobShared& shared, int port,
 sim::Task<> rack_aggregator(NodeContext ctx, JobShared& shared,
                             NodeCombiner& agg, RackTopology topo) {
   net::Transport::Receiver rx = ctx.platform->transport().receiver(
-      ctx.node_id, net::kPortRackAgg,
+      ctx.node_id, ctx.config->port_base + net::kPortRackAgg,
       topo.members_of(topo.rack_of(ctx.node_id)));
   for (;;) {
     auto msg = co_await rx.recv();
@@ -145,7 +146,9 @@ sim::Task<> rack_aggregator(NodeContext ctx, JobShared& shared,
   for (int n = 0; n < ctx.num_nodes; ++n) {
     if (!topo.same_rack(n, ctx.node_id)) extra.push_back(n);
   }
-  co_await broadcast_eos(ctx, shared, net::kPortShuffle, extra, nullptr);
+  co_await broadcast_eos(ctx, shared,
+                         ctx.config->port_base + net::kPortShuffle, extra,
+                         nullptr);
 }
 
 // EOS broadcast with crash guards. Dead destinations are skipped (crash
@@ -177,7 +180,7 @@ sim::Task<> run_recovery_rounds(NodeContext ctx, SplitScheduler& scheduler,
   auto& tr = sim.tracer();
   net::Transport& tp = ctx.platform->transport();
   const JobConfig& cfg = *ctx.config;
-  const auto rec_name = tr.intern("phase.recovery");
+  const auto rec_name = tr.intern(cfg.trace_scope + "phase.recovery");
 
   while (state.handled_epoch < shared.crash_epoch) {
     if (!ctx.self_live()) co_return;
@@ -185,7 +188,7 @@ sim::Task<> run_recovery_rounds(NodeContext ctx, SplitScheduler& scheduler,
     GW_CHECK_MSG(round <= cfg.max_recovery_rounds,
                  "recovery exceeded max_recovery_rounds");
     shared.rounds_entered.insert(round);
-    const int port = net::kPortRecoveryBase + round;
+    const int port = cfg.port_base + net::kPortRecoveryBase + round;
     const std::vector<int>& participants = shared.round_participants[round];
     auto& sent = shared.eos_sent[round];
 
@@ -319,9 +322,11 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
   const JobConfig& cfg = *ctx.config;
   const bool ft = cfg.fault_tolerant();
   const auto t = state.phase_track;
-  const auto map_name = tr.intern("phase.map");
-  const auto merge_name = tr.intern("phase.merge");
-  const auto reduce_name = tr.intern("phase.reduce");
+  const auto map_name = tr.intern(cfg.trace_scope + "phase.map");
+  const auto merge_name = tr.intern(cfg.trace_scope + "phase.merge");
+  const auto reduce_name = tr.intern(cfg.trace_scope + "phase.reduce");
+  const int shuffle_port = cfg.port_base + net::kPortShuffle;
+  const int rack_agg_port = cfg.port_base + net::kPortRackAgg;
   ctx.store->start_mergers();
 
   // Rack mode reshapes the main-port streams: a node hears from its own
@@ -343,11 +348,20 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
   if (rack_mode) {
     expected = topo.members_of(topo.rack_of(ctx.node_id)) + topo.num_racks() - 1;
   }
-  sim.spawn(shuffle_receiver(ctx, net::kPortShuffle, expected,
-                             *state.shuffle_done));
+  sim.spawn(
+      shuffle_receiver(ctx, shuffle_port, expected, *state.shuffle_done));
   if (state.rack_combiner != nullptr) {
     sim.spawn(rack_aggregator(ctx, shared, *state.rack_combiner, topo));
   }
+
+  // Multi-tenant slot gate: at most `capacity` resident jobs run their map
+  // phase on this node at once (FIFO, deterministic). Held through the EOS
+  // broadcast — the phase's sends are on the wire by then — and released
+  // BEFORE the merge wait, which depends on OTHER nodes' map phases and
+  // must not hold a slot while it blocks (deadlock-free by construction:
+  // receivers and mergers are never slot-gated).
+  sim::Resource::Hold map_slot;
+  if (ctx.map_slot != nullptr) map_slot = co_await ctx.map_slot->acquire();
 
   tr.begin(t, trace::Kind::kPhase, map_name, sim.now());
   ctx.combiner = state.combiner.get();
@@ -371,12 +385,13 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
   } else {
     for (int dst = 0; dst < ctx.num_nodes; ++dst) dsts.push_back(dst);
   }
-  co_await broadcast_eos(ctx, shared, net::kPortShuffle, dsts, nullptr);
+  co_await broadcast_eos(ctx, shared, shuffle_port, dsts, nullptr);
   if (rack_mode) {
     const std::vector<int> agg(
         1, topo.aggregator_of(topo.rack_of(ctx.node_id)));
-    co_await broadcast_eos(ctx, shared, net::kPortRackAgg, agg, nullptr);
+    co_await broadcast_eos(ctx, shared, rack_agg_port, agg, nullptr);
   }
+  map_slot.release();
 
   // Merge phase: continues until all remote data arrived and the merger
   // threads consolidated every partition (§III: "After the merge phase
@@ -406,6 +421,10 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
     }
     if (!todo.empty()) {
       ctx.device = reduce_device;
+      sim::Resource::Hold reduce_slot;
+      if (ctx.reduce_slot != nullptr) {
+        reduce_slot = co_await ctx.reduce_slot->acquire();
+      }
       tr.begin(t, trace::Kind::kPhase, reduce_name, sim.now());
       co_await run_reduce_phase(ctx, todo, state.reduce);
       tr.end(t, trace::Kind::kPhase, reduce_name, sim.now());
@@ -431,6 +450,505 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
     if (shared.job_complete) co_return;
     shared.done_nodes.erase(ctx.node_id);  // woken by a crash: back to work
   }
+}
+
+// Everything one job execution owns, factored out of GlasswingRuntime::run
+// so the synchronous single-job entry point and the scheduler-facing
+// run_async coroutine share one setup / mark / result-assembly path. Member
+// order mirrors the former run() locals so destruction order is unchanged.
+struct JobExec {
+  cluster::Platform& platform;
+  dfs::FileSystem& fs;
+  std::vector<std::unique_ptr<cl::Device>>& map_devices;
+  std::vector<std::unique_ptr<cl::Device>>& reduce_devices;
+  AppKernels app;     // normalized copy (partitioner default, combine gating)
+  JobConfig config;   // normalized copy
+  const JobEnv* env;  // shared slots/governors; null = single-job
+  sim::Simulation& sim;
+  net::Transport& tp;
+
+  dfs::FileSystem* base_fs = nullptr;
+  dfs::Dfs* hdfs = nullptr;
+  int num_nodes = 0;
+  int total_partitions = 0;
+  double start = 0;
+  bool ft = false;
+  int rack_size = 0;
+  std::vector<int> start_live;
+  bool degraded = false;
+  std::uint64_t net_shuffle0 = 0;
+  std::uint64_t net_dfs0 = 0;
+  std::uint64_t net_control0 = 0;
+  std::uint64_t net_rack_agg0 = 0;
+  std::uint64_t dfs_lost0 = 0;
+  std::uint64_t dfs_rerep0 = 0;
+  std::optional<SplitScheduler> scheduler;
+  JobShared shared;
+  int listener_id = -1;
+  trace::TrackRef job_track;
+  std::int32_t job_name = -1;
+  std::int32_t round_name = -1;
+  std::vector<NodeRun> nodes;
+  sim::TaskGroup all;
+
+  JobExec(cluster::Platform& platform_in, dfs::FileSystem& fs_in,
+          std::vector<std::unique_ptr<cl::Device>>& map_devices_in,
+          std::vector<std::unique_ptr<cl::Device>>& reduce_devices_in,
+          const AppKernels& app_in, JobConfig config_in, const JobEnv* env_in)
+      : platform(platform_in), fs(fs_in), map_devices(map_devices_in),
+        reduce_devices(reduce_devices_in), app(app_in),
+        config(std::move(config_in)), env(env_in), sim(platform_in.sim()),
+        tp(platform_in.transport()), all(platform_in.sim()) {}
+
+  // The job's private port for a well-known service (identity for the
+  // legacy port_base == 0).
+  int port(int p) const { return config.port_base + p; }
+  // Job-scoped trace name ("phase.map" -> "j3.phase.map" under a scope).
+  std::string scoped(const char* name) const {
+    return config.trace_scope + name;
+  }
+
+  void setup();
+  void finish_marks();
+  JobResult finalize();
+};
+
+void JobExec::setup() {
+  GW_CHECK_MSG(static_cast<bool>(app.map), "job needs a map function");
+  GW_CHECK_MSG(!config.input_paths.empty(), "job needs input paths");
+  GW_CHECK_MSG(!config.output_path.empty(), "job needs an output path");
+
+  if (!app.partition) {
+    app.partition = default_hash_partitioner();
+  }
+  // The combiner is only available with the hash-table collector (§III-F).
+  if (config.output_mode != OutputMode::kHashTable ||
+      !app.combine.has_value()) {
+    config.use_combiner = false;
+  }
+  // Hierarchical combining needs an app combiner with the declared
+  // associativity contract. Speculation is incompatible: a straggler clone
+  // regenerates a tagged run on a different node, whose combiner may group
+  // it with different partners — the destination would see a partial
+  // overlap with an already-stored combined run.
+  if (config.combine_mode != CombineMode::kOff &&
+      (!app.combine.has_value() || !app.combine_associative ||
+       config.speculate)) {
+    config.combine_mode = CombineMode::kOff;
+  }
+  // Rack aggregation needs rack structure to exploit; otherwise degrade to
+  // the node tier, which is the same data path minus the aggregator hop.
+  rack_size = platform.fabric().profile().rack_size;
+  if (config.combine_mode == CombineMode::kRack &&
+      (rack_size <= 0 || platform.num_nodes() <= rack_size)) {
+    config.combine_mode = CombineMode::kNode;
+  }
+  // Scheduler-shared governors carve no combine pool (their budget split is
+  // fixed before the tenant mix is known), so combining degrades off rather
+  // than drawing from a pool that was never funded.
+  if (env != nullptr && !env->governors.empty()) {
+    config.combine_mode = CombineMode::kOff;
+  }
+
+  // Governed/replication controls reach through the PinnedFs overlay to
+  // the real DFS underneath; stats deltas are measured there too.
+  base_fs = &fs;
+  if (auto* pf = dynamic_cast<dfs::PinnedFs*>(base_fs)) {
+    base_fs = &pf->base();
+  }
+  if (config.output_replication > 0) {
+    if (auto* dfs_base = dynamic_cast<dfs::Dfs*>(base_fs)) {
+      dfs_base->set_replication(config.output_replication);
+    }
+  }
+
+  if (config.scheduled()) {
+    // Concurrent jobs share one trace: nothing global to clear, and the
+    // job's occupancy accumulators are already private via trace_scope.
+  } else if (config.dag_round < 0) {
+    sim.tracer().clear();  // one job per trace
+  } else {
+    // DAG round: the trace spans the whole DAG, but per-round stage
+    // breakdowns must not accumulate across rounds.
+    sim.tracer().reset_occupancy();
+  }
+  num_nodes = platform.num_nodes();
+  total_partitions = num_nodes * config.partitions_per_node;
+  start = sim.now();
+  ft = config.fault_tolerant();
+
+  // Nodes already dead when the job starts (between DAG rounds, or a job
+  // admitted to a shared cluster after another tenant's crash) take no
+  // part: their partitions move to the survivors up front, no pipelines
+  // are spawned for them, and shuffle streams expect only live senders.
+  // With every node alive this block changes nothing.
+  for (int n = 0; n < num_nodes; ++n) {
+    if (sim.node_alive(n)) start_live.push_back(n);
+  }
+  GW_CHECK_MSG(!start_live.empty(), "every node is dead at job start");
+  degraded = static_cast<int>(start_live.size()) < num_nodes;
+  if (degraded) {
+    GW_CHECK_MSG(config.dag_round >= 0 || config.scheduled(),
+                 "node dead at job start outside a DAG round or scheduler");
+    // The combine tiers assume full-mesh membership; a shrunken cluster
+    // falls back to the plain shuffle path.
+    config.combine_mode = CombineMode::kOff;
+  }
+
+  // Transport counters are cumulative per platform (input staging and
+  // concurrent tenants count too); snapshot so the report covers exactly
+  // this job. NOTE: under multi-tenancy the network-class deltas cover the
+  // job's residency window including neighbours' traffic — per-job wire
+  // attribution would need per-port accounting, which port namespacing
+  // makes possible (port_bytes) but the legacy fields do not expose.
+  net_shuffle0 = tp.total_bytes(net::TrafficClass::kShuffle);
+  net_dfs0 = tp.total_bytes(net::TrafficClass::kDfs);
+  net_control0 = tp.total_bytes(net::TrafficClass::kControl);
+  net_rack_agg0 = tp.total_bytes(net::TrafficClass::kRackAgg);
+  hdfs = dynamic_cast<dfs::Dfs*>(base_fs);
+  dfs_lost0 = hdfs ? hdfs->replicas_lost() : 0;
+  dfs_rerep0 = hdfs ? hdfs->blocks_rereplicated() : 0;
+
+  scheduler.emplace(
+      SplitScheduler::make_splits(fs, config.input_paths, config.split_size));
+
+  shared.owner.resize(static_cast<std::size_t>(total_partitions));
+  for (int g = 0; g < total_partitions; ++g) {
+    shared.owner[static_cast<std::size_t>(g)] =
+        g / config.partitions_per_node;
+  }
+  if (degraded) {
+    // Start-dead nodes never produce or reduce; round-robin their
+    // partitions over the live nodes (ascending ids: deterministic), the
+    // same policy the crash listener applies mid-job.
+    std::size_t rr = 0;
+    for (int g = 0; g < total_partitions; ++g) {
+      int& owner = shared.owner[static_cast<std::size_t>(g)];
+      if (sim.node_alive(owner)) continue;
+      owner = start_live[rr++ % start_live.size()];
+    }
+    for (int n = 0; n < num_nodes; ++n) {
+      if (!sim.node_alive(n)) shared.failed.insert(n);
+    }
+  }
+  shared.park = std::make_unique<sim::Event>(sim);
+
+  if (ft) {
+    // JobTracker bookkeeping: who is expected on every shuffle stream (for
+    // crash compensation), the crash listener that reassigns work, and the
+    // scheduled crash events themselves.
+    if (config.combine_mode == CombineMode::kRack) {
+      // Rack mode reshapes the main-port streams: a node hears from its own
+      // rack's members plus the other racks' aggregators, and an aggregator
+      // additionally hears its members on the rack-agg port.
+      const RackTopology topo{rack_size, num_nodes};
+      for (int dst = 0; dst < num_nodes; ++dst) {
+        const int rack = topo.rack_of(dst);
+        std::vector<int> senders;
+        for (int i = 0; i < topo.members_of(rack); ++i) {
+          senders.push_back(topo.aggregator_of(rack) + i);
+        }
+        for (int r = 0; r < topo.num_racks(); ++r) {
+          if (r != rack) senders.push_back(topo.aggregator_of(r));
+        }
+        tp.expect_senders(dst, port(net::kPortShuffle), senders);
+      }
+      for (int r = 0; r < topo.num_racks(); ++r) {
+        std::vector<int> members;
+        for (int i = 0; i < topo.members_of(r); ++i) {
+          members.push_back(topo.aggregator_of(r) + i);
+        }
+        tp.expect_senders(topo.aggregator_of(r), port(net::kPortRackAgg),
+                          members);
+      }
+    } else {
+      // Only nodes alive at job start ever open a stream; dead-at-start
+      // nodes are neither senders nor receivers. All-alive this is the
+      // legacy everyone-to-everyone registration.
+      for (int dst : start_live) {
+        tp.expect_senders(dst, port(net::kPortShuffle), start_live);
+      }
+    }
+    listener_id = sim.add_crash_listener([this](int node, bool alive) {
+      if (alive) return;  // a restarted node only serves as a DFS target
+      if (shared.failed.count(node) > 0) return;
+      shared.failed.insert(node);
+      shared.crash_epoch++;
+      const int round = shared.crash_epoch;
+      std::vector<int> participants;
+      for (int n = 0; n < num_nodes; ++n) {
+        if (shared.job_live(sim, n)) participants.push_back(n);
+      }
+      GW_CHECK_MSG(!participants.empty(), "every node crashed; job is lost");
+      // Reassign the dead node's reduce partitions round-robin over the
+      // survivors (ascending ids: deterministic).
+      auto& moved = shared.reassigned[round];
+      std::size_t rr = 0;
+      for (int g = 0; g < total_partitions; ++g) {
+        if (shared.owner[static_cast<std::size_t>(g)] != node) continue;
+        shared.owner[static_cast<std::size_t>(g)] =
+            participants[rr++ % participants.size()];
+        moved.push_back(g);
+      }
+      shared.partitions_reassigned += moved.size();
+      shared.round_participants[round] = std::move(participants);
+      shared.crashed_node[round] = node;
+      // Splits the dead node ran or had committed go back for re-execution.
+      scheduler->on_crash(node);
+      // Failure detection: inject the dead node's missing EOS frames after
+      // the detection timeout, once its in-flight wire traffic drained.
+      sim.spawn([](sim::Simulation& s, net::Transport& t, int dead,
+                   double delay) -> sim::Task<> {
+        co_await s.delay(delay);
+        co_await t.compensate_crash(dead);
+      }(sim, tp, node, config.crash_detection_delay_s));
+      // Wake parked finishers: the crash may have handed them new work.
+      auto old_park = std::move(shared.park);
+      shared.park = std::make_unique<sim::Event>(sim);
+      old_park->set();  // waiters already rescheduled; safe to destroy
+    });
+    for (const auto& e : config.crash_events) {
+      GW_CHECK_MSG(e.node >= 0 && e.node < num_nodes,
+                   "crash event names an unknown node");
+      sim.schedule_node_crash(e.node, e.time, e.restart_time);
+    }
+  }
+
+  // Job-wide span: the root every recovery event must nest inside. DAG
+  // rounds additionally open a kRound span just inside it, so a DAG trace
+  // shows one round span per executed job, each nested in its job span.
+  // Scheduled jobs put their span on a tenant-labelled track of their own,
+  // so concurrent job spans land on distinct tracks and nest cleanly.
+  job_track = sim.tracer().track(0, scoped("job"));
+  job_name = sim.tracer().intern("job");
+  round_name = sim.tracer().intern("round");
+  sim.tracer().begin(job_track, trace::Kind::kPhase, job_name, sim.now());
+  if (config.dag_round >= 0) {
+    sim.tracer().begin(job_track, trace::Kind::kRound, round_name, sim.now(),
+                       static_cast<std::uint64_t>(config.dag_round));
+  }
+
+  nodes.resize(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    NodeRun& state = nodes[static_cast<std::size_t>(n)];
+    MemoryGovernor* gov = nullptr;
+    if (env != nullptr && !env->governors.empty()) {
+      // Shared-cluster budget: one governor per node across all resident
+      // jobs; the per-job governor stays null (no per-job mem marks).
+      gov = env->governors[static_cast<std::size_t>(n)];
+    } else if (config.governed()) {
+      state.governor = std::make_unique<MemoryGovernor>(
+          sim, config.node_memory_bytes,
+          /*with_combine_pool=*/config.combine_mode != CombineMode::kOff);
+      gov = state.governor.get();
+    }
+    state.store = std::make_unique<IntermediateStore>(platform.node(n), sim,
+                                                      config, gov);
+    state.shuffle_done = std::make_unique<sim::Event>(sim);
+    state.phase_track = sim.tracer().track(n, scoped("phase"));
+
+    // Dead-at-start nodes get their bookkeeping state (the stats loop
+    // below walks every node) but no pipelines.
+    if (!sim.node_alive(n)) continue;
+
+    NodeContext ctx;
+    ctx.platform = &platform;
+    ctx.node = &platform.node(n);
+    ctx.fs = &fs;
+    ctx.device = map_devices[static_cast<std::size_t>(n)].get();
+    ctx.store = state.store.get();
+    ctx.mem = gov;
+    ctx.config = &config;
+    ctx.app = &app;
+    ctx.node_id = n;
+    ctx.num_nodes = num_nodes;
+    ctx.total_partitions = total_partitions;
+    ctx.partition_owner = &shared.owner;
+    ctx.shuffle_port = port(net::kPortShuffle);
+    ctx.ledger = ft ? &state.ledger : nullptr;
+    ctx.failed_nodes = &shared.failed;
+    if (env != nullptr && !env->map_slots.empty()) {
+      ctx.map_slot = env->map_slots[static_cast<std::size_t>(n)];
+    }
+    if (env != nullptr && !env->reduce_slots.empty()) {
+      ctx.reduce_slot = env->reduce_slots[static_cast<std::size_t>(n)];
+    }
+    if (config.combine_mode != CombineMode::kOff) {
+      RackTopology topo;  // rack_size 0 = route straight to the owner
+      if (config.combine_mode == CombineMode::kRack) {
+        topo = RackTopology{rack_size, num_nodes};
+      }
+      state.combiner = std::make_unique<NodeCombiner>(
+          ctx, NodeCombiner::Tier::kMap, topo);
+      if (config.combine_mode == CombineMode::kRack &&
+          topo.is_aggregator(n)) {
+        state.rack_combiner = std::make_unique<NodeCombiner>(
+            ctx, NodeCombiner::Tier::kRackAgg, topo);
+      }
+    }
+    all.spawn(node_main(ctx, map_devices[static_cast<std::size_t>(n)].get(),
+                        reduce_devices[static_cast<std::size_t>(n)].get(),
+                        *scheduler, state, shared));
+  }
+}
+
+void JobExec::finish_marks() {
+  if (config.governed()) {
+    // Per-node budget/peak instants (arg = bytes) inside the job span, so
+    // trace validators can check budget-respecting peak occupancy. Emitted
+    // only for governed runs: default traces stay byte-identical.
+    const std::int32_t budget_name = sim.tracer().intern("mem.budget");
+    const std::int32_t peak_name = sim.tracer().intern("mem.peak");
+    for (int n = 0; n < num_nodes; ++n) {
+      const NodeRun& s = nodes[static_cast<std::size_t>(n)];
+      if (s.governor == nullptr) continue;
+      sim.tracer().instant(s.phase_track, trace::Kind::kMark, budget_name,
+                           sim.now(), s.governor->budget_bytes());
+      sim.tracer().instant(s.phase_track, trace::Kind::kMark, peak_name,
+                           sim.now(), s.governor->peak_bytes());
+    }
+  }
+  if (config.combine_mode != CombineMode::kOff) {
+    // Per-node combine-volume instants (arg = bytes) inside the job span,
+    // mirroring the governed mem.* marks, so trace validators can check the
+    // tiers actually reduced traffic (combine.out <= combine.in).
+    const std::int32_t in_name = sim.tracer().intern("combine.in");
+    const std::int32_t out_name = sim.tracer().intern("combine.out");
+    for (int n = 0; n < num_nodes; ++n) {
+      const NodeRun& s = nodes[static_cast<std::size_t>(n)];
+      if (s.combiner == nullptr) continue;
+      std::uint64_t in = s.combiner->metrics().in_bytes;
+      std::uint64_t out = s.combiner->metrics().out_bytes;
+      if (s.rack_combiner != nullptr) {
+        in += s.rack_combiner->metrics().in_bytes;
+        out += s.rack_combiner->metrics().out_bytes;
+      }
+      sim.tracer().instant(s.phase_track, trace::Kind::kMark, in_name,
+                           sim.now(), in);
+      sim.tracer().instant(s.phase_track, trace::Kind::kMark, out_name,
+                           sim.now(), out);
+    }
+  }
+  if (config.dag_round >= 0) {
+    sim.tracer().end(job_track, trace::Kind::kRound, round_name, sim.now(),
+                     static_cast<std::uint64_t>(config.dag_round));
+  }
+  sim.tracer().end(job_track, trace::Kind::kPhase, job_name, sim.now());
+}
+
+JobResult JobExec::finalize() {
+  JobResult result;
+  result.elapsed_seconds = sim.now() - start;
+  // Stage breakdown reduces from the trace: each column is the max over
+  // nodes of that span's busy occupancy (partition: max over its worker
+  // tracks, the paper's Fig 4(a) metric). Names are job-scoped, so a
+  // tenant only ever reads its own accumulators.
+  const trace::Tracer& tr = sim.tracer();
+  double map_end = start, merge_delay = 0, reduce_elapsed = 0;
+  for (int n = 0; n < num_nodes; ++n) {
+    const NodeRun& s = nodes[static_cast<std::size_t>(n)];
+    const trace::Occupancy phase_map = tr.occupancy(n, scoped("phase.map"));
+    const trace::Occupancy phase_merge =
+        tr.occupancy(n, scoped("phase.merge"));
+    const trace::Occupancy phase_reduce =
+        tr.occupancy(n, scoped("phase.reduce"));
+    map_end = std::max(map_end, phase_map.last_end);
+    merge_delay = std::max(merge_delay, phase_merge.busy);
+    reduce_elapsed = std::max(reduce_elapsed, phase_reduce.busy);
+
+    result.stages.input = std::max(
+        result.stages.input, tr.occupancy(n, scoped("map.input")).busy);
+    result.stages.stage = std::max(
+        result.stages.stage, tr.occupancy(n, scoped("map.stage")).busy);
+    result.stages.kernel = std::max(
+        result.stages.kernel, tr.occupancy(n, scoped("map.kernel")).busy);
+    result.stages.retrieve = std::max(
+        result.stages.retrieve, tr.occupancy(n, scoped("map.retrieve")).busy);
+    result.stages.partition =
+        std::max(result.stages.partition,
+                 tr.occupancy(n, scoped("map.partition")).max_track_busy);
+    result.stages.map_elapsed =
+        std::max(result.stages.map_elapsed, phase_map.busy);
+    result.stages.merge_delay =
+        std::max(result.stages.merge_delay, phase_merge.busy);
+    result.stages.reduce_input =
+        std::max(result.stages.reduce_input,
+                 tr.occupancy(n, scoped("reduce.input")).busy);
+    result.stages.reduce_stage =
+        std::max(result.stages.reduce_stage,
+                 tr.occupancy(n, scoped("reduce.stage")).busy);
+    result.stages.reduce_kernel =
+        std::max(result.stages.reduce_kernel,
+                 tr.occupancy(n, scoped("reduce.kernel")).busy);
+    result.stages.reduce_retrieve =
+        std::max(result.stages.reduce_retrieve,
+                 tr.occupancy(n, scoped("reduce.retrieve")).busy);
+    result.stages.reduce_output =
+        std::max(result.stages.reduce_output,
+                 tr.occupancy(n, scoped("reduce.output")).busy);
+    result.stages.reduce_elapsed =
+        std::max(result.stages.reduce_elapsed, phase_reduce.busy);
+
+    result.stats.input_records += s.map.records;
+    result.stats.intermediate_pairs += s.map.pairs;
+    result.stats.intermediate_bytes += s.map.intermediate_raw;
+    result.stats.intermediate_stored += s.map.intermediate_stored;
+    result.stats.shuffle_bytes_remote += s.map.shuffle_bytes_remote;
+    result.stats.map_task_retries += s.map.task_failures;
+    result.stats.reduce_task_retries += s.reduce.task_failures;
+    result.stats.spills += s.store->spills();
+    result.stats.merges += s.store->merges();
+    result.stats.merge_fanin_runs += s.store->merge_fanin_runs();
+    result.stats.spill_bytes += s.store->spill_bytes();
+    result.stats.merge_levels =
+        std::max(result.stats.merge_levels, s.store->merge_levels());
+    if (s.governor != nullptr) {
+      result.stats.peak_mem_bytes =
+          std::max(result.stats.peak_mem_bytes, s.governor->peak_bytes());
+      result.stats.mem_stall_seconds += s.governor->stall_seconds();
+    }
+    result.stats.duplicate_runs_dropped += s.store->duplicate_runs_dropped();
+    if (s.combiner != nullptr) {
+      // With combining active the map-tier combiner owns the remote sends,
+      // so its framed wire bytes are the node's remote shuffle volume.
+      result.stats.shuffle_bytes_remote += s.combiner->metrics().wire_bytes;
+      result.stats.combine_in_bytes += s.combiner->metrics().in_bytes;
+      result.stats.combine_out_bytes += s.combiner->metrics().out_bytes;
+    }
+    if (s.rack_combiner != nullptr) {
+      result.stats.combine_in_bytes += s.rack_combiner->metrics().in_bytes;
+      result.stats.combine_out_bytes += s.rack_combiner->metrics().out_bytes;
+    }
+    result.stats.hash_table_probes += s.map.hash_probes;
+    result.stats.input_splits_lost += s.map.input_splits_lost;
+    result.stats.output_pairs += s.reduce.output_pairs;
+    result.stats.map_kernel += s.map.kernel_stats;
+    result.stats.reduce_kernel += s.reduce.kernel_stats;
+    for (const auto& f : s.reduce.output_files) {
+      result.output_files.push_back(f);
+    }
+  }
+  result.map_phase_seconds = map_end - start;
+  result.merge_delay_seconds = merge_delay;
+  result.reduce_phase_seconds = reduce_elapsed;
+  result.stats.tasks_reexecuted = scheduler->reexecutions();
+  result.stats.speculative_wins = scheduler->speculative_wins();
+  result.stats.speculative_losses = scheduler->speculative_losses();
+  result.stats.partitions_reassigned = shared.partitions_reassigned;
+  result.stats.recovery_rounds = shared.rounds_entered.size();
+  result.stats.dfs_replicas_lost =
+      hdfs ? hdfs->replicas_lost() - dfs_lost0 : 0;
+  result.stats.blocks_rereplicated =
+      hdfs ? hdfs->blocks_rereplicated() - dfs_rerep0 : 0;
+  result.stats.net_shuffle_bytes =
+      tp.total_bytes(net::TrafficClass::kShuffle) - net_shuffle0;
+  result.stats.net_dfs_bytes = tp.total_bytes(net::TrafficClass::kDfs) - net_dfs0;
+  result.stats.net_control_bytes =
+      tp.total_bytes(net::TrafficClass::kControl) - net_control0;
+  result.stats.net_rack_agg_bytes =
+      tp.total_bytes(net::TrafficClass::kRackAgg) - net_rack_agg0;
+  std::sort(result.output_files.begin(), result.output_files.end());
+  return result;
 }
 
 }  // namespace
@@ -486,267 +1004,10 @@ GlasswingRuntime::GlasswingRuntime(cluster::Platform& platform,
 JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config,
                                 dfs::FileSystem* fs_override) {
   dfs::FileSystem& fs = fs_override != nullptr ? *fs_override : fs_;
-  GW_CHECK_MSG(static_cast<bool>(app.map), "job needs a map function");
-  GW_CHECK_MSG(!config.input_paths.empty(), "job needs input paths");
-  GW_CHECK_MSG(!config.output_path.empty(), "job needs an output path");
-
-  AppKernels effective_app = app;
-  if (!effective_app.partition) {
-    effective_app.partition = default_hash_partitioner();
-  }
-  // The combiner is only available with the hash-table collector (§III-F).
-  if (config.output_mode != OutputMode::kHashTable ||
-      !effective_app.combine.has_value()) {
-    config.use_combiner = false;
-  }
-  // Hierarchical combining needs an app combiner with the declared
-  // associativity contract. Speculation is incompatible: a straggler clone
-  // regenerates a tagged run on a different node, whose combiner may group
-  // it with different partners — the destination would see a partial
-  // overlap with an already-stored combined run.
-  if (config.combine_mode != CombineMode::kOff &&
-      (!effective_app.combine.has_value() ||
-       !effective_app.combine_associative || config.speculate)) {
-    config.combine_mode = CombineMode::kOff;
-  }
-  // Rack aggregation needs rack structure to exploit; otherwise degrade to
-  // the node tier, which is the same data path minus the aggregator hop.
-  const int rack_size = platform_.fabric().profile().rack_size;
-  if (config.combine_mode == CombineMode::kRack &&
-      (rack_size <= 0 || platform_.num_nodes() <= rack_size)) {
-    config.combine_mode = CombineMode::kNode;
-  }
-
-  // Governed/replication controls reach through the PinnedFs overlay to
-  // the real DFS underneath; stats deltas are measured there too.
-  dfs::FileSystem* base_fs = &fs;
-  if (auto* pf = dynamic_cast<dfs::PinnedFs*>(base_fs)) {
-    base_fs = &pf->base();
-  }
-  if (config.output_replication > 0) {
-    if (auto* dfs_base = dynamic_cast<dfs::Dfs*>(base_fs)) {
-      dfs_base->set_replication(config.output_replication);
-    }
-  }
-
+  JobExec ex(platform_, fs, map_devices_, reduce_devices_, app,
+             std::move(config), /*env=*/nullptr);
+  ex.setup();
   auto& sim = platform_.sim();
-  if (config.dag_round < 0) {
-    sim.tracer().clear();  // one job per trace
-  } else {
-    // DAG round: the trace spans the whole DAG, but per-round stage
-    // breakdowns must not accumulate across rounds.
-    sim.tracer().reset_occupancy();
-  }
-  const int num_nodes = platform_.num_nodes();
-  const int total_partitions = num_nodes * config.partitions_per_node;
-  const double start = sim.now();
-  const bool ft = config.fault_tolerant();
-
-  // Nodes already dead when the job starts (possible only between DAG
-  // rounds: an inter-round crash outlives the job that saw it) take no
-  // part: their partitions move to the survivors up front, no pipelines
-  // are spawned for them, and shuffle streams expect only live senders.
-  // With every node alive this block changes nothing.
-  std::vector<int> start_live;
-  for (int n = 0; n < num_nodes; ++n) {
-    if (sim.node_alive(n)) start_live.push_back(n);
-  }
-  GW_CHECK_MSG(!start_live.empty(), "every node is dead at job start");
-  const bool degraded = static_cast<int>(start_live.size()) < num_nodes;
-  if (degraded) {
-    GW_CHECK_MSG(config.dag_round >= 0,
-                 "node dead at job start outside a DAG round");
-    // The combine tiers assume full-mesh membership; a shrunken cluster
-    // falls back to the plain shuffle path.
-    config.combine_mode = CombineMode::kOff;
-  }
-
-  // Transport counters are cumulative per platform (input staging counts
-  // too); snapshot so the report covers exactly this job.
-  net::Transport& tp = platform_.transport();
-  const std::uint64_t net_shuffle0 =
-      tp.total_bytes(net::TrafficClass::kShuffle);
-  const std::uint64_t net_dfs0 = tp.total_bytes(net::TrafficClass::kDfs);
-  const std::uint64_t net_control0 =
-      tp.total_bytes(net::TrafficClass::kControl);
-  const std::uint64_t net_rack_agg0 =
-      tp.total_bytes(net::TrafficClass::kRackAgg);
-  auto* hdfs = dynamic_cast<dfs::Dfs*>(base_fs);
-  const std::uint64_t dfs_lost0 = hdfs ? hdfs->replicas_lost() : 0;
-  const std::uint64_t dfs_rerep0 = hdfs ? hdfs->blocks_rereplicated() : 0;
-
-  SplitScheduler scheduler(
-      SplitScheduler::make_splits(fs, config.input_paths, config.split_size));
-
-  JobShared shared;
-  shared.owner.resize(static_cast<std::size_t>(total_partitions));
-  for (int g = 0; g < total_partitions; ++g) {
-    shared.owner[static_cast<std::size_t>(g)] =
-        g / config.partitions_per_node;
-  }
-  if (degraded) {
-    // Start-dead nodes never produce or reduce; round-robin their
-    // partitions over the live nodes (ascending ids: deterministic), the
-    // same policy the crash listener applies mid-job.
-    std::size_t rr = 0;
-    for (int g = 0; g < total_partitions; ++g) {
-      int& owner = shared.owner[static_cast<std::size_t>(g)];
-      if (sim.node_alive(owner)) continue;
-      owner = start_live[rr++ % start_live.size()];
-    }
-    for (int n = 0; n < num_nodes; ++n) {
-      if (!sim.node_alive(n)) shared.failed.insert(n);
-    }
-  }
-  shared.park = std::make_unique<sim::Event>(sim);
-
-  int listener_id = -1;
-  if (ft) {
-    // JobTracker bookkeeping: who is expected on every shuffle stream (for
-    // crash compensation), the crash listener that reassigns work, and the
-    // scheduled crash events themselves.
-    if (config.combine_mode == CombineMode::kRack) {
-      // Rack mode reshapes the main-port streams: a node hears from its own
-      // rack's members plus the other racks' aggregators, and an aggregator
-      // additionally hears its members on the rack-agg port.
-      const RackTopology topo{rack_size, num_nodes};
-      for (int dst = 0; dst < num_nodes; ++dst) {
-        const int rack = topo.rack_of(dst);
-        std::vector<int> senders;
-        for (int i = 0; i < topo.members_of(rack); ++i) {
-          senders.push_back(topo.aggregator_of(rack) + i);
-        }
-        for (int r = 0; r < topo.num_racks(); ++r) {
-          if (r != rack) senders.push_back(topo.aggregator_of(r));
-        }
-        tp.expect_senders(dst, net::kPortShuffle, senders);
-      }
-      for (int r = 0; r < topo.num_racks(); ++r) {
-        std::vector<int> members;
-        for (int i = 0; i < topo.members_of(r); ++i) {
-          members.push_back(topo.aggregator_of(r) + i);
-        }
-        tp.expect_senders(topo.aggregator_of(r), net::kPortRackAgg, members);
-      }
-    } else {
-      // Only nodes alive at job start ever open a stream; dead-at-start
-      // nodes are neither senders nor receivers. All-alive this is the
-      // legacy everyone-to-everyone registration.
-      for (int dst : start_live) {
-        tp.expect_senders(dst, net::kPortShuffle, start_live);
-      }
-    }
-    listener_id = sim.add_crash_listener([&sim, &tp, &shared, &scheduler,
-                                          &config, num_nodes,
-                                          total_partitions](int node,
-                                                            bool alive) {
-      if (alive) return;  // a restarted node only serves as a DFS target
-      if (shared.failed.count(node) > 0) return;
-      shared.failed.insert(node);
-      shared.crash_epoch++;
-      const int round = shared.crash_epoch;
-      std::vector<int> participants;
-      for (int n = 0; n < num_nodes; ++n) {
-        if (shared.job_live(sim, n)) participants.push_back(n);
-      }
-      GW_CHECK_MSG(!participants.empty(), "every node crashed; job is lost");
-      // Reassign the dead node's reduce partitions round-robin over the
-      // survivors (ascending ids: deterministic).
-      auto& moved = shared.reassigned[round];
-      std::size_t rr = 0;
-      for (int g = 0; g < total_partitions; ++g) {
-        if (shared.owner[static_cast<std::size_t>(g)] != node) continue;
-        shared.owner[static_cast<std::size_t>(g)] =
-            participants[rr++ % participants.size()];
-        moved.push_back(g);
-      }
-      shared.partitions_reassigned += moved.size();
-      shared.round_participants[round] = std::move(participants);
-      shared.crashed_node[round] = node;
-      // Splits the dead node ran or had committed go back for re-execution.
-      scheduler.on_crash(node);
-      // Failure detection: inject the dead node's missing EOS frames after
-      // the detection timeout, once its in-flight wire traffic drained.
-      sim.spawn([](sim::Simulation& s, net::Transport& t, int dead,
-                   double delay) -> sim::Task<> {
-        co_await s.delay(delay);
-        co_await t.compensate_crash(dead);
-      }(sim, tp, node, config.crash_detection_delay_s));
-      // Wake parked finishers: the crash may have handed them new work.
-      auto old_park = std::move(shared.park);
-      shared.park = std::make_unique<sim::Event>(sim);
-      old_park->set();  // waiters already rescheduled; safe to destroy
-    });
-    for (const auto& e : config.crash_events) {
-      GW_CHECK_MSG(e.node >= 0 && e.node < num_nodes,
-                   "crash event names an unknown node");
-      sim.schedule_node_crash(e.node, e.time, e.restart_time);
-    }
-  }
-
-  // Job-wide span: the root every recovery event must nest inside. DAG
-  // rounds additionally open a kRound span just inside it, so a DAG trace
-  // shows one round span per executed job, each nested in its job span.
-  const trace::TrackRef job_track = sim.tracer().track(0, "job");
-  const std::int32_t job_name = sim.tracer().intern("job");
-  const std::int32_t round_name = sim.tracer().intern("round");
-  sim.tracer().begin(job_track, trace::Kind::kPhase, job_name, sim.now());
-  if (config.dag_round >= 0) {
-    sim.tracer().begin(job_track, trace::Kind::kRound, round_name, sim.now(),
-                       static_cast<std::uint64_t>(config.dag_round));
-  }
-
-  std::vector<NodeRun> nodes(static_cast<std::size_t>(num_nodes));
-  sim::TaskGroup all(sim);
-  for (int n = 0; n < num_nodes; ++n) {
-    NodeRun& state = nodes[static_cast<std::size_t>(n)];
-    if (config.governed()) {
-      state.governor = std::make_unique<MemoryGovernor>(
-          sim, config.node_memory_bytes,
-          /*with_combine_pool=*/config.combine_mode != CombineMode::kOff);
-    }
-    state.store = std::make_unique<IntermediateStore>(
-        platform_.node(n), sim, config, state.governor.get());
-    state.shuffle_done = std::make_unique<sim::Event>(sim);
-    state.phase_track = sim.tracer().track(n, "phase");
-
-    // Dead-at-start nodes get their bookkeeping state (the stats loop
-    // below walks every node) but no pipelines.
-    if (!sim.node_alive(n)) continue;
-
-    NodeContext ctx;
-    ctx.platform = &platform_;
-    ctx.node = &platform_.node(n);
-    ctx.fs = &fs;
-    ctx.device = map_devices_[static_cast<std::size_t>(n)].get();
-    ctx.store = state.store.get();
-    ctx.mem = state.governor.get();
-    ctx.config = &config;
-    ctx.app = &effective_app;
-    ctx.node_id = n;
-    ctx.num_nodes = num_nodes;
-    ctx.total_partitions = total_partitions;
-    ctx.partition_owner = &shared.owner;
-    ctx.ledger = ft ? &state.ledger : nullptr;
-    ctx.failed_nodes = &shared.failed;
-    if (config.combine_mode != CombineMode::kOff) {
-      RackTopology topo;  // rack_size 0 = route straight to the owner
-      if (config.combine_mode == CombineMode::kRack) {
-        topo = RackTopology{rack_size, num_nodes};
-      }
-      state.combiner = std::make_unique<NodeCombiner>(
-          ctx, NodeCombiner::Tier::kMap, topo);
-      if (config.combine_mode == CombineMode::kRack &&
-          topo.is_aggregator(n)) {
-        state.rack_combiner = std::make_unique<NodeCombiner>(
-            ctx, NodeCombiner::Tier::kRackAgg, topo);
-      }
-    }
-    all.spawn(node_main(ctx, map_devices_[static_cast<std::size_t>(n)].get(),
-                        reduce_devices_[static_cast<std::size_t>(n)].get(),
-                        scheduler, state, shared));
-  }
-
   bool completed = false;
   bool failed = false;
   std::string failure;
@@ -759,168 +1020,69 @@ JobResult GlasswingRuntime::run(const AppKernels& app, JobConfig config,
       *msg = e.what();
     }
     *completed_out = true;
-  }(all, &completed, &failed, &failure));
+  }(ex.all, &completed, &failed, &failure));
   sim.run();
   // The event queue draining without the task group resolving means a node
   // coroutine is parked forever — a protocol deadlock, not a slow job.
   GW_CHECK_MSG(completed, "job hung: event queue drained with nodes parked");
-  if (config.governed()) {
-    // Per-node budget/peak instants (arg = bytes) inside the job span, so
-    // trace validators can check budget-respecting peak occupancy. Emitted
-    // only for governed runs: default traces stay byte-identical.
-    const std::int32_t budget_name = sim.tracer().intern("mem.budget");
-    const std::int32_t peak_name = sim.tracer().intern("mem.peak");
-    for (int n = 0; n < num_nodes; ++n) {
-      const NodeRun& s = nodes[static_cast<std::size_t>(n)];
-      if (s.governor == nullptr) continue;
-      sim.tracer().instant(s.phase_track, trace::Kind::kMark, budget_name,
-                           sim.now(), s.governor->budget_bytes());
-      sim.tracer().instant(s.phase_track, trace::Kind::kMark, peak_name,
-                           sim.now(), s.governor->peak_bytes());
-    }
-  }
-  if (config.combine_mode != CombineMode::kOff) {
-    // Per-node combine-volume instants (arg = bytes) inside the job span,
-    // mirroring the governed mem.* marks, so trace validators can check the
-    // tiers actually reduced traffic (combine.out <= combine.in).
-    const std::int32_t in_name = sim.tracer().intern("combine.in");
-    const std::int32_t out_name = sim.tracer().intern("combine.out");
-    for (int n = 0; n < num_nodes; ++n) {
-      const NodeRun& s = nodes[static_cast<std::size_t>(n)];
-      if (s.combiner == nullptr) continue;
-      std::uint64_t in = s.combiner->metrics().in_bytes;
-      std::uint64_t out = s.combiner->metrics().out_bytes;
-      if (s.rack_combiner != nullptr) {
-        in += s.rack_combiner->metrics().in_bytes;
-        out += s.rack_combiner->metrics().out_bytes;
-      }
-      sim.tracer().instant(s.phase_track, trace::Kind::kMark, in_name,
-                           sim.now(), in);
-      sim.tracer().instant(s.phase_track, trace::Kind::kMark, out_name,
-                           sim.now(), out);
-    }
-  }
-  if (config.dag_round >= 0) {
-    sim.tracer().end(job_track, trace::Kind::kRound, round_name, sim.now(),
-                     static_cast<std::uint64_t>(config.dag_round));
-  }
-  sim.tracer().end(job_track, trace::Kind::kPhase, job_name, sim.now());
-  if (ft) {
+  ex.finish_marks();
+  if (ex.ft) {
     // Data in flight to a machine when it died vanishes with it: drop any
     // stray inbox addressed to a crashed node (a round port it never got to
     // open), then assert the fabric is otherwise clean.
-    for (int n : shared.failed) platform_.fabric().purge_node(n);
+    for (int n : ex.shared.failed) platform_.fabric().purge_node(n);
     sim.run();  // drain anything the purge woke
-    tp.clear_expected();
+    ex.tp.clear_expected();
   }
-  if (listener_id >= 0) sim.remove_crash_listener(listener_id);
+  if (ex.listener_id >= 0) sim.remove_crash_listener(ex.listener_id);
   if (failed) util::throw_error("job failed: " + failure);
   platform_.fabric().check_quiesced();
+  return ex.finalize();
+}
 
-  JobResult result;
-  result.elapsed_seconds = sim.now() - start;
-  // Stage breakdown reduces from the trace: each column is the max over
-  // nodes of that span's busy occupancy (partition: max over its worker
-  // tracks, the paper's Fig 4(a) metric).
-  const trace::Tracer& tr = sim.tracer();
-  double map_end = start, merge_delay = 0, reduce_elapsed = 0;
-  for (int n = 0; n < num_nodes; ++n) {
-    const NodeRun& s = nodes[static_cast<std::size_t>(n)];
-    const trace::Occupancy phase_map = tr.occupancy(n, "phase.map");
-    const trace::Occupancy phase_merge = tr.occupancy(n, "phase.merge");
-    const trace::Occupancy phase_reduce = tr.occupancy(n, "phase.reduce");
-    map_end = std::max(map_end, phase_map.last_end);
-    merge_delay = std::max(merge_delay, phase_merge.busy);
-    reduce_elapsed = std::max(reduce_elapsed, phase_reduce.busy);
-
-    result.stages.input =
-        std::max(result.stages.input, tr.occupancy(n, "map.input").busy);
-    result.stages.stage =
-        std::max(result.stages.stage, tr.occupancy(n, "map.stage").busy);
-    result.stages.kernel =
-        std::max(result.stages.kernel, tr.occupancy(n, "map.kernel").busy);
-    result.stages.retrieve =
-        std::max(result.stages.retrieve, tr.occupancy(n, "map.retrieve").busy);
-    result.stages.partition = std::max(
-        result.stages.partition, tr.occupancy(n, "map.partition").max_track_busy);
-    result.stages.map_elapsed =
-        std::max(result.stages.map_elapsed, phase_map.busy);
-    result.stages.merge_delay =
-        std::max(result.stages.merge_delay, phase_merge.busy);
-    result.stages.reduce_input = std::max(result.stages.reduce_input,
-                                          tr.occupancy(n, "reduce.input").busy);
-    result.stages.reduce_stage = std::max(result.stages.reduce_stage,
-                                          tr.occupancy(n, "reduce.stage").busy);
-    result.stages.reduce_kernel = std::max(
-        result.stages.reduce_kernel, tr.occupancy(n, "reduce.kernel").busy);
-    result.stages.reduce_retrieve = std::max(
-        result.stages.reduce_retrieve, tr.occupancy(n, "reduce.retrieve").busy);
-    result.stages.reduce_output = std::max(
-        result.stages.reduce_output, tr.occupancy(n, "reduce.output").busy);
-    result.stages.reduce_elapsed =
-        std::max(result.stages.reduce_elapsed, phase_reduce.busy);
-
-    result.stats.input_records += s.map.records;
-    result.stats.intermediate_pairs += s.map.pairs;
-    result.stats.intermediate_bytes += s.map.intermediate_raw;
-    result.stats.intermediate_stored += s.map.intermediate_stored;
-    result.stats.shuffle_bytes_remote += s.map.shuffle_bytes_remote;
-    result.stats.map_task_retries += s.map.task_failures;
-    result.stats.reduce_task_retries += s.reduce.task_failures;
-    result.stats.spills += s.store->spills();
-    result.stats.merges += s.store->merges();
-    result.stats.merge_fanin_runs += s.store->merge_fanin_runs();
-    result.stats.spill_bytes += s.store->spill_bytes();
-    result.stats.merge_levels =
-        std::max(result.stats.merge_levels, s.store->merge_levels());
-    if (s.governor != nullptr) {
-      result.stats.peak_mem_bytes =
-          std::max(result.stats.peak_mem_bytes, s.governor->peak_bytes());
-      result.stats.mem_stall_seconds += s.governor->stall_seconds();
-    }
-    result.stats.duplicate_runs_dropped += s.store->duplicate_runs_dropped();
-    if (s.combiner != nullptr) {
-      // With combining active the map-tier combiner owns the remote sends,
-      // so its framed wire bytes are the node's remote shuffle volume.
-      result.stats.shuffle_bytes_remote += s.combiner->metrics().wire_bytes;
-      result.stats.combine_in_bytes += s.combiner->metrics().in_bytes;
-      result.stats.combine_out_bytes += s.combiner->metrics().out_bytes;
-    }
-    if (s.rack_combiner != nullptr) {
-      result.stats.combine_in_bytes += s.rack_combiner->metrics().in_bytes;
-      result.stats.combine_out_bytes += s.rack_combiner->metrics().out_bytes;
-    }
-    result.stats.hash_table_probes += s.map.hash_probes;
-    result.stats.input_splits_lost += s.map.input_splits_lost;
-    result.stats.output_pairs += s.reduce.output_pairs;
-    result.stats.map_kernel += s.map.kernel_stats;
-    result.stats.reduce_kernel += s.reduce.kernel_stats;
-    for (const auto& f : s.reduce.output_files) {
-      result.output_files.push_back(f);
-    }
+sim::Task<JobResult> GlasswingRuntime::run_async(AppKernels app,
+                                                 JobConfig config,
+                                                 dfs::FileSystem* fs_override,
+                                                 const JobEnv* env) {
+  dfs::FileSystem& fs = fs_override != nullptr ? *fs_override : fs_;
+  JobExec ex(platform_, fs, map_devices_, reduce_devices_, app,
+             std::move(config), env);
+  ex.setup();
+  bool failed = false;
+  std::string failure;
+  try {
+    co_await ex.all.wait();
+  } catch (const std::exception& e) {
+    failed = true;
+    failure = e.what();
   }
-  result.map_phase_seconds = map_end - start;
-  result.merge_delay_seconds = merge_delay;
-  result.reduce_phase_seconds = reduce_elapsed;
-  result.stats.tasks_reexecuted = scheduler.reexecutions();
-  result.stats.speculative_wins = scheduler.speculative_wins();
-  result.stats.speculative_losses = scheduler.speculative_losses();
-  result.stats.partitions_reassigned = shared.partitions_reassigned;
-  result.stats.recovery_rounds = shared.rounds_entered.size();
-  result.stats.dfs_replicas_lost =
-      hdfs ? hdfs->replicas_lost() - dfs_lost0 : 0;
-  result.stats.blocks_rereplicated =
-      hdfs ? hdfs->blocks_rereplicated() - dfs_rerep0 : 0;
-  result.stats.net_shuffle_bytes =
-      tp.total_bytes(net::TrafficClass::kShuffle) - net_shuffle0;
-  result.stats.net_dfs_bytes =
-      tp.total_bytes(net::TrafficClass::kDfs) - net_dfs0;
-  result.stats.net_control_bytes =
-      tp.total_bytes(net::TrafficClass::kControl) - net_control0;
-  result.stats.net_rack_agg_bytes =
-      tp.total_bytes(net::TrafficClass::kRackAgg) - net_rack_agg0;
-  std::sort(result.output_files.begin(), result.output_files.end());
-  return result;
+  ex.finish_marks();
+  const int lo = ex.config.port_base;
+  const int hi = lo + net::kPortJobStride;
+  if (ex.ft) {
+    // Scoped teardown: only this job's port namespace is purged and its
+    // expected-sender records cleared, so resident neighbours keep theirs.
+    // The purge can wake a zombie receiver still parked on a dropped inbox;
+    // one zero-delay tick lets it unwind before this frame (the NodeRun
+    // state it touches) is destroyed — the async stand-in for the
+    // synchronous path's post-purge sim.run().
+    if (lo > 0) {
+      for (int n : ex.shared.failed) platform_.fabric().purge_node(n, lo, hi);
+      ex.tp.clear_expected(lo, hi);
+    } else {
+      for (int n : ex.shared.failed) platform_.fabric().purge_node(n);
+      ex.tp.clear_expected();
+    }
+    co_await ex.sim.delay(0);
+  }
+  if (ex.listener_id >= 0) ex.sim.remove_crash_listener(ex.listener_id);
+  if (failed) util::throw_error("job failed: " + failure);
+  if (lo > 0) {
+    platform_.fabric().check_quiesced(lo, hi);
+  } else {
+    platform_.fabric().check_quiesced();
+  }
+  co_return ex.finalize();
 }
 
 }  // namespace gw::core

@@ -22,6 +22,20 @@
 
 namespace gw::core {
 
+class MemoryGovernor;
+
+// Shared-cluster execution environment a core::Scheduler hands to every
+// resident job (run_async): per-node map/reduce slot gates so concurrent
+// jobs time-share each node's pipelines, and optionally per-node memory
+// governors shared across tenants (one budget per node, not per job).
+// Empty vectors mean ungated / per-job governors; a default-constructed
+// JobEnv (or none at all) reproduces the single-job data path exactly.
+struct JobEnv {
+  std::vector<sim::Resource*> map_slots;     // per node; empty = ungated
+  std::vector<sim::Resource*> reduce_slots;  // per node; empty = ungated
+  std::vector<MemoryGovernor*> governors;    // per node; empty = per-job
+};
+
 class GlasswingRuntime {
  public:
   // One compute device per node, built from `device`; CPU-type devices share
@@ -49,6 +63,18 @@ class GlasswingRuntime {
   // the pinned intermediate store. Null = the constructor-bound fs.
   JobResult run(const AppKernels& app, JobConfig config,
                 dfs::FileSystem* fs_override = nullptr);
+
+  // Coroutine form of run() for multi-tenant execution (core::Scheduler):
+  // N concurrent invocations share the platform's simulation, each confined
+  // to its own port namespace (config.port_base) and trace scope. Differences
+  // from run(): the caller drives the event loop (this never calls
+  // sim.run()), fault teardown and the quiesce assertion are scoped to the
+  // job's port range when port_base > 0, and `env` supplies the shared
+  // slot gates / governors. With a default config and no env the data path
+  // is the same as run()'s.
+  sim::Task<JobResult> run_async(AppKernels app, JobConfig config,
+                                 dfs::FileSystem* fs_override = nullptr,
+                                 const JobEnv* env = nullptr);
 
   cl::Device& device(int node) { return *map_devices_.at(node); }
   cl::Device& reduce_device(int node) { return *reduce_devices_.at(node); }

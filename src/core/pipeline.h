@@ -152,6 +152,14 @@ struct NodeContext {
   // during recovery rounds: replayed provenance stays uncombined.
   NodeCombiner* combiner = nullptr;
 
+  // --- multi-tenant slot gates (core::Scheduler) ---
+  // Per-node counted slot pools shared by every resident job; node_main
+  // acquires one around its map / reduce phase so concurrent jobs time-share
+  // the node instead of all running at once. Null = ungated (legacy
+  // single-job path: zero extra awaits, byte-identical event order).
+  sim::Resource* map_slot = nullptr;
+  sim::Resource* reduce_slot = nullptr;
+
   // --- fault tolerance (§III-E); the defaults reproduce the failure-free
   // data path exactly ---
   // Global partition -> owning node; reassigned away from crashed nodes.

@@ -500,7 +500,7 @@ sim::Task<> run_reduce_phase(NodeContext ctx, std::vector<int> partitions,
   auto& sim = ctx.sim();
   const JobConfig& cfg = *ctx.config;
 
-  StageGraph g(sim, "reduce", ctx.node_id);
+  StageGraph g(sim, cfg.trace_scope + "reduce", ctx.node_id);
 
   if (!ctx.app->reduce.has_value()) {
     // Must stay inline-awaited: spawning would reorder the final Dfs

@@ -4,10 +4,13 @@
 // the "mem:" line for merge depth and the traffic split for byte counts.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "core/api.h"
 #include "core/dag.h"
+#include "core/sched.h"
 
 namespace gw::core {
 
@@ -66,6 +69,40 @@ inline void print_dag_line(const DagResult& r) {
       static_cast<double>(r.pinned_peak_bytes) / 1048576.0,
       static_cast<unsigned long long>(r.pin_spills),
       static_cast<double>(r.cache_hit_bytes) / 1048576.0, r.elapsed_seconds);
+}
+
+// Nearest-rank quantile over job sojourn times (finished jobs only).
+inline double sched_latency_quantile(const std::vector<ScheduledJob>& jobs,
+                                     double q) {
+  std::vector<double> lat;
+  for (const auto& j : jobs) {
+    if (!j.rejected && !j.failed) lat.push_back(j.latency_s);
+  }
+  if (lat.empty()) return 0;
+  std::sort(lat.begin(), lat.end());
+  const std::size_t idx = std::min(
+      lat.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(lat.size())));
+  return lat[idx];
+}
+
+// Multi-tenant scheduler summary. CI greps "sched:"; keep the format
+// stable.
+inline void print_sched_line(const Scheduler& s, SchedPolicy policy,
+                             double makespan_s) {
+  int finished = 0;
+  for (const auto& j : s.results()) {
+    if (!j.rejected && !j.failed) ++finished;
+  }
+  std::printf(
+      "sched: policy=%s jobs=%d finished=%d rejected=%d failed=%d "
+      "resident_peak=%d queue_peak=%d p50=%.3fs p99=%.3fs makespan=%.3fs "
+      "throughput=%.3fjobs/s\n",
+      sched_policy_name(policy), s.jobs_submitted(), finished,
+      s.jobs_rejected(), s.jobs_failed(), s.resident_peak(), s.queue_peak(),
+      sched_latency_quantile(s.results(), 0.50),
+      sched_latency_quantile(s.results(), 0.99), makespan_s,
+      makespan_s > 0 ? finished / makespan_s : 0.0);
 }
 
 }  // namespace gw::core

@@ -1,0 +1,223 @@
+#include "core/sched.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/memory.h"
+#include "simnet/fabric.h"
+#include "util/error.h"
+
+namespace gw::core {
+
+SchedPolicy parse_sched_policy(std::string_view name) {
+  if (name == "fifo") return SchedPolicy::kFifo;
+  if (name == "fair") return SchedPolicy::kFair;
+  if (name == "priority") return SchedPolicy::kPriority;
+  GW_CHECK_MSG(false, "unknown scheduling policy (fifo|fair|priority)");
+  return SchedPolicy::kFifo;
+}
+
+const char* sched_policy_name(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kFair: return "fair";
+    case SchedPolicy::kPriority: return "priority";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(GlasswingRuntime& runtime, cluster::Platform& platform,
+                     dfs::FileSystem& fs, SchedulerConfig config)
+    : runtime_(runtime), platform_(platform), fs_(fs),
+      config_(std::move(config)) {
+  GW_CHECK(config_.map_slots_per_node > 0);
+  GW_CHECK(config_.reduce_slots_per_node > 0);
+  GW_CHECK(config_.max_resident_jobs > 0);
+  epoch_ = platform_.sim().now();
+  const int n = platform_.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    map_slots_.push_back(std::make_unique<sim::Resource>(
+        platform_.sim(), config_.map_slots_per_node));
+    reduce_slots_.push_back(std::make_unique<sim::Resource>(
+        platform_.sim(), config_.reduce_slots_per_node));
+    env_.map_slots.push_back(map_slots_.back().get());
+    env_.reduce_slots.push_back(reduce_slots_.back().get());
+  }
+  if (config_.node_memory_bytes > 0) {
+    // One budget per NODE, shared by every tenant resident on it. No
+    // combine pool: the split is fixed before the tenant mix is known
+    // (run_async degrades combine_mode accordingly).
+    for (int i = 0; i < n; ++i) {
+      governors_.push_back(std::make_unique<MemoryGovernor>(
+          platform_.sim(), config_.node_memory_bytes,
+          /*with_combine_pool=*/false));
+      env_.governors.push_back(governors_.back().get());
+    }
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+int Scheduler::submit(JobRequest req) {
+  const int id = static_cast<int>(requests_.size());
+  GW_CHECK_MSG(req.arrival_s >= 0, "arrival in the past");
+  if (!req.config.crash_events.empty()) any_crashes_ = true;
+  ScheduledJob r;
+  r.job_id = id;
+  r.name = req.name;
+  r.tenant = req.tenant;
+  r.priority = req.priority;
+  r.arrival_s = req.arrival_s;
+  results_.push_back(std::move(r));
+  requests_.push_back(std::move(req));
+  platform_.sim().spawn(arrive(id));
+  return id;
+}
+
+sim::Task<void> Scheduler::arrive(int id) {
+  auto& sim = platform_.sim();
+  const double at =
+      epoch_ + requests_[static_cast<std::size_t>(id)].arrival_s;
+  if (at > sim.now()) co_await sim.delay(at - sim.now());
+  if (config_.max_queued_jobs > 0 &&
+      static_cast<int>(queue_.size()) >= config_.max_queued_jobs) {
+    results_[static_cast<std::size_t>(id)].rejected = true;
+    ++rejected_;
+    ++completed_;
+    co_return;
+  }
+  queue_.push_back(id);
+  queue_peak_ = std::max(queue_peak_, static_cast<int>(queue_.size()));
+  pump();
+}
+
+double Scheduler::tenant_service(int tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0.0 : it->second.service_s;
+}
+
+std::size_t Scheduler::pick_next() const {
+  GW_CHECK(!queue_.empty());
+  switch (config_.policy) {
+    case SchedPolicy::kFifo:
+      // queue_ is arrival-ordered: arrivals enqueue in event order, which
+      // the simulation's (time, seq) heap keeps deterministic.
+      return 0;
+    case SchedPolicy::kFair: {
+      // Least accumulated tenant service first; ties keep arrival order.
+      std::size_t best = 0;
+      double best_service = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const double s =
+            tenant_service(results_[static_cast<std::size_t>(queue_[i])].tenant);
+        if (s < best_service) {
+          best_service = s;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case SchedPolicy::kPriority: {
+      // Strict classes, arrival order inside a class. Aging (if enabled)
+      // promotes a job one class per full interval waited so a busy hot
+      // class cannot starve colder ones indefinitely.
+      const double now = platform_.sim().now() - epoch_;
+      std::size_t best = 0;
+      double best_class = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const auto& r = results_[static_cast<std::size_t>(queue_[i])];
+        double cls = r.priority;
+        if (config_.priority_aging_s > 0) {
+          cls -= std::floor((now - r.arrival_s) / config_.priority_aging_s);
+        }
+        if (cls < best_class) {
+          best_class = cls;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void Scheduler::pump() {
+  while (resident_ < config_.max_resident_jobs && !queue_.empty()) {
+    const std::size_t i = pick_next();
+    const int id = queue_[i];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++resident_;
+    resident_peak_ = std::max(resident_peak_, resident_);
+    platform_.sim().spawn(run_job(id));
+  }
+}
+
+sim::Task<void> Scheduler::run_job(int id) {
+  auto& sim = platform_.sim();
+  JobRequest& req = requests_[static_cast<std::size_t>(id)];
+  ScheduledJob& r = results_[static_cast<std::size_t>(id)];
+  r.admit_s = sim.now() - epoch_;
+  // max() absorbs the epsilon of epoch addition/subtraction round-trips.
+  r.queue_wait_s = std::max(0.0, r.admit_s - r.arrival_s);
+
+  JobConfig cfg = req.config;
+  cfg.job_id = id;
+  cfg.tenant = req.tenant;
+  cfg.priority = req.priority;
+  cfg.port_base = net::kPortJobStride * (id + 1);
+  cfg.trace_scope = "j" + std::to_string(id) + ".";
+  // If ANY tenant injects node crashes, every job sharing the cluster must
+  // run the fault-tolerant shuffle protocol, or a neighbour's crash would
+  // hang its streams (submissions are all registered before run_all, so
+  // any_crashes_ is final here).
+  cfg.expect_crashes = any_crashes_;
+
+  dfs::FileSystem* fs = req.fs_override != nullptr ? req.fs_override : &fs_;
+  try {
+    r.result = co_await runtime_.run_async(req.app, std::move(cfg), fs, &env_);
+  } catch (const std::exception&) {
+    r.failed = true;
+    ++failed_;
+  }
+  r.finish_s = sim.now() - epoch_;
+  r.latency_s = r.finish_s - r.arrival_s;
+
+  TenantStats& t = tenants_[req.tenant];
+  t.tenant = req.tenant;
+  ++t.jobs_finished;
+  t.service_s += r.finish_s - r.admit_s;
+  t.wait_s += r.queue_wait_s;
+
+  --resident_;
+  ++completed_;
+  pump();
+}
+
+void Scheduler::run_all() {
+  platform_.sim().run();
+  GW_CHECK_MSG(completed_ == static_cast<int>(requests_.size()),
+               "scheduler hang: jobs pending after event queue drained");
+}
+
+std::vector<TenantStats> Scheduler::tenant_stats() const {
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [_, t] : tenants_) out.push_back(t);
+  return out;
+}
+
+TrafficGen::TrafficGen(std::uint64_t seed, double jobs_per_s)
+    : rng_(seed), rate_(jobs_per_s) {
+  GW_CHECK(jobs_per_s > 0);
+}
+
+double TrafficGen::next_arrival_s() {
+  // Inverse-CDF exponential draw; log1p(-u) keeps precision near u = 0.
+  clock_ += -std::log1p(-rng_.uniform()) / rate_;
+  return clock_;
+}
+
+std::uint64_t TrafficGen::pick(std::uint64_t n) { return rng_.below(n); }
+
+}  // namespace gw::core

@@ -186,6 +186,34 @@ void Fabric::release_port(int node, int port) {
   inboxes_.erase(it);
 }
 
+std::size_t Fabric::open_inboxes(int port_lo, int port_hi) const {
+  std::size_t n = 0;
+  for (const auto& [key, ch] : inboxes_) {
+    if (key.second >= port_lo && key.second < port_hi) ++n;
+  }
+  return n;
+}
+
+std::size_t Fabric::purge_node(int node, int port_lo, int port_hi) {
+  for (auto it = pre_closed_.begin(); it != pre_closed_.end();) {
+    const bool ours = it->first == node && it->second >= port_lo &&
+                      it->second < port_hi;
+    it = ours ? pre_closed_.erase(it) : std::next(it);
+  }
+  std::size_t dropped = 0;
+  for (auto it = inboxes_.begin(); it != inboxes_.end();) {
+    const auto& [n, port] = it->first;
+    if (n != node || port < port_lo || port >= port_hi) {
+      ++it;
+      continue;
+    }
+    dropped += it->second->size();
+    it->second->close();
+    it = inboxes_.erase(it);
+  }
+  return dropped;
+}
+
 std::size_t Fabric::purge_node(int node) {
   for (auto it = pre_closed_.begin(); it != pre_closed_.end();) {
     it = it->first == node ? pre_closed_.erase(it) : std::next(it);
@@ -209,6 +237,21 @@ void Fabric::check_quiesced() const {
                "open and never opened or released");
   for (const auto& [key, ch] : inboxes_) {
     GW_CHECK_MSG(ch->size() == 0, "fabric inbox holds undelivered messages");
+  }
+}
+
+void Fabric::check_quiesced(int port_lo, int port_hi) const {
+  for (const auto& key : pre_closed_) {
+    GW_CHECK_MSG(key.second < port_lo || key.second >= port_hi,
+                 "fabric pre_closed_ did not drain inside the job's port "
+                 "range: a port was closed before open and never opened or "
+                 "released");
+  }
+  for (const auto& [key, ch] : inboxes_) {
+    if (key.second < port_lo || key.second >= port_hi) continue;
+    GW_CHECK_MSG(ch->size() == 0,
+                 "fabric inbox holds undelivered messages in the job's port "
+                 "range");
   }
 }
 

@@ -96,6 +96,13 @@ enum Port : int {
   kPortBroadcast = 5,     // DAG driver broadcast of per-round state
   kPortHadoopReplyBase = 1000,  // + reducer id for fetch replies
   kPortRecoveryBase = 2000,     // + recovery round for crash re-shuffle
+  // Per-job port namespacing for multi-tenant runs: a scheduled job with id
+  // j owns ports [kPortJobStride * (j + 1), kPortJobStride * (j + 2)) and
+  // addresses its private services at port_base + kPortShuffle etc. The
+  // legacy single-job path uses port_base = 0, so its ports are the bare
+  // enum values above and its event order is untouched. DFS traffic stays
+  // on the shared kPortDfs regardless of tenant.
+  kPortJobStride = 10000,
 };
 
 class Fabric {
@@ -142,6 +149,11 @@ class Fabric {
   // Number of materialized inbox channels (lifetime hygiene observability).
   std::size_t open_inboxes() const { return inboxes_.size(); }
 
+  // Materialized inboxes whose port falls in [port_lo, port_hi): the
+  // per-job variant, so one tenant can audit its own namespace while
+  // neighbours keep ports open.
+  std::size_t open_inboxes(int port_lo, int port_hi) const;
+
   // End-of-run teardown for a crashed node: drops every inbox and
   // close-before-open record addressed to it, discarding undelivered
   // messages (data in flight to a dead machine vanishes with it). Returns
@@ -149,6 +161,12 @@ class Fabric {
   // any receiver the node ever ran must have terminated by then (crash
   // compensation guarantees this for the job protocols).
   std::size_t purge_node(int node);
+
+  // Port-scoped purge: drops only the node's inboxes and close-before-open
+  // records with port in [port_lo, port_hi). Multi-tenant teardown uses
+  // this so one job's crash cleanup cannot discard traffic another resident
+  // job still expects to deliver.
+  std::size_t purge_node(int node, int port_lo, int port_hi);
 
   // Close-before-open records still outstanding. Entries are pruned when
   // the matching inbox() materializes or release_port() arrives; a value
@@ -160,6 +178,12 @@ class Fabric {
   // stale close-before-open records. Runtimes call this once the event
   // queue drained; aborts with a description on violation.
   void check_quiesced() const;
+
+  // Job-scoped quiesce check: only inboxes and close-before-open records
+  // with port in [port_lo, port_hi) must have drained. A finishing tenant
+  // asserts its own namespace is clean; concurrent jobs' live ports (and
+  // the shared DFS port) are out of scope and never trip it.
+  void check_quiesced(int port_lo, int port_hi) const;
 
   // Concurrent wire occupancies the core switch admits; 0 when the switch
   // is not modelled (bisection_oversubscription == 0).

@@ -167,6 +167,14 @@ sim::Task<> Transport::compensate_crash(int dead) {
 
 void Transport::clear_expected() { expected_.clear(); }
 
+void Transport::clear_expected(int port_lo, int port_hi) {
+  for (auto it = expected_.begin(); it != expected_.end();) {
+    const int port = it->first.second;
+    it = (port >= port_lo && port < port_hi) ? expected_.erase(it)
+                                             : std::next(it);
+  }
+}
+
 Transport::Receiver::Receiver(Transport& transport, int node, int port,
                               int expected_eos)
     : transport_(&transport),

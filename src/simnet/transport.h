@@ -135,6 +135,12 @@ class Transport {
   // Drops all expected-sender records (end of job).
   void clear_expected();
 
+  // Drops only expected-sender records whose port lies in [port_lo,
+  // port_hi). Multi-tenant teardown: a finishing job clears its own port
+  // namespace without erasing registrations concurrent jobs still rely on
+  // for crash compensation.
+  void clear_expected(int port_lo, int port_hi);
+
   // Consumes data messages from (node, port) until `expected_eos` senders
   // finished. Returns credits to the flow-control window as it consumes.
   class Receiver {
