@@ -9,7 +9,10 @@
 //   * p999 latency is monotone non-decreasing in offered load per policy
 //     (more load never shortens the tail);
 //   * at the highest load, fair-share beats FIFO on small-job p99 (small
-//     jobs no longer queue behind the heavy tenant's backlog).
+//     jobs no longer queue behind the heavy tenant's backlog);
+//   * the preempting fair series (checkpoint preemption + elastic slots)
+//     actually revokes residency at the highest load (preempts > 0) and
+//     still finishes every job.
 // Emits BENCH_multitenant.json for PR-over-PR tracking (plain binary,
 // simulated time).
 #include <algorithm>
@@ -29,9 +32,21 @@ using namespace gw;
 constexpr int kNodes = 8;
 constexpr int kMaxResident = 2;
 
+struct Series {
+  const char* name;
+  core::SchedPolicy policy;
+  bool preempt;  // checkpoint preemption + elastic slot shares
+};
+
+constexpr Series kSeries[] = {
+    {"fifo", core::SchedPolicy::kFifo, false},
+    {"fair", core::SchedPolicy::kFair, false},
+    {"fair+preempt", core::SchedPolicy::kFair, true},
+};
+
 struct Point {
   double load = 0;  // offered jobs/s
-  core::SchedPolicy policy = core::SchedPolicy::kFifo;
+  const Series* series = nullptr;
   int jobs = 0;
   double makespan_s = 0;
   double throughput = 0;  // finished jobs/s
@@ -39,6 +54,8 @@ struct Point {
   double small_p99 = 0;
   double small_mean_wait = 0;
   int resident_peak = 0;
+  int preempts = 0;
+  int resumes = 0;
 };
 
 double quantile(std::vector<double> v, double q) {
@@ -49,7 +66,7 @@ double quantile(std::vector<double> v, double q) {
   return v[idx];
 }
 
-Point run_point(double load, core::SchedPolicy policy, int jobs) {
+Point run_point(double load, const Series& series, int jobs) {
   cluster::Platform p = bench::make_platform(kNodes);
   dfs::Dfs fs(p, dfs::DfsConfig{});
 
@@ -66,8 +83,10 @@ Point run_point(double load, core::SchedPolicy policy, int jobs) {
 
   core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
   core::SchedulerConfig sc;
-  sc.policy = policy;
+  sc.policy = series.policy;
   sc.max_resident_jobs = kMaxResident;
+  sc.preemption = series.preempt;
+  sc.elastic_slots = series.preempt;
   core::Scheduler sched(rt, p, fs, sc);
   for (auto& req : requests) sched.submit(std::move(req));
   const double t0 = p.sim().now();
@@ -75,10 +94,12 @@ Point run_point(double load, core::SchedPolicy policy, int jobs) {
 
   Point out;
   out.load = load;
-  out.policy = policy;
+  out.series = &series;
   out.jobs = jobs;
   out.makespan_s = p.sim().now() - t0;
   out.resident_peak = sched.resident_peak();
+  out.preempts = sched.jobs_preempted();
+  out.resumes = sched.jobs_resumed();
   std::vector<double> lat, small_lat;
   double small_wait = 0;
   int small_n = 0;
@@ -108,53 +129,63 @@ int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_multitenant.json";
   const int jobs = std::max(8, static_cast<int>(40 * bench::scale()));
   const std::vector<double> loads = {4, 16, 64};
-  const std::vector<core::SchedPolicy> policies = {core::SchedPolicy::kFifo,
-                                                   core::SchedPolicy::kFair};
 
   std::vector<Point> points;
-  for (core::SchedPolicy policy : policies) {
+  for (const Series& series : kSeries) {
     for (double load : loads) {
-      points.push_back(run_point(load, policy, jobs));
+      points.push_back(run_point(load, series, jobs));
     }
   }
 
   std::printf("\n=== multitenant: %d mixed jobs on %d nodes, "
               "max_resident=%d ===\n",
               jobs, kNodes, kMaxResident);
-  std::printf("%8s %9s %12s %10s %8s %8s %8s %10s\n", "policy", "load/s",
+  std::printf("%13s %9s %12s %10s %8s %8s %8s %10s %9s\n", "series", "load/s",
               "makespan(s)", "thru/s", "p50(s)", "p99(s)", "p999(s)",
-              "small_p99");
+              "small_p99", "preempts");
   for (const auto& pt : points) {
-    std::printf("%8s %9.1f %12.3f %10.3f %8.3f %8.3f %8.3f %10.3f\n",
-                core::sched_policy_name(pt.policy), pt.load, pt.makespan_s,
-                pt.throughput, pt.p50, pt.p99, pt.p999, pt.small_p99);
+    std::printf("%13s %9.1f %12.3f %10.3f %8.3f %8.3f %8.3f %10.3f %9d\n",
+                pt.series->name, pt.load, pt.makespan_s, pt.throughput, pt.p50,
+                pt.p99, pt.p999, pt.small_p99, pt.preempts);
   }
 
   // Shape checks.
   bool tail_monotone = true;
-  for (core::SchedPolicy policy : policies) {
+  for (const Series& series : kSeries) {
     double prev = -1;
     for (const auto& pt : points) {
-      if (pt.policy != policy) continue;
+      if (pt.series != &series) continue;
       if (pt.p999 < prev) tail_monotone = false;
       prev = pt.p999;
     }
   }
   const Point* fifo_hi = nullptr;
   const Point* fair_hi = nullptr;
+  const Point* preempt_hi = nullptr;
   for (const auto& pt : points) {
     if (pt.load != loads.back()) continue;
-    if (pt.policy == core::SchedPolicy::kFifo) fifo_hi = &pt;
-    if (pt.policy == core::SchedPolicy::kFair) fair_hi = &pt;
+    if (pt.series == &kSeries[0]) fifo_hi = &pt;
+    if (pt.series == &kSeries[1]) fair_hi = &pt;
+    if (pt.series == &kSeries[2]) preempt_hi = &pt;
   }
   const bool fair_wins_small =
       fifo_hi != nullptr && fair_hi != nullptr &&
       fair_hi->small_p99 < fifo_hi->small_p99;
+  const bool preempt_active =
+      preempt_hi != nullptr && preempt_hi->preempts > 0 &&
+      preempt_hi->resumes == preempt_hi->preempts;
   std::printf("p999 monotone in load: %s\n", tail_monotone ? "ok" : "VIOLATED");
   if (fifo_hi != nullptr && fair_hi != nullptr) {
     std::printf("small-job p99 at %.0f jobs/s: fair=%.3fs fifo=%.3fs (%s)\n",
                 loads.back(), fair_hi->small_p99, fifo_hi->small_p99,
                 fair_wins_small ? "fair wins" : "FIFO WINS");
+  }
+  if (preempt_hi != nullptr) {
+    std::printf("preempting fair at %.0f jobs/s: small_p99=%.3fs "
+                "preempts=%d resumes=%d (%s)\n",
+                loads.back(), preempt_hi->small_p99, preempt_hi->preempts,
+                preempt_hi->resumes,
+                preempt_active ? "active" : "NEVER FIRED");
   }
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -170,41 +201,49 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"tail_monotone\": %s,\n", tail_monotone ? "true" : "false");
   std::fprintf(f, "  \"fair_beats_fifo_small_p99\": %s,\n",
                fair_wins_small ? "true" : "false");
+  std::fprintf(f, "  \"preemption_active_at_high_load\": %s,\n",
+               preempt_active ? "true" : "false");
   std::fprintf(f, "  \"points\": [\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& pt = points[i];
     std::fprintf(
         f,
-        "    {\"policy\": \"%s\", \"offered_load_jobs_per_s\": %.17g, "
+        "    {\"series\": \"%s\", \"policy\": \"%s\", \"preempt\": %s, "
+        "\"offered_load_jobs_per_s\": %.17g, "
         "\"jobs\": %d, \"makespan_s\": %.17g, \"throughput_jobs_per_s\": "
         "%.17g, \"p50_s\": %.17g, \"p99_s\": %.17g, \"p999_s\": %.17g, "
         "\"small_p99_s\": %.17g, \"small_mean_wait_s\": %.17g, "
-        "\"resident_peak\": %d}%s\n",
-        core::sched_policy_name(pt.policy), pt.load, pt.jobs, pt.makespan_s,
+        "\"resident_peak\": %d, \"preempts\": %d, \"resumes\": %d}%s\n",
+        pt.series->name, core::sched_policy_name(pt.series->policy),
+        pt.series->preempt ? "true" : "false", pt.load, pt.jobs, pt.makespan_s,
         pt.throughput, pt.p50, pt.p99, pt.p999, pt.small_p99,
-        pt.small_mean_wait, pt.resident_peak,
+        pt.small_mean_wait, pt.resident_peak, pt.preempts, pt.resumes,
         i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"summary\": [\n");
-  for (std::size_t s = 0; s < policies.size(); ++s) {
+  constexpr std::size_t kNumSeries = sizeof(kSeries) / sizeof(kSeries[0]);
+  for (std::size_t s = 0; s < kNumSeries; ++s) {
     double hi_p99 = 0, hi_small = 0;
+    int hi_preempts = 0;
     for (const auto& pt : points) {
-      if (pt.policy == policies[s] && pt.load == loads.back()) {
+      if (pt.series == &kSeries[s] && pt.load == loads.back()) {
         hi_p99 = pt.p99;
         hi_small = pt.small_p99;
+        hi_preempts = pt.preempts;
       }
     }
     std::fprintf(f,
-                 "    {\"policy\": \"%s\", \"high_load_p99_s\": %.17g, "
-                 "\"high_load_small_p99_s\": %.17g}%s\n",
-                 core::sched_policy_name(policies[s]), hi_p99, hi_small,
-                 s + 1 < policies.size() ? "," : "");
+                 "    {\"series\": \"%s\", \"high_load_p99_s\": %.17g, "
+                 "\"high_load_small_p99_s\": %.17g, "
+                 "\"high_load_preempts\": %d}%s\n",
+                 kSeries[s].name, hi_p99, hi_small, hi_preempts,
+                 s + 1 < kNumSeries ? "," : "");
   }
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
 
-  return tail_monotone && fair_wins_small ? 0 : 1;
+  return tail_monotone && fair_wins_small && preempt_active ? 0 : 1;
 }

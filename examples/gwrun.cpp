@@ -88,6 +88,8 @@ struct Flags {
   double arrival_rate = 0.5;  // jobs/s offered load
   std::string sched = "fifo";
   int max_resident = 4;
+  bool preempt = false;  // checkpoint-based preemption of residents
+  bool elastic = false;  // elastic per-job slot shares
 };
 
 void usage() {
@@ -148,6 +150,13 @@ void usage() {
       "  --sched=fifo|fair|priority  admission policy (default fifo)\n"
       "  --max-resident=N   concurrent-job cap (default 4); --mem-mb gives\n"
       "                     residents a SHARED per-node memory budget\n"
+      "  --preempt          checkpoint-based preemption: a deserving arrival\n"
+      "                     suspends a resident at its next task boundary\n"
+      "                     (committed map output stays durable; the\n"
+      "                     remainder requeues and replays the ledger)\n"
+      "  --elastic          elastic slot shares: per-job per-node slot pools\n"
+      "                     grow/shrink at task boundaries as residency\n"
+      "                     changes (fair = equal shares; priority steals)\n"
       "  --trace=FILE       export the run's simulated timeline as Chrome\n"
       "                     trace_event JSON (open in about:tracing/Perfetto)\n");
 }
@@ -239,6 +248,8 @@ int main(int argc, char** argv) {
     else if (parse_flag(argv[i], "--restart-node", &v)) {
       flags.restarts.push_back(parse_node_at(v, "--restart-node"));
     }
+    else if (std::strcmp(argv[i], "--preempt") == 0) flags.preempt = true;
+    else if (std::strcmp(argv[i], "--elastic") == 0) flags.elastic = true;
     else if (std::strcmp(argv[i], "--speculate") == 0) flags.speculate = true;
     else if (std::strcmp(argv[i], "--net-report") == 0) flags.net_report = true;
     else if (std::strcmp(argv[i], "--no-combiner") == 0) flags.combiner = false;
@@ -331,6 +342,8 @@ int main(int argc, char** argv) {
     sc.policy = core::parse_sched_policy(flags.sched);
     sc.max_resident_jobs = flags.max_resident;
     sc.node_memory_bytes = flags.mem_mb << 20;
+    sc.preemption = flags.preempt;
+    sc.elastic_slots = flags.elastic;
     core::Scheduler sched(rt, platform, fs, sc);
     for (auto& req : requests) sched.submit(std::move(req));
     const double t0 = platform.sim().now();
@@ -347,10 +360,16 @@ int main(int argc, char** argv) {
                     j.name.c_str(), j.tenant, j.arrival_s);
         continue;
       }
+      std::string extra;
+      if (j.preemptions > 0) {
+        extra += " preempted=" + std::to_string(j.preemptions);
+      }
+      if (j.combine_degraded) extra += " combine-degraded";
+      if (j.failed) extra += " FAILED";
       std::printf("job %d [%s] tenant=%d arrive=%.3fs wait=%.3fs "
                   "latency=%.3fs%s\n",
                   j.job_id, j.name.c_str(), j.tenant, j.arrival_s,
-                  j.queue_wait_s, j.latency_s, j.failed ? " FAILED" : "");
+                  j.queue_wait_s, j.latency_s, extra.c_str());
     }
     for (const auto& t : sched.tenant_stats()) {
       std::printf("tenant %d: jobs=%d service=%.3fs wait=%.3fs\n", t.tenant,

@@ -34,7 +34,13 @@ round span must sit inside its job. With --expect-jobs N, fail unless the
 trace contains exactly N complete "job" spans; when N > 1 (a multi-tenant
 trace) every job span must additionally live on its own distinctly-labeled
 track (the scheduler scopes each job's span track as "j<id>.job"), so
-concurrent jobs stay distinguishable in the timeline.
+concurrent jobs stay distinguishable in the timeline. With
+--expect-preemptions N, fail unless exactly N job spans close and reopen
+on an already-used job track: a checkpoint-preempted job's span ends at
+suspension and a new span opens on the SAME labeled track when the
+remainder resumes, so preemptions are counted as extra spans per track
+(sum over tracks of spans-1). Combined with --expect-jobs N, the trace
+must then show N distinct job tracks and N + preemptions job spans.
 
 Job spans are tracked per (pid, tid): concurrent jobs from different
 tenants overlap in time on different tracks, and each track's B/E pairing
@@ -98,11 +104,19 @@ def main():
             sys.exit(2)
         expect_jobs = int(args[i + 1])
         del args[i : i + 2]
+    expect_preemptions = None
+    if "--expect-preemptions" in args:
+        i = args.index("--expect-preemptions")
+        if i + 1 >= len(args) or not args[i + 1].isdigit():
+            print("--expect-preemptions needs an integer count")
+            sys.exit(2)
+        expect_preemptions = int(args[i + 1])
+        del args[i : i + 2]
     if len(args) != 1:
         print(
             f"usage: {sys.argv[0]} [--expect-links] [--expect-recovery] "
             "[--expect-spills] [--expect-combine] [--expect-rounds N] "
-            "[--expect-jobs N] trace.json"
+            "[--expect-jobs N] [--expect-preemptions N] trace.json"
         )
         sys.exit(2)
     path = args[0]
@@ -275,23 +289,51 @@ def main():
         fail(
             f"expected {expect_rounds} round spans, found {len(round_spans)}"
         )
+    # A preempted job's span closes at suspension and REOPENS on the same
+    # labeled track at resume: extra spans per track count the preemptions.
+    spans_per_track = {}
+    for t in job_tracks:
+        spans_per_track[t] = spans_per_track.get(t, 0) + 1
+    preemptions = sum(n - 1 for n in spans_per_track.values())
+    if expect_preemptions is not None and preemptions != expect_preemptions:
+        fail(
+            f"expected {expect_preemptions} preemption reopenings, found "
+            f"{preemptions} (job spans per track: "
+            f"{sorted(spans_per_track.values())})"
+        )
     if expect_jobs is not None:
-        if len(job_intervals) != expect_jobs:
-            fail(
-                f"expected {expect_jobs} job spans, found "
-                f"{len(job_intervals)}"
-            )
+        if expect_preemptions is None:
+            if len(job_intervals) != expect_jobs:
+                fail(
+                    f"expected {expect_jobs} job spans, found "
+                    f"{len(job_intervals)}"
+                )
+        else:
+            if len(spans_per_track) != expect_jobs:
+                fail(
+                    f"expected {expect_jobs} distinct job tracks, found "
+                    f"{len(spans_per_track)}"
+                )
+            if len(job_intervals) != expect_jobs + expect_preemptions:
+                fail(
+                    f"expected {expect_jobs + expect_preemptions} job spans "
+                    f"({expect_jobs} jobs + {expect_preemptions} "
+                    f"preemptions), found {len(job_intervals)}"
+                )
         if expect_jobs > 1:
             # Concurrent jobs must each own a distinctly-labeled track
             # ("j<id>.job" from the scheduler's trace scope) so the
-            # timeline keeps them apart.
-            labels = [track_labels.get(t) for t in job_tracks]
-            for track, label in zip(job_tracks, labels):
+            # timeline keeps them apart. A resumed job reuses its own
+            # track, so distinctness is across tracks, not spans.
+            labels = []
+            for track in spans_per_track:
+                label = track_labels.get(track)
                 if label is None:
                     fail(
                         f"job span on (pid, tid) {track} has no "
                         f"thread_name label"
                     )
+                labels.append(label)
             if len(set(labels)) != len(labels):
                 fail(
                     f"job-span track labels are not pairwise distinct: "

@@ -277,6 +277,11 @@ struct JobConfig {
   // expected-sender registry, park barrier) or a neighbour's crash would
   // hang its shuffle streams.
   bool expect_crashes = false;
+  // Set by the scheduler when the job may be suspended mid-run: the job
+  // arms the map-output ledger and runs the fault-tolerant protocol so its
+  // durable work can be replayed by a later residency. Combining is forced
+  // off (re-fed ledger runs use raw shuffle framing).
+  bool preemptable = false;
 
   bool scheduled() const { return job_id >= 0; }
 
@@ -284,7 +289,7 @@ struct JobConfig {
     return merger_threads > 0 ? merger_threads : partitions_per_node;
   }
   bool fault_tolerant() const {
-    return !crash_events.empty() || speculate || expect_crashes;
+    return !crash_events.empty() || speculate || expect_crashes || preemptable;
   }
 };
 
@@ -365,6 +370,13 @@ struct JobResult {
   StageBreakdown stages;  // aggregated across nodes (max busy time per stage)
   JobStats stats;
   std::vector<std::string> output_files;
+  // The job asked for combining but the runtime had to weaken or disable it
+  // (shared per-node governor, preemptable run, degraded cluster, ...).
+  bool combine_degraded = false;
+  // The run wound down early at a task boundary after a preemption request;
+  // output_files/stats cover only the work done so far and the remainder
+  // was captured into the job's PreemptControl::state.
+  bool suspended = false;
 };
 
 }  // namespace gw::core

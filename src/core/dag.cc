@@ -165,32 +165,41 @@ void JobDag::rewind(std::vector<Done>& done, DagResult& out, DagRoundState& st,
 DagResult JobDag::run() {
   GW_CHECK_MSG(!specs_.empty(), "DAG has no rounds");
   auto& sim = platform_.sim();
-  // One trace per DAG; rounds keep appending (job.cc resets occupancy, not
-  // the span ring, when config.dag_round >= 0).
-  sim.tracer().clear();
+  if (!started_) {
+    started_ = true;
+    // One trace per DAG; rounds keep appending (job.cc resets occupancy,
+    // not the span ring, when config.dag_round >= 0). A resumed run keeps
+    // the same trace so the DAG's spans reopen on their original tracks.
+    sim.tracer().clear();
+    out_ = DagResult();
+    done_.clear();
+    round_used_.assign(config_.round_crashes.size(), false);
+    edge_used_.assign(config_.edge_crashes.size(), false);
+    st_ = DagRoundState();
+    st_.broadcast = config_.initial_broadcast;
+    spec_i_ = 0;
+    iter_ = 0;
+  } else {
+    GW_CHECK_MSG(suspended_, "JobDag::run() re-entered after completion");
+    suspended_ = false;
+    out_.suspended = false;
+    if (config_.preempt != nullptr) config_.preempt->requested = false;
+  }
   const double t0 = sim.now();
 
-  DagResult out;
-  std::vector<Done> done;
-  std::vector<bool> round_used(config_.round_crashes.size(), false);
-  std::vector<bool> edge_used(config_.edge_crashes.size(), false);
-  DagRoundState st;
-  st.broadcast = config_.initial_broadcast;
-  int spec_i = 0;
-  int iter = 0;
-
   for (;;) {
-    const RoundSpec& spec = specs_[static_cast<std::size_t>(spec_i)];
-    st.round = static_cast<int>(done.size());
-    st.iteration = iter;
+    const RoundSpec& spec = specs_[static_cast<std::size_t>(spec_i_)];
+    st_.round = static_cast<int>(done_.size());
+    st_.iteration = iter_;
 
     std::vector<std::string> inputs =
-        spec.inputs ? spec.inputs(st)
-                    : (st.round == 0 ? config_.input_paths : st.prev_outputs);
+        spec.inputs ? spec.inputs(st_)
+                    : (st_.round == 0 ? config_.input_paths
+                                      : st_.prev_outputs);
     GW_CHECK_MSG(!inputs.empty(), "DAG round has no inputs");
     if (!inputs_available(inputs)) {
       // An inter-round crash took pinned inputs before the round started.
-      rewind(done, out, st, spec_i, iter, inputs, {});
+      rewind(done_, out_, st_, spec_i_, iter_, inputs, {});
       continue;
     }
 
@@ -198,93 +207,110 @@ DagResult JobDag::run() {
     cfg.input_paths = inputs;
     cfg.output_path = config_.output_root + "/" +
                       (spec.name.empty() ? "round" : spec.name) + "-" +
-                      std::to_string(st.round);
-    cfg.dag_round = st.round;
+                      std::to_string(st_.round);
+    cfg.dag_round = st_.round;
     cfg.crash_events.clear();
     for (std::size_t c = 0; c < config_.round_crashes.size(); ++c) {
-      if (round_used[c] || config_.round_crashes[c].round != st.round) {
+      if (round_used_[c] || config_.round_crashes[c].round != st_.round) {
         continue;
       }
       cfg.crash_events.push_back(config_.round_crashes[c].event);
-      round_used[c] = true;
+      round_used_[c] = true;
     }
-    if (spec.tune) spec.tune(cfg, st);
+    if (spec.tune) spec.tune(cfg, st_);
 
-    AppKernels app = spec.app(st);
+    AppKernels app = spec.app(st_);
     pinned_->set_pin_writes(spec.edge == EdgeKind::kPinned);
     JobResult jr = runtime_.run(app, cfg, pinned_.get());
-    ++out.rounds_executed;
+    ++out_.rounds_executed;
 
     if (jr.stats.input_splits_lost > 0) {
       // Pinned inputs died mid-round: the round completed degraded over the
       // surviving splits, so its output is garbage — regenerate the lost
       // edge and replay.
-      rewind(done, out, st, spec_i, iter, inputs, jr.output_files);
+      rewind(done_, out_, st_, spec_i_, iter_, inputs, jr.output_files);
       continue;
     }
 
-    const bool is_last = spec_i + 1 == static_cast<int>(specs_.size());
+    const bool is_last = spec_i_ + 1 == static_cast<int>(specs_.size());
     const bool looping = loop_ && is_last;
     RoundPairs pairs;
     if (spec.broadcast || (looping && converged_)) {
       pairs = read_pairs(jr.output_files);
     }
-    util::Bytes payload = st.broadcast;
+    util::Bytes payload = st_.broadcast;
     if (spec.broadcast) {
-      payload = spec.broadcast(st, pairs);
+      payload = spec.broadcast(st_, pairs);
       broadcast_payload(payload.size());
     }
 
     Done d;
-    d.spec = spec_i;
-    d.iteration = iter;
-    d.entry = st;
+    d.spec = spec_i_;
+    d.iteration = iter_;
+    d.entry = st_;
     d.inputs = inputs;
     d.outputs = jr.output_files;
-    done.push_back(std::move(d));
+    done_.push_back(std::move(d));
     DagRoundResult rr;
     rr.name = spec.name;
-    rr.round = st.round;
-    rr.iteration = iter;
+    rr.round = st_.round;
+    rr.iteration = iter_;
     rr.edge = spec.edge;
     rr.job = jr;
     rr.outputs = jr.output_files;
-    out.rounds.push_back(std::move(rr));
+    out_.rounds.push_back(std::move(rr));
 
-    fire_edge_crashes(st.round, edge_used);
+    fire_edge_crashes(st_.round, edge_used_);
 
     DagRoundState next;
-    next.round = st.round + 1;
+    next.round = st_.round + 1;
     next.broadcast = payload;
     next.prev_outputs = jr.output_files;
     bool finished = false;
     if (looping) {
-      const int iters_done = iter + 1;
-      out.iterations = iters_done;
+      const int iters_done = iter_ + 1;
+      out_.iterations = iters_done;
       const bool conv = converged_ && converged_(iters_done, payload, pairs);
       if (conv || iters_done >= max_iterations_) {
         finished = true;
       } else {
-        next.iteration = iter + 1;
-        ++iter;
+        next.iteration = iter_ + 1;
+        ++iter_;
       }
     } else if (is_last) {
       finished = true;
     } else {
-      ++spec_i;
-      iter = 0;
+      ++spec_i_;
+      iter_ = 0;
     }
-    st = std::move(next);
+    st_ = std::move(next);
     if (finished) break;
+
+    if (config_.preempt != nullptr && config_.preempt->requested) {
+      // Inter-round suspension point: the completed rounds' edges are
+      // already materialized (checkpointed to the DFS or pinned), so the
+      // loop cursor is the only state to keep — it lives in the members.
+      suspended_ = true;
+      ++out_.suspensions;
+      out_.suspended = true;
+      out_.elapsed_seconds += sim.now() - t0;
+      DagResult partial = out_;
+      partial.final_outputs = done_.back().outputs;
+      partial.final_broadcast = st_.broadcast;
+      partial.pinned_peak_bytes = pinned_->peak_pinned_bytes();
+      partial.pin_spills = pinned_->pin_spills();
+      partial.cache_hit_bytes = pinned_->cache_hit_bytes();
+      return partial;
+    }
   }
 
-  out.final_outputs = done.back().outputs;
-  out.final_broadcast = st.broadcast;
-  out.pinned_peak_bytes = pinned_->peak_pinned_bytes();
-  out.pin_spills = pinned_->pin_spills();
-  out.cache_hit_bytes = pinned_->cache_hit_bytes();
-  out.elapsed_seconds = sim.now() - t0;
-  return out;
+  out_.final_outputs = done_.back().outputs;
+  out_.final_broadcast = st_.broadcast;
+  out_.pinned_peak_bytes = pinned_->peak_pinned_bytes();
+  out_.pin_spills = pinned_->pin_spills();
+  out_.cache_hit_bytes = pinned_->cache_hit_bytes();
+  out_.elapsed_seconds += sim.now() - t0;
+  return out_;
 }
 
 }  // namespace gw::core

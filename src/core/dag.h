@@ -96,6 +96,13 @@ struct DagConfig {
     double restart_after_s = -1;  // < 0 = stays down
   };
   std::vector<EdgeCrash> edge_crashes;
+  // Checkpoint-based preemption hook. When set and `preempt->requested`
+  // goes true, run() returns at the next inter-round boundary with
+  // DagResult::suspended — every completed round's edge is already
+  // materialized (checkpointed or pinned), so nothing extra is persisted.
+  // Calling run() again resumes from the boundary; completed rounds are
+  // never re-executed.
+  PreemptControl* preempt = nullptr;
 };
 
 struct DagRoundResult {
@@ -116,6 +123,8 @@ struct DagResult {
   int rounds_executed = 0;  // job runs including replays
   int replays = 0;          // rewinds after pinned-intermediate loss
   int iterations = 0;       // completed iterations of the looping round
+  bool suspended = false;   // stopped at an inter-round preemption point
+  int suspensions = 0;      // inter-round preemption stops so far
   std::uint64_t pinned_peak_bytes = 0;
   std::uint64_t pin_spills = 0;
   std::uint64_t cache_hit_bytes = 0;
@@ -132,6 +141,9 @@ class JobDag {
   // loop) returns true or `max_iterations` complete.
   void until(ConvergedFn converged, int max_iterations);
 
+  // Runs rounds to completion — or, with config.preempt set, to the next
+  // requested inter-round suspension (result.suspended). Call again to
+  // resume; loop/round state persists in the JobDag across calls.
   DagResult run();
 
   dfs::PinnedFs& pinned_fs() { return *pinned_; }
@@ -166,6 +178,19 @@ class JobDag {
   bool loop_ = false;
   ConvergedFn converged_;
   int max_iterations_ = 0;
+
+  // Cross-call round state so a suspended run() can resume where it left
+  // off (completed rounds are durable through their edges; only the loop
+  // cursor lives here).
+  bool started_ = false;
+  bool suspended_ = false;
+  DagResult out_;
+  std::vector<Done> done_;
+  std::vector<bool> round_used_;
+  std::vector<bool> edge_used_;
+  DagRoundState st_;
+  int spec_i_ = 0;
+  int iter_ = 0;
 };
 
 }  // namespace gw::core

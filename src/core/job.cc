@@ -45,6 +45,11 @@ struct JobShared {
   std::unique_ptr<sim::Event> park;  // replaced on every wake-up
   bool job_complete = false;
 
+  // Preemption: set by any node that skipped remaining reduce work at a
+  // task boundary because a suspend was requested. Distinguishes a genuine
+  // suspension from a request that raced job completion.
+  bool preempt_incomplete = false;
+
   bool job_live(const sim::Simulation& sim, int n) const {
     return sim.node_alive(n) && failed.count(n) == 0;
   }
@@ -314,6 +319,41 @@ sim::Task<> run_recovery_rounds(NodeContext ctx, SplitScheduler& scheduler,
   }
 }
 
+// Resumed residency (checkpoint-based preemption): re-feed this node's
+// durable runs from the previous residency — read back from local disk and
+// re-sent under their original dedup tags — into the fresh stores, the same
+// ledger replay the recovery rounds use but over the main shuffle port, so
+// the merged store ends up holding the union of replayed and freshly-mapped
+// runs. Replayed runs are re-recorded into the new ledger so a second
+// suspension (or a crash) still has full provenance.
+sim::Task<> refeed_ledger(NodeContext ctx, MapMetrics& m,
+                          sim::TaskGroup& sends) {
+  const MapOutputLedger& led = *ctx.resume_ledger;
+  std::uint64_t bytes = 0;
+  for (const auto& [g, entries] : led.runs) {
+    for (const auto& [tag, run] : entries) bytes += run.stored_bytes();
+  }
+  if (bytes == 0 || !ctx.self_live()) co_return;
+  co_await ctx.node->disk_stream_read(bytes,
+                                      cluster::Node::amortized_seek(bytes));
+  for (const auto& [g, entries] : led.runs) {
+    if (!ctx.self_live()) break;
+    const int dest = ctx.owner_of(g);
+    for (const auto& [tag, run] : entries) {
+      if (ctx.ledger != nullptr) ctx.ledger->record(g, tag, run);
+      if (dest == ctx.node_id) {
+        co_await ctx.store->add_run(g, run, tag);
+      } else {
+        util::ByteWriter w;
+        w.put_u32(static_cast<std::uint32_t>(g));
+        run.serialize(w);
+        m.shuffle_bytes_remote += w.size();
+        sends.spawn(send_run_dropping(ctx, dest, w.take(), tag));
+      }
+    }
+  }
+}
+
 sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
                       cl::Device* reduce_device, SplitScheduler& scheduler,
                       NodeRun& state, JobShared& shared) {
@@ -361,9 +401,19 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
   // must not hold a slot while it blocks (deadlock-free by construction:
   // receivers and mergers are never slot-gated).
   sim::Resource::Hold map_slot;
-  if (ctx.map_slot != nullptr) map_slot = co_await ctx.map_slot->acquire();
+  if (ctx.map_slot != nullptr && !ctx.elastic_slots) {
+    // Elastic mode skips the phase-wide hold: the pipeline acquires one
+    // slot per split instead, so the scheduler can grow/shrink the job's
+    // share at task boundaries mid-phase.
+    map_slot = co_await ctx.map_slot->acquire();
+  }
 
   tr.begin(t, trace::Kind::kPhase, map_name, sim.now());
+  if (ctx.resume_ledger != nullptr) {
+    sim::TaskGroup refeed_sends(sim);
+    co_await refeed_ledger(ctx, state.map, refeed_sends);
+    co_await refeed_sends.wait();
+  }
   ctx.combiner = state.combiner.get();
   co_await run_map_phase(ctx, scheduler, state.map);
   ctx.combiner = nullptr;
@@ -421,14 +471,34 @@ sim::Task<> node_main(NodeContext ctx, cl::Device* map_device,
     }
     if (!todo.empty()) {
       ctx.device = reduce_device;
+      const bool task_gated = ctx.elastic_slots && ctx.reduce_slot != nullptr;
       sim::Resource::Hold reduce_slot;
-      if (ctx.reduce_slot != nullptr) {
+      if (ctx.reduce_slot != nullptr && !task_gated) {
         reduce_slot = co_await ctx.reduce_slot->acquire();
       }
       tr.begin(t, trace::Kind::kPhase, reduce_name, sim.now());
-      co_await run_reduce_phase(ctx, todo, state.reduce);
+      if (ctx.preempt != nullptr || task_gated) {
+        // Task-granularity reduce: one partition per pass, so a preemption
+        // request takes effect at the next partition boundary and elastic
+        // slots gate individual reduce tasks. Per-partition output bytes
+        // depend only on that partition's runs, so splitting the batch
+        // never changes what is written.
+        for (std::size_t i = 0; i < todo.size(); ++i) {
+          if (ctx.preempt_requested()) {
+            shared.preempt_incomplete = true;
+            break;
+          }
+          sim::Resource::Hold task_slot;
+          if (task_gated) task_slot = co_await ctx.reduce_slot->acquire();
+          std::vector<int> one(1, todo[i]);
+          co_await run_reduce_phase(ctx, one, state.reduce);
+          state.reduced.insert(todo[i]);
+        }
+      } else {
+        co_await run_reduce_phase(ctx, todo, state.reduce);
+        for (int g : todo) state.reduced.insert(g);
+      }
       tr.end(t, trace::Kind::kPhase, reduce_name, sim.now());
-      for (int g : todo) state.reduced.insert(g);
     }
     if (!ft) co_return;
     if (state.handled_epoch < shared.crash_epoch) continue;
@@ -484,6 +554,9 @@ struct JobExec {
   std::uint64_t dfs_rerep0 = 0;
   std::optional<SplitScheduler> scheduler;
   JobShared shared;
+  PreemptControl* preempt = nullptr;  // from env; null = not preemptable
+  bool resuming = false;              // previous residency was suspended
+  bool combine_degraded = false;      // requested combining forced weaker
   int listener_id = -1;
   trace::TrackRef job_track;
   std::int32_t job_name = -1;
@@ -511,7 +584,56 @@ struct JobExec {
   void setup();
   void finish_marks();
   JobResult finalize();
+  // True when a preemption request left work behind: undispensed splits,
+  // splits awaiting re-execution, or reduce partitions skipped at a task
+  // boundary. Distinguishes a suspension from a request racing completion.
+  bool incomplete() const {
+    return scheduler->remaining() > 0 || scheduler->has_lost() ||
+           shared.preempt_incomplete;
+  }
+  void capture_suspension(JobResult& result);
 };
+
+// Accumulates the pure-counter fields of `from` into `into` (sums; maxima
+// for the two high-water marks). Used to carry a suspended job's stats
+// across residencies — the occupancy-derived stage breakdown needs no merge
+// because scheduled jobs never clear the tracer, so scoped accumulators
+// already span every residency.
+void add_counters(JobStats& into, const JobStats& from) {
+  into.map_task_retries += from.map_task_retries;
+  into.reduce_task_retries += from.reduce_task_retries;
+  into.tasks_reexecuted += from.tasks_reexecuted;
+  into.partitions_reassigned += from.partitions_reassigned;
+  into.blocks_rereplicated += from.blocks_rereplicated;
+  into.dfs_replicas_lost += from.dfs_replicas_lost;
+  into.recovery_rounds += from.recovery_rounds;
+  into.duplicate_runs_dropped += from.duplicate_runs_dropped;
+  into.speculative_wins += from.speculative_wins;
+  into.speculative_losses += from.speculative_losses;
+  into.input_splits_lost += from.input_splits_lost;
+  into.input_records += from.input_records;
+  into.intermediate_pairs += from.intermediate_pairs;
+  into.intermediate_bytes += from.intermediate_bytes;
+  into.intermediate_stored += from.intermediate_stored;
+  into.output_pairs += from.output_pairs;
+  into.shuffle_bytes_remote += from.shuffle_bytes_remote;
+  into.net_shuffle_bytes += from.net_shuffle_bytes;
+  into.net_dfs_bytes += from.net_dfs_bytes;
+  into.net_control_bytes += from.net_control_bytes;
+  into.net_rack_agg_bytes += from.net_rack_agg_bytes;
+  into.combine_in_bytes += from.combine_in_bytes;
+  into.combine_out_bytes += from.combine_out_bytes;
+  into.spills += from.spills;
+  into.merges += from.merges;
+  into.spill_bytes += from.spill_bytes;
+  into.merge_levels = std::max(into.merge_levels, from.merge_levels);
+  into.peak_mem_bytes = std::max(into.peak_mem_bytes, from.peak_mem_bytes);
+  into.mem_stall_seconds += from.mem_stall_seconds;
+  into.merge_fanin_runs += from.merge_fanin_runs;
+  into.hash_table_probes += from.hash_table_probes;
+  into.map_kernel += from.map_kernel;
+  into.reduce_kernel += from.reduce_kernel;
+}
 
 void JobExec::setup() {
   GW_CHECK_MSG(static_cast<bool>(app.map), "job needs a map function");
@@ -536,6 +658,12 @@ void JobExec::setup() {
        config.speculate)) {
     config.combine_mode = CombineMode::kOff;
   }
+  // Environment-forced combine degradations below are SURFACED via
+  // JobResult::combine_degraded (and from there the scheduler's per-job
+  // record + sched: line): the job asked for a combine tier its execution
+  // environment cannot honour. The capability gates above are not
+  // degradations — the request itself was unsatisfiable by the app.
+  const CombineMode requested_combine = config.combine_mode;
   // Rack aggregation needs rack structure to exploit; otherwise degrade to
   // the node tier, which is the same data path minus the aggregator hop.
   rack_size = platform.fabric().profile().rack_size;
@@ -548,6 +676,25 @@ void JobExec::setup() {
   // than drawing from a pool that was never funded.
   if (env != nullptr && !env->governors.empty()) {
     config.combine_mode = CombineMode::kOff;
+  }
+  // Preemptable jobs shuffle with the raw framing only: resumed residencies
+  // re-feed ledger runs individually on the main port, which combined
+  // framing at the receivers would misparse.
+  if (config.preemptable) {
+    config.combine_mode = CombineMode::kOff;
+  }
+  if (config.combine_mode != requested_combine &&
+      requested_combine != CombineMode::kOff) {
+    combine_degraded = true;
+  }
+
+  // Checkpoint-based preemption handshake (core::Scheduler).
+  if (env != nullptr && env->preempt != nullptr) {
+    GW_CHECK_MSG(config.preemptable,
+                 "JobEnv carries a PreemptControl but the config is not "
+                 "marked preemptable");
+    preempt = env->preempt;
+    resuming = preempt->preemptions > 0;
   }
 
   // Governed/replication controls reach through the PinnedFs overlay to
@@ -592,6 +739,7 @@ void JobExec::setup() {
                  "node dead at job start outside a DAG round or scheduler");
     // The combine tiers assume full-mesh membership; a shrunken cluster
     // falls back to the plain shuffle path.
+    if (config.combine_mode != CombineMode::kOff) combine_degraded = true;
     config.combine_mode = CombineMode::kOff;
   }
 
@@ -611,6 +759,17 @@ void JobExec::setup() {
 
   scheduler.emplace(
       SplitScheduler::make_splits(fs, config.input_paths, config.split_size));
+  if (resuming) {
+    // Replay map-side progress from the suspended residency: committed
+    // splits are never re-dispensed (their output re-enters via the ledger
+    // re-feed). A committer that died in between cannot re-feed, so its
+    // splits stay fresh and are simply mapped again — the original dedup
+    // tags make any overlap harmless.
+    for (const auto& [idx, node] : preempt->state.committed_splits) {
+      if (!sim.node_alive(node)) continue;
+      scheduler->restore_commit(idx, node);
+    }
+  }
 
   shared.owner.resize(static_cast<std::size_t>(total_partitions));
   for (int g = 0; g < total_partitions; ++g) {
@@ -719,7 +878,10 @@ void JobExec::setup() {
   // shows one round span per executed job, each nested in its job span.
   // Scheduled jobs put their span on a tenant-labelled track of their own,
   // so concurrent job spans land on distinct tracks and nest cleanly.
-  job_track = sim.tracer().track(0, scoped("job"));
+  // A resumed (preempted) residency re-registers the same scoped label and
+  // must reopen its span on the SAME track, so the timeline shows one row
+  // per job across suspensions.
+  job_track = sim.tracer().track(0, scoped("job"), /*reuse=*/true);
   job_name = sim.tracer().intern("job");
   round_name = sim.tracer().intern("round");
   sim.tracer().begin(job_track, trace::Kind::kPhase, job_name, sim.now());
@@ -745,7 +907,7 @@ void JobExec::setup() {
     state.store = std::make_unique<IntermediateStore>(platform.node(n), sim,
                                                       config, gov);
     state.shuffle_done = std::make_unique<sim::Event>(sim);
-    state.phase_track = sim.tracer().track(n, scoped("phase"));
+    state.phase_track = sim.tracer().track(n, scoped("phase"), /*reuse=*/true);
 
     // Dead-at-start nodes get their bookkeeping state (the stats loop
     // below walks every node) but no pipelines.
@@ -772,6 +934,13 @@ void JobExec::setup() {
     }
     if (env != nullptr && !env->reduce_slots.empty()) {
       ctx.reduce_slot = env->reduce_slots[static_cast<std::size_t>(n)];
+    }
+    ctx.elastic_slots = env != nullptr && env->elastic;
+    ctx.preempt = preempt;
+    if (resuming &&
+        static_cast<std::size_t>(n) < preempt->state.ledgers.size() &&
+        !preempt->state.ledgers[static_cast<std::size_t>(n)].runs.empty()) {
+      ctx.resume_ledger = &preempt->state.ledgers[static_cast<std::size_t>(n)];
     }
     if (config.combine_mode != CombineMode::kOff) {
       RackTopology topo;  // rack_size 0 = route straight to the owner
@@ -947,8 +1116,43 @@ JobResult JobExec::finalize() {
       tp.total_bytes(net::TrafficClass::kControl) - net_control0;
   result.stats.net_rack_agg_bytes =
       tp.total_bytes(net::TrafficClass::kRackAgg) - net_rack_agg0;
+  result.combine_degraded = combine_degraded;
+  if (resuming) {
+    // Fold in the residencies before the suspension: counters add, output
+    // files union (a resumed run never re-reduces a committed partition,
+    // so there is no overlap), elapsed accumulates residency time only.
+    const ResumeState& rs = preempt->state;
+    add_counters(result.stats, rs.stats);
+    for (const auto& f : rs.output_files) result.output_files.push_back(f);
+    result.elapsed_seconds += rs.elapsed_s;
+  }
   std::sort(result.output_files.begin(), result.output_files.end());
   return result;
+}
+
+void JobExec::capture_suspension(JobResult& result) {
+  PreemptControl& pc = *preempt;
+  ResumeState& rs = pc.state;
+  // finalize() already folded earlier residencies into `result`, so the
+  // checkpoint is a plain snapshot of the cumulative totals.
+  rs.committed_splits.clear();
+  for (const auto& [idx, node] : scheduler->committed_splits()) {
+    rs.committed_splits[idx] = node;
+  }
+  // Each node's new ledger holds replayed history plus fresh runs; moving
+  // it out makes the checkpoint cumulative across any number of
+  // suspensions.
+  rs.ledgers.assign(static_cast<std::size_t>(num_nodes), MapOutputLedger());
+  for (int n = 0; n < num_nodes; ++n) {
+    rs.ledgers[static_cast<std::size_t>(n)] =
+        std::move(nodes[static_cast<std::size_t>(n)].ledger);
+  }
+  rs.output_files = result.output_files;
+  rs.stats = result.stats;
+  rs.elapsed_s = result.elapsed_seconds;
+  pc.suspended = true;
+  ++pc.preemptions;
+  result.suspended = true;
 }
 
 }  // namespace
@@ -1082,7 +1286,11 @@ sim::Task<JobResult> GlasswingRuntime::run_async(AppKernels app,
   } else {
     platform_.fabric().check_quiesced();
   }
-  co_return ex.finalize();
+  JobResult result = ex.finalize();
+  if (ex.preempt != nullptr && ex.preempt->requested && ex.incomplete()) {
+    ex.capture_suspension(result);
+  }
+  co_return result;
 }
 
 }  // namespace gw::core

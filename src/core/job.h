@@ -11,7 +11,10 @@
 // (§I): construct a runtime, call run(), read the JobResult.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -34,6 +37,13 @@ struct JobEnv {
   std::vector<sim::Resource*> map_slots;     // per node; empty = ungated
   std::vector<sim::Resource*> reduce_slots;  // per node; empty = ungated
   std::vector<MemoryGovernor*> governors;    // per node; empty = per-job
+  // Elastic mode: the slot vectors are per-JOB pools the scheduler resizes
+  // as residency changes, and slots gate individual tasks (one split / one
+  // reduce partition per slot) instead of whole phases.
+  bool elastic = false;
+  // Non-null = the job is preemptable; also carries resume state when the
+  // job was previously suspended (preemptions > 0).
+  PreemptControl* preempt = nullptr;
 };
 
 class GlasswingRuntime {

@@ -18,34 +18,39 @@ constexpr double kRecordSplitBytesPerSec = 1.5e9;  // host-side framing scan
 struct StagedChunk {
   StagedChunk(util::Bytes data_in, std::vector<std::uint64_t> offsets_in,
               InputSplit split_in, sim::Resource::Hold hold_in,
-              sim::Resource::Hold mem_hold_in)
+              sim::Resource::Hold mem_hold_in, sim::Resource::Hold slot_in)
       : data(std::move(data_in)),
         offsets(std::move(offsets_in)),
         split(std::move(split_in)),
         in_hold(std::move(hold_in)),
-        mem_hold(std::move(mem_hold_in)) {}
+        mem_hold(std::move(mem_hold_in)),
+        slot_hold(std::move(slot_in)) {}
   StagedChunk() = default;
 
   util::Bytes data;
   std::vector<std::uint64_t> offsets;  // record start offsets
   InputSplit split;                    // identity, for re-execution
   sim::Resource::Hold in_hold;
-  sim::Resource::Hold mem_hold;  // governed: map-pool bytes for `data`
+  sim::Resource::Hold mem_hold;   // governed: map-pool bytes for `data`
+  sim::Resource::Hold slot_hold;  // elastic: per-job map slot for this task
 };
 
 struct KernelOut {
   KernelOut(MapChunkOutput out_in, InputSplit split_in,
-            sim::Resource::Hold hold_in, sim::Resource::Hold mem_hold_in)
+            sim::Resource::Hold hold_in, sim::Resource::Hold mem_hold_in,
+            sim::Resource::Hold slot_in)
       : out(std::move(out_in)),
         split(std::move(split_in)),
         out_hold(std::move(hold_in)),
-        mem_hold(std::move(mem_hold_in)) {}
+        mem_hold(std::move(mem_hold_in)),
+        slot_hold(std::move(slot_in)) {}
   KernelOut() = default;
 
   MapChunkOutput out;
   InputSplit split;  // identity, for commit + dedup tagging
   sim::Resource::Hold out_hold;
-  sim::Resource::Hold mem_hold;  // governed: map-pool bytes for `out`
+  sim::Resource::Hold mem_hold;   // governed: map-pool bytes for `out`
+  sim::Resource::Hold slot_hold;  // elastic: held until the task completes
 };
 
 // Bridges MapContext emits into the group's collector slot.
@@ -139,6 +144,19 @@ sim::Task<> input_stage(Stage& st, NodeContext ctx, SplitScheduler& scheduler,
     // A crashed node initiates no new work; in-flight chunks drain through
     // the pipeline (their sends are dropped by the dead-endpoint check).
     if (!ctx.self_live()) break;
+    // Preemption checkpoint: stop dispensing fresh splits once a suspend is
+    // requested; chunks already in flight drain normally, so everything the
+    // pipeline touched is committed and in the ledger when the phase ends.
+    // Recovery rounds are exempt — replayed provenance must finish.
+    if (ctx.preempt_requested() && !ctx.recovery) break;
+    sim::Resource::Hold slot_hold;
+    if (ctx.elastic_slots && ctx.map_slot != nullptr && !ctx.recovery) {
+      // Elastic gating: one slot per split, held until the task's partition
+      // work completes, so a share shrink takes effect at the next task
+      // boundary and a grow deepens this node's pipeline immediately.
+      slot_hold = co_await ctx.map_slot->acquire();
+      if (!ctx.self_live() || ctx.preempt_requested()) break;
+    }
     auto split = ctx.recovery ? scheduler.next_lost(ctx.node_id)
                               : scheduler.next_for(ctx.node_id);
     if (!split && !ctx.recovery && ctx.config->speculate) {
@@ -188,7 +206,8 @@ sim::Task<> input_stage(Stage& st, NodeContext ctx, SplitScheduler& scheduler,
     m.records += offsets.size();
     co_await out.send(StagedChunk(std::move(data), std::move(offsets),
                                   *split, std::move(hold),
-                                  std::move(mem_hold)));
+                                  std::move(mem_hold),
+                                  std::move(slot_hold)));
   }
   out.close();
 }
@@ -318,7 +337,8 @@ sim::Task<> kernel_stage(Stage& st, NodeContext ctx,
                                            chunk_out.pairs.blob_bytes());
     }
     co_await out.send(KernelOut(std::move(chunk_out), std::move(item->split),
-                                std::move(out_hold), std::move(mem_hold)));
+                                std::move(out_hold), std::move(mem_hold),
+                                std::move(item->slot_hold)));
   }
   out.close();
 }
@@ -470,6 +490,7 @@ sim::Task<> partition_worker(Stage& st, NodeContext ctx,
     for (std::uint32_t g : live) buckets[g].clear();
     item->out_hold.release();
     item->mem_hold.release();
+    item->slot_hold.release();  // elastic task boundary
   }
 }
 

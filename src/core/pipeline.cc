@@ -104,6 +104,28 @@ std::optional<InputSplit> SplitScheduler::next_lost(int node) {
   return s;
 }
 
+void SplitScheduler::restore_commit(int index, int node) {
+  GW_CHECK(index >= 0 && static_cast<std::size_t>(index) < splits_.size());
+  const auto i = static_cast<std::size_t>(index);
+  GW_CHECK(state_[i].committed_by < 0);
+  if (!taken_[i]) {
+    taken_[i] = true;
+    --remaining_;
+  }
+  state_[i].runner = node;
+  state_[i].committed_by = node;
+}
+
+std::vector<std::pair<int, int>> SplitScheduler::committed_splits() const {
+  std::vector<std::pair<int, int>> out;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i].committed_by >= 0) {
+      out.emplace_back(static_cast<int>(i), state_[i].committed_by);
+    }
+  }
+  return out;
+}
+
 std::optional<InputSplit> SplitScheduler::next_speculative(int node) {
   for (std::size_t i = 0; i < splits_.size(); ++i) {
     TaskState& ts = state_[i];

@@ -88,6 +88,16 @@ class SplitScheduler {
   std::uint64_t speculative_wins() const { return spec_wins_; }
   std::uint64_t speculative_losses() const { return spec_losses_; }
 
+  // --- checkpoint-based preemption (core::Scheduler) ---
+  // Re-applies a commit recorded by a previous (suspended) residency:
+  // marks the split taken and durable on `node` so next_for never hands it
+  // out again. Split indices are stable across runs (make_splits is
+  // deterministic for a given config).
+  void restore_commit(int index, int node);
+  // All (index, committer) pairs durable so far, index-ascending — the
+  // map-side progress a suspending job checkpoints.
+  std::vector<std::pair<int, int>> committed_splits() const;
+
   // Enumerates block-aligned, record-aligned-later splits of the inputs.
   static std::vector<InputSplit> make_splits(const dfs::FileSystem& fs,
                                              const std::vector<std::string>& paths,
@@ -130,6 +140,32 @@ struct MapOutputLedger {
   }
 };
 
+// Durable remainder of a suspended (preempted) job, captured at suspension
+// and replayed by the next residency. Nothing here is a new persistence
+// format: the ledgers are the PR-5 MapOutputLedger (host-side provenance of
+// runs whose bytes live on each node's local disk), committed splits are
+// stable job-wide split indices (make_splits is deterministic), and reduced
+// partitions are implied by their committed output files on the DFS.
+struct ResumeState {
+  std::map<int, int> committed_splits;    // split index -> node that holds it
+  std::vector<MapOutputLedger> ledgers;   // per node; re-fed on resume
+  std::vector<std::string> output_files;  // partitions reduced pre-suspension
+  JobStats stats;                         // counters accumulated pre-suspension
+  double elapsed_s = 0;                   // residency time before suspension
+};
+
+// Scheduler<->job preemption handshake. The scheduler sets `requested`; the
+// running job observes it at task boundaries (split dispatch, per-partition
+// reduce), winds down cleanly, captures its ResumeState and sets
+// `suspended`. The scheduler then requeues the job and clears the flags
+// before the next residency; `preemptions > 0` marks a resumed run.
+struct PreemptControl {
+  bool requested = false;
+  bool suspended = false;
+  int preemptions = 0;  // completed suspensions so far
+  ResumeState state;    // valid iff preemptions > 0
+};
+
 class NodeCombiner;  // hierarchical combining (combine.h)
 
 // Everything a per-node pipeline needs.
@@ -159,6 +195,24 @@ struct NodeContext {
   // single-job path: zero extra awaits, byte-identical event order).
   sim::Resource* map_slot = nullptr;
   sim::Resource* reduce_slot = nullptr;
+  // Elastic mode: the slot pools above are per-job and scheduler-resized,
+  // and they gate individual tasks (one split / one reduce partition per
+  // slot) instead of whole phases.
+  bool elastic_slots = false;
+
+  // --- checkpoint-based preemption (core::Scheduler) ---
+  // Non-null = the job may be asked to suspend; the map pipeline stops
+  // dispensing fresh splits and the reduce loop stops at the next partition
+  // boundary once `preempt->requested` is set.
+  const PreemptControl* preempt = nullptr;
+  // Non-null on a resumed residency: this node's durable runs from the
+  // previous residency, re-fed into the (fresh) stores before fresh map
+  // work completes, exactly like a PR-5 recovery-round ledger replay.
+  const MapOutputLedger* resume_ledger = nullptr;
+
+  bool preempt_requested() const {
+    return preempt != nullptr && preempt->requested;
+  }
 
   // --- fault tolerance (§III-E); the defaults reproduce the failure-free
   // data path exactly ---

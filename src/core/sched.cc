@@ -34,6 +34,9 @@ Scheduler::Scheduler(GlasswingRuntime& runtime, cluster::Platform& platform,
   GW_CHECK(config_.map_slots_per_node > 0);
   GW_CHECK(config_.reduce_slots_per_node > 0);
   GW_CHECK(config_.max_resident_jobs > 0);
+  GW_CHECK(config_.max_preemptions_per_job >= 0);
+  GW_CHECK(config_.elastic_slots_per_node > 0);
+  GW_CHECK(config_.elastic_steal_frac >= 0 && config_.elastic_steal_frac <= 1);
   epoch_ = platform_.sim().now();
   const int n = platform_.num_nodes();
   for (int i = 0; i < n; ++i) {
@@ -71,6 +74,8 @@ int Scheduler::submit(JobRequest req) {
   r.arrival_s = req.arrival_s;
   results_.push_back(std::move(r));
   requests_.push_back(std::move(req));
+  preempts_.push_back(config_.preemption ? std::make_unique<PreemptControl>()
+                                         : nullptr);
   platform_.sim().spawn(arrive(id));
   return id;
 }
@@ -87,6 +92,7 @@ sim::Task<void> Scheduler::arrive(int id) {
     ++completed_;
     co_return;
   }
+  results_[static_cast<std::size_t>(id)].arrival_seq = next_arrival_seq_++;
   queue_.push_back(id);
   queue_peak_ = std::max(queue_peak_, static_cast<int>(queue_.size()));
   pump();
@@ -97,21 +103,52 @@ double Scheduler::tenant_service(int tenant) const {
   return it == tenants_.end() ? 0.0 : it->second.service_s;
 }
 
+double Scheduler::tenant_service_live(int tenant) const {
+  double s = tenant_service(tenant);
+  const double now = platform_.sim().now() - epoch_;
+  for (int id : resident_ids_) {
+    if (results_[static_cast<std::size_t>(id)].tenant != tenant) continue;
+    s += now - running_.at(id).since;
+  }
+  return s;
+}
+
+namespace {
+
+// Microsecond ticks on the simulated clock. Aging used to divide raw
+// doubles: near an interval boundary, (now - arrival) / aging could land an
+// ulp either side of an integer, so std::floor drifted between evaluations
+// of the same queue and the promoted class flapped. Integer arithmetic on
+// rounded ticks makes every evaluation agree exactly.
+std::int64_t to_ticks(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+}  // namespace
+
 std::size_t Scheduler::pick_next() const {
   GW_CHECK(!queue_.empty());
+  // Every policy breaks its ties by arrival_seq, so equal-rank jobs admit
+  // in true arrival order even after suspensions re-enqueue at the back.
+  const auto seq = [&](std::size_t i) {
+    return results_[static_cast<std::size_t>(queue_[i])].arrival_seq;
+  };
   switch (config_.policy) {
-    case SchedPolicy::kFifo:
-      // queue_ is arrival-ordered: arrivals enqueue in event order, which
-      // the simulation's (time, seq) heap keeps deterministic.
-      return 0;
+    case SchedPolicy::kFifo: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < queue_.size(); ++i) {
+        if (seq(i) < seq(best)) best = i;
+      }
+      return best;
+    }
     case SchedPolicy::kFair: {
-      // Least accumulated tenant service first; ties keep arrival order.
+      // Least accumulated tenant service first; ties by arrival.
       std::size_t best = 0;
       double best_service = std::numeric_limits<double>::infinity();
       for (std::size_t i = 0; i < queue_.size(); ++i) {
         const double s =
             tenant_service(results_[static_cast<std::size_t>(queue_[i])].tenant);
-        if (s < best_service) {
+        if (s < best_service || (s == best_service && seq(i) < seq(best))) {
           best_service = s;
           best = i;
         }
@@ -122,16 +159,21 @@ std::size_t Scheduler::pick_next() const {
       // Strict classes, arrival order inside a class. Aging (if enabled)
       // promotes a job one class per full interval waited so a busy hot
       // class cannot starve colder ones indefinitely.
-      const double now = platform_.sim().now() - epoch_;
+      const std::int64_t now_us = to_ticks(platform_.sim().now() - epoch_);
+      const std::int64_t aging_us =
+          config_.priority_aging_s > 0
+              ? std::max<std::int64_t>(1, to_ticks(config_.priority_aging_s))
+              : 0;
       std::size_t best = 0;
-      double best_class = std::numeric_limits<double>::infinity();
+      std::int64_t best_class = std::numeric_limits<std::int64_t>::max();
       for (std::size_t i = 0; i < queue_.size(); ++i) {
         const auto& r = results_[static_cast<std::size_t>(queue_[i])];
-        double cls = r.priority;
-        if (config_.priority_aging_s > 0) {
-          cls -= std::floor((now - r.arrival_s) / config_.priority_aging_s);
+        std::int64_t cls = r.priority;
+        if (aging_us > 0) {
+          const std::int64_t waited_us = now_us - to_ticks(r.arrival_s);
+          if (waited_us > 0) cls -= waited_us / aging_us;
         }
-        if (cls < best_class) {
+        if (cls < best_class || (cls == best_class && seq(i) < seq(best))) {
           best_class = cls;
           best = i;
         }
@@ -151,45 +193,253 @@ void Scheduler::pump() {
     resident_peak_ = std::max(resident_peak_, resident_);
     platform_.sim().spawn(run_job(id));
   }
+  maybe_preempt();
+}
+
+void Scheduler::maybe_preempt() {
+  if (!config_.preemption || queue_.empty()) return;
+  if (resident_ < config_.max_resident_jobs) return;
+  // One wind-down at a time: a second request while a victim is still
+  // draining could displace more residents than the queue deserves.
+  for (int id : resident_ids_) {
+    const PreemptControl* pc = preempts_[static_cast<std::size_t>(id)].get();
+    if (pc != nullptr && pc->requested) return;
+  }
+  const auto& cand = results_[static_cast<std::size_t>(queue_[pick_next()])];
+  int victim = -1;
+  switch (config_.policy) {
+    case SchedPolicy::kFifo:
+      // FIFO never revokes: arrival order already admitted everyone ahead.
+      return;
+    case SchedPolicy::kPriority: {
+      // Displace the least urgent resident whose class is strictly lower
+      // (numerically greater) than the candidate's; ties pick the latest
+      // admitted (least progress to throw away).
+      for (int id : resident_ids_) {
+        const auto& res = results_[static_cast<std::size_t>(id)];
+        if (res.priority <= cand.priority) continue;
+        if (victim < 0 ||
+            res.priority > results_[static_cast<std::size_t>(victim)].priority ||
+            (res.priority ==
+                 results_[static_cast<std::size_t>(victim)].priority &&
+             res.arrival_seq >
+                 results_[static_cast<std::size_t>(victim)].arrival_seq)) {
+          victim = id;
+        }
+      }
+      break;
+    }
+    case SchedPolicy::kFair: {
+      // Displace a resident of the most over-served tenant, but only if
+      // that tenant has strictly more (live) service than the candidate's.
+      const double cand_service = tenant_service_live(cand.tenant);
+      double victim_service = 0;
+      for (int id : resident_ids_) {
+        const auto& res = results_[static_cast<std::size_t>(id)];
+        if (res.tenant == cand.tenant) continue;
+        const double s = tenant_service_live(res.tenant);
+        if (s <= cand_service) continue;  // must be strictly more served
+        if (victim < 0 || s > victim_service ||
+            (s == victim_service &&
+             res.arrival_seq >
+                 results_[static_cast<std::size_t>(victim)].arrival_seq)) {
+          victim_service = s;
+          victim = id;
+        }
+      }
+      break;
+    }
+  }
+  if (victim < 0) return;
+  PreemptControl* pc = preempts_[static_cast<std::size_t>(victim)].get();
+  if (pc->preemptions >= config_.max_preemptions_per_job) return;
+  pc->requested = true;
+}
+
+int Scheduler::alloc_window() {
+  if (!free_windows_.empty()) {
+    const int w = free_windows_.front();
+    free_windows_.erase(free_windows_.begin());
+    return w;
+  }
+  return windows_created_++;
+}
+
+void Scheduler::free_window(int window) {
+  // Keep the free-list sorted so the smallest window is always reused
+  // first: the port footprint stays at [stride, stride * (peak + 1)).
+  free_windows_.insert(
+      std::lower_bound(free_windows_.begin(), free_windows_.end(), window),
+      window);
+}
+
+void Scheduler::recompute_shares() {
+  if (!config_.elastic_slots) return;
+  const int k = static_cast<int>(resident_ids_.size());
+  if (k == 0) return;
+  const int total = config_.elastic_slots_per_node;
+  // Fair baseline: equal instantaneous shares in admission order, clamped
+  // to >= 1 so every resident keeps making progress.
+  std::vector<int> share(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    share[static_cast<std::size_t>(i)] =
+        std::max(1, total / k + (i < total % k ? 1 : 0));
+  }
+  if (config_.policy == SchedPolicy::kPriority && k > 1) {
+    // The most urgent resident steals slots one at a time from the least
+    // urgent resident that can spare one, up to steal_frac of the node.
+    std::vector<int> order(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const auto& ra = results_[static_cast<std::size_t>(
+          resident_ids_[static_cast<std::size_t>(a)])];
+      const auto& rb = results_[static_cast<std::size_t>(
+          resident_ids_[static_cast<std::size_t>(b)])];
+      if (ra.priority != rb.priority) return ra.priority < rb.priority;
+      return ra.arrival_seq < rb.arrival_seq;
+    });
+    const int taker = order.front();
+    const int taker_class = results_[static_cast<std::size_t>(
+                                resident_ids_[static_cast<std::size_t>(taker)])]
+                                .priority;
+    int budget = static_cast<int>(config_.elastic_steal_frac * total);
+    while (budget > 0) {
+      int donor = -1;
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const int pos = *it;
+        const auto& res = results_[static_cast<std::size_t>(
+            resident_ids_[static_cast<std::size_t>(pos)])];
+        if (res.priority <= taker_class) break;  // only lower classes donate
+        if (share[static_cast<std::size_t>(pos)] > 1) {
+          donor = pos;
+          break;
+        }
+      }
+      if (donor < 0) break;
+      --share[static_cast<std::size_t>(donor)];
+      ++share[static_cast<std::size_t>(taker)];
+      --budget;
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    auto it = running_.find(resident_ids_[static_cast<std::size_t>(i)]);
+    if (it == running_.end()) continue;  // residency still being set up
+    const int s = share[static_cast<std::size_t>(i)];
+    for (auto& slot : it->second.map_slots) slot->set_capacity(s);
+    for (auto& slot : it->second.reduce_slots) slot->set_capacity(s);
+  }
 }
 
 sim::Task<void> Scheduler::run_job(int id) {
   auto& sim = platform_.sim();
   JobRequest& req = requests_[static_cast<std::size_t>(id)];
   ScheduledJob& r = results_[static_cast<std::size_t>(id)];
-  r.admit_s = sim.now() - epoch_;
-  // max() absorbs the epsilon of epoch addition/subtraction round-trips.
-  r.queue_wait_s = std::max(0.0, r.admit_s - r.arrival_s);
+  PreemptControl* pc = preempts_[static_cast<std::size_t>(id)].get();
+  const bool resumed_run = pc != nullptr && pc->preemptions > 0;
+  const double since = sim.now() - epoch_;
+  if (resumed_run) {
+    ++r.resumes;
+    ++resume_count_;
+  } else {
+    r.admit_s = since;
+    // max() absorbs the epsilon of epoch addition/subtraction round-trips.
+    r.queue_wait_s = std::max(0.0, r.admit_s - r.arrival_s);
+  }
 
   JobConfig cfg = req.config;
   cfg.job_id = id;
   cfg.tenant = req.tenant;
   cfg.priority = req.priority;
-  cfg.port_base = net::kPortJobStride * (id + 1);
+  // Port windows are recycled through a free-list: peak residency bounds
+  // the footprint, so arbitrarily many sequential jobs never walk off the
+  // end of the port space. A window frees only after run_async's teardown
+  // verified its range quiesced, so reuse can't cross-talk.
+  const int window = alloc_window();
+  cfg.port_base = net::kPortJobStride * (window + 1);
+  // The trace scope stays keyed by JOB id (not window): a resumed job
+  // reopens spans on the same labeled track across residencies.
   cfg.trace_scope = "j" + std::to_string(id) + ".";
   // If ANY tenant injects node crashes, every job sharing the cluster must
   // run the fault-tolerant shuffle protocol, or a neighbour's crash would
   // hang its streams (submissions are all registered before run_all, so
   // any_crashes_ is final here).
   cfg.expect_crashes = any_crashes_;
+  if (pc != nullptr) cfg.preemptable = true;
+
+  // Build this residency's environment. Elastic mode gives the job private
+  // per-node slot pools (resized by recompute_shares as residency churns);
+  // preemption threads the job's PreemptControl through a private JobEnv
+  // copy. Plain mode keeps the shared env.
+  Residency& res = running_[id];
+  res.window = window;
+  res.since = since;
+  JobEnv* env = &env_;
+  if (config_.elastic_slots || pc != nullptr) {
+    res.env = std::make_unique<JobEnv>();
+    res.env->governors = env_.governors;
+    if (config_.elastic_slots) {
+      const int n = platform_.num_nodes();
+      for (int i = 0; i < n; ++i) {
+        res.map_slots.push_back(std::make_unique<sim::Resource>(sim, 1));
+        res.reduce_slots.push_back(std::make_unique<sim::Resource>(sim, 1));
+        res.env->map_slots.push_back(res.map_slots.back().get());
+        res.env->reduce_slots.push_back(res.reduce_slots.back().get());
+      }
+      res.env->elastic = true;
+    } else {
+      res.env->map_slots = env_.map_slots;
+      res.env->reduce_slots = env_.reduce_slots;
+    }
+    if (pc != nullptr) {
+      pc->requested = false;
+      pc->suspended = false;
+      res.env->preempt = pc;
+    }
+    env = res.env.get();
+  }
+  resident_ids_.push_back(id);
+  recompute_shares();
 
   dfs::FileSystem* fs = req.fs_override != nullptr ? req.fs_override : &fs_;
   try {
-    r.result = co_await runtime_.run_async(req.app, std::move(cfg), fs, &env_);
+    r.result = co_await runtime_.run_async(req.app, std::move(cfg), fs, env);
   } catch (const std::exception&) {
     r.failed = true;
     ++failed_;
   }
-  r.finish_s = sim.now() - epoch_;
-  r.latency_s = r.finish_s - r.arrival_s;
+  const double leave = sim.now() - epoch_;
 
+  // Leave residency: release the port window and slot shares, then account
+  // the residency span to the tenant (per-residency, so the fair policy
+  // sees a suspended job's service immediately).
+  resident_ids_.erase(
+      std::find(resident_ids_.begin(), resident_ids_.end(), id));
+  running_.erase(id);
+  free_window(window);
+  --resident_;
+  recompute_shares();
   TenantStats& t = tenants_[req.tenant];
   t.tenant = req.tenant;
-  ++t.jobs_finished;
-  t.service_s += r.finish_s - r.admit_s;
-  t.wait_s += r.queue_wait_s;
+  t.service_s += leave - since;
 
-  --resident_;
+  if (!r.failed && pc != nullptr && pc->suspended) {
+    // Wound down at a task boundary: committed map output and materialized
+    // rounds are durable in pc->state. Requeue the remainder; it re-enters
+    // pick_next with its original arrival_seq.
+    ++r.preemptions;
+    ++preempt_count_;
+    queue_.push_back(id);
+    queue_peak_ = std::max(queue_peak_, static_cast<int>(queue_.size()));
+    pump();
+    co_return;
+  }
+
+  r.finish_s = leave;
+  r.latency_s = r.finish_s - r.arrival_s;
+  r.combine_degraded = !r.failed && r.result.combine_degraded;
+  if (r.combine_degraded) ++combine_degraded_count_;
+  ++t.jobs_finished;
+  t.wait_s += r.queue_wait_s;
   ++completed_;
   pump();
 }

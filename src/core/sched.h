@@ -66,8 +66,35 @@ struct SchedulerConfig {
   // its own per-job governor iff its JobConfig asks for one.
   std::uint64_t node_memory_bytes = 0;
   // kPriority only: every full interval a job waits promotes it one
-  // priority class (0 = no aging, strict classes).
+  // priority class (0 = no aging, strict classes). Aging is computed in
+  // integer microsecond ticks of the simulated clock, so two evaluations
+  // of the same queue in one admission pass can never disagree near an
+  // interval boundary.
   double priority_aging_s = 0;
+
+  // --- checkpoint-based preemption ---
+  // A deserving arrival may suspend a resident job at its next task
+  // boundary: the job winds down cleanly (in-flight work committed to the
+  // map-output ledger), its remainder requeues as a resumable entry that
+  // replays through the ledger, and its slots / port window / governor
+  // shares free deterministically. kPriority displaces the least urgent
+  // strictly-lower-class resident; kFair displaces a resident of the most
+  // over-served tenant; kFifo never revokes.
+  bool preemption = false;
+  // Per-job cap on suspensions (bounds displacement thrash).
+  int max_preemptions_per_job = 1;
+
+  // --- elastic slot reallocation ---
+  // Per-JOB per-node slot pools replace the shared phase gates: slots gate
+  // individual tasks (one map split / one reduce partition per slot) and
+  // the scheduler resizes each resident's share as residency changes —
+  // grow when co-residents finish, shrink (at task boundaries) when new
+  // jobs are admitted. kFair targets equal instantaneous shares; kPriority
+  // lets the most urgent class steal up to elastic_steal_frac of a node's
+  // slots from lower classes.
+  bool elastic_slots = false;
+  int elastic_slots_per_node = 4;  // total per node, split across residents
+  double elastic_steal_frac = 0.5;
 };
 
 // One job submission. arrival_s is on the simulated clock; submissions must
@@ -99,7 +126,18 @@ struct ScheduledJob {
   double latency_s = 0;     // finish - arrival (sojourn time)
   bool rejected = false;    // bounced by max_queued_jobs
   bool failed = false;      // run_async threw (unrecoverable data loss)
-  JobResult result;         // valid iff !rejected && !failed
+  // Strict tie-break key: dense rank in order of actual arrival on the
+  // simulated clock (first enqueue; kept across suspensions). Every policy
+  // breaks ties by it, so equal-class / equal-service jobs admit in
+  // arrival order regardless of queue churn.
+  int arrival_seq = -1;
+  int preemptions = 0;  // times this job was suspended mid-run
+  int resumes = 0;      // residencies that replayed a suspended remainder
+  // The job asked for combining but the runtime forced a weaker mode
+  // (shared governor, or checkpoint-preemptable replay): surfaced here so
+  // the degradation is never silent.
+  bool combine_degraded = false;
+  JobResult result;  // valid iff !rejected && !failed
 };
 
 struct TenantStats {
@@ -139,13 +177,44 @@ class Scheduler {
   int resident_peak() const { return resident_peak_; }
   // Longest queue observed (including the job about to be admitted).
   int queue_peak() const { return queue_peak_; }
+  // Total suspensions (sum of per-job preemptions) and resumed residencies.
+  int jobs_preempted() const { return preempt_count_; }
+  int jobs_resumed() const { return resume_count_; }
+  // Jobs whose requested combine mode was silently forced weaker — now
+  // counted and surfaced (see ScheduledJob::combine_degraded).
+  int combine_degraded_jobs() const { return combine_degraded_count_; }
+  // Distinct port windows ever created. Windows are recycled through a
+  // free-list when a job leaves residency, so this is bounded by peak
+  // residency — not by the total job count (the old `stride * (id + 1)`
+  // scheme exhausted the port space after enough sequential jobs).
+  int port_windows_created() const { return windows_created_; }
 
  private:
+  // Per-residency execution state for one admitted job: its recycled port
+  // window, elastic per-node slot pools (if enabled) and the JobEnv handed
+  // to run_async. Destroyed when the job leaves residency (finish, failure
+  // or suspension); the resumable remainder lives in preempts_[id].
+  struct Residency {
+    int window = -1;
+    double since = 0;  // sim.now() - epoch_ at (re)admission
+    std::vector<std::unique_ptr<sim::Resource>> map_slots;
+    std::vector<std::unique_ptr<sim::Resource>> reduce_slots;
+    std::unique_ptr<JobEnv> env;  // set iff this job needs a private env
+  };
+
   sim::Task<void> arrive(int id);
   sim::Task<void> run_job(int id);
   void pump();
   std::size_t pick_next() const;  // index into queue_, by policy
+  void maybe_preempt();           // request a wind-down for one resident
+  void recompute_shares();        // resize elastic slot pools to policy
+  int alloc_window();
+  void free_window(int window);
   double tenant_service(int tenant) const;
+  // tenant_service plus the in-flight residency time of the tenant's
+  // currently resident jobs (service_s only updates at residency end, which
+  // would make a first-residency monopolist look idle to the fair policy).
+  double tenant_service_live(int tenant) const;
 
   GlasswingRuntime& runtime_;
   cluster::Platform& platform_;
@@ -160,8 +229,15 @@ class Scheduler {
 
   std::vector<JobRequest> requests_;
   std::vector<ScheduledJob> results_;
-  std::vector<int> queue_;  // queued job ids, arrival order
+  // Resumable-remainder handles, parallel to requests_ (null unless
+  // config_.preemption). Persist across suspensions; a Residency is
+  // per-admission.
+  std::vector<std::unique_ptr<PreemptControl>> preempts_;
+  std::vector<int> queue_;         // queued job ids, arrival order
+  std::vector<int> resident_ids_;  // resident job ids, admission order
+  std::map<int, Residency> running_;
   std::map<int, TenantStats> tenants_;
+  std::vector<int> free_windows_;  // recycled port windows, smallest first
 
   double epoch_ = 0;  // sim.now() at construction; arrival origin
   bool any_crashes_ = false;  // some submission injects node crashes
@@ -171,6 +247,11 @@ class Scheduler {
   int completed_ = 0;  // terminal states: finished + failed + rejected
   int rejected_ = 0;
   int failed_ = 0;
+  int next_arrival_seq_ = 0;
+  int windows_created_ = 0;
+  int preempt_count_ = 0;
+  int resume_count_ = 0;
+  int combine_degraded_count_ = 0;
 };
 
 // Deterministic open-loop arrival process: exponential interarrival times

@@ -542,6 +542,17 @@ class Resource {
     wake_waiters();
   }
 
+  // Elastic resizing. Growing admits queued waiters immediately; shrinking
+  // only lowers the admission threshold — outstanding holds are never
+  // revoked, so `in_use_` may exceed the new capacity until holders release
+  // (preemption of individual units happens at natural release boundaries).
+  void set_capacity(std::int64_t capacity) {
+    GW_CHECK(capacity > 0);
+    const bool grew = capacity > capacity_;
+    capacity_ = capacity;
+    if (grew) wake_waiters();
+  }
+
  private:
   struct Waiter {
     std::int64_t n;

@@ -88,8 +88,21 @@ Tracer::NodeState& Tracer::node_state(std::int32_t node) {
   return nodes_[static_cast<std::size_t>(node)];
 }
 
-TrackRef Tracer::track(std::int32_t node, std::string_view label) {
+TrackRef Tracer::track(std::int32_t node, std::string_view label, bool reuse) {
   NodeState& ns = node_state(node);
+  if (reuse) {
+    // Reuse the label's existing track: a resumed (preempted) job's spans
+    // reopen on the same timeline row instead of forking a duplicate row
+    // per residency. Only callers whose spans can never overlap a previous
+    // registration of the same label may ask for this — concurrent jobs
+    // sharing unscoped labels (device, store, combine rows) must keep
+    // getting distinct tracks.
+    for (std::size_t t = 0; t < ns.track_labels.size(); ++t) {
+      if (ns.track_labels[t] == label) {
+        return TrackRef{node, static_cast<std::int32_t>(t)};
+      }
+    }
+  }
   ns.track_labels.emplace_back(label);
   return TrackRef{node, static_cast<std::int32_t>(ns.track_labels.size() - 1)};
 }

@@ -92,7 +92,12 @@ class Tracer {
 
   // Registers a track on `node` (>= 0). The label becomes the Chrome-trace
   // thread name ("map.partition/2", "device:GTX480", "store/0", "phase").
-  TrackRef track(std::int32_t node, std::string_view label);
+  // With `reuse`, a label already registered on the node returns its
+  // existing track instead of a fresh one — for spans that re-open on the
+  // same timeline row across job residencies (preemption/resume). Callers
+  // must guarantee such spans never overlap the label's earlier spans.
+  TrackRef track(std::int32_t node, std::string_view label,
+                 bool reuse = false);
 
   // --- recording (simulated timestamps; pure observers) ---
   void begin(TrackRef ref, Kind kind, std::int32_t name, double now,

@@ -360,5 +360,78 @@ TEST(DagLoop, ConvergencePredicateStopsEarly) {
   EXPECT_EQ(dr.rounds[1].iteration, 1);
 }
 
+// ---------- inter-round preemption ----------
+
+// A preemption request lands between DAG rounds: run() returns a suspended
+// partial result whose completed rounds stay durable, and a second run()
+// call picks the loop up at the next round. Final outputs are byte-identical
+// to the uninterrupted loop.
+TEST(DagLoop, InterRoundSuspendResumeByteIdentical) {
+  KmeansConfig km{.k = 8, .dims = 4};
+  const auto centers = generate_centers(km, 4);
+  constexpr int kIters = 3;
+
+  struct LoopOut {
+    core::DagResult dr;
+    util::Bytes raw;  // concatenated final-output bytes, file order
+  };
+  auto run_loop = [&](core::PreemptControl* pc) {
+    Platform p = make_platform(2);
+    dfs::Dfs fs(p, dfs::DfsConfig{});
+    write_file(p, fs, "/in/points", generate_points(km, 5000, 6));
+
+    core::DagConfig dc;
+    dc.input_paths = {"/in/points"};
+    dc.output_root = "/out/loop";
+    dc.preempt = pc;
+    core::GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+    core::JobDag dag(rt, p, fs, dc);
+
+    core::RoundSpec round;
+    round.name = "assign";
+    round.app = [&](const core::DagRoundState&) {
+      return kmeans(km, centers).kernels;
+    };
+    round.inputs = [](const core::DagRoundState&) {
+      return std::vector<std::string>{"/in/points"};
+    };
+    dag.add_round(std::move(round));
+    dag.until([](int, const util::Bytes&,
+                 const core::RoundPairs&) { return false; },
+              /*max_iterations=*/kIters);
+
+    LoopOut out;
+    if (pc != nullptr) {
+      pc->requested = true;  // suspend at the first inter-round boundary
+      const core::DagResult partial = dag.run();
+      EXPECT_TRUE(partial.suspended);
+      EXPECT_EQ(partial.suspensions, 1);
+      EXPECT_EQ(partial.rounds_executed, 1);
+      EXPECT_FALSE(partial.final_outputs.empty());
+      out.dr = dag.run();  // resume: rounds 2..kIters
+    } else {
+      out.dr = dag.run();
+    }
+    for (const auto& path : out.dr.final_outputs) {
+      const util::Bytes bytes = read_file(p, fs, path);
+      out.raw.insert(out.raw.end(), bytes.begin(), bytes.end());
+    }
+    return out;
+  };
+
+  const LoopOut plain = run_loop(nullptr);
+  EXPECT_FALSE(plain.dr.suspended);
+  EXPECT_EQ(plain.dr.rounds_executed, kIters);
+
+  core::PreemptControl pc;
+  const LoopOut resumed = run_loop(&pc);
+  EXPECT_FALSE(resumed.dr.suspended);
+  EXPECT_EQ(resumed.dr.suspensions, 1);
+  EXPECT_EQ(resumed.dr.rounds_executed, kIters);
+  EXPECT_EQ(resumed.dr.replays, 0);
+  EXPECT_EQ(resumed.dr.final_outputs, plain.dr.final_outputs);
+  EXPECT_EQ(resumed.raw, plain.raw);
+}
+
 }  // namespace
 }  // namespace gw::apps

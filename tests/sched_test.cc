@@ -70,6 +70,7 @@ AppKernels wordcount_app() {
   app.name = "wc-test";
   app.map = wc_map;
   app.combine = wc_sum;
+  app.combine_associative = true;  // summing counts re-combines freely
   app.reduce = wc_sum;
   return app;
 }
@@ -444,6 +445,275 @@ INSTANTIATE_TEST_SUITE_P(Policies, SchedCrash,
                          [](const ::testing::TestParamInfo<SchedPolicy>& i) {
                            return std::string(sched_policy_name(i.param));
                          });
+
+// --- checkpoint-based preemption ---
+
+struct PreemptOutcome {
+  std::map<std::string, util::Bytes> victim_output;
+  int preemptions = 0;
+  int resumes = 0;
+  int sched_preempts = 0;
+  int sched_resumes = 0;
+  double makespan = 0;
+};
+
+// Uninterrupted solo baseline for the preemption victim: same input bytes,
+// same config, single-job entry point on an identical fresh cluster.
+std::pair<std::map<std::string, util::Bytes>, double> run_victim_solo(
+    std::size_t lines) {
+  Platform p = make_platform(4);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  write_file(p, fs, "/in/big", make_text(lines, 21));
+  GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  JobConfig cfg;
+  cfg.input_paths = {"/in/big"};
+  cfg.output_path = "/out/victim";
+  cfg.split_size = 32 << 10;
+  JobResult r = rt.run(wordcount_app(), cfg);
+  auto bytes = output_bytes(p, fs, r);
+  return {std::move(bytes), r.elapsed_seconds};
+}
+
+// A class-1 victim starts alone under a preempting priority scheduler; a
+// class-0 job arrives at `urgent_arrival_s` and displaces it. Returns the
+// victim's final (post-resume) output and the preempt/resume counters.
+PreemptOutcome run_preempted(std::size_t lines, double urgent_arrival_s) {
+  Platform p = make_platform(4);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  write_file(p, fs, "/in/big", make_text(lines, 21));
+  write_file(p, fs, "/in/small", make_text(80, 22));
+  GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  SchedulerConfig sc;
+  sc.policy = SchedPolicy::kPriority;
+  sc.max_resident_jobs = 1;
+  sc.preemption = true;
+  Scheduler sched(rt, p, fs, sc);
+  JobRequest victim;
+  victim.name = "victim";
+  victim.priority = 1;
+  victim.app = wordcount_app();
+  victim.config.input_paths = {"/in/big"};
+  victim.config.output_path = "/out/victim";
+  victim.config.split_size = 32 << 10;
+  const int vid = sched.submit(std::move(victim));
+  JobRequest urgent;
+  urgent.name = "urgent";
+  urgent.priority = 0;
+  urgent.app = wordcount_app();
+  urgent.config.input_paths = {"/in/small"};
+  urgent.config.output_path = "/out/urgent";
+  urgent.config.split_size = 32 << 10;
+  urgent.arrival_s = urgent_arrival_s;
+  sched.submit(std::move(urgent));
+  const double t0 = p.sim().now();
+  sched.run_all();
+  PreemptOutcome out;
+  out.makespan = p.sim().now() - t0;
+  EXPECT_EQ(sched.jobs_failed(), 0);
+  EXPECT_EQ(sched.jobs_rejected(), 0);
+  const auto& v = sched.results()[static_cast<std::size_t>(vid)];
+  out.preemptions = v.preemptions;
+  out.resumes = v.resumes;
+  out.sched_preempts = sched.jobs_preempted();
+  out.sched_resumes = sched.jobs_resumed();
+  out.victim_output = output_bytes(p, fs, v.result);
+  return out;
+}
+
+// The acceptance matrix: a priority submission displaces the resident
+// lower-class job at {early map, mid shuffle, late reduce} points of its
+// run, and the displaced job's final output stays byte-identical to the
+// uninterrupted solo run at GW_THREADS {1, 2, 8}, with exact counters.
+TEST(SchedPreempt, DisplacedJobByteIdenticalAcrossPhasesAndThreadCounts) {
+  const std::size_t kLines = 3000;
+  util::ThreadPool::reset_global(1);
+  const auto [solo, solo_elapsed] = run_victim_solo(kLines);
+  ASSERT_FALSE(solo.empty());
+  ASSERT_GT(solo_elapsed, 0);
+
+  for (const double frac : {0.1, 0.4, 0.7}) {
+    SCOPED_TRACE("urgent arrival at " + std::to_string(frac) +
+                 " of the victim's solo runtime");
+    PreemptOutcome base;
+    bool have_base = false;
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      util::ThreadPool::reset_global(threads);
+      SCOPED_TRACE("GW_THREADS=" + std::to_string(threads));
+      PreemptOutcome o = run_preempted(kLines, frac * solo_elapsed);
+      // Exactly one suspension and one resumed residency.
+      EXPECT_EQ(o.preemptions, 1);
+      EXPECT_EQ(o.resumes, 1);
+      EXPECT_EQ(o.sched_preempts, 1);
+      EXPECT_EQ(o.sched_resumes, 1);
+      // Same file names, same bytes as the uninterrupted run.
+      EXPECT_EQ(o.victim_output, solo);
+      // And the whole preempted timeline is GW_THREADS-invariant.
+      if (!have_base) {
+        base = std::move(o);
+        have_base = true;
+      } else {
+        EXPECT_EQ(bits(o.makespan), bits(base.makespan));
+      }
+    }
+  }
+  util::ThreadPool::reset_global(0);
+}
+
+TEST(SchedPreempt, FifoNeverRevokes) {
+  Platform p = make_platform(2);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  write_file(p, fs, "/in/t", make_text(1200, 13));
+  GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  SchedulerConfig sc;
+  sc.policy = SchedPolicy::kFifo;
+  sc.max_resident_jobs = 1;
+  sc.preemption = true;
+  Scheduler sched(rt, p, fs, sc);
+  for (int i = 0; i < 3; ++i) {
+    JobRequest req;
+    req.name = "wc" + std::to_string(i);
+    req.app = wordcount_app();
+    req.config.input_paths = {"/in/t"};
+    req.config.output_path = "/out/j" + std::to_string(i);
+    req.config.split_size = 32 << 10;
+    req.arrival_s = 0.001 * i;
+    sched.submit(std::move(req));
+  }
+  sched.run_all();
+  EXPECT_EQ(sched.jobs_preempted(), 0);
+  EXPECT_EQ(sched.jobs_resumed(), 0);
+  EXPECT_EQ(sched.jobs_failed(), 0);
+}
+
+// --- elastic slot shares: the fair policy's small jobs shouldn't tail
+// behind a resident large job's whole phase ---
+
+TEST(SchedElastic, FairElasticPreemptionImprovesSmallJobTailLatency) {
+  auto small_p99 = [](bool elastic) {
+    Platform p = make_platform(4);
+    dfs::Dfs fs(p, dfs::DfsConfig{});
+    write_file(p, fs, "/in/big", make_text(5000, 17));
+    write_file(p, fs, "/in/small", make_text(150, 18));
+    GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+    SchedulerConfig sc;
+    sc.policy = SchedPolicy::kFair;
+    sc.max_resident_jobs = 2;
+    sc.preemption = elastic;
+    sc.elastic_slots = elastic;
+    Scheduler sched(rt, p, fs, sc);
+    std::vector<int> small_ids;
+    for (int i = 0; i < 6; ++i) {
+      const bool heavy = i < 2;  // tenant 0 front-loads two big jobs
+      JobRequest req;
+      req.name = heavy ? "big" : "small";
+      req.tenant = heavy ? 0 : 1;
+      req.app = wordcount_app();
+      req.config.input_paths = {heavy ? "/in/big" : "/in/small"};
+      req.config.output_path = "/out/j" + std::to_string(i);
+      req.config.split_size = 32 << 10;
+      req.arrival_s = 0.001 * i;
+      const int id = sched.submit(std::move(req));
+      if (!heavy) small_ids.push_back(id);
+    }
+    sched.run_all();
+    EXPECT_EQ(sched.jobs_failed(), 0);
+    double p99 = 0;
+    for (int id : small_ids) {
+      p99 = std::max(p99,
+                     sched.results()[static_cast<std::size_t>(id)].latency_s);
+    }
+    return p99;
+  };
+  const double rigid = small_p99(false);
+  const double elastic = small_p99(true);
+  EXPECT_LT(elastic, rigid);
+}
+
+// --- port-window recycling: the old `stride * (id + 1)` scheme walked off
+// the end of the port space after enough sequential jobs ---
+
+TEST(Sched, PortWindowsRecycledAcrossManySequentialJobs) {
+  Platform p = make_platform(2);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  write_file(p, fs, "/in/t", make_text(60, 19));
+  GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  SchedulerConfig sc;
+  sc.max_resident_jobs = 2;
+  Scheduler sched(rt, p, fs, sc);
+  const int kJobs = 70;  // > 64: past where an unbounded scheme misbehaves
+  for (int i = 0; i < kJobs; ++i) {
+    JobRequest req;
+    req.name = "wc" + std::to_string(i);
+    req.app = wordcount_app();
+    req.config.input_paths = {"/in/t"};
+    req.config.output_path = "/out/j" + std::to_string(i);
+    req.config.split_size = 16 << 10;
+    req.arrival_s = 0.0005 * i;
+    sched.submit(std::move(req));
+  }
+  sched.run_all();
+  EXPECT_EQ(sched.jobs_failed(), 0);
+  EXPECT_EQ(sched.jobs_rejected(), 0);
+  for (const auto& j : sched.results()) {
+    EXPECT_FALSE(j.result.output_files.empty()) << j.name;
+  }
+  // The port footprint is bounded by peak residency, not job count.
+  EXPECT_LE(sched.port_windows_created(), 2);
+}
+
+// --- silent combine degradation is surfaced ---
+
+TEST(Sched, CombineDowngradeUnderSharedGovernorIsSurfaced) {
+  Platform p = make_platform(2);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  write_file(p, fs, "/in/t", make_text(400, 23));
+  GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  SchedulerConfig sc;
+  sc.node_memory_bytes = 64ull << 20;  // shared governor: no combine pool
+  Scheduler sched(rt, p, fs, sc);
+  JobRequest req;
+  req.name = "wc-combine";
+  req.app = wordcount_app();
+  req.config.input_paths = {"/in/t"};
+  req.config.output_path = "/out/j0";
+  req.config.split_size = 32 << 10;
+  req.config.combine_mode = CombineMode::kNode;
+  const int id = sched.submit(std::move(req));
+  sched.run_all();
+  const auto& r = sched.results()[static_cast<std::size_t>(id)];
+  ASSERT_FALSE(r.failed);
+  // The job asked for node combining; the shared governor forced it off.
+  // That downgrade used to be silent — now it's reported on the job, the
+  // result, and the scheduler counter.
+  EXPECT_TRUE(r.combine_degraded);
+  EXPECT_TRUE(r.result.combine_degraded);
+  EXPECT_EQ(sched.combine_degraded_jobs(), 1);
+  EXPECT_GT(r.result.stats.output_pairs, 0u);
+}
+
+TEST(Sched, PreemptableJobCombineDowngradeIsSurfaced) {
+  Platform p = make_platform(2);
+  dfs::Dfs fs(p, dfs::DfsConfig{});
+  write_file(p, fs, "/in/t", make_text(400, 27));
+  GlasswingRuntime rt(p, fs, cl::DeviceSpec::cpu_dual_e5620());
+  SchedulerConfig sc;
+  sc.preemption = true;  // replayable ledger framing excludes combining
+  Scheduler sched(rt, p, fs, sc);
+  JobRequest req;
+  req.name = "wc-combine";
+  req.app = wordcount_app();
+  req.config.input_paths = {"/in/t"};
+  req.config.output_path = "/out/j0";
+  req.config.split_size = 32 << 10;
+  req.config.combine_mode = CombineMode::kNode;
+  const int id = sched.submit(std::move(req));
+  sched.run_all();
+  const auto& r = sched.results()[static_cast<std::size_t>(id)];
+  ASSERT_FALSE(r.failed);
+  EXPECT_TRUE(r.combine_degraded);
+  EXPECT_EQ(sched.combine_degraded_jobs(), 1);
+}
 
 }  // namespace
 }  // namespace gw::core
